@@ -1,0 +1,233 @@
+//! The Food Search Engine application (named in the paper's §4).
+//!
+//! Restaurant directories live at different network sites; the mobile agent
+//! visits each directory, queries it for the user's cuisine and budget, and
+//! brings the matches home — a classic "search, filter and process
+//! information" itinerary (paper §1).
+
+use pdagent_gateway::pi::ResultDoc;
+use pdagent_mas::Service;
+use pdagent_vm::{assemble, Program, Value};
+
+/// One restaurant listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restaurant {
+    /// Name.
+    pub name: String,
+    /// Cuisine tag (lowercase, e.g. `"dimsum"`).
+    pub cuisine: String,
+    /// Typical price per head, in cents.
+    pub price_cents: i64,
+    /// District label.
+    pub district: String,
+}
+
+/// A site-local restaurant directory service.
+///
+/// Operations: `search(cuisine, max_price)` → list of `"name|district|price"`
+/// strings; `count()` → number of listings.
+#[derive(Debug, Default)]
+pub struct FoodService {
+    listings: Vec<Restaurant>,
+}
+
+impl FoodService {
+    /// Empty directory.
+    pub fn new() -> FoodService {
+        FoodService::default()
+    }
+
+    /// Add a listing (builder style).
+    pub fn with(
+        mut self,
+        name: &str,
+        cuisine: &str,
+        price_cents: i64,
+        district: &str,
+    ) -> FoodService {
+        self.listings.push(Restaurant {
+            name: name.to_owned(),
+            cuisine: cuisine.to_owned(),
+            price_cents,
+            district: district.to_owned(),
+        });
+        self
+    }
+}
+
+impl Service for FoodService {
+    fn invoke(&mut self, op: &str, args: &[Value]) -> Result<Value, String> {
+        match op {
+            "search" => {
+                let cuisine = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or("food.search: cuisine must be a string")?;
+                let max_price = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or("food.search: max_price must be an int")?;
+                let matches: Vec<Value> = self
+                    .listings
+                    .iter()
+                    .filter(|r| r.cuisine == cuisine && r.price_cents <= max_price)
+                    .map(|r| {
+                        Value::Str(format!("{}|{}|{}", r.name, r.district, r.price_cents))
+                    })
+                    .collect();
+                Ok(Value::List(matches))
+            }
+            "count" => Ok(Value::Int(self.listings.len() as i64)),
+            other => Err(format!("food: unknown operation {other:?}")),
+        }
+    }
+}
+
+/// The food-search mobile agent: at each directory site, search and emit
+/// every match; keep a running match count in a global.
+pub fn food_program() -> Program {
+    assemble(FOOD_ASM).expect("food agent assembles")
+}
+
+/// Agent source.
+pub const FOOD_ASM: &str = r#"
+.name food-search-agent
+        gload "f-init"
+        jmpf finit
+        jmp fstart
+finit:
+        push 0
+        gstore "found"
+        push true
+        gstore "f-init"
+fstart:
+        param "cuisine"
+        param "budget"
+        invoke "food" "search" 2
+        store 0                 ; matches at this site
+        push 0
+        store 1                 ; i
+loop:
+        load 1
+        load 0
+        listlen
+        lt
+        jmpf done
+        load 0
+        load 1
+        listget
+        emit "match"
+        gload "found"
+        push 1
+        add
+        gstore "found"
+        load 1
+        push 1
+        add
+        store 1
+        jmp loop
+done:
+        push "site="
+        site
+        add
+        push " cumulative="
+        add
+        gload "found"
+        add
+        emit "searched"
+        halt
+"#;
+
+/// Launch parameters for a cuisine + budget query.
+pub fn food_params(cuisine: &str, budget_cents: i64) -> Vec<(String, Value)> {
+    vec![
+        ("cuisine".to_owned(), Value::Str(cuisine.to_owned())),
+        ("budget".to_owned(), Value::Int(budget_cents)),
+    ]
+}
+
+/// Matches from a result document as `(site, "name|district|price")`.
+pub fn matches(result: &ResultDoc) -> Vec<(String, String)> {
+    result
+        .entries_for("match")
+        .map(|e| (e.site.clone(), e.value.render()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_vm::{run, AgentState, Host, Outcome};
+
+    #[test]
+    fn program_assembles_and_is_small() {
+        let p = food_program();
+        assert!(p.byte_size() < 8 * 1024);
+    }
+
+    #[test]
+    fn service_filters_by_cuisine_and_price() {
+        let mut svc = FoodService::new()
+            .with("Golden Wok", "dimsum", 8_000, "Hung Hom")
+            .with("Jade Palace", "dimsum", 20_000, "Central")
+            .with("Pasta Bar", "italian", 9_000, "TST");
+        let out = svc
+            .invoke("search", &[Value::Str("dimsum".into()), Value::Int(10_000)])
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::List(vec![Value::Str("Golden Wok|Hung Hom|8000".into())])
+        );
+        assert_eq!(svc.invoke("count", &[]).unwrap(), Value::Int(3));
+        assert!(svc.invoke("search", &[Value::Int(1)]).is_err());
+    }
+
+    struct FoodHost {
+        site: String,
+        svc: FoodService,
+        params: Vec<(String, Value)>,
+        emitted: Vec<(String, Value)>,
+    }
+    impl Host for FoodHost {
+        fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+            assert_eq!(service, "food");
+            self.svc.invoke(op, args)
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        }
+        fn emit(&mut self, key: &str, value: Value) {
+            self.emitted.push((key.to_owned(), value));
+        }
+        fn site_name(&self) -> &str {
+            &self.site
+        }
+    }
+
+    #[test]
+    fn agent_collects_matches_across_sites() {
+        let program = food_program();
+        let mut state = AgentState::default();
+        let mut total = 0;
+        for (site, svc) in [
+            (
+                "dir-east",
+                FoodService::new()
+                    .with("A", "dimsum", 5_000, "d1")
+                    .with("B", "dimsum", 50_000, "d2"),
+            ),
+            ("dir-west", FoodService::new().with("C", "dimsum", 7_000, "d3")),
+        ] {
+            let mut host = FoodHost {
+                site: site.into(),
+                svc,
+                params: food_params("dimsum", 10_000),
+                emitted: vec![],
+            };
+            assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+            total += host.emitted.iter().filter(|(k, _)| k == "match").count();
+        }
+        assert_eq!(total, 2); // A and C; B is over budget
+        assert_eq!(state.globals["found"], Value::Int(2));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pdagent-apps
+//!
+//! Example applications built on the PDAgent API, mirroring the ones the
+//! paper reports: "we have developed several example applications, for
+//! example, Food Search Engine, E-Banking etc."
+//!
+//! Each application consists of:
+//! * an **agent program** written in the `pdagent-vm` assembly — the MA code
+//!   a device downloads at subscription time and ships inside the Packed
+//!   Information;
+//! * one or more **service agents** ([`pdagent_mas::Service`]
+//!   implementations) that run at MAS sites — the stationary counterparts
+//!   the mobile agent transacts with;
+//! * **builders** for launch parameters and **readers** for the XML result
+//!   document.
+//!
+//! * [`ebank`] — the paper's evaluation workload: multi-bank transaction
+//!   execution (Figure 10/11).
+//! * [`food`] — the Food Search Engine: query restaurant directories across
+//!   sites and collect matches.
+//! * [`news`] — a news-clipping agent demonstrating cross-site state
+//!   (globals) and the context-aware parameterization of §2.
+//! * [`workflow`] — mobile workflow management (the paper's named
+//!   future-work application): an approval chain with early termination.
+//! * [`mcommerce`] — the other named future-work application: two-phase
+//!   price-comparison shopping (quote tour, then a targeted order).
+
+pub mod ebank;
+pub mod food;
+pub mod mcommerce;
+pub mod news;
+pub mod workflow;
+
+pub use ebank::{BankService, Transaction};
+pub use food::FoodService;
+pub use mcommerce::ShopService;
+pub use news::NewsService;
+pub use workflow::ApprovalService;

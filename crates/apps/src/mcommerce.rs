@@ -1,0 +1,341 @@
+//! M-commerce — the paper's other named future-work application
+//! ("developing more practical applications, including m-commerce").
+//!
+//! A two-phase shopping flow, each phase a separate agent deployment:
+//!
+//! 1. **Quote** ([`quote_program`]): the agent tours the shops, asks each
+//!    for its price on the wanted item, tracks the best offer in its
+//!    migrating globals, and reports the winner when the tour ends.
+//! 2. **Order** ([`order_program`]): armed with the quote, the user deploys
+//!    a second agent straight to the winning shop to place the order at (or
+//!    under) the quoted price — shops are stateful, so stock actually
+//!    decrements.
+//!
+//! This is the classic MAgNET-style mobile-agent commerce pattern the
+//! paper's related work cites.
+
+use pdagent_gateway::pi::ResultDoc;
+use pdagent_mas::Service;
+use pdagent_vm::{assemble, Program, Value};
+
+/// A shop's stationary service agent.
+///
+/// Operations: `quote(item)` → price cents (or Nil if not stocked);
+/// `order(item, max_price)` → confirmation string, or an error if out of
+/// stock / over budget.
+#[derive(Debug, Default)]
+pub struct ShopService {
+    /// Shop name (appears in confirmations).
+    pub shop: String,
+    items: std::collections::BTreeMap<String, (i64, u32)>, // price, stock
+    orders_taken: u64,
+}
+
+impl ShopService {
+    /// An empty shop.
+    pub fn new(shop: impl Into<String>) -> ShopService {
+        ShopService { shop: shop.into(), ..Default::default() }
+    }
+
+    /// Stock an item (builder style).
+    pub fn with_item(mut self, item: &str, price_cents: i64, stock: u32) -> ShopService {
+        self.items.insert(item.to_owned(), (price_cents, stock));
+        self
+    }
+
+    /// Remaining stock of an item.
+    pub fn stock_of(&self, item: &str) -> Option<u32> {
+        self.items.get(item).map(|&(_, s)| s)
+    }
+}
+
+impl Service for ShopService {
+    fn invoke(&mut self, op: &str, args: &[Value]) -> Result<Value, String> {
+        let item_arg = |i: usize| -> Result<&str, String> {
+            args.get(i)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("shop.{op}: argument {i} must be an item name"))
+        };
+        match op {
+            "quote" => {
+                let item = item_arg(0)?;
+                Ok(match self.items.get(item) {
+                    Some(&(price, stock)) if stock > 0 => Value::Int(price),
+                    _ => Value::Nil,
+                })
+            }
+            "order" => {
+                let item = item_arg(0)?.to_owned();
+                let max_price = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or("shop.order: max_price must be an int")?;
+                let Some((price, stock)) = self.items.get_mut(&item) else {
+                    return Err(format!("shop.order: {} does not stock {item}", self.shop));
+                };
+                if *stock == 0 {
+                    return Err(format!("shop.order: {item} out of stock at {}", self.shop));
+                }
+                if *price > max_price {
+                    return Err(format!(
+                        "shop.order: price {} exceeds budget {max_price}",
+                        *price
+                    ));
+                }
+                *stock -= 1;
+                self.orders_taken += 1;
+                Ok(Value::Str(format!(
+                    "order-{}-{}:{item}@{}",
+                    self.shop, self.orders_taken, *price
+                )))
+            }
+            other => Err(format!("shop: unknown operation {other:?}")),
+        }
+    }
+}
+
+/// Phase 1: the quoting agent.
+pub fn quote_program() -> Program {
+    assemble(QUOTE_ASM).expect("quote agent assembles")
+}
+
+/// Quote agent source.
+pub const QUOTE_ASM: &str = r#"
+.name mcommerce-quote
+        gload "q-init"
+        jmpf qinit
+        jmp qstart
+qinit:
+        push 9223372036854775807
+        gstore "best-price"
+        push ""
+        gstore "best-shop"
+        push true
+        gstore "q-init"
+qstart:
+        param "item"
+        invoke "shop" "quote" 1
+        store 0                 ; quote (Nil if unstocked)
+        ; report this shop's quote either way
+        site
+        push ": "
+        add
+        load 0
+        add
+        emit "quote"
+        ; unstocked? skip comparison
+        load 0
+        nil
+        eq
+        jmpf compare
+        jmp wrapup
+compare:
+        load 0
+        gload "best-price"
+        lt
+        jmpf wrapup
+        load 0
+        gstore "best-price"
+        site
+        gstore "best-shop"
+wrapup:
+        ; on the final hop, report the winner
+        invoke "agent" "hops_done" 0
+        push 1
+        add
+        invoke "agent" "hops_total" 0
+        eq
+        jmpf done
+        gload "best-shop"
+        emit "best-shop"
+        gload "best-price"
+        emit "best-price"
+done:
+        halt
+"#;
+
+/// Phase 2: the ordering agent (deployed to the winning shop only).
+pub fn order_program() -> Program {
+    assemble(ORDER_ASM).expect("order agent assembles")
+}
+
+/// Order agent source.
+pub const ORDER_ASM: &str = r#"
+.name mcommerce-order
+        param "item"
+        param "budget"
+        invoke "shop" "order" 2
+        emit "confirmation"
+        halt
+"#;
+
+/// Launch parameters for the quote phase.
+pub fn quote_params(item: &str) -> Vec<(String, Value)> {
+    vec![("item".to_owned(), Value::Str(item.to_owned()))]
+}
+
+/// Launch parameters for the order phase.
+pub fn order_params(item: &str, budget_cents: i64) -> Vec<(String, Value)> {
+    vec![
+        ("item".to_owned(), Value::Str(item.to_owned())),
+        ("budget".to_owned(), Value::Int(budget_cents)),
+    ]
+}
+
+/// The winning `(shop, price)` from a quote-phase result, if any shop
+/// stocked the item.
+pub fn best_offer(result: &ResultDoc) -> Option<(String, i64)> {
+    let shop = result.entries_for("best-shop").next()?.value.render();
+    let price = result.entries_for("best-price").next()?.value.as_int()?;
+    if shop.is_empty() {
+        return None;
+    }
+    Some((shop, price))
+}
+
+/// The order confirmation from an order-phase result.
+pub fn confirmation(result: &ResultDoc) -> Option<String> {
+    result.entries_for("confirmation").next().map(|e| e.value.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_vm::{run, AgentState, Host, Outcome};
+
+    #[test]
+    fn programs_assemble_within_budget() {
+        assert!(quote_program().byte_size() < 8 * 1024);
+        assert!(order_program().byte_size() < 8 * 1024);
+    }
+
+    #[test]
+    fn shop_quote_and_order() {
+        let mut shop = ShopService::new("acme").with_item("pda", 149_900, 2);
+        assert_eq!(
+            shop.invoke("quote", &[Value::Str("pda".into())]).unwrap(),
+            Value::Int(149_900)
+        );
+        assert_eq!(
+            shop.invoke("quote", &[Value::Str("laptop".into())]).unwrap(),
+            Value::Nil
+        );
+        let conf = shop
+            .invoke("order", &[Value::Str("pda".into()), Value::Int(200_000)])
+            .unwrap();
+        assert!(conf.render().starts_with("order-acme-1:pda@149900"));
+        assert_eq!(shop.stock_of("pda"), Some(1));
+        // Over budget / out of stock errors.
+        assert!(shop
+            .invoke("order", &[Value::Str("pda".into()), Value::Int(1_000)])
+            .is_err());
+        shop.invoke("order", &[Value::Str("pda".into()), Value::Int(200_000)]).unwrap();
+        assert!(shop
+            .invoke("order", &[Value::Str("pda".into()), Value::Int(200_000)])
+            .is_err());
+        // Exhausted stock also disappears from quotes.
+        assert_eq!(
+            shop.invoke("quote", &[Value::Str("pda".into())]).unwrap(),
+            Value::Nil
+        );
+    }
+
+    struct ShopHost {
+        site: String,
+        svc: ShopService,
+        params: Vec<(String, Value)>,
+        emitted: Vec<(String, Value)>,
+        hops_done: i64,
+        hops_total: i64,
+    }
+    impl Host for ShopHost {
+        fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+            match (service, op) {
+                ("agent", "hops_done") => Ok(Value::Int(self.hops_done)),
+                ("agent", "hops_total") => Ok(Value::Int(self.hops_total)),
+                ("shop", op) => self.svc.invoke(op, args),
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        }
+        fn emit(&mut self, key: &str, value: Value) {
+            self.emitted.push((key.to_owned(), value));
+        }
+        fn site_name(&self) -> &str {
+            &self.site
+        }
+    }
+
+    #[test]
+    fn quote_agent_finds_the_cheapest_shop() {
+        let shops = vec![
+            ShopService::new("pricey").with_item("pda", 180_000, 5),
+            ShopService::new("cheap").with_item("pda", 120_000, 5),
+            ShopService::new("sold-out").with_item("pda", 90_000, 0),
+            ShopService::new("mid").with_item("pda", 150_000, 5),
+        ];
+        let program = quote_program();
+        let mut state = AgentState::default();
+        let total = shops.len() as i64;
+        let mut last_emitted = Vec::new();
+        for (i, svc) in shops.into_iter().enumerate() {
+            let site = svc.shop.clone();
+            let mut host = ShopHost {
+                site,
+                svc,
+                params: quote_params("pda"),
+                emitted: vec![],
+                hops_done: i as i64,
+                hops_total: total,
+            };
+            assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+            last_emitted = host.emitted;
+        }
+        // The winner is "cheap" (sold-out's 90k quote is Nil: no stock).
+        let best_shop = last_emitted.iter().find(|(k, _)| k == "best-shop").unwrap();
+        let best_price = last_emitted.iter().find(|(k, _)| k == "best-price").unwrap();
+        assert_eq!(best_shop.1, Value::Str("cheap".into()));
+        assert_eq!(best_price.1, Value::Int(120_000));
+    }
+
+    #[test]
+    fn order_agent_places_the_order() {
+        let program = order_program();
+        let mut state = AgentState::default();
+        let mut host = ShopHost {
+            site: "cheap".into(),
+            svc: ShopService::new("cheap").with_item("pda", 120_000, 1),
+            params: order_params("pda", 130_000),
+            emitted: vec![],
+            hops_done: 0,
+            hops_total: 1,
+        };
+        assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+        let conf = host.emitted.iter().find(|(k, _)| k == "confirmation").unwrap();
+        assert!(conf.1.render().contains("pda@120000"));
+        assert_eq!(host.svc.stock_of("pda"), Some(0));
+    }
+
+    #[test]
+    fn order_agent_traps_on_over_budget() {
+        let program = order_program();
+        let mut state = AgentState::default();
+        let mut host = ShopHost {
+            site: "pricey".into(),
+            svc: ShopService::new("pricey").with_item("pda", 180_000, 1),
+            params: order_params("pda", 130_000),
+            emitted: vec![],
+            hops_done: 0,
+            hops_total: 1,
+        };
+        // The service error traps the VM; at the MAS level this becomes an
+        // `error` result entry and the user sees the failed order.
+        assert!(matches!(
+            run(&program, &mut state, &mut host, 100_000),
+            Outcome::Trapped(_)
+        ));
+        assert_eq!(host.svc.stock_of("pda"), Some(1)); // nothing bought
+    }
+}

@@ -1,0 +1,271 @@
+//! A news-clipping application: the "context-aware, parameterized" agent of
+//! paper §2 ("MA programs can be designed in a way that can be
+//! parameterized, either manually or automatically, to reflect the current
+//! user's context").
+//!
+//! The user's context (topic of interest, maximum age of stories, how many
+//! headlines they want) parameterizes the downloaded agent; the agent tours
+//! news sites, clips matching headlines, and stops early once it has
+//! gathered enough — demonstrating data-dependent itinerary truncation via
+//! the `agent.abort` host call.
+
+use pdagent_gateway::pi::ResultDoc;
+use pdagent_mas::Service;
+use pdagent_vm::{assemble, Program, Value};
+
+/// One news story held by a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Story {
+    /// Headline text.
+    pub headline: String,
+    /// Topic tag.
+    pub topic: String,
+    /// Age in hours.
+    pub age_hours: i64,
+}
+
+/// A site-local news archive.
+///
+/// Operations: `headlines(topic, max_age_hours)` → list of headline strings.
+#[derive(Debug, Default)]
+pub struct NewsService {
+    stories: Vec<Story>,
+}
+
+impl NewsService {
+    /// Empty archive.
+    pub fn new() -> NewsService {
+        NewsService::default()
+    }
+
+    /// Add a story (builder style).
+    pub fn with(mut self, headline: &str, topic: &str, age_hours: i64) -> NewsService {
+        self.stories.push(Story {
+            headline: headline.to_owned(),
+            topic: topic.to_owned(),
+            age_hours,
+        });
+        self
+    }
+}
+
+impl Service for NewsService {
+    fn invoke(&mut self, op: &str, args: &[Value]) -> Result<Value, String> {
+        match op {
+            "headlines" => {
+                let topic = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .ok_or("news.headlines: topic must be a string")?;
+                let max_age = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .ok_or("news.headlines: max_age must be an int")?;
+                Ok(Value::List(
+                    self.stories
+                        .iter()
+                        .filter(|s| s.topic == topic && s.age_hours <= max_age)
+                        .map(|s| Value::Str(s.headline.clone()))
+                        .collect(),
+                ))
+            }
+            other => Err(format!("news: unknown operation {other:?}")),
+        }
+    }
+}
+
+/// The news-clipping agent: clip matching headlines at each site; once the
+/// wanted number is reached, abort the rest of the itinerary.
+pub fn news_program() -> Program {
+    assemble(NEWS_ASM).expect("news agent assembles")
+}
+
+/// Agent source.
+pub const NEWS_ASM: &str = r#"
+.name news-clipper
+        gload "n-init"
+        jmpf ninit
+        jmp nstart
+ninit:
+        push 0
+        gstore "clipped"
+        push true
+        gstore "n-init"
+nstart:
+        param "topic"
+        param "max-age"
+        invoke "news" "headlines" 2
+        store 0             ; headlines at this site
+        push 0
+        store 1             ; i
+loop:
+        load 1
+        load 0
+        listlen
+        lt
+        jmpf after
+        ; stop clipping once we have enough
+        gload "clipped"
+        param "wanted"
+        ge
+        jmpf clip
+        jmp enough
+clip:
+        load 0
+        load 1
+        listget
+        emit "headline"
+        gload "clipped"
+        push 1
+        add
+        gstore "clipped"
+        load 1
+        push 1
+        add
+        store 1
+        jmp loop
+after:
+        ; not enough yet: continue the itinerary
+        jmp out
+enough:
+        invoke "agent" "abort" 0
+        pop
+out:
+        push "site="
+        site
+        add
+        push " clipped="
+        add
+        gload "clipped"
+        add
+        emit "visited"
+        halt
+"#;
+
+/// Launch parameters reflecting the user's context.
+pub fn news_params(topic: &str, max_age_hours: i64, wanted: i64) -> Vec<(String, Value)> {
+    vec![
+        ("topic".to_owned(), Value::Str(topic.to_owned())),
+        ("max-age".to_owned(), Value::Int(max_age_hours)),
+        ("wanted".to_owned(), Value::Int(wanted)),
+    ]
+}
+
+/// Clipped headlines from a result document as `(site, headline)`.
+pub fn headlines(result: &ResultDoc) -> Vec<(String, String)> {
+    result
+        .entries_for("headline")
+        .map(|e| (e.site.clone(), e.value.render()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_vm::{run, AgentState, Host, Outcome};
+
+    #[test]
+    fn program_assembles_and_is_small() {
+        assert!(news_program().byte_size() < 8 * 1024);
+    }
+
+    #[test]
+    fn service_filters_by_topic_and_age() {
+        let mut svc = NewsService::new()
+            .with("Markets rally", "finance", 2)
+            .with("Old market news", "finance", 100)
+            .with("Typhoon nears", "weather", 1);
+        let out = svc
+            .invoke("headlines", &[Value::Str("finance".into()), Value::Int(24)])
+            .unwrap();
+        assert_eq!(out, Value::List(vec![Value::Str("Markets rally".into())]));
+        assert!(svc.invoke("headlines", &[]).is_err());
+        assert!(svc.invoke("weather", &[]).is_err());
+    }
+
+    struct NewsHost {
+        site: String,
+        svc: NewsService,
+        params: Vec<(String, Value)>,
+        emitted: Vec<(String, Value)>,
+        aborted: bool,
+    }
+    impl Host for NewsHost {
+        fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+            if service == "agent" && op == "abort" {
+                self.aborted = true;
+                return Ok(Value::Bool(true));
+            }
+            assert_eq!(service, "news");
+            self.svc.invoke(op, args)
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        }
+        fn emit(&mut self, key: &str, value: Value) {
+            self.emitted.push((key.to_owned(), value));
+        }
+        fn site_name(&self) -> &str {
+            &self.site
+        }
+    }
+
+    #[test]
+    fn clips_until_quota_then_aborts() {
+        let program = news_program();
+        let mut state = AgentState::default();
+        let mut clipped = 0;
+        let mut aborted_at = None;
+        for (i, (site, svc)) in [
+            (
+                "news-1",
+                NewsService::new().with("h1", "tech", 1).with("h2", "tech", 2),
+            ),
+            (
+                "news-2",
+                NewsService::new().with("h3", "tech", 1).with("h4", "tech", 2),
+            ),
+            ("news-3", NewsService::new().with("h5", "tech", 1)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut host = NewsHost {
+                site: site.into(),
+                svc,
+                params: news_params("tech", 24, 3),
+                emitted: vec![],
+                aborted: false,
+            };
+            assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+            clipped += host.emitted.iter().filter(|(k, _)| k == "headline").count();
+            if host.aborted {
+                aborted_at = Some(i);
+                break;
+            }
+        }
+        // Wanted 3: site 1 gives 2, site 2 gives 1 more then aborts.
+        assert_eq!(clipped, 3);
+        assert_eq!(aborted_at, Some(1));
+        assert_eq!(state.globals["clipped"], Value::Int(3));
+    }
+
+    #[test]
+    fn no_quota_reached_keeps_touring() {
+        let program = news_program();
+        let mut state = AgentState::default();
+        let mut host = NewsHost {
+            site: "news-1".into(),
+            svc: NewsService::new().with("only one", "tech", 1),
+            params: news_params("tech", 24, 10),
+            emitted: vec![],
+            aborted: false,
+        };
+        assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+        assert!(!host.aborted);
+        assert_eq!(
+            host.emitted.iter().filter(|(k, _)| k == "headline").count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Mobile workflow management — the paper's named future-work application
+//! ("In our future work, we will … developing more practical applications,
+//! including m-commerce and mobile workflow management").
+//!
+//! A purchase-approval workflow: the user's agent carries a requisition
+//! through a chain of approver sites (team lead → department → finance).
+//! Each site's [`ApprovalService`] applies its local policy (spending limit,
+//! blocked requesters); the first rejection stops the chain (`agent.abort`),
+//! and the decisions collected so far come home either way — the workflow
+//! audit trail.
+
+use pdagent_gateway::pi::ResultDoc;
+use pdagent_mas::Service;
+use pdagent_vm::{assemble, Program, Value};
+
+/// A site-local approval authority.
+///
+/// Operation `review(amount, requester)` → `[approved: bool, note: str]`.
+#[derive(Debug)]
+pub struct ApprovalService {
+    /// Approver name (appears in notes).
+    pub approver: String,
+    /// Maximum amount (cents) this approver may sign off.
+    pub limit_cents: i64,
+    /// Requesters this approver always rejects.
+    pub blocked: Vec<String>,
+}
+
+impl ApprovalService {
+    /// An approver with a spending limit.
+    pub fn new(approver: impl Into<String>, limit_cents: i64) -> ApprovalService {
+        ApprovalService { approver: approver.into(), limit_cents, blocked: Vec::new() }
+    }
+
+    /// Block a requester (builder style).
+    pub fn blocking(mut self, requester: impl Into<String>) -> ApprovalService {
+        self.blocked.push(requester.into());
+        self
+    }
+}
+
+impl Service for ApprovalService {
+    fn invoke(&mut self, op: &str, args: &[Value]) -> Result<Value, String> {
+        match op {
+            "review" => {
+                let amount = args
+                    .first()
+                    .and_then(Value::as_int)
+                    .ok_or("approval.review: amount must be an int")?;
+                let requester = args
+                    .get(1)
+                    .and_then(Value::as_str)
+                    .ok_or("approval.review: requester must be a string")?;
+                let (approved, note) = if self.blocked.iter().any(|b| b == requester) {
+                    (false, format!("{}: requester {requester} is blocked", self.approver))
+                } else if amount > self.limit_cents {
+                    (
+                        false,
+                        format!(
+                            "{}: amount {amount} exceeds limit {}",
+                            self.approver, self.limit_cents
+                        ),
+                    )
+                } else {
+                    (true, format!("{}: approved {amount} for {requester}", self.approver))
+                };
+                Ok(Value::List(vec![Value::Bool(approved), Value::Str(note)]))
+            }
+            other => Err(format!("approval: unknown operation {other:?}")),
+        }
+    }
+}
+
+/// The workflow agent: carry the requisition through the approval chain,
+/// stopping at the first rejection.
+pub fn workflow_program() -> Program {
+    assemble(WORKFLOW_ASM).expect("workflow agent assembles")
+}
+
+/// Agent source.
+pub const WORKFLOW_ASM: &str = r#"
+.name workflow-agent
+        gload "w-init"
+        jmpf winit
+        jmp wstart
+winit:
+        push 0
+        gstore "approvals"
+        push true
+        gstore "w-init"
+wstart:
+        param "amount"
+        param "requester"
+        invoke "approval" "review" 2
+        store 0                 ; [approved, note]
+        load 0
+        push 1
+        listget
+        emit "decision"
+        load 0
+        push 0
+        listget
+        jmpf rejected
+        ; approved here: count it; if this was the last hop, report success
+        gload "approvals"
+        push 1
+        add
+        gstore "approvals"
+        invoke "agent" "hops_done" 0
+        push 1
+        add
+        invoke "agent" "hops_total" 0
+        eq
+        jmpf done
+        push "approved"
+        emit "outcome"
+        jmp done
+rejected:
+        invoke "agent" "abort" 0
+        pop
+        push "rejected"
+        emit "outcome"
+done:
+        halt
+"#;
+
+/// Launch parameters for a requisition.
+pub fn workflow_params(amount_cents: i64, requester: &str) -> Vec<(String, Value)> {
+    vec![
+        ("amount".to_owned(), Value::Int(amount_cents)),
+        ("requester".to_owned(), Value::Str(requester.to_owned())),
+    ]
+}
+
+/// The final outcome recorded by the agent (`"approved"`/`"rejected"`).
+pub fn outcome(result: &ResultDoc) -> Option<String> {
+    result.entries_for("outcome").last().map(|e| e.value.render())
+}
+
+/// All decisions, in chain order, as `(site, note)`.
+pub fn decisions(result: &ResultDoc) -> Vec<(String, String)> {
+    result
+        .entries_for("decision")
+        .map(|e| (e.site.clone(), e.value.render()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_vm::{run, AgentState, Host, Outcome};
+
+    #[test]
+    fn program_assembles_and_is_small() {
+        assert!(workflow_program().byte_size() < 8 * 1024);
+    }
+
+    #[test]
+    fn service_policies() {
+        let mut svc = ApprovalService::new("lead", 50_000).blocking("mallory");
+        let ok = svc
+            .invoke("review", &[Value::Int(10_000), Value::Str("alice".into())])
+            .unwrap();
+        assert_eq!(
+            ok,
+            Value::List(vec![
+                Value::Bool(true),
+                Value::Str("lead: approved 10000 for alice".into())
+            ])
+        );
+        let over = svc
+            .invoke("review", &[Value::Int(90_000), Value::Str("alice".into())])
+            .unwrap();
+        assert!(matches!(&over, Value::List(v) if v[0] == Value::Bool(false)));
+        let blocked = svc
+            .invoke("review", &[Value::Int(1), Value::Str("mallory".into())])
+            .unwrap();
+        assert!(matches!(&blocked, Value::List(v) if v[0] == Value::Bool(false)));
+        assert!(svc.invoke("review", &[]).is_err());
+        assert!(svc.invoke("stamp", &[]).is_err());
+    }
+
+    struct WfHost {
+        site: String,
+        svc: ApprovalService,
+        params: Vec<(String, Value)>,
+        emitted: Vec<(String, Value)>,
+        aborted: bool,
+        hops_done: i64,
+        hops_total: i64,
+    }
+    impl Host for WfHost {
+        fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+            match (service, op) {
+                ("agent", "abort") => {
+                    self.aborted = true;
+                    Ok(Value::Bool(true))
+                }
+                ("agent", "hops_done") => Ok(Value::Int(self.hops_done)),
+                ("agent", "hops_total") => Ok(Value::Int(self.hops_total)),
+                ("approval", op) => self.svc.invoke(op, args),
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+        fn param(&self, name: &str) -> Option<Value> {
+            self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        }
+        fn emit(&mut self, key: &str, value: Value) {
+            self.emitted.push((key.to_owned(), value));
+        }
+        fn site_name(&self) -> &str {
+            &self.site
+        }
+    }
+
+    fn run_chain(amount: i64, approvers: Vec<ApprovalService>) -> (Vec<(String, Value)>, bool) {
+        let program = workflow_program();
+        let mut state = AgentState::default();
+        let total = approvers.len() as i64;
+        let mut all = Vec::new();
+        for (i, svc) in approvers.into_iter().enumerate() {
+            let mut host = WfHost {
+                site: format!("approver-{i}"),
+                svc,
+                params: workflow_params(amount, "alice"),
+                emitted: vec![],
+                aborted: false,
+                hops_done: i as i64,
+                hops_total: total,
+            };
+            assert_eq!(run(&program, &mut state, &mut host, 100_000), Outcome::Completed);
+            all.extend(host.emitted);
+            if host.aborted {
+                return (all, true);
+            }
+        }
+        (all, false)
+    }
+
+    #[test]
+    fn full_chain_approves() {
+        let (emitted, aborted) = run_chain(
+            20_000,
+            vec![
+                ApprovalService::new("lead", 50_000),
+                ApprovalService::new("dept", 200_000),
+                ApprovalService::new("finance", 1_000_000),
+            ],
+        );
+        assert!(!aborted);
+        let outcomes: Vec<&(String, Value)> =
+            emitted.iter().filter(|(k, _)| k == "outcome").collect();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1, Value::Str("approved".into()));
+        assert_eq!(emitted.iter().filter(|(k, _)| k == "decision").count(), 3);
+    }
+
+    #[test]
+    fn rejection_stops_the_chain() {
+        let (emitted, aborted) = run_chain(
+            90_000,
+            vec![
+                ApprovalService::new("lead", 50_000), // rejects: over limit
+                ApprovalService::new("dept", 200_000),
+            ],
+        );
+        assert!(aborted);
+        // Only the first decision happened, and the outcome is rejected.
+        assert_eq!(emitted.iter().filter(|(k, _)| k == "decision").count(), 1);
+        let outcome: Vec<&(String, Value)> =
+            emitted.iter().filter(|(k, _)| k == "outcome").collect();
+        assert_eq!(outcome[0].1, Value::Str("rejected".into()));
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benches that run the paper's figure scenarios end to end.
+//!
+//! What Criterion measures here is the *wall-clock cost of simulating* each
+//! experiment (the simulator's own performance); the figures' y-values are
+//! *virtual* time and are printed by the `fig12`/`fig13` binaries. Keeping
+//! the scenarios under Criterion means `cargo bench` regenerates every
+//! figure's underlying runs and catches performance regressions in the
+//! simulation substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pdagent_bench::workload::{run_client_server, run_pdagent, run_web};
+use pdagent_bench::{ablations, footprint, gateway_selection};
+
+fn bench_fig12_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for n in [1u32, 10] {
+        group.bench_with_input(BenchmarkId::new("pdagent", n), &n, |b, &n| {
+            b.iter(|| run_pdagent(n, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("client_server", n), &n, |b, &n| {
+            b.iter(|| run_client_server(n, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("web_based", n), &n, |b, &n| {
+            b.iter(|| run_web(n, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("one_trial_both_panels_10tx", |b| {
+        b.iter(|| (run_client_server(10, 7), run_pdagent(10, 7)))
+    });
+    group.finish();
+}
+
+fn bench_other_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("footprint", |b| b.iter(footprint::run));
+    group.bench_function("gateway_selection", |b| b.iter(|| gateway_selection::run(5)));
+    group.bench_function("ablation_compression", |b| {
+        b.iter(|| ablations::run_compression(10, 1))
+    });
+    group.bench_function("ablation_mobility", |b| b.iter(|| ablations::run_mobility(5, 2)));
+    group.finish();
+}
+
+criterion_group!(figures, bench_fig12_points, bench_fig13_trial, bench_other_experiments);
+criterion_main!(figures);

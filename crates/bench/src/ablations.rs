@@ -1,0 +1,177 @@
+//! DESIGN.md §5 ablations: what each design choice buys.
+//!
+//! * **Compression on/off** — the paper compresses the PI "to minimize the
+//!   size of the transferred packet and thus reduce the transmission time".
+//!   We run the same deployment with `Algorithm::Auto` vs. `Algorithm::Store`
+//!   and compare PI bytes and upload time.
+//! * **Code mobility vs. pre-installed service** — PDAgent ships agent code
+//!   in the PI; the client-agent-server model (§2) runs a pre-installed
+//!   agent from parameters only. Shipping code costs upload bytes; the
+//!   pre-installed model costs generality (only installed apps exist).
+
+use pdagent_apps::ebank::ebank_program;
+use pdagent_baselines::client_agent::{AgentServerNode, ClientAgentDevice};
+use pdagent_apps::BankService;
+use pdagent_codec::compress::Algorithm;
+use pdagent_mas::server::SiteDirectory;
+use pdagent_mas::MasNode;
+use pdagent_net::link::LinkSpec;
+use pdagent_net::sim::Simulator;
+use pdagent_vm::Value;
+
+use crate::workload::{batch, run_pdagent_with};
+
+/// Compression ablation result.
+#[derive(Debug, Clone)]
+pub struct CompressionAblation {
+    /// PI size and completion with compression (Auto).
+    pub compressed: (usize, f64),
+    /// PI size and completion with Store (no compression).
+    pub stored: (usize, f64),
+}
+
+/// Run the compression ablation at `n` transactions.
+pub fn run_compression(n: u32, seed: u64) -> CompressionAblation {
+    let on = run_pdagent_with(n, seed, |_| {});
+    let off = run_pdagent_with(n, seed, |spec| {
+        spec.device.compression = Algorithm::Store;
+    });
+    CompressionAblation {
+        compressed: (on.pi_bytes, on.completion_secs),
+        stored: (off.pi_bytes, off.completion_secs),
+    }
+}
+
+impl CompressionAblation {
+    /// Render the report.
+    pub fn table(&self) -> String {
+        format!(
+            "# ABL-COMPRESS — PI compression (10 tx)\n\
+             with lzss/auto : {:>6} B   completion {:>5.2}s\n\
+             store (off)    : {:>6} B   completion {:>5.2}s\n",
+            self.compressed.0, self.compressed.1, self.stored.0, self.stored.1
+        )
+    }
+
+    /// Compression must shrink the PI and not slow completion.
+    pub fn check_shape(&self) -> Result<(), String> {
+        if self.compressed.0 >= self.stored.0 {
+            return Err(format!(
+                "compression did not shrink PI: {} vs {}",
+                self.compressed.0, self.stored.0
+            ));
+        }
+        if self.compressed.1 > self.stored.1 * 1.02 {
+            return Err(format!(
+                "compression slowed completion: {} vs {}",
+                self.compressed.1, self.stored.1
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Code-mobility ablation result.
+#[derive(Debug, Clone)]
+pub struct MobilityAblation {
+    /// PDAgent (code shipped in the PI): upload bytes, online seconds.
+    pub pdagent: (usize, f64),
+    /// Client-agent-server (pre-installed): request bytes, online seconds.
+    pub preinstalled: (usize, f64),
+}
+
+/// Run the code-mobility ablation at `n` transactions.
+pub fn run_mobility(n: u32, seed: u64) -> MobilityAblation {
+    let pda = run_pdagent_with(n, seed, |_| {});
+
+    // Client-agent-server on an equivalent topology.
+    let mut sim = Simulator::new(seed);
+    let mut directory = SiteDirectory::new();
+    directory.insert("bank-a", 1);
+    directory.insert("bank-b", 2);
+    let mut server = AgentServerNode::new(directory.clone());
+    server.install(
+        "ebank",
+        ebank_program(),
+        vec!["bank-a".into(), "bank-b".into()],
+    );
+    let server = sim.add_node(Box::new(server));
+    for name in ["bank-a", "bank-b"] {
+        let mut mas = MasNode::new(name, directory.clone());
+        mas.register_service(
+            "bank",
+            Box::new(BankService::new(name).with_account("alice", 10_000_000)),
+        );
+        sim.add_node(Box::new(mas));
+    }
+    let txs = batch(n);
+    let (pname, pvalue) = pdagent_apps::ebank::transactions_param(&txs);
+    let device = sim.add_node(Box::new(ClientAgentDevice::new(
+        server,
+        "ebank",
+        vec![(pname, pvalue), ("user".into(), Value::Str("alice".into()))],
+    )));
+    sim.connect(device, server, LinkSpec::wireless_gprs());
+    sim.connect(server, 1, LinkSpec::wired_internet());
+    sim.connect(server, 2, LinkSpec::wired_internet());
+    sim.connect(1, 2, LinkSpec::wired_internet());
+    sim.run_until_idle();
+    let request_bytes = sim.metrics(device).bytes_sent as usize;
+    let d = sim.node_ref::<ClientAgentDevice>(device).expect("device");
+    assert!(d.result.is_some(), "client-agent-server run completed");
+    let online = d.online_time.expect("online time").as_secs_f64();
+
+    MobilityAblation {
+        pdagent: (pda.pi_bytes, pda.connection_secs),
+        preinstalled: (request_bytes, online),
+    }
+}
+
+impl MobilityAblation {
+    /// Render the report.
+    pub fn table(&self) -> String {
+        format!(
+            "# ABL-MOBILITY — shipped code vs pre-installed service\n\
+             pdagent (code in PI)    : {:>6} B uploaded, {:>5.2}s online\n\
+             client-agent-server     : {:>6} B uploaded, {:>5.2}s online\n\
+             (the pre-installed model saves the code bytes but can only run\n\
+              what the operator installed — the paper's §2 limitation)\n",
+            self.pdagent.0, self.pdagent.1, self.preinstalled.0, self.preinstalled.1
+        )
+    }
+
+    /// The pre-installed model must upload fewer bytes (that's its one
+    /// advantage); both complete in the same order of magnitude.
+    pub fn check_shape(&self) -> Result<(), String> {
+        if self.preinstalled.0 >= self.pdagent.0 {
+            return Err(format!(
+                "pre-installed upload {} not smaller than PDAgent's {}",
+                self.preinstalled.0, self.pdagent.0
+            ));
+        }
+        if self.pdagent.1 > self.preinstalled.1 * 5.0 {
+            return Err(format!(
+                "PDAgent online time {} more than 5x pre-installed {}",
+                self.pdagent.1, self.preinstalled.1
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_pays_off() {
+        let a = run_compression(10, 1);
+        a.check_shape().unwrap_or_else(|e| panic!("{e}\n{}", a.table()));
+    }
+
+    #[test]
+    fn mobility_tradeoff_holds() {
+        let a = run_mobility(5, 2);
+        a.check_shape().unwrap_or_else(|e| panic!("{e}\n{}", a.table()));
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerate paper Figure 12: Internet connection time vs. number of
+//! transactions for PDAgent, Client-Server and Web-based.
+//!
+//! `cargo run -p pdagent-bench --release --bin fig12 [seed]`
+
+use pdagent_bench::fig12;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let fig = fig12::run(seed);
+    print!("{}", fig.table());
+    match fig.check_shape() {
+        Ok(()) => println!("\nshape check: OK (PDAgent flat & lowest; interactive approaches grow; ordering holds)"),
+        Err(e) => {
+            println!("\nshape check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerate paper Figure 13: transaction completion times across four
+//! trials for the Client-Server platform (top panel) and PDAgent (bottom).
+//!
+//! `cargo run -p pdagent-bench --release --bin fig13 [base_seed]`
+
+use pdagent_bench::fig13;
+
+fn main() {
+    let base_seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let fig = fig13::run(base_seed);
+    print!("{}", fig.client_server.table("Figure 13 (top) — Client-Server completion time (s), 4 trials"));
+    println!();
+    print!("{}", fig.pdagent.table("Figure 13 (bottom) — PDAgent completion time (s), 4 trials"));
+    match fig.check_shape() {
+        Ok(()) => println!(
+            "\nshape check: OK (client-server grows & spreads; PDAgent flat, stable, ≤8s band)"
+        ),
+        Err(e) => {
+            println!("\nshape check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

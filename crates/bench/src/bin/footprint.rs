@@ -1,0 +1,18 @@
+//! Regenerate the paper's footprint claims (TAB-FOOT): agent code sizes,
+//! compression ratios and the on-device database footprint.
+//!
+//! `cargo run -p pdagent-bench --release --bin footprint`
+
+use pdagent_bench::footprint;
+
+fn main() {
+    let f = footprint::run();
+    print!("{}", f.table());
+    match f.check_shape() {
+        Ok(()) => println!("\nshape check: OK (code in band, compression shrinks it, DB ≪ 120 KB)"),
+        Err(e) => {
+            println!("\nshape check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerate the §3.5 gateway-selection experiment (Figure 8's model):
+//! nearest-by-RTT probing vs. first-in-list dispatch, plus the DESIGN.md
+//! ablations (compression on/off, code mobility vs. pre-installed).
+//!
+//! `cargo run -p pdagent-bench --release --bin gateway_selection [seed]`
+
+use pdagent_bench::{ablations, gateway_selection};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let g = gateway_selection::run(seed);
+    print!("{}", g.table());
+    if let Err(e) = g.check_shape() {
+        println!("shape check FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!();
+
+    let c = ablations::run_compression(10, seed);
+    print!("{}", c.table());
+    if let Err(e) = c.check_shape() {
+        println!("shape check FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!();
+
+    let m = ablations::run_mobility(5, seed);
+    print!("{}", m.table());
+    if let Err(e) = m.check_shape() {
+        println!("shape check FAILED: {e}");
+        std::process::exit(1);
+    }
+
+    println!("\nshape checks: OK");
+}

@@ -1,0 +1,154 @@
+//! Figure 12 — "Internet connection times: three different approaches".
+//!
+//! The paper's plot: x = number of transactions (1..=10), y = Internet
+//! connection time in seconds, three series (PDAgent, Client-Server model,
+//! Web based). Expected shape: the two interactive approaches grow roughly
+//! linearly (client-server steepest, reaching ~2 minutes at 10
+//! transactions); PDAgent stays flat at a few seconds because only the PI
+//! upload and the result download are online.
+
+use crate::workload::{run_client_server_full, run_pdagent, run_web};
+
+/// Median of a small slice.
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// The figure's data: one row per transaction count.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Transaction counts (1..=10).
+    pub transactions: Vec<u32>,
+    /// PDAgent connection time, seconds.
+    pub pdagent: Vec<f64>,
+    /// Client-server connection time, seconds.
+    pub client_server: Vec<f64>,
+    /// Web-based connection time, seconds.
+    pub web_based: Vec<f64>,
+    /// Wireless bytes moved by the PDAgent device.
+    pub pdagent_bytes: Vec<u64>,
+    /// Wireless bytes moved by the client-server handheld.
+    pub client_server_bytes: Vec<u64>,
+}
+
+/// Run the full figure with the given trial seed.
+pub fn run(seed: u64) -> Fig12 {
+    let transactions: Vec<u32> = (1..=10).collect();
+    let mut fig = Fig12 {
+        transactions: transactions.clone(),
+        pdagent: Vec::new(),
+        client_server: Vec::new(),
+        web_based: Vec::new(),
+        pdagent_bytes: Vec::new(),
+        client_server_bytes: Vec::new(),
+    };
+    for &n in &transactions {
+        let pda = run_pdagent(n, seed);
+        fig.pdagent.push(pda.connection_secs);
+        fig.pdagent_bytes.push(pda.wireless_bytes);
+        let (cs_secs, cs_bytes) = run_client_server_full(n, seed);
+        fig.client_server.push(cs_secs);
+        fig.client_server_bytes.push(cs_bytes);
+        fig.web_based.push(run_web(n, seed));
+    }
+    fig
+}
+
+impl Fig12 {
+    /// Render the table the paper's figure plots.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Figure 12 — Internet connection time (seconds)\n");
+        out.push_str("# tx   pdagent   client-server   web-based\n");
+        for (i, &n) in self.transactions.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4}   {:>7.2}   {:>13.2}   {:>9.2}\n",
+                n, self.pdagent[i], self.client_server[i], self.web_based[i]
+            ));
+        }
+        out.push_str("\n# wireless bytes (the §2 message-passing-reduction claim)\n");
+        out.push_str("# tx   pdagent   client-server\n");
+        for (i, &n) in self.transactions.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4}   {:>7}   {:>13}\n",
+                n, self.pdagent_bytes[i], self.client_server_bytes[i]
+            ));
+        }
+        out
+    }
+
+    /// The qualitative claims the paper draws from this figure. Returns an
+    /// error message if any does not hold.
+    ///
+    /// Flatness is judged on medians of the first and last three points so
+    /// that a single lost-packet retransmission (a 3 s bump, realistic
+    /// wireless noise) does not flip the verdict — the paper's own trials
+    /// show the same kind of jitter.
+    pub fn check_shape(&self) -> Result<(), String> {
+        let last = self.transactions.len() - 1;
+        // 1. PDAgent is flat: median of the last 3 within 2x of the first 3.
+        let head = median(&self.pdagent[..3]);
+        let tail = median(&self.pdagent[self.pdagent.len() - 3..]);
+        if tail > head * 2.0 {
+            return Err(format!("PDAgent not flat: median {head:.2} → {tail:.2}"));
+        }
+        // 2. The interactive approaches grow: at least 4x from 1 to 10 tx.
+        for (name, series) in
+            [("client-server", &self.client_server), ("web-based", &self.web_based)]
+        {
+            if series[last] < series[0] * 4.0 {
+                return Err(format!(
+                    "{name} did not grow: {} → {}",
+                    series[0], series[last]
+                ));
+            }
+        }
+        // 3. Ordering at 10 transactions: client-server > web-based > PDAgent.
+        if !(self.client_server[last] > self.web_based[last]
+            && self.web_based[last] > self.pdagent[last])
+        {
+            return Err(format!(
+                "ordering violated at 10 tx: cs={} web={} pda={}",
+                self.client_server[last], self.web_based[last], self.pdagent[last]
+            ));
+        }
+        // 4. PDAgent beats client-server by >10x at 10 transactions.
+        if self.client_server[last] / self.pdagent[last] < 10.0 {
+            return Err(format!(
+                "PDAgent advantage too small: {}x",
+                self.client_server[last] / self.pdagent[last]
+            ));
+        }
+        // 5. §2's message-passing claim: at 10 tx the handheld moves far
+        //    fewer wireless bytes under PDAgent than under client-server.
+        if self.pdagent_bytes[last] * 5 > self.client_server_bytes[last] {
+            return Err(format!(
+                "wireless-bytes advantage too small: {} vs {}",
+                self.pdagent_bytes[last], self.client_server_bytes[last]
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_12_shape_holds() {
+        let fig = run(1);
+        fig.check_shape().unwrap_or_else(|e| panic!("{e}\n{}", fig.table()));
+    }
+
+    #[test]
+    fn figure_12_shape_holds_across_seeds() {
+        for seed in [2, 3] {
+            let fig = run(seed);
+            fig.check_shape()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", fig.table()));
+        }
+    }
+}

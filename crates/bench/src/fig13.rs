@@ -1,0 +1,159 @@
+//! Figure 13 — "PDAgent and Client-Server Platform: Transaction completion
+//! times", four trials each.
+//!
+//! The paper runs four trials per approach across 1..=10 transactions and
+//! reads off two things: (a) the client-server platform's completion time
+//! grows with the transaction count *and becomes unstable* (the spread
+//! between trials widens — wireless latency variance accumulates over its
+//! many round trips); (b) PDAgent's completion time stays in a low flat band
+//! (its axis tops out at 8 s) with a small spread, because only two short
+//! online windows are exposed to the wireless jitter.
+
+use crate::workload::{run_client_server, run_pdagent};
+
+/// One approach's four-trial data.
+#[derive(Debug, Clone)]
+pub struct TrialSeries {
+    /// Transaction counts (1..=10).
+    pub transactions: Vec<u32>,
+    /// `trials[t][i]` = completion seconds for trial `t` at `transactions[i]`.
+    pub trials: Vec<Vec<f64>>,
+}
+
+impl TrialSeries {
+    /// Per-count spread (max - min across trials).
+    pub fn spread(&self) -> Vec<f64> {
+        (0..self.transactions.len())
+            .map(|i| {
+                let vals: Vec<f64> = self.trials.iter().map(|t| t[i]).collect();
+                let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+                let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+                max - min
+            })
+            .collect()
+    }
+
+    /// Per-count mean across trials.
+    pub fn mean(&self) -> Vec<f64> {
+        (0..self.transactions.len())
+            .map(|i| {
+                self.trials.iter().map(|t| t[i]).sum::<f64>() / self.trials.len() as f64
+            })
+            .collect()
+    }
+
+    /// Render a table: one row per transaction count, one column per trial.
+    pub fn table(&self, title: &str) -> String {
+        let mut out = format!("# {title}\n# tx ");
+        for t in 1..=self.trials.len() {
+            out.push_str(&format!("  trial{t}"));
+        }
+        out.push_str("   spread\n");
+        let spread = self.spread();
+        for (i, &n) in self.transactions.iter().enumerate() {
+            out.push_str(&format!("{n:>4} "));
+            for t in &self.trials {
+                out.push_str(&format!("  {:>6.2}", t[i]));
+            }
+            out.push_str(&format!("   {:>6.2}\n", spread[i]));
+        }
+        out
+    }
+}
+
+/// The whole figure: both panels.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// Top panel: client-server platform.
+    pub client_server: TrialSeries,
+    /// Bottom panel: PDAgent.
+    pub pdagent: TrialSeries,
+}
+
+/// Run four trials (seeds `base_seed..base_seed+4`) of both approaches.
+pub fn run(base_seed: u64) -> Fig13 {
+    let transactions: Vec<u32> = (1..=10).collect();
+    let mut cs = TrialSeries { transactions: transactions.clone(), trials: Vec::new() };
+    let mut pda = TrialSeries { transactions: transactions.clone(), trials: Vec::new() };
+    for trial in 0..4 {
+        let seed = base_seed + trial;
+        cs.trials
+            .push(transactions.iter().map(|&n| run_client_server(n, seed)).collect());
+        pda.trials.push(
+            transactions.iter().map(|&n| run_pdagent(n, seed).completion_secs).collect(),
+        );
+    }
+    Fig13 { client_server: cs, pdagent: pda }
+}
+
+impl Fig13 {
+    /// The qualitative claims the paper draws from this figure.
+    pub fn check_shape(&self) -> Result<(), String> {
+        let last = self.pdagent.transactions.len() - 1;
+        let cs_mean = self.client_server.mean();
+        let pda_mean = self.pdagent.mean();
+        // 1. Client-server completion grows strongly with tx count.
+        if cs_mean[last] < cs_mean[0] * 4.0 {
+            return Err(format!("client-server flat: {} → {}", cs_mean[0], cs_mean[last]));
+        }
+        // 2. PDAgent stays in the paper's low band (its axis: 0–8 s).
+        for (i, &v) in pda_mean.iter().enumerate() {
+            if v > 8.0 {
+                return Err(format!("PDAgent mean {v:.2}s at {} tx exceeds 8s band", i + 1));
+            }
+        }
+        // 3. PDAgent is near-flat (2.5x tolerance absorbs an occasional
+        //    lost-packet retransmission bump in one trial).
+        if pda_mean[last] > pda_mean[0] * 2.5 {
+            return Err(format!("PDAgent not flat: {} → {}", pda_mean[0], pda_mean[last]));
+        }
+        // 4. Variance: the client-server spread at 10 tx is larger than at
+        //    1 tx (jitter accumulates), and larger than PDAgent's spread at
+        //    10 tx (in absolute seconds).
+        let cs_spread = self.client_server.spread();
+        let pda_spread = self.pdagent.spread();
+        if cs_spread[last] <= cs_spread[0] {
+            return Err(format!(
+                "client-server spread did not grow: {} → {}",
+                cs_spread[0], cs_spread[last]
+            ));
+        }
+        if cs_spread[last] <= pda_spread[last] {
+            return Err(format!(
+                "client-server spread {} not larger than PDAgent's {}",
+                cs_spread[last], pda_spread[last]
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_series_statistics() {
+        let series = TrialSeries {
+            transactions: vec![1, 2],
+            trials: vec![vec![1.0, 10.0], vec![3.0, 14.0]],
+        };
+        assert_eq!(series.mean(), vec![2.0, 12.0]);
+        assert_eq!(series.spread(), vec![2.0, 4.0]);
+        let table = series.table("t");
+        assert!(table.contains("trial1") && table.contains("trial2"));
+        assert_eq!(table.lines().count(), 4); // header x2 + 2 rows
+    }
+
+    #[test]
+    fn figure_13_shape_holds() {
+        let fig = run(100);
+        fig.check_shape().unwrap_or_else(|e| {
+            panic!(
+                "{e}\n{}\n{}",
+                fig.client_server.table("client-server"),
+                fig.pdagent.table("pdagent")
+            )
+        });
+    }
+}

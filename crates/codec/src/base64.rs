@@ -1,0 +1,154 @@
+//! RFC 4648 base64 (standard alphabet, `=` padding).
+//!
+//! Used to embed agent bytecode and ciphertext inside the XML Packed
+//! Information documents.
+
+/// Encoding/decoding error for [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base64Error {
+    /// A byte outside the base64 alphabet at this position.
+    InvalidByte(usize),
+    /// Input length is not a multiple of 4.
+    InvalidLength(usize),
+    /// `=` padding appeared somewhere other than the end.
+    InvalidPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::InvalidByte(pos) => write!(f, "invalid base64 byte at {pos}"),
+            Base64Error::InvalidLength(len) => {
+                write!(f, "base64 length {len} is not a multiple of 4")
+            }
+            Base64Error::InvalidPadding => write!(f, "misplaced base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+const ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes to a base64 string.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn decode_sym(b: u8, pos: usize) -> Result<u32, Base64Error> {
+    match b {
+        b'A'..=b'Z' => Ok((b - b'A') as u32),
+        b'a'..=b'z' => Ok((b - b'a') as u32 + 26),
+        b'0'..=b'9' => Ok((b - b'0') as u32 + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(Base64Error::InvalidByte(pos)),
+    }
+}
+
+/// Decode a base64 string (whitespace is ignored, as is common when the
+/// payload has been pretty-printed inside an XML document).
+pub fn decode(input: &str) -> Result<Vec<u8>, Base64Error> {
+    let cleaned: Vec<u8> =
+        input.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !cleaned.len().is_multiple_of(4) {
+        return Err(Base64Error::InvalidLength(cleaned.len()));
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for (ci, chunk) in cleaned.chunks(4).enumerate() {
+        let is_last = (ci + 1) * 4 == cleaned.len();
+        let pad = chunk.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 2 || (pad > 0 && !is_last) {
+            return Err(Base64Error::InvalidPadding);
+        }
+        // '=' may only appear in the padding tail.
+        if chunk[..4 - pad].contains(&b'=') {
+            return Err(Base64Error::InvalidPadding);
+        }
+        let mut triple: u32 = 0;
+        for (i, &b) in chunk.iter().enumerate() {
+            let v = if b == b'=' { 0 } else { decode_sym(b, ci * 4 + i)? };
+            triple = (triple << 6) | v;
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // The test vectors from RFC 4648 §10.
+        let cases: &[(&str, &str)] = &[
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), *enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_ignored() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zm9v  ").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn invalid_byte_reports_position() {
+        assert_eq!(decode("Zm9!").unwrap_err(), Base64Error::InvalidByte(3));
+    }
+
+    #[test]
+    fn invalid_length() {
+        assert_eq!(decode("Zm9").unwrap_err(), Base64Error::InvalidLength(3));
+    }
+
+    #[test]
+    fn misplaced_padding() {
+        assert_eq!(decode("Zg==Zm9v").unwrap_err(), Base64Error::InvalidPadding);
+        assert_eq!(decode("Z===").unwrap_err(), Base64Error::InvalidPadding);
+        assert_eq!(decode("=m9v").unwrap_err(), Base64Error::InvalidPadding);
+    }
+}

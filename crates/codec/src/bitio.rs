@@ -1,0 +1,179 @@
+//! MSB-first bit-level I/O, shared by the LZSS and Huffman coders.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    current: u8,
+    used: u8,
+}
+
+impl BitWriter {
+    /// New, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a single bit (any nonzero `bit` counts as 1).
+    pub fn write_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | bit as u8;
+        self.used += 1;
+        if self.used == 8 {
+            self.out.push(self.current);
+            self.current = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Write the low `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "write_bits supports at most 32 bits");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of complete bytes plus any partial byte.
+    pub fn byte_len(&self) -> usize {
+        self.out.len() + usize::from(self.used > 0)
+    }
+
+    /// Pad the final partial byte with zero bits and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.current <<= 8 - self.used;
+            self.out.push(self.current);
+        }
+        self.out
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    input: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+/// Error returned when the bit stream runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitEof;
+
+impl std::fmt::Display for BitEof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unexpected end of bit stream")
+    }
+}
+
+impl std::error::Error for BitEof {}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        BitReader { input, byte_pos: 0, bit_pos: 0 }
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> Result<bool, BitEof> {
+        let byte = *self.input.get(self.byte_pos).ok_or(BitEof)?;
+        let bit = (byte >> (7 - self.bit_pos)) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Ok(bit)
+    }
+
+    /// Read `count` bits MSB-first into the low bits of a `u32`.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u32, BitEof> {
+        assert!(count <= 32, "read_bits supports at most 32 bits");
+        let mut value = 0u32;
+        for _ in 0..count {
+            value = (value << 1) | self.read_bit()? as u32;
+        }
+        Ok(value)
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        (self.input.len() - self.byte_pos) * 8 - self.bit_pos as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xABCD, 16);
+        w.write_bits(0, 1);
+        w.write_bits(u32::MAX, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bit(), Err(BitEof));
+    }
+
+    #[test]
+    fn remaining_bits_counts_down() {
+        let mut r = BitReader::new(&[0, 0]);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 11);
+    }
+
+    #[test]
+    fn byte_len_includes_partial() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bit(true);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bit(true);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn padding_is_zero_bits() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

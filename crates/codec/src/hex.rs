@@ -1,0 +1,71 @@
+//! Lowercase hex encoding for digests and identifiers.
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// A non-hex character at this position.
+    InvalidChar(usize),
+    /// Odd number of hex digits.
+    OddLength(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::InvalidChar(p) => write!(f, "invalid hex character at {p}"),
+            HexError::OddLength(l) => write!(f, "odd hex string length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a hex string (either case).
+pub fn decode(input: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = input.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(HexError::OddLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = (pair[0] as char).to_digit(16).ok_or(HexError::InvalidChar(i * 2))?;
+        let lo = (pair[1] as char).to_digit(16).ok_or(HexError::InvalidChar(i * 2 + 1))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(encode(b"\x00\xff\x10"), "00ff10");
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc").unwrap_err(), HexError::OddLength(3));
+        assert_eq!(decode("zz").unwrap_err(), HexError::InvalidChar(0));
+        assert_eq!(decode("aaxz").unwrap_err(), HexError::InvalidChar(2));
+    }
+}

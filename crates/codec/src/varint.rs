@@ -1,0 +1,123 @@
+//! LEB128-style unsigned varints, used by the binary framings (compressed
+//! container, agent bytecode serialization, record store).
+
+/// Error from [`read_u64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// Input ended inside a varint.
+    Truncated,
+    /// More than 10 continuation bytes (would overflow u64).
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "truncated varint"),
+            VarintError::Overflow => write!(f, "varint overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Append `value` to `out` as a varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a usize as a varint.
+pub fn write_usize(out: &mut Vec<u8>, value: usize) {
+    write_u64(out, value as u64);
+}
+
+/// Read a varint from `input` starting at `*pos`, advancing `*pos`.
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, VarintError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos).ok_or(VarintError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && (byte & 0x7e) != 0) {
+            return Err(VarintError::Overflow);
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Read a varint as usize.
+pub fn read_usize(input: &[u8], pos: &mut usize) -> Result<usize, VarintError> {
+    read_u64(input, pos).map(|v| v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        assert_eq!(buf, vec![0xac, 0x02]);
+    }
+
+    #[test]
+    fn sequential_reads() {
+        let mut buf = Vec::new();
+        for v in [5u64, 1000, 0, 77] {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 5);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 1000);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(read_u64(&buf, &mut pos).unwrap(), 77);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_input() {
+        let mut pos = 0;
+        assert_eq!(read_u64(&[0x80], &mut pos), Err(VarintError::Truncated));
+        let mut pos = 0;
+        assert_eq!(read_u64(&[], &mut pos), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes.
+        let buf = [0xff; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn max_u64_roundtrip_is_10_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+}

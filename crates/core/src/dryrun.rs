@@ -1,0 +1,202 @@
+//! Offline dry runs of subscribed agent code on the handheld.
+//!
+//! The paper emphasizes that everything before dispatch happens without
+//! network connectivity ("the mobile user enters service parameters using
+//! the application interface without being connected to the network"). The
+//! platform extends that to *validation*: before paying for airtime, an
+//! application can execute the downloaded agent locally against stub
+//! services and catch parameter mistakes (missing params, type errors, VM
+//! traps) that would otherwise cost a full dispatch round trip to discover.
+
+use pdagent_vm::{run, AgentState, Host, MapHost, Outcome, Value};
+
+use crate::db::{DeviceDb, Subscription};
+
+/// Result of a local dry run.
+#[derive(Debug)]
+pub struct DryRun {
+    /// How the (single-site) execution ended.
+    pub outcome: Outcome,
+    /// Everything the agent emitted.
+    pub emitted: Vec<(String, Value)>,
+    /// Instructions executed (the airtime-free cost estimate).
+    pub instructions: u64,
+}
+
+impl DryRun {
+    /// Did the agent complete without traps or failures?
+    pub fn ok(&self) -> bool {
+        self.outcome == Outcome::Completed
+    }
+}
+
+/// Dry-run a subscription's agent against a caller-provided host (stub
+/// services, the real launch parameters).
+pub fn dry_run_with(
+    sub: &Subscription,
+    host: &mut dyn Host,
+    fuel: u64,
+) -> DryRun {
+    let mut state = AgentState::default();
+    let outcome = run(&sub.program, &mut state, host, fuel);
+    DryRun { outcome, emitted: Vec::new(), instructions: state.instructions }
+}
+
+/// Dry-run a subscribed service with canned stub services: every
+/// `service.op` invocation returns the provided stub value (or `Nil` if no
+/// stub matches — stubs are `((service, op), value)` pairs).
+pub fn dry_run(
+    db: &DeviceDb,
+    service: &str,
+    params: &[(String, Value)],
+    stubs: &[((&str, &str), Value)],
+    fuel: u64,
+) -> Result<DryRun, String> {
+    let sub = db
+        .subscription(service)
+        .ok_or_else(|| format!("not subscribed to {service:?}"))?;
+    let mut host = MapHost::new("dry-run");
+    for (name, value) in params {
+        host.set_param(name.clone(), value.clone());
+    }
+    for ((svc, op), value) in stubs {
+        host.set_service(svc, op, value.clone());
+    }
+    let mut state = AgentState::default();
+    let outcome = run(&sub.program, &mut state, &mut host, fuel);
+    Ok(DryRun {
+        outcome,
+        emitted: host.all_emitted().to_vec(),
+        instructions: state.instructions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_crypto::rsa::PublicKey;
+    use pdagent_vm::assemble;
+
+    fn db_with(service: &str, src: &str) -> DeviceDb {
+        let mut db = DeviceDb::new();
+        db.put_subscription(&Subscription {
+            service: service.into(),
+            code_id: format!("{service}@dev#1"),
+            secret: "s".into(),
+            gateway: "gw".into(),
+            public_key: PublicKey { n: 9, e: 65537 },
+            program: assemble(src).unwrap(),
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn successful_dry_run_reports_emissions() {
+        let db = db_with(
+            "echoer",
+            r#"
+            param "x"
+            invoke "svc" "echo" 1
+            emit "out"
+            halt
+        "#,
+        );
+        let result = dry_run(
+            &db,
+            "echoer",
+            &[("x".into(), Value::Int(7))],
+            &[(("svc", "echo"), Value::Str("stubbed".into()))],
+            10_000,
+        )
+        .unwrap();
+        assert!(result.ok());
+        assert_eq!(result.emitted, vec![("out".into(), Value::Str("stubbed".into()))]);
+        assert!(result.instructions > 0);
+    }
+
+    #[test]
+    fn missing_param_shows_up_before_airtime() {
+        // The agent adds a param to an int; with the param missing it is
+        // Nil and the dry run traps — caught on-device, for free.
+        let db = db_with(
+            "adder",
+            r#"
+            param "amount"
+            push 1
+            add
+            emit "out"
+            halt
+        "#,
+        );
+        let result = dry_run(&db, "adder", &[], &[], 10_000).unwrap();
+        assert!(!result.ok());
+        assert!(matches!(result.outcome, Outcome::Trapped(_)));
+    }
+
+    #[test]
+    fn unknown_service_is_an_error() {
+        let db = DeviceDb::new();
+        assert!(dry_run(&db, "ghost", &[], &[], 10_000).is_err());
+    }
+
+    #[test]
+    fn runaway_agent_contained_by_fuel() {
+        let db = db_with("spinner", "loop:\njmp loop\n");
+        let result = dry_run(&db, "spinner", &[], &[], 5_000).unwrap();
+        assert_eq!(result.outcome, Outcome::OutOfFuel);
+        assert_eq!(result.instructions, 5_000);
+    }
+
+    #[test]
+    fn dry_run_instruction_count_estimates_airtime_free_cost() {
+        // A loopy agent: the dry run's instruction count gives the
+        // application a cost estimate before any airtime is spent.
+        let db = db_with(
+            "loopy",
+            r#"
+            push 0
+            store 0
+        top:
+            load 0
+            push 100
+            lt
+            jmpf done
+            load 0
+            push 1
+            add
+            store 0
+            jmp top
+        done:
+            load 0
+            emit "n"
+            halt
+        "#,
+        );
+        let result = dry_run(&db, "loopy", &[], &[], 1_000_000).unwrap();
+        assert!(result.ok());
+        assert!(result.instructions > 500, "{}", result.instructions);
+        assert_eq!(result.emitted[0].1, Value::Int(100));
+    }
+
+    #[test]
+    fn dry_run_with_custom_host() {
+        struct Rejecting;
+        impl Host for Rejecting {
+            fn invoke(&mut self, _: &str, _: &str, _: &[Value]) -> Result<Value, String> {
+                Err("bank closed".into())
+            }
+            fn param(&self, _: &str) -> Option<Value> {
+                None
+            }
+            fn emit(&mut self, _: &str, _: Value) {}
+            fn site_name(&self) -> &str {
+                "stub"
+            }
+        }
+        let db = db_with("t", "invoke \"bank\" \"x\" 0\nhalt");
+        let sub = db.subscription("t").unwrap();
+        let result = dry_run_with(&sub, &mut Rejecting, 1_000);
+        assert!(matches!(result.outcome, Outcome::Trapped(_)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # pdagent-core
+//!
+//! **The PDAgent platform** — the paper's primary contribution: a
+//! lightweight, highly portable platform for developing and deploying mobile
+//! agent-enabled applications from wireless handheld devices, without
+//! installing a mobile-agent server on the device.
+//!
+//! The public API mirrors the paper's §3 feature list:
+//!
+//! | Paper concept | Here |
+//! |---|---|
+//! | PDAgent Platform UI + System API | [`platform::DeviceNode`] driven by [`platform::DeviceCommand`]s, reporting [`platform::DeviceEvent`]s |
+//! | Internal database (J2ME RMS) | [`rms::RecordStore`] + the typed [`db::DeviceDb`] |
+//! | Service subscription (§3.1) | [`platform::DeviceCommand::Subscribe`] → [`db::Subscription`] |
+//! | Service execution / Packed Information (§3.2) | [`platform::DeviceCommand::Deploy`] — builds, compresses, encrypts and uploads the PI |
+//! | Service result collection (§3.3) | automatic post-dispatch polling; results land in [`db::DeviceDb`] |
+//! | Security management (§3.4) | `pdagent-crypto` envelopes (RSA-wrapped session key + MD5 digest) |
+//! | High-performance service management (§3.5) | RTT probing of the gateway list + threshold-triggered list refresh from the central server |
+//! | Mobile agent management (§3.6) | [`platform::DeviceCommand::Manage`] (status / retract / dispose / clone) |
+//!
+//! Application developers build on the platform by writing an agent in the
+//! `pdagent-vm` assembly, publishing it at a gateway, and driving a
+//! [`platform::DeviceNode`] with commands — see the `pdagent-apps` crate for
+//! the e-banking and food-search applications and `examples/` for runnable
+//! walkthroughs.
+//!
+//! [`scenario`] assembles complete worlds (device + central server +
+//! gateways + MAS sites) for tests, examples and benchmarks.
+
+pub mod db;
+pub mod dryrun;
+pub mod platform;
+pub mod rms;
+pub mod scenario;
+pub mod ui;
+
+pub use db::{DeviceDb, Subscription};
+pub use dryrun::{dry_run, dry_run_with, DryRun};
+pub use platform::{
+    SelectionPolicy,
+    DeployRequest, DeployTiming, DeviceCommand, DeviceConfig, DeviceEvent, DeviceNode,
+};
+pub use rms::{RecordStore, RmsError};
+pub use scenario::{Scenario, ScenarioSpec, SiteKind, SiteSpec};
+
+// Re-export the management verbs so applications don't need pdagent-mas.
+pub use pdagent_mas::server::ControlOp;

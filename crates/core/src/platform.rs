@@ -1,0 +1,963 @@
+//! The PDAgent platform itself: the device-side state machine
+//! ([`DeviceNode`]) that implements the paper's §3 flows — service
+//! subscription, service execution (Packed Information upload), result
+//! collection, high-performance gateway selection by RTT, and mobile-agent
+//! management.
+//!
+//! A [`DeviceNode`] executes a queue of [`DeviceCommand`]s sequentially,
+//! emitting [`DeviceEvent`]s that applications (and the test/bench
+//! harnesses) consume. Connection-time accounting brackets exactly the
+//! online phases: the RTT-probe → PI-upload window and each result-download
+//! attempt — matching the paper's definition "PDAgent — time for sending
+//! 'Packed Information' (online) + time for downloading result (online)".
+
+use std::collections::VecDeque;
+
+use pdagent_codec::compress::{compress, decompress, Algorithm};
+use pdagent_crypto::envelope::seal_envelope;
+use pdagent_crypto::keys::UniqueId;
+use pdagent_gateway::central::{parse_gateway_list, GatewayEntry};
+use pdagent_gateway::pi::{PackedInformation, ResultDoc};
+use pdagent_gateway::{
+    KIND_PROBE, KIND_PROBE_ACK, PATH_DISPATCH, PATH_GATEWAYS, PATH_MANAGE, PATH_RESULT,
+    PATH_SUBSCRIBE,
+};
+use pdagent_mas::server::{encode_control, ControlOp};
+use pdagent_net::http::{HttpClient, HttpRequest, HttpStatus, TimerOutcome};
+use pdagent_net::prelude::*;
+use pdagent_vm::Value;
+
+use crate::db::{DeviceDb, Subscription};
+
+/// A deployment request: which subscribed service to launch, with what
+/// parameters, over which sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployRequest {
+    /// Subscribed service name.
+    pub service: String,
+    /// Launch parameters (what the user types into the form, Figure 11b).
+    pub params: Vec<(String, Value)>,
+    /// Sites the agent should visit.
+    pub itinerary: Vec<String>,
+    /// Per-hop fuel budget.
+    pub fuel_per_hop: u64,
+}
+
+impl DeployRequest {
+    /// A deployment with the default fuel budget.
+    pub fn new(
+        service: impl Into<String>,
+        params: Vec<(String, Value)>,
+        itinerary: Vec<String>,
+    ) -> DeployRequest {
+        DeployRequest { service: service.into(), params, itinerary, fuel_per_hop: 1_000_000 }
+    }
+}
+
+/// One operation the user asks the platform to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceCommand {
+    /// Download the gateway address list from the central server (§3.5).
+    FetchGatewayList,
+    /// Subscribe to a service: download and store its MA code (§3.1).
+    Subscribe {
+        /// Service to subscribe to.
+        service: String,
+    },
+    /// Deploy an application (§3.2 + §3.3: entry → probe → upload →
+    /// disconnect → poll → download).
+    Deploy(DeployRequest),
+    /// Manage a dispatched agent (§3.6).
+    Manage {
+        /// Management verb.
+        op: ControlOp,
+        /// Agent to manage.
+        agent_id: String,
+    },
+    /// Delete a stored subscription from the internal database (Figure 9c,
+    /// "Internal Database Management"). Purely local — no connectivity.
+    Unsubscribe {
+        /// Service whose MA code to delete.
+        service: String,
+    },
+}
+
+/// Something the platform reports back to the application layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceEvent {
+    /// Gateway list downloaded.
+    GatewayListFetched {
+        /// Number of gateways in the list.
+        count: usize,
+    },
+    /// Subscription stored in the internal database.
+    Subscribed {
+        /// Service name.
+        service: String,
+        /// Assigned unique code id.
+        code_id: String,
+    },
+    /// Subscription deleted from the internal database.
+    Unsubscribed {
+        /// Service name.
+        service: String,
+        /// Whether the code was actually present.
+        existed: bool,
+    },
+    /// Agent dispatched; the user may now disconnect.
+    Dispatched {
+        /// Gateway-assigned agent id (shown on screen, Figure 11c).
+        agent_id: String,
+        /// Name of the gateway chosen by RTT probing.
+        gateway: String,
+        /// RTT measured to the chosen gateway.
+        rtt: SimDuration,
+    },
+    /// Result document downloaded and stored.
+    ResultCollected {
+        /// Agent id.
+        agent_id: String,
+        /// The parsed result.
+        result: ResultDoc,
+    },
+    /// A management request completed.
+    ManageCompleted {
+        /// The verb.
+        op: ControlOp,
+        /// The agent.
+        agent_id: String,
+        /// Gateway's HTTP status.
+        status: HttpStatus,
+        /// Response payload (e.g. an `AgentRecord` for status queries).
+        payload: Vec<u8>,
+    },
+    /// Something failed.
+    Error {
+        /// Which operation failed.
+        context: String,
+        /// Why.
+        detail: String,
+    },
+}
+
+/// Per-deployment timing record — the numbers Figures 12 and 13 are made of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployTiming {
+    /// Agent id.
+    pub agent_id: String,
+    /// Online time for probe + PI upload (connection open → dispatch ack).
+    pub dispatch_online: SimDuration,
+    /// Online time across all result-download attempts.
+    pub collect_online: SimDuration,
+    /// The paper's PDAgent completion time: `dispatch_online +
+    /// collect_online`.
+    pub completion: SimDuration,
+    /// Bytes uploaded in the PI envelope.
+    pub pi_bytes: usize,
+    /// Bytes of the downloaded (compressed) result.
+    pub result_bytes: usize,
+}
+
+/// How the platform picks a gateway for dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Probe every gateway on the list and pick the shortest RTT (§3.5).
+    NearestByRtt,
+    /// Skip probing; always use the first gateway on the list (the ablation
+    /// baseline for the selection experiment).
+    FirstInList,
+}
+
+/// Platform tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Device name (appears in logs).
+    pub name: String,
+    /// Central server node, if any (needed for [`DeviceCommand::FetchGatewayList`]).
+    pub central_server: Option<NodeId>,
+    /// Initial gateway list (may be empty if a central server is set).
+    pub gateways: Vec<GatewayEntry>,
+    /// How long to wait for probe replies before choosing among those heard.
+    pub probe_timeout: SimDuration,
+    /// §3.5: if the best RTT exceeds this, refresh the gateway list first.
+    pub rtt_threshold: SimDuration,
+    /// Offline think-time per form field during data entry.
+    pub entry_time_per_param: SimDuration,
+    /// How long to stay disconnected before first trying to collect.
+    pub result_poll_initial: SimDuration,
+    /// Re-poll interval while the result is not ready (409).
+    pub result_poll_interval: SimDuration,
+    /// Compression for the PI payload.
+    pub compression: Algorithm,
+    /// Encrypt the PI (ablation switch; the paper always encrypts).
+    pub encrypt: bool,
+    /// Entropy seed for envelope session keys.
+    pub entropy_seed: u64,
+    /// Gateway selection policy.
+    pub selection: SelectionPolicy,
+}
+
+impl DeviceConfig {
+    /// Defaults for a GPRS-era handheld.
+    pub fn new(name: impl Into<String>) -> DeviceConfig {
+        DeviceConfig {
+            name: name.into(),
+            central_server: None,
+            gateways: Vec::new(),
+            probe_timeout: SimDuration::from_secs(2),
+            rtt_threshold: SimDuration::from_millis(1500),
+            entry_time_per_param: SimDuration::from_secs(2),
+            result_poll_initial: SimDuration::from_secs(2),
+            result_poll_interval: SimDuration::from_secs(2),
+            compression: Algorithm::Auto,
+            encrypt: true,
+            entropy_seed: 1,
+            selection: SelectionPolicy::NearestByRtt,
+        }
+    }
+}
+
+// Device-private timer tags (HttpClient owns tags with the top bit set).
+const TAG_NEXT: u64 = 1;
+const TAG_ENTRY_DONE: u64 = 2;
+const TAG_PROBE_TIMEOUT: u64 = 3;
+const TAG_POLL: u64 = 4;
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    FetchingList {
+        resume_deploy: Option<DeployRequest>,
+    },
+    Subscribing {
+        service: String,
+        req_id: u64,
+        gateway_idx: usize,
+    },
+    Entering {
+        deploy: DeployRequest,
+    },
+    Probing {
+        deploy: DeployRequest,
+        sent_at: SimTime,
+        rtts: Vec<Option<SimDuration>>,
+        refreshed: bool,
+        attempt: u32,
+    },
+    Uploading {
+        gateway: GatewayEntry,
+        rtt: SimDuration,
+        opened_at: SimTime,
+        pi_bytes: usize,
+        req_id: u64,
+    },
+    WaitingResult {
+        agent_id: String,
+        gateway: GatewayEntry,
+        dispatch_online: SimDuration,
+        collect_online: SimDuration,
+        pi_bytes: usize,
+    },
+    Collecting {
+        agent_id: String,
+        gateway: GatewayEntry,
+        dispatch_online: SimDuration,
+        collect_online: SimDuration,
+        pi_bytes: usize,
+        opened_at: SimTime,
+        req_id: u64,
+    },
+    Managing {
+        op: ControlOp,
+        agent_id: String,
+        req_id: u64,
+    },
+}
+
+/// The PDAgent device platform node.
+pub struct DeviceNode {
+    /// Configuration.
+    pub config: DeviceConfig,
+    /// The internal database (subscriptions + results).
+    pub db: DeviceDb,
+    http: HttpClient,
+    queue: VecDeque<DeviceCommand>,
+    phase: Phase,
+    /// A deploy parked in its waiting-for-result phase while another command
+    /// (typically agent management, §3.6) runs in the foreground.
+    parked: Option<Phase>,
+    gateways: Vec<GatewayEntry>,
+    /// Consecutive failed collect attempts for the active deployment.
+    collect_failures: u32,
+    /// Events for the application layer, in order.
+    pub events: Vec<DeviceEvent>,
+    /// One timing record per completed deployment.
+    pub timings: Vec<DeployTiming>,
+    entropy_counter: u64,
+}
+
+impl DeviceNode {
+    /// A device with the given config and an initial command queue.
+    pub fn new(config: DeviceConfig, commands: Vec<DeviceCommand>) -> DeviceNode {
+        let gateways = config.gateways.clone();
+        DeviceNode {
+            config,
+            db: DeviceDb::new(),
+            http: HttpClient::new(),
+            queue: commands.into(),
+            phase: Phase::Idle,
+            parked: None,
+            collect_failures: 0,
+            gateways,
+            events: Vec::new(),
+            timings: Vec::new(),
+            entropy_counter: 0,
+        }
+    }
+
+    /// Queue another command (call `kick` afterwards if the sim is already
+    /// running and the device has gone idle).
+    pub fn enqueue(&mut self, cmd: DeviceCommand) {
+        self.queue.push_back(cmd);
+    }
+
+    /// Inject a kick message so an idle device re-examines its queue.
+    pub fn kick(sim: &mut Simulator, device: NodeId) {
+        sim.inject(device, device, Message::signal("device.kick"), SimDuration::ZERO);
+    }
+
+    /// The current gateway list.
+    pub fn gateway_list(&self) -> &[GatewayEntry] {
+        &self.gateways
+    }
+
+    /// Latest dispatched agent id, if any.
+    pub fn last_agent_id(&self) -> Option<&str> {
+        self.events.iter().rev().find_map(|e| match e {
+            DeviceEvent::Dispatched { agent_id, .. } => Some(agent_id.as_str()),
+            _ => None,
+        })
+    }
+
+    /// True if every queued command has completed.
+    pub fn idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle) && self.queue.is_empty() && self.parked.is_none()
+    }
+
+    fn error(&mut self, context: &str, detail: impl Into<String>) {
+        self.events.push(DeviceEvent::Error {
+            context: context.to_owned(),
+            detail: detail.into(),
+        });
+    }
+
+    fn next_command(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Idle;
+        ctx.set_timer(SimDuration::ZERO, TAG_NEXT);
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
+        if !matches!(self.phase, Phase::Idle) {
+            // The result-wait phase is interruptible: the user can manage
+            // agents (or subscribe to something else) while a dispatched
+            // agent is still out. Park the wait and run the next command.
+            let interruptible = matches!(self.phase, Phase::WaitingResult { .. });
+            if interruptible && !self.queue.is_empty() && self.parked.is_none() {
+                self.parked = Some(std::mem::replace(&mut self.phase, Phase::Idle));
+            } else {
+                return;
+            }
+        }
+        let Some(cmd) = self.queue.pop_front() else {
+            // Nothing more to do: resume a parked result-wait, if any.
+            if let Some(parked) = self.parked.take() {
+                self.phase = parked;
+            }
+            return;
+        };
+        match cmd {
+            DeviceCommand::FetchGatewayList => self.start_fetch_list(ctx, None),
+            DeviceCommand::Subscribe { service } => self.start_subscribe(ctx, service),
+            DeviceCommand::Deploy(deploy) => self.start_entry(ctx, deploy),
+            DeviceCommand::Manage { op, agent_id } => self.start_manage(ctx, op, agent_id),
+            DeviceCommand::Unsubscribe { service } => {
+                // Offline database management: free the storage the agent
+                // code occupied (the paper compresses code precisely because
+                // handheld storage is scarce).
+                let existed = self.db.remove_subscription(&service);
+                self.events.push(DeviceEvent::Unsubscribed { service, existed });
+                self.next_command(ctx);
+            }
+        }
+    }
+
+    // --- gateway list ------------------------------------------------------
+
+    fn start_fetch_list(&mut self, ctx: &mut Ctx<'_>, resume_deploy: Option<DeployRequest>) {
+        let Some(central) = self.config.central_server else {
+            self.error("fetch-gateways", "no central server configured");
+            self.next_command(ctx);
+            return;
+        };
+        ctx.connection_opened();
+        self.http.send(ctx, central, HttpRequest::new("GET", PATH_GATEWAYS, vec![]));
+        self.phase = Phase::FetchingList { resume_deploy };
+    }
+
+    fn finish_fetch_list(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        status: HttpStatus,
+        body: &[u8],
+        resume_deploy: Option<DeployRequest>,
+    ) {
+        ctx.connection_closed();
+        if status == HttpStatus::Ok {
+            match std::str::from_utf8(body)
+                .map_err(|e| e.to_string())
+                .and_then(parse_gateway_list)
+            {
+                Ok(list) => {
+                    self.events
+                        .push(DeviceEvent::GatewayListFetched { count: list.len() });
+                    self.gateways = list;
+                }
+                Err(e) => self.error("fetch-gateways", e),
+            }
+        } else {
+            self.error("fetch-gateways", format!("HTTP {}", status.code()));
+        }
+        match resume_deploy {
+            // A deploy was waiting on the refreshed list: re-probe.
+            Some(deploy) => self.start_probing(ctx, deploy, true),
+            None => self.next_command(ctx),
+        }
+    }
+
+    // --- subscription ------------------------------------------------------
+
+    fn start_subscribe(&mut self, ctx: &mut Ctx<'_>, service: String) {
+        self.start_subscribe_at(ctx, service, 0);
+    }
+
+    /// Subscribe via the gateway at `gateway_idx` (an *attempt counter*:
+    /// it wraps around the list so that transient loss on a single-gateway
+    /// deployment gets a second round before giving up).
+    fn start_subscribe_at(&mut self, ctx: &mut Ctx<'_>, service: String, gateway_idx: usize) {
+        if self.gateways.is_empty() || gateway_idx >= self.gateways.len() * 3 {
+            self.error("subscribe", "no (more) gateways to subscribe at");
+            self.next_command(ctx);
+            return;
+        }
+        let gateway = self.gateways[gateway_idx % self.gateways.len()].clone();
+        ctx.connection_opened();
+        let req_id = self.http.send(
+            ctx,
+            gateway.node,
+            HttpRequest::new("POST", PATH_SUBSCRIBE, service.clone().into_bytes()),
+        );
+        self.phase = Phase::Subscribing { service, req_id, gateway_idx };
+    }
+
+    fn finish_subscribe(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        service: &str,
+        status: HttpStatus,
+        body: &[u8],
+    ) {
+        ctx.connection_closed();
+        if status != HttpStatus::Ok {
+            self.error("subscribe", format!("HTTP {}", status.code()));
+            self.next_command(ctx);
+            return;
+        }
+        match Subscription::from_download(service, body) {
+            Ok(sub) => {
+                let code_id = sub.code_id.clone();
+                match self.db.put_subscription(&sub) {
+                    Ok(()) => {
+                        ctx.metrics().bump("device.subscriptions", 1.0);
+                        self.events.push(DeviceEvent::Subscribed {
+                            service: service.to_owned(),
+                            code_id,
+                        });
+                    }
+                    Err(e) => self.error("subscribe", e.to_string()),
+                }
+            }
+            Err(e) => self.error("subscribe", e),
+        }
+        self.next_command(ctx);
+    }
+
+    // --- deployment: offline entry → probe → upload -------------------------
+
+    fn start_entry(&mut self, ctx: &mut Ctx<'_>, deploy: DeployRequest) {
+        if self.db.subscription(&deploy.service).is_none() {
+            self.error("deploy", format!("not subscribed to {:?}", deploy.service));
+            self.next_command(ctx);
+            return;
+        }
+        // Offline data entry: the user fills the form while disconnected.
+        let think = SimDuration(
+            self.config.entry_time_per_param.as_micros() * deploy.params.len().max(1) as u64,
+        );
+        ctx.set_timer(think, TAG_ENTRY_DONE);
+        self.phase = Phase::Entering { deploy };
+    }
+
+    fn start_probing(&mut self, ctx: &mut Ctx<'_>, deploy: DeployRequest, refreshed: bool) {
+        self.start_probing_attempt(ctx, deploy, refreshed, 1);
+    }
+
+    fn start_probing_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        deploy: DeployRequest,
+        refreshed: bool,
+        attempt: u32,
+    ) {
+        if self.gateways.is_empty() {
+            if !refreshed && self.config.central_server.is_some() {
+                self.start_fetch_list(ctx, Some(deploy));
+            } else {
+                self.error("deploy", "no gateways available");
+                self.next_command(ctx);
+            }
+            return;
+        }
+        if self.config.selection == SelectionPolicy::FirstInList {
+            // Ablation: no probing — connect straight to the first gateway.
+            ctx.connection_opened();
+            let gateway = self.gateways[0].clone();
+            let now = ctx.now();
+            self.start_upload(ctx, deploy, gateway, SimDuration::ZERO, now);
+            return;
+        }
+        // Figure 8: send 1-bit data to all gateways on the list. Probes are
+        // unacknowledged, so send each a few times — they are one byte, and
+        // redundancy rides out wireless loss (the first ack wins).
+        ctx.connection_opened();
+        let sent_at = ctx.now();
+        for (idx, gw) in self.gateways.clone().iter().enumerate() {
+            for _ in 0..3 {
+                ctx.send(gw.node, Message::new(KIND_PROBE, vec![idx as u8]));
+            }
+        }
+        ctx.set_timer(self.config.probe_timeout, TAG_PROBE_TIMEOUT);
+        let n = self.gateways.len();
+        self.phase = Phase::Probing { deploy, sent_at, rtts: vec![None; n], refreshed, attempt };
+        ctx.metrics().bump("device.probe_rounds", 1.0);
+    }
+
+    fn maybe_finish_probing(&mut self, ctx: &mut Ctx<'_>, force: bool) {
+        let Phase::Probing { rtts, .. } = &self.phase else { return };
+        let all_in = rtts.iter().all(Option::is_some);
+        if !all_in && !force {
+            return;
+        }
+        let Phase::Probing { deploy, rtts, refreshed, sent_at, attempt } =
+            std::mem::replace(&mut self.phase, Phase::Idle)
+        else {
+            unreachable!();
+        };
+        // Choose the nearest responding gateway.
+        let best = rtts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|r| (i, r)))
+            .min_by_key(|&(_, r)| r);
+        match best {
+            None => {
+                // Probes are tiny and unacknowledged; on a lossy wireless
+                // link a whole round can vanish. Retry a few times before
+                // failing the deployment.
+                ctx.connection_closed();
+                if attempt < 3 {
+                    ctx.metrics().bump("device.probe_retries", 1.0);
+                    self.start_probing_attempt(ctx, deploy, refreshed, attempt + 1);
+                } else {
+                    self.error("deploy", "no gateway answered probes");
+                    self.next_command(ctx);
+                }
+            }
+            Some((idx, rtt)) => {
+                if rtt > self.config.rtt_threshold
+                    && !refreshed
+                    && self.config.central_server.is_some()
+                {
+                    // §3.5: threshold exceeded → request a fresh list, then
+                    // probe again (exactly once).
+                    ctx.connection_closed();
+                    ctx.metrics().bump("device.list_refreshes", 1.0);
+                    self.start_fetch_list(ctx, Some(deploy));
+                    return;
+                }
+                let gateway = self.gateways[idx].clone();
+                self.start_upload(ctx, deploy, gateway, rtt, sent_at);
+            }
+        }
+    }
+
+    fn start_upload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        deploy: DeployRequest,
+        gateway: GatewayEntry,
+        rtt: SimDuration,
+        conn_opened_at: SimTime,
+    ) {
+        let Some(sub) = self.db.subscription(&deploy.service) else {
+            ctx.connection_closed();
+            self.error("deploy", "subscription vanished");
+            self.next_command(ctx);
+            return;
+        };
+        // Agent Dispatcher: assemble the PI (§3.2).
+        let pi = PackedInformation {
+            code_id: sub.code_id.clone(),
+            auth_key: UniqueId(sub.code_id.clone()).derive_key(&sub.secret),
+            program: sub.program.clone(),
+            itinerary: deploy.itinerary.clone(),
+            params: deploy.params.clone(),
+            fuel_per_hop: deploy.fuel_per_hop,
+        };
+        let xml = pi.to_document_string();
+        let compressed = compress(xml.as_bytes(), self.config.compression);
+        ctx.metrics().bump("device.pi_raw_bytes", xml.len() as f64);
+        ctx.metrics().bump("device.pi_compressed_bytes", compressed.len() as f64);
+        let payload = if self.config.encrypt {
+            self.entropy_counter += 1;
+            let entropy = format!(
+                "{}/{}/{}",
+                self.config.name, self.config.entropy_seed, self.entropy_counter
+            );
+            seal_envelope(&sub.public_key, &compressed, entropy.as_bytes()).bytes
+        } else {
+            compressed
+        };
+        let pi_bytes = payload.len();
+        // The connection has been up since the probe round started; it stays
+        // up through the upload.
+        let req_id = self.http.send(
+            ctx,
+            gateway.node,
+            HttpRequest::new("POST", PATH_DISPATCH, payload),
+        );
+        self.phase = Phase::Uploading {
+            gateway,
+            rtt,
+            opened_at: conn_opened_at,
+            pi_bytes,
+            req_id,
+        };
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_upload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        status: HttpStatus,
+        body: &[u8],
+        gateway: GatewayEntry,
+        rtt: SimDuration,
+        pi_bytes: usize,
+        opened_at: SimTime,
+    ) {
+        // Online window closes as soon as the 202 lands — "once the agent is
+        // dispatched, the user can disconnect from the network".
+        let dispatch_online = ctx.now().since(opened_at);
+        ctx.connection_closed();
+        if status != HttpStatus::Accepted {
+            self.error("deploy", format!("dispatch rejected: HTTP {}", status.code()));
+            self.next_command(ctx);
+            return;
+        }
+        let Ok(agent_id) = std::str::from_utf8(body).map(str::to_owned) else {
+            self.error("deploy", "bad agent id in dispatch response");
+            self.next_command(ctx);
+            return;
+        };
+        ctx.metrics().bump("device.dispatches", 1.0);
+        self.collect_failures = 0;
+        self.events.push(DeviceEvent::Dispatched {
+            agent_id: agent_id.clone(),
+            gateway: gateway.name.clone(),
+            rtt,
+        });
+        // Disconnect, then reconnect later to collect.
+        ctx.set_timer(self.config.result_poll_initial, TAG_POLL);
+        self.phase = Phase::WaitingResult {
+            agent_id,
+            gateway,
+            dispatch_online,
+            collect_online: SimDuration::ZERO,
+            pi_bytes,
+        };
+    }
+
+    // --- result collection ---------------------------------------------------
+
+    fn start_collect(&mut self, ctx: &mut Ctx<'_>) {
+        let Phase::WaitingResult { agent_id, gateway, dispatch_online, collect_online, pi_bytes } =
+            std::mem::replace(&mut self.phase, Phase::Idle)
+        else {
+            return;
+        };
+        ctx.connection_opened();
+        let req_id = self.http.send(
+            ctx,
+            gateway.node,
+            HttpRequest::new("GET", PATH_RESULT, agent_id.clone().into_bytes()),
+        );
+        self.phase = Phase::Collecting {
+            agent_id,
+            gateway,
+            dispatch_online,
+            collect_online,
+            pi_bytes,
+            opened_at: ctx.now(),
+            req_id,
+        };
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_collect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        status: HttpStatus,
+        body: &[u8],
+        agent_id: String,
+        gateway: GatewayEntry,
+        dispatch_online: SimDuration,
+        mut collect_online: SimDuration,
+        pi_bytes: usize,
+        opened_at: SimTime,
+    ) {
+        collect_online += ctx.now().since(opened_at);
+        ctx.connection_closed();
+        match status {
+            HttpStatus::Ok => {
+                let result_bytes = body.len();
+                let parsed = decompress(body).map_err(|e| e.to_string()).and_then(|xml| {
+                    ResultDoc::from_document_str(
+                        std::str::from_utf8(&xml).map_err(|e| e.to_string())?,
+                    )
+                });
+                match parsed {
+                    Ok(result) => {
+                        if let Err(e) = self.db.put_result(&result) {
+                            self.error("collect", e.to_string());
+                        }
+                        ctx.metrics().bump("device.results_collected", 1.0);
+                        self.timings.push(DeployTiming {
+                            agent_id: agent_id.clone(),
+                            dispatch_online,
+                            collect_online,
+                            completion: dispatch_online + collect_online,
+                            pi_bytes,
+                            result_bytes,
+                        });
+                        self.events
+                            .push(DeviceEvent::ResultCollected { agent_id, result });
+                    }
+                    Err(e) => self.error("collect", e),
+                }
+                self.next_command(ctx);
+            }
+            HttpStatus::Conflict => {
+                // Not ready: disconnect and re-poll later.
+                ctx.metrics().bump("device.result_polls", 1.0);
+                ctx.set_timer(self.config.result_poll_interval, TAG_POLL);
+                self.phase = Phase::WaitingResult {
+                    agent_id,
+                    gateway,
+                    dispatch_online,
+                    collect_online,
+                    pi_bytes,
+                };
+            }
+            other => {
+                self.error("collect", format!("HTTP {}", other.code()));
+                self.next_command(ctx);
+            }
+        }
+    }
+
+    // --- management ----------------------------------------------------------
+
+    fn start_manage(&mut self, ctx: &mut Ctx<'_>, op: ControlOp, agent_id: String) {
+        let Some(gateway) = self.gateways.first().cloned() else {
+            self.error("manage", "gateway list is empty");
+            self.next_command(ctx);
+            return;
+        };
+        ctx.connection_opened();
+        let body = encode_control(op, &pdagent_mas::AgentId(agent_id.clone()));
+        let req_id =
+            self.http.send(ctx, gateway.node, HttpRequest::new("POST", PATH_MANAGE, body));
+        self.phase = Phase::Managing { op, agent_id, req_id };
+    }
+
+    fn finish_manage(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op: ControlOp,
+        agent_id: String,
+        status: HttpStatus,
+        body: Vec<u8>,
+    ) {
+        ctx.connection_closed();
+        self.events.push(DeviceEvent::ManageCompleted {
+            op,
+            agent_id,
+            status,
+            payload: body,
+        });
+        self.next_command(ctx);
+    }
+}
+
+impl Node for DeviceNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.start_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        if msg.kind == "device.kick" {
+            self.start_next(ctx);
+            return;
+        }
+        if msg.kind == KIND_PROBE_ACK {
+            if let Phase::Probing { sent_at, rtts, .. } = &mut self.phase {
+                if let Some(&idx) = msg.body.first() {
+                    if let Some(slot) = rtts.get_mut(idx as usize) {
+                        let rtt = ctx.now().since(*sent_at);
+                        if slot.is_none() {
+                            *slot = Some(rtt);
+                        }
+                    }
+                }
+            }
+            self.maybe_finish_probing(ctx, false);
+            return;
+        }
+        let Some(resp) = self.http.on_response(ctx, &msg) else { return };
+        // Route the response by current phase.
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::FetchingList { resume_deploy } => {
+                self.finish_fetch_list(ctx, resp.status, &resp.body, resume_deploy);
+            }
+            Phase::Subscribing { service, req_id, .. } if req_id == resp.req_id => {
+                self.finish_subscribe(ctx, &service, resp.status, &resp.body);
+            }
+            Phase::Uploading { gateway, rtt, pi_bytes, req_id, opened_at }
+                if req_id == resp.req_id =>
+            {
+                self.finish_upload(
+                    ctx, resp.status, &resp.body, gateway, rtt, pi_bytes, opened_at,
+                );
+            }
+            Phase::Collecting {
+                agent_id,
+                gateway,
+                dispatch_online,
+                collect_online,
+                pi_bytes,
+                opened_at,
+                req_id,
+            } if req_id == resp.req_id => {
+                self.finish_collect(
+                    ctx,
+                    resp.status,
+                    &resp.body,
+                    agent_id,
+                    gateway,
+                    dispatch_online,
+                    collect_online,
+                    pi_bytes,
+                    opened_at,
+                );
+            }
+            Phase::Managing { op, agent_id, req_id } if req_id == resp.req_id => {
+                self.finish_manage(ctx, op, agent_id, resp.status, resp.body);
+            }
+            other => {
+                // Stale response for an abandoned phase: restore and ignore.
+                self.phase = other;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TAG_NEXT => self.start_next(ctx),
+            TAG_ENTRY_DONE => {
+                if let Phase::Entering { deploy } =
+                    std::mem::replace(&mut self.phase, Phase::Idle)
+                {
+                    self.start_probing(ctx, deploy, false);
+                }
+            }
+            TAG_PROBE_TIMEOUT => self.maybe_finish_probing(ctx, true),
+            TAG_POLL => {
+                if matches!(self.phase, Phase::WaitingResult { .. }) {
+                    self.start_collect(ctx);
+                } else if self.parked.is_some() {
+                    // A foreground command holds the device; poll again soon.
+                    ctx.set_timer(SimDuration::from_millis(500), TAG_POLL);
+                }
+            }
+            other => match self.http.on_timer(ctx, other) {
+                TimerOutcome::GaveUp { .. } => {
+                    // The request died (link down too long). Fail the phase —
+                    // except subscription (fails over down the list) and
+                    // result collection (the whole point of PDAgent is that
+                    // the device may be disconnected for long periods: go
+                    // back to waiting and poll again later).
+                    ctx.connection_closed();
+                    match std::mem::replace(&mut self.phase, Phase::Idle) {
+                        Phase::Subscribing { service, gateway_idx, .. } => {
+                            ctx.metrics().bump("device.subscribe_failovers", 1.0);
+                            self.start_subscribe_at(ctx, service, gateway_idx + 1);
+                        }
+                        Phase::Collecting {
+                            agent_id,
+                            gateway,
+                            dispatch_online,
+                            collect_online,
+                            pi_bytes,
+                            opened_at,
+                            ..
+                        } if self.collect_failures < 10 => {
+                            self.collect_failures += 1;
+                            ctx.metrics().bump("device.collect_failures", 1.0);
+                            let extra = ctx.now().since(opened_at);
+                            ctx.set_timer(self.config.result_poll_interval, TAG_POLL);
+                            self.phase = Phase::WaitingResult {
+                                agent_id,
+                                gateway,
+                                dispatch_online,
+                                collect_online: collect_online + extra,
+                                pi_bytes,
+                            };
+                        }
+                        other => {
+                            let context = match &other {
+                                Phase::FetchingList { .. } => "fetch-gateways",
+                                Phase::Uploading { .. } => "deploy",
+                                Phase::Collecting { .. } => "collect",
+                                Phase::Managing { .. } => "manage",
+                                _ => "http",
+                            };
+                            self.error(context, "request timed out after retries");
+                            self.next_command(ctx);
+                        }
+                    }
+                }
+                TimerOutcome::Retried { .. } | TimerOutcome::NotMine => {}
+            },
+        }
+    }
+}

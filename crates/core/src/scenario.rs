@@ -1,0 +1,325 @@
+//! Scenario builder: assembles the full PDAgent world — device(s), central
+//! server, gateways, MAS sites — on the network simulator, so examples,
+//! integration tests and the benchmark harness share one setup path.
+
+use pdagent_gateway::central::{CentralServer, GatewayEntry};
+use pdagent_gateway::server::{GatewayConfig, GatewayNode};
+use pdagent_mas::server::{CpuModel, SiteDirectory};
+use pdagent_mas::{BatchMasNode, MasNode, Service};
+use pdagent_net::link::LinkSpec;
+use pdagent_net::prelude::*;
+use pdagent_vm::Program;
+
+use crate::platform::{DeviceCommand, DeviceConfig, DeviceNode};
+
+/// Declarative description of a PDAgent world.
+pub struct ScenarioSpec {
+    /// RNG seed (a "trial" in the paper's terms).
+    pub seed: u64,
+    /// Gateway names.
+    pub gateways: Vec<String>,
+    /// Site names with a factory for their services.
+    pub sites: Vec<SiteSpec>,
+    /// Services published on every gateway: `(name, program)`.
+    pub catalog: Vec<(String, Program)>,
+    /// Wireless link between device and each gateway / the central server.
+    pub wireless: LinkSpec,
+    /// Wired link between backbone nodes (gateways, sites, central).
+    pub wired: LinkSpec,
+    /// Device configuration template (gateway list/central filled in).
+    pub device: DeviceConfig,
+    /// Commands for the device.
+    pub commands: Vec<DeviceCommand>,
+    /// Per-gateway extra latency added to the device↔gateway link, used to
+    /// make gateways "near" and "far" for the selection experiments.
+    pub gateway_extra_latency: Vec<SimDuration>,
+    /// CPU model applied to every MAS site (None = the 2004 default).
+    pub site_cpu: Option<CpuModel>,
+    /// Additional devices beyond the primary one: `(config, commands)`.
+    /// Each gets its own wireless links to the central server and gateways.
+    pub extra_devices: Vec<(DeviceConfig, Vec<DeviceCommand>)>,
+}
+
+/// A deferred service constructor.
+pub type ServiceFactory = Box<dyn FnOnce() -> Box<dyn Service>>;
+
+/// Which mobile-agent server implementation a site runs — the paper's
+/// platform-independence claim means agents must not care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiteKind {
+    /// The per-arrival Aglets-like server ([`MasNode`]).
+    #[default]
+    Standard,
+    /// The batch-scheduled server ([`BatchMasNode`]).
+    Batch,
+}
+
+/// A site and its services.
+pub struct SiteSpec {
+    /// Site name (itineraries refer to this).
+    pub name: String,
+    /// Service factories: `(service name, constructor)`.
+    pub services: Vec<(String, ServiceFactory)>,
+    /// Which MAS implementation hosts this site.
+    pub kind: SiteKind,
+}
+
+impl SiteSpec {
+    /// A site with no services yet, on the standard MAS.
+    pub fn new(name: impl Into<String>) -> SiteSpec {
+        SiteSpec { name: name.into(), services: Vec::new(), kind: SiteKind::Standard }
+    }
+
+    /// Run this site on the batch-scheduled MAS instead (builder style).
+    pub fn batch(mut self) -> SiteSpec {
+        self.kind = SiteKind::Batch;
+        self
+    }
+
+    /// Add a service (builder style).
+    pub fn with_service<S, F>(mut self, name: impl Into<String>, make: F) -> SiteSpec
+    where
+        S: Service + 'static,
+        F: FnOnce() -> S + 'static,
+    {
+        self.services.push((name.into(), Box::new(move || Box::new(make()))));
+        self
+    }
+}
+
+impl ScenarioSpec {
+    /// A one-gateway scenario template with paper-calibrated links.
+    pub fn new(seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            seed,
+            gateways: vec!["gw-1".into()],
+            sites: Vec::new(),
+            catalog: Vec::new(),
+            wireless: LinkSpec::wireless_gprs(),
+            wired: LinkSpec::wired_internet(),
+            device: DeviceConfig::new("pda-1"),
+            commands: Vec::new(),
+            gateway_extra_latency: Vec::new(),
+            site_cpu: None,
+            extra_devices: Vec::new(),
+        }
+    }
+}
+
+/// The built world.
+pub struct Scenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// Device node id.
+    pub device: NodeId,
+    /// Central server node id.
+    pub central: NodeId,
+    /// Gateway node ids (same order as the spec).
+    pub gateways: Vec<NodeId>,
+    /// Site node ids (same order as the spec).
+    pub sites: Vec<NodeId>,
+    /// Extra device node ids (same order as `spec.extra_devices`).
+    pub extra_devices: Vec<NodeId>,
+}
+
+impl Scenario {
+    /// Build the world from a spec.
+    pub fn build(spec: ScenarioSpec) -> Scenario {
+        let mut sim = Simulator::new(spec.seed);
+
+        // Ids are assigned sequentially; pre-compute them so the directory
+        // and gateway list can be constructed up front.
+        // Layout: [central][gateways…][sites…][device]
+        let central_id: NodeId = 0;
+        let first_gateway = 1;
+        let first_site = first_gateway + spec.gateways.len();
+        let device_id = first_site + spec.sites.len();
+
+        let mut directory = SiteDirectory::new();
+        for (i, site) in spec.sites.iter().enumerate() {
+            directory.insert(site.name.clone(), first_site + i);
+        }
+        let gateway_entries: Vec<GatewayEntry> = spec
+            .gateways
+            .iter()
+            .enumerate()
+            .map(|(i, name)| GatewayEntry { name: name.clone(), node: first_gateway + i })
+            .collect();
+
+        // Central server.
+        let central = sim.add_node(Box::new(CentralServer::new(gateway_entries.clone())));
+        assert_eq!(central, central_id);
+
+        // Gateways.
+        let mut gateways = Vec::new();
+        for (i, name) in spec.gateways.iter().enumerate() {
+            // All gateways of the operator share one service key pair and
+            // operator secret, so a device may subscribe at one gateway and
+            // dispatch through whichever probes nearest.
+            let mut gw = GatewayNode::new(
+                GatewayConfig::new(name.clone(), 1000 + spec.seed),
+                directory.clone(),
+            );
+            for (service, program) in &spec.catalog {
+                gw.publish(service.clone(), program.clone());
+            }
+            let id = sim.add_node(Box::new(gw));
+            assert_eq!(id, first_gateway + i);
+            gateways.push(id);
+        }
+
+        // Sites.
+        let mut sites = Vec::new();
+        for (i, site) in spec.sites.into_iter().enumerate() {
+            let id = match site.kind {
+                SiteKind::Standard => {
+                    let mut mas = MasNode::new(site.name, directory.clone());
+                    if let Some(cpu) = spec.site_cpu {
+                        mas = mas.with_cpu(cpu);
+                    }
+                    for (name, make) in site.services {
+                        mas.register_service(name, make());
+                    }
+                    sim.add_node(Box::new(mas))
+                }
+                SiteKind::Batch => {
+                    let mut mas = BatchMasNode::new(site.name, directory.clone());
+                    for (name, make) in site.services {
+                        mas.register_service(name, make());
+                    }
+                    sim.add_node(Box::new(mas))
+                }
+            };
+            assert_eq!(id, first_site + i);
+            sites.push(id);
+        }
+
+        // Devices (primary + extras).
+        let mut device_cfg = spec.device;
+        device_cfg.central_server = Some(central_id);
+        if device_cfg.gateways.is_empty() {
+            device_cfg.gateways = gateway_entries.clone();
+        }
+        let device = sim.add_node(Box::new(DeviceNode::new(device_cfg, spec.commands)));
+        assert_eq!(device, device_id);
+        let mut extra_devices = Vec::new();
+        for (mut cfg, commands) in spec.extra_devices {
+            cfg.central_server = Some(central_id);
+            if cfg.gateways.is_empty() {
+                cfg.gateways = gateway_entries.clone();
+            }
+            extra_devices.push(sim.add_node(Box::new(DeviceNode::new(cfg, commands))));
+        }
+
+        // Links: each device ↔ central + every gateway over wireless (with
+        // optional per-gateway extra latency); backbone fully wired.
+        for &dev in std::iter::once(&device).chain(&extra_devices) {
+            sim.connect(dev, central, spec.wireless.clone());
+            for (i, &gw) in gateways.iter().enumerate() {
+                let extra = spec
+                    .gateway_extra_latency
+                    .get(i)
+                    .copied()
+                    .unwrap_or(SimDuration::ZERO);
+                let mut link = spec.wireless.clone();
+                link.base_latency += extra;
+                sim.connect(dev, gw, link);
+            }
+        }
+        let mut backbone: Vec<NodeId> = Vec::new();
+        backbone.push(central);
+        backbone.extend(&gateways);
+        backbone.extend(&sites);
+        for (i, &a) in backbone.iter().enumerate() {
+            for &b in &backbone[i + 1..] {
+                sim.connect(a, b, spec.wired.clone());
+            }
+        }
+
+        Scenario { sim, device, central, gateways, sites, extra_devices }
+    }
+
+    /// Shorthand: run to idle and return the device node for inspection.
+    pub fn run(&mut self) -> &DeviceNode {
+        self.sim.run_until_idle();
+        self.device_ref()
+    }
+
+    /// The device node.
+    pub fn device_ref(&self) -> &DeviceNode {
+        self.sim.node_ref::<DeviceNode>(self.device).expect("device node")
+    }
+
+    /// The device node, mutably (to enqueue more commands between runs).
+    pub fn device_mut(&mut self) -> &mut DeviceNode {
+        self.sim.node_mut::<DeviceNode>(self.device).expect("device node")
+    }
+
+    /// An extra device node by index.
+    pub fn extra_device_ref(&self, idx: usize) -> &DeviceNode {
+        self.sim
+            .node_ref::<DeviceNode>(self.extra_devices[idx])
+            .expect("extra device node")
+    }
+
+    /// A gateway node by index.
+    pub fn gateway_ref(&self, idx: usize) -> &GatewayNode {
+        self.sim.node_ref::<GatewayNode>(self.gateways[idx]).expect("gateway node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_mas::EchoService;
+
+    fn tiny_spec(seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(seed);
+        spec.gateways = vec!["gw-a".into(), "gw-b".into()];
+        spec.sites = vec![
+            SiteSpec::new("s-0").with_service("echo", EchoService::default),
+            SiteSpec::new("s-1").with_service("echo", EchoService::default).batch(),
+        ];
+        spec
+    }
+
+    #[test]
+    fn node_layout_is_central_gateways_sites_device() {
+        let scenario = Scenario::build(tiny_spec(1));
+        assert_eq!(scenario.central, 0);
+        assert_eq!(scenario.gateways, vec![1, 2]);
+        assert_eq!(scenario.sites, vec![3, 4]);
+        assert_eq!(scenario.device, 5);
+        assert!(scenario.extra_devices.is_empty());
+    }
+
+    #[test]
+    fn site_kind_selects_server_implementation() {
+        let scenario = Scenario::build(tiny_spec(2));
+        assert!(scenario.sim.node_ref::<MasNode>(scenario.sites[0]).is_some());
+        assert!(scenario.sim.node_ref::<BatchMasNode>(scenario.sites[1]).is_some());
+        // And not vice versa.
+        assert!(scenario.sim.node_ref::<BatchMasNode>(scenario.sites[0]).is_none());
+        assert!(scenario.sim.node_ref::<MasNode>(scenario.sites[1]).is_none());
+    }
+
+    #[test]
+    fn device_gets_gateway_list_and_central() {
+        let scenario = Scenario::build(tiny_spec(3));
+        let device = scenario.device_ref();
+        assert_eq!(device.gateway_list().len(), 2);
+        assert_eq!(device.gateway_list()[0].name, "gw-a");
+        assert_eq!(device.gateway_list()[0].node, scenario.gateways[0]);
+        assert_eq!(device.config.central_server, Some(scenario.central));
+    }
+
+    #[test]
+    fn extra_devices_are_appended_after_the_primary() {
+        let mut spec = tiny_spec(4);
+        spec.extra_devices.push((DeviceConfig::new("pda-2"), vec![]));
+        spec.extra_devices.push((DeviceConfig::new("pda-3"), vec![]));
+        let scenario = Scenario::build(spec);
+        assert_eq!(scenario.extra_devices, vec![scenario.device + 1, scenario.device + 2]);
+        assert_eq!(scenario.extra_device_ref(1).config.name, "pda-3");
+    }
+}

@@ -1,0 +1,205 @@
+//! The Packed Information envelope (paper §3.4, Figure 7).
+//!
+//! Seals a payload for a gateway: the device draws a fresh session key,
+//! stream-enciphers the payload, RSA-wraps the session key under the
+//! gateway's public key, and attaches an MD5 digest of the *plaintext* so the
+//! gateway can "verify whether the Packed Information is valid" after
+//! decryption — exactly the protocol in Figure 7.
+//!
+//! Binary layout:
+//! ```text
+//! magic "PDAE" | nonce u64 LE | wrapped-key (32 bytes = 16 plain as 4 RSA
+//! blocks) | md5 digest (16 bytes) | ciphertext (len = remainder)
+//! ```
+
+use crate::md5::md5;
+use crate::rsa::{PrivateKey, PublicKey};
+use crate::stream::{xor_cipher, SessionKey};
+
+/// Envelope magic.
+pub const MAGIC: &[u8; 4] = b"PDAE";
+/// Fixed header size: magic + nonce + wrapped key + digest.
+pub const HEADER_LEN: usize = 4 + 8 + 32 + 16;
+
+/// A sealed envelope, ready for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The raw bytes to transmit.
+    pub bytes: Vec<u8>,
+}
+
+/// Why opening an envelope failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Too short or wrong magic.
+    Malformed,
+    /// The RSA-wrapped session key failed to decrypt cleanly (wrong private
+    /// key, or tampering of the key blocks).
+    KeyUnwrapFailed,
+    /// The plaintext digest did not match — payload corrupted or tampered.
+    DigestMismatch,
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Malformed => write!(f, "malformed envelope"),
+            EnvelopeError::KeyUnwrapFailed => write!(f, "session key unwrap failed"),
+            EnvelopeError::DigestMismatch => write!(f, "MD5 digest mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Seal `payload` for the holder of `gateway_key`'s private half.
+///
+/// `entropy` seeds the session key and nonce; callers pass device-unique,
+/// message-unique bytes (the simulation passes virtual-time + ids, keeping
+/// runs deterministic).
+pub fn seal_envelope(gateway_key: &PublicKey, payload: &[u8], entropy: &[u8]) -> Envelope {
+    let session = SessionKey::derive(entropy);
+    let nonce_src = md5(&[entropy, b"/nonce"].concat());
+    let nonce = u64::from_le_bytes(nonce_src[..8].try_into().unwrap());
+
+    let digest = md5(payload);
+    let ciphertext = xor_cipher(&session, nonce, payload);
+    let wrapped = gateway_key.encrypt_bytes(&session.0);
+    debug_assert_eq!(wrapped.len(), 32);
+
+    let mut bytes = Vec::with_capacity(HEADER_LEN + ciphertext.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&nonce.to_le_bytes());
+    bytes.extend_from_slice(&wrapped);
+    bytes.extend_from_slice(&digest);
+    bytes.extend_from_slice(&ciphertext);
+    Envelope { bytes }
+}
+
+/// Open an envelope with the gateway's private key, verifying the digest.
+pub fn open_envelope(private: &PrivateKey, envelope: &[u8]) -> Result<Vec<u8>, EnvelopeError> {
+    if envelope.len() < HEADER_LEN || &envelope[..4] != MAGIC {
+        return Err(EnvelopeError::Malformed);
+    }
+    let nonce = u64::from_le_bytes(envelope[4..12].try_into().unwrap());
+    let wrapped = &envelope[12..44];
+    let digest: [u8; 16] = envelope[44..60].try_into().unwrap();
+    let ciphertext = &envelope[60..];
+
+    let key_bytes =
+        private.decrypt_bytes(wrapped, 16).ok_or(EnvelopeError::KeyUnwrapFailed)?;
+    let session = SessionKey(key_bytes.try_into().map_err(|_| EnvelopeError::KeyUnwrapFailed)?);
+    let plaintext = xor_cipher(&session, nonce, ciphertext);
+    if md5(&plaintext) != digest {
+        return Err(EnvelopeError::DigestMismatch);
+    }
+    Ok(plaintext)
+}
+
+/// Envelope overhead in bytes (how much bigger the wire form is than the
+/// payload) — used by the transfer-size accounting in the experiments.
+pub const fn overhead() -> usize {
+    HEADER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::KeyPair;
+
+    fn kp() -> KeyPair {
+        KeyPair::generate(99)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let kp = kp();
+        let payload = b"<pi><code>...</code><params>...</params></pi>";
+        let env = seal_envelope(&kp.public, payload, b"device-1/t=100");
+        assert_eq!(open_envelope(&kp.private, &env.bytes).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let kp = kp();
+        let env = seal_envelope(&kp.public, b"", b"e");
+        assert_eq!(env.bytes.len(), HEADER_LEN);
+        assert_eq!(open_envelope(&kp.private, &env.bytes).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn ciphertext_is_not_plaintext() {
+        let kp = kp();
+        let payload = vec![b'A'; 256];
+        let env = seal_envelope(&kp.public, &payload, b"e2");
+        assert_ne!(&env.bytes[HEADER_LEN..], payload.as_slice());
+    }
+
+    #[test]
+    fn tampered_payload_detected() {
+        let kp = kp();
+        let mut env = seal_envelope(&kp.public, b"important data", b"e3").bytes;
+        let last = env.len() - 1;
+        env[last] ^= 0x01;
+        assert_eq!(
+            open_envelope(&kp.private, &env).unwrap_err(),
+            EnvelopeError::DigestMismatch
+        );
+    }
+
+    #[test]
+    fn tampered_digest_detected() {
+        let kp = kp();
+        let mut env = seal_envelope(&kp.public, b"data", b"e4").bytes;
+        env[50] ^= 0xff; // inside the digest field
+        assert_eq!(
+            open_envelope(&kp.private, &env).unwrap_err(),
+            EnvelopeError::DigestMismatch
+        );
+    }
+
+    #[test]
+    fn wrong_private_key_fails() {
+        let kp1 = KeyPair::generate(1);
+        let kp2 = KeyPair::generate(2);
+        let env = seal_envelope(&kp1.public, b"for gateway 1 only", b"e5");
+        assert!(open_envelope(&kp2.private, &env.bytes).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let kp = kp();
+        assert_eq!(open_envelope(&kp.private, b""), Err(EnvelopeError::Malformed));
+        assert_eq!(open_envelope(&kp.private, b"PDAE"), Err(EnvelopeError::Malformed));
+        assert_eq!(
+            open_envelope(&kp.private, &[0u8; HEADER_LEN]),
+            Err(EnvelopeError::Malformed)
+        );
+    }
+
+    #[test]
+    fn distinct_entropy_distinct_ciphertext() {
+        let kp = kp();
+        let a = seal_envelope(&kp.public, b"same payload", b"msg-1");
+        let b = seal_envelope(&kp.public, b"same payload", b"msg-2");
+        assert_ne!(a, b);
+        // But both open fine.
+        assert_eq!(open_envelope(&kp.private, &a.bytes).unwrap(), b"same payload");
+        assert_eq!(open_envelope(&kp.private, &b.bytes).unwrap(), b"same payload");
+    }
+
+    #[test]
+    fn overhead_constant_matches_layout() {
+        let kp = kp();
+        let env = seal_envelope(&kp.public, &[0u8; 100], b"e");
+        assert_eq!(env.bytes.len(), 100 + overhead());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let kp = kp();
+        let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+        let env = seal_envelope(&kp.public, &payload, b"big");
+        assert_eq!(open_envelope(&kp.private, &env.bytes).unwrap(), payload);
+    }
+}

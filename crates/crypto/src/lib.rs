@@ -1,0 +1,42 @@
+//! # pdagent-crypto
+//!
+//! The security layer of PDAgent (paper §3.4, Figure 7).
+//!
+//! The paper secures the Packed Information (PI) sent from the handheld to
+//! the gateway with "Asymmetric Key Encryption" to identify the user and
+//! encrypt the data, and uses MD5 to let the gateway "verify whether the
+//! Packed Information is valid". This crate implements that protocol shape
+//! from scratch:
+//!
+//! * [`md5`] — a complete MD5 implementation per RFC 1321 (the paper's
+//!   reference \[14\]), validated against the RFC's test suite.
+//! * [`rsa`] — textbook RSA over 64-bit moduli: Miller–Rabin prime
+//!   generation, keygen, raw block encrypt/decrypt.
+//! * [`stream`] — a keyed ARX keystream cipher used for the bulk payload
+//!   (hybrid encryption), so RSA only covers the session key.
+//! * [`envelope`] — the PI envelope combining all three: RSA-wrapped session
+//!   key, stream-enciphered payload, MD5 integrity digest.
+//! * [`keys`] — key registry and the unique-id/key scheme the platform uses
+//!   to authorize downloaded agent code (§3.1: "Each MA code downloaded will
+//!   be assigned a unique id ... for the purpose of authorization in later
+//!   execution").
+//!
+//! ## Security disclaimer
+//!
+//! This is a **protocol reproduction**, not production cryptography. The RSA
+//! modulus is 64 bits and the stream cipher is a non-cryptographic ARX
+//! generator — deliberately small so experiments are fast and deterministic.
+//! The paper's evaluation never measures cryptographic strength; it measures
+//! the *cost and shape* of the secure-packing pipeline, which is what this
+//! crate preserves.
+
+pub mod envelope;
+pub mod keys;
+pub mod md5;
+pub mod rsa;
+pub mod stream;
+
+pub use envelope::{open_envelope, seal_envelope, Envelope, EnvelopeError};
+pub use keys::{KeyRegistry, UniqueId};
+pub use md5::Md5;
+pub use rsa::{KeyPair, PrivateKey, PublicKey};

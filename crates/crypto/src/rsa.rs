@@ -1,0 +1,298 @@
+//! Textbook RSA over 64-bit moduli.
+//!
+//! Provides deterministic key generation (seeded Miller–Rabin prime search),
+//! raw block encryption and the block framing used by the envelope layer:
+//! plaintext is processed in 4-byte blocks (always `< n` since `n > 2^62`),
+//! each producing an 8-byte ciphertext block.
+//!
+//! **Toy key size** — see the crate-level security disclaimer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Modulus.
+    pub n: u64,
+    /// Public exponent.
+    pub e: u64,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// Modulus.
+    pub n: u64,
+    /// Private exponent.
+    pub d: u64,
+}
+
+/// A matching key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Public half (distributed to devices).
+    pub public: PublicKey,
+    /// Private half (held by the gateway).
+    pub private: PrivateKey,
+}
+
+/// Modular multiplication without overflow (via u128).
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+pub fn pow_mod(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 1, "modulus must be > 1");
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin. The listed witness set is proven sufficient
+/// for all n < 3.3 * 10^24, far beyond u64.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse via extended Euclid. Returns `None` if `gcd(a, m) != 1`.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut inv = old_s % m as i128;
+    if inv < 0 {
+        inv += m as i128;
+    }
+    Some(inv as u64)
+}
+
+/// Find the next prime at or after `start` (31–32 bit range expected).
+fn next_prime(mut start: u64) -> u64 {
+    if start.is_multiple_of(2) {
+        start += 1;
+    }
+    while !is_prime(start) {
+        start += 2;
+    }
+    start
+}
+
+impl KeyPair {
+    /// Generate a deterministic key pair from a seed. Primes are drawn in
+    /// `[2^31, 2^32)` so the modulus exceeds `2^62` and any 4-byte plaintext
+    /// block is `< n`.
+    pub fn generate(seed: u64) -> KeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let p = next_prime(rng.gen_range(1u64 << 31..1u64 << 32));
+            let q = next_prime(rng.gen_range(1u64 << 31..1u64 << 32));
+            if p == q {
+                continue;
+            }
+            let n = p * q; // < 2^64, >= 2^62
+            let phi = (p - 1) * (q - 1);
+            let e = 65537u64;
+            if gcd(e, phi) != 1 {
+                continue;
+            }
+            let Some(d) = mod_inverse(e, phi) else { continue };
+            return KeyPair {
+                public: PublicKey { n, e },
+                private: PrivateKey { n, d },
+            };
+        }
+    }
+}
+
+impl PublicKey {
+    /// Raw RSA on a single block (`block < n`).
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        debug_assert!(block < self.n);
+        pow_mod(block, self.e, self.n)
+    }
+
+    /// Encrypt a byte string: 4-byte little-endian blocks (zero-padded, with
+    /// an explicit length prefix added by the caller if needed) → 8-byte
+    /// ciphertext blocks.
+    pub fn encrypt_bytes(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() * 2 + 8);
+        for chunk in data.chunks(4) {
+            let mut block = [0u8; 4];
+            block[..chunk.len()].copy_from_slice(chunk);
+            let c = self.encrypt_block(u32::from_le_bytes(block) as u64);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl PrivateKey {
+    /// Raw RSA decryption of a single block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        pow_mod(block, self.d, self.n)
+    }
+
+    /// Inverse of [`PublicKey::encrypt_bytes`]; `plain_len` trims the zero
+    /// padding of the final block.
+    pub fn decrypt_bytes(&self, data: &[u8], plain_len: usize) -> Option<Vec<u8>> {
+        if !data.len().is_multiple_of(8) || plain_len > data.len() / 2 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(plain_len);
+        for chunk in data.chunks_exact(8) {
+            let c = u64::from_le_bytes(chunk.try_into().unwrap());
+            let p = self.decrypt_block(c);
+            if p > u32::MAX as u64 {
+                return None; // not a valid 4-byte block: wrong key or garbage
+            }
+            out.extend_from_slice(&(p as u32).to_le_bytes());
+        }
+        out.truncate(plain_len);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1000), 24);
+        assert_eq!(pow_mod(3, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(u64::MAX, 2, u64::MAX - 1), 1);
+    }
+
+    #[test]
+    fn primality_known_values() {
+        for p in [2u64, 3, 5, 7, 97, 7919, 2_147_483_647, 4_294_967_291] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 100, 7917, 2_147_483_649, 4_294_967_295] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Carmichael numbers and known SPRP composites.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 3215031751] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        assert_eq!(KeyPair::generate(7), KeyPair::generate(7));
+        assert_ne!(KeyPair::generate(7).public, KeyPair::generate(8).public);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let kp = KeyPair::generate(1);
+        for m in [0u64, 1, 42, u32::MAX as u64] {
+            let c = kp.public.encrypt_block(m);
+            assert_eq!(kp.private.decrypt_block(c), m);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_various_lengths() {
+        let kp = KeyPair::generate(2);
+        for len in [0usize, 1, 3, 4, 5, 16, 33, 100] {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let ct = kp.public.encrypt_bytes(&data);
+            assert_eq!(ct.len(), data.len().div_ceil(4) * 8);
+            assert_eq!(kp.private.decrypt_bytes(&ct, len).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_or_garbles() {
+        let kp1 = KeyPair::generate(3);
+        let kp2 = KeyPair::generate(4);
+        let data = b"session-key-0123";
+        let ct = kp1.public.encrypt_bytes(data);
+        match kp2.private.decrypt_bytes(&ct, data.len()) {
+            None => {}                          // detected invalid block
+            Some(pt) => assert_ne!(pt, data),   // or silently wrong
+        }
+    }
+
+    #[test]
+    fn malformed_ciphertext_rejected() {
+        let kp = KeyPair::generate(5);
+        assert!(kp.private.decrypt_bytes(&[1, 2, 3], 1).is_none()); // not /8
+        assert!(kp.private.decrypt_bytes(&[0u8; 8], 100).is_none()); // len too big
+    }
+
+    #[test]
+    fn modulus_large_enough_for_4_byte_blocks() {
+        for seed in 0..10 {
+            let kp = KeyPair::generate(seed);
+            assert!(kp.public.n > u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let kp = KeyPair::generate(6);
+        let data = b"abcd";
+        let ct = kp.public.encrypt_bytes(data);
+        assert_ne!(&ct[..4], data);
+    }
+}

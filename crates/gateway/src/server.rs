@@ -1,0 +1,949 @@
+//! [`GatewayNode`]: the Agent Dispatch Handler, Agent Creator, Document
+//! Creator and File Directory of the paper's Figure 4, as one protocol node.
+
+use std::collections::HashMap;
+
+use pdagent_codec::compress::{compress, decompress, Algorithm};
+use pdagent_crypto::envelope::open_envelope;
+use pdagent_crypto::keys::{KeyRegistry, UniqueId};
+use pdagent_crypto::md5::md5_hex;
+use pdagent_crypto::rsa::{KeyPair, PublicKey};
+use pdagent_mas::server::{
+    decode_control, decode_control_resp, encode_control, ControlOp, SiteDirectory,
+};
+use pdagent_mas::{AgentId, Itinerary, MobileAgent, KIND_COMPLETE, KIND_CONTROL, KIND_CONTROL_RESP, KIND_TRANSFER, KIND_ACK};
+use pdagent_net::http::{reply, HttpRequest, HttpStatus};
+use pdagent_net::prelude::*;
+use pdagent_vm::Program;
+use pdagent_xml::Element;
+
+use crate::filedir::{FileDirectory, FileKind};
+use crate::pi::{PackedInformation, ResultDoc};
+use crate::{KIND_PROBE, KIND_PROBE_ACK, PATH_DISPATCH, PATH_MANAGE, PATH_RESULT, PATH_SUBSCRIBE};
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Gateway name (appears in agent ids).
+    pub name: String,
+    /// Seed for the gateway's RSA key pair.
+    pub key_seed: u64,
+    /// Fixed request-processing overhead (servlet dispatch, XML parsing).
+    pub processing_base: SimDuration,
+    /// Additional processing time per KiB of dispatched payload.
+    pub processing_per_kib: SimDuration,
+    /// Compression used for subscription payloads and result documents.
+    pub compression: Algorithm,
+    /// Secret shared by all gateways of one operator. Code ids issued by any
+    /// trusted gateway validate at any other (the paper's gateways form one
+    /// trusted federation), and the key pair is derived from `key_seed`,
+    /// which the operator also shares across its gateways.
+    pub operator_secret: String,
+    /// Ack timeout for agent transfers to the first site.
+    pub ack_timeout: SimDuration,
+    /// Transfer attempts before skipping the first site.
+    pub max_transfer_attempts: u32,
+}
+
+impl GatewayConfig {
+    /// Defaults for a 2004 server-class gateway.
+    pub fn new(name: impl Into<String>, key_seed: u64) -> GatewayConfig {
+        GatewayConfig {
+            name: name.into(),
+            key_seed,
+            processing_base: SimDuration::from_millis(20),
+            processing_per_kib: SimDuration::from_millis(2),
+            compression: Algorithm::Auto,
+            operator_secret: "pdagent-operator".into(),
+            ack_timeout: SimDuration::from_millis(500),
+            max_transfer_attempts: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchState {
+    InFlight,
+    Done,
+}
+
+#[derive(Debug)]
+struct ManagePending {
+    device: NodeId,
+    request: HttpRequest,
+    outstanding: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKind {
+    /// Finish processing a dispatch and launch the agent.
+    Launch,
+    /// Transfer ack timeout.
+    AckTimeout,
+}
+
+/// The gateway node.
+pub struct GatewayNode {
+    config: GatewayConfig,
+    keys: KeyPair,
+    registry: KeyRegistry,
+    catalog: HashMap<String, Program>,
+    directory: SiteDirectory,
+    next_agent: u64,
+    next_code: u64,
+    dispatched: HashMap<String, DispatchState>,
+    results: HashMap<String, ResultDoc>,
+    /// Agents being processed or awaiting transfer acks, keyed by id.
+    staging: HashMap<String, (MobileAgent, u32)>,
+    tags: HashMap<u64, (String, TagKind)>,
+    next_tag: u64,
+    pending_manage: HashMap<(u8, String), ManagePending>,
+    /// Idempotency cache: completed responses keyed by `(client, req_id)`.
+    /// HTTP retransmissions (a slow link can delay a response past the
+    /// client's RTO) replay the original response instead of re-executing
+    /// the handler — without this, a retransmitted dispatch would create a
+    /// duplicate agent.
+    replay: HashMap<(NodeId, u64), (HttpStatus, Vec<u8>)>,
+    /// Human-readable event log.
+    pub log: Vec<String>,
+    /// The File Directory (Figure 6): staged agent classes, parameter docs
+    /// and result documents, under a disk quota.
+    pub files: FileDirectory,
+}
+
+impl GatewayNode {
+    /// A gateway with the given config and MAS site directory.
+    pub fn new(config: GatewayConfig, directory: SiteDirectory) -> GatewayNode {
+        let keys = KeyPair::generate(config.key_seed);
+        GatewayNode {
+            config,
+            keys,
+            registry: KeyRegistry::new(),
+            catalog: HashMap::new(),
+            directory,
+            next_agent: 0,
+            next_code: 0,
+            dispatched: HashMap::new(),
+            results: HashMap::new(),
+            staging: HashMap::new(),
+            tags: HashMap::new(),
+            next_tag: 0,
+            pending_manage: HashMap::new(),
+            replay: HashMap::new(),
+            log: Vec::new(),
+            files: FileDirectory::new(64 << 20), // 64 MiB gateway disk budget
+        }
+    }
+
+    /// Reply to `req` and remember the response for retransmission replay.
+    fn respond(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        req: &HttpRequest,
+        status: HttpStatus,
+        body: Vec<u8>,
+    ) {
+        self.replay.insert((from, req.req_id), (status, body.clone()));
+        reply(ctx, from, req, status, body);
+    }
+
+    /// The gateway's public key — devices obtain this at subscription time
+    /// (out of band from a *trusted* gateway, per §3.4).
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public
+    }
+
+    /// Gateway name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Publish MA code for a service so devices can subscribe to it.
+    pub fn publish(&mut self, service: impl Into<String>, program: Program) {
+        self.catalog.insert(service.into(), program);
+    }
+
+    /// Number of stored (uncollected or collected) result documents.
+    pub fn stored_results(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Result for an agent (inspection in tests/harnesses).
+    pub fn result_for(&self, agent_id: &str) -> Option<&ResultDoc> {
+        self.results.get(agent_id)
+    }
+
+    fn fresh_tag(&mut self, agent_id: &str, kind: TagKind) -> u64 {
+        self.next_tag += 1;
+        self.tags.insert(self.next_tag, (agent_id.to_owned(), kind));
+        self.next_tag
+    }
+
+    fn processing_delay(&self, payload_bytes: usize) -> SimDuration {
+        let kib = payload_bytes as u64 / 1024;
+        SimDuration(
+            self.config.processing_base.as_micros()
+                + kib * self.config.processing_per_kib.as_micros(),
+        )
+    }
+
+    // --- request handlers -------------------------------------------------
+
+    fn handle_subscribe(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest) {
+        let Ok(service) = std::str::from_utf8(&req.body) else {
+            self.respond(ctx, from, req, HttpStatus::BadRequest, Vec::new());
+            return;
+        };
+        let service = service.to_owned();
+        if !self.catalog.contains_key(&service) {
+            self.respond(ctx, from, req, HttpStatus::NotFound, Vec::new());
+            return;
+        }
+        let program = self.catalog.get(&service).expect("checked").clone();
+        let service = service.as_str();
+        self.next_code += 1;
+        let id = UniqueId::mint(service, &format!("dev{from}"), self.next_code);
+        // Derive a per-code shared secret; the device receives it inside the
+        // (trusted, §3.4) subscription download and uses it to compute the
+        // authorization key at dispatch time.
+        let secret = code_secret(&self.config.operator_secret, &id);
+        self.registry.register_code(id.clone(), secret.clone());
+        let mut doc = Element::new("subscription")
+            .with_attr("id", &id.0)
+            .with_attr("secret", &secret)
+            .with_attr("gateway", &self.config.name)
+            .with_attr("pubkey-n", self.keys.public.n.to_string())
+            .with_attr("pubkey-e", self.keys.public.e.to_string());
+        doc.push_child(program.to_xml());
+        let body = compress(
+            doc.to_document_string().as_bytes(),
+            self.config.compression,
+        );
+        ctx.metrics().bump("gateway.subscriptions", 1.0);
+        self.log.push(format!("{}: issued code {} to device {from}", self.config.name, id.0));
+        self.respond(ctx, from, req, HttpStatus::Ok, body);
+    }
+
+    fn handle_dispatch(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest) {
+        // Envelope → compressed PI → PI document (Figure 7's receive side).
+        let plaintext = match open_envelope(&self.keys.private, &req.body) {
+            Ok(p) => p,
+            Err(e) => {
+                ctx.metrics().bump("gateway.bad_envelopes", 1.0);
+                self.respond(ctx, from, req, HttpStatus::BadRequest, e.to_string().into_bytes());
+                return;
+            }
+        };
+        let xml_bytes = match decompress(&plaintext) {
+            Ok(b) => b,
+            Err(e) => {
+                self.respond(ctx, from, req, HttpStatus::BadRequest, e.to_string().into_bytes());
+                return;
+            }
+        };
+        let pi = match std::str::from_utf8(&xml_bytes)
+            .map_err(|e| e.to_string())
+            .and_then(PackedInformation::from_document_str)
+        {
+            Ok(pi) => pi,
+            Err(e) => {
+                self.respond(ctx, from, req, HttpStatus::BadRequest, e.into_bytes());
+                return;
+            }
+        };
+        // Agent Creator: "generate mobile agent classes … if the supplied
+        // unique key is valid".
+        let code_id = UniqueId(pi.code_id.clone());
+        let expected = code_id.derive_key(&code_secret(&self.config.operator_secret, &code_id));
+        let locally_valid = self.registry.validate_code_key(&code_id, &pi.auth_key);
+        if !locally_valid && pi.auth_key != expected {
+            ctx.metrics().bump("gateway.unauthorized", 1.0);
+            self.respond(ctx, from, req, HttpStatus::Unauthorized, Vec::new());
+            return;
+        }
+        self.next_agent += 1;
+        let agent_id = format!("ag-{}@{}", self.next_agent, self.config.name);
+        // File Directory (Figure 6): stage the generated agent classes and
+        // the parameter document for the MAS to pick up.
+        let staged = self
+            .files
+            .allocate(
+                format!("{agent_id}/classes"),
+                FileKind::AgentClasses,
+                pi.program.to_bytes(),
+            )
+            .and_then(|()| {
+                let mut params_doc = Vec::new();
+                for (k, v) in &pi.params {
+                    params_doc.extend_from_slice(k.as_bytes());
+                    params_doc.push(b'=');
+                    params_doc.extend_from_slice(v.render().as_bytes());
+                    params_doc.push(b'\n');
+                }
+                self.files.allocate(
+                    format!("{agent_id}/params.xml"),
+                    FileKind::ParameterDoc,
+                    params_doc,
+                )
+            });
+        if let Err(e) = staged {
+            ctx.metrics().bump("gateway.disk_full", 1.0);
+            self.respond(ctx, from, req, HttpStatus::ServerError, e.to_string().into_bytes());
+            return;
+        }
+        let mut agent = MobileAgent::new(
+            AgentId(agent_id.clone()),
+            pi.program,
+            pi.params,
+            Itinerary { sites: pi.itinerary },
+            ctx.id() as u64,
+        );
+        agent.fuel_per_hop = pi.fuel_per_hop;
+        self.dispatched.insert(agent_id.clone(), DispatchState::InFlight);
+        // Respond immediately with the agent id (the device shows it on
+        // screen, Figure 11c), then launch after the processing delay.
+        self.respond(ctx, from, req, HttpStatus::Accepted, agent_id.clone().into_bytes());
+        let delay = self.processing_delay(req.body.len());
+        let tag = self.fresh_tag(&agent_id, TagKind::Launch);
+        ctx.set_timer(delay, tag);
+        self.staging.insert(agent_id.clone(), (agent, 1));
+        ctx.metrics().bump("gateway.dispatches", 1.0);
+        self.log.push(format!("{}: dispatching agent {agent_id}", self.config.name));
+    }
+
+    fn handle_result(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest) {
+        let Ok(agent_id) = std::str::from_utf8(&req.body) else {
+            self.respond(ctx, from, req, HttpStatus::BadRequest, Vec::new());
+            return;
+        };
+        let agent_id = agent_id.to_owned();
+        match self.results.get(&agent_id) {
+            Some(doc) => {
+                let body = compress(
+                    doc.to_document_string().as_bytes(),
+                    self.config.compression,
+                );
+                ctx.metrics().bump("gateway.results_served", 1.0);
+                let _ = self.files.release(&format!("{agent_id}/result.xml"));
+                self.respond(ctx, from, req, HttpStatus::Ok, body);
+            }
+            None => {
+                let status = if self.dispatched.contains_key(&agent_id) {
+                    HttpStatus::Conflict // dispatched, not back yet
+                } else {
+                    HttpStatus::NotFound
+                };
+                // Deliberately NOT cached: a later retry must be able to see
+                // the result once the agent returns.
+                reply(ctx, from, req, status, Vec::new());
+            }
+        }
+    }
+
+    fn handle_manage(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest) {
+        let Some((op, id)) = decode_control(&req.body) else {
+            self.respond(ctx, from, req, HttpStatus::BadRequest, Vec::new());
+            return;
+        };
+        // A retransmission of a manage request that is already being fanned
+        // out: ignore; the pending completion will answer it.
+        if self
+            .pending_manage
+            .get(&(op_byte(op), id.0.clone()))
+            .is_some_and(|p| p.device == from && p.request.req_id == req.req_id)
+        {
+            return;
+        }
+        // Already back home? Answer directly.
+        if self.results.contains_key(&id.0) {
+            match op {
+                ControlOp::Status => {
+                    self.respond(ctx, from, req, HttpStatus::Ok, b"returned".to_vec());
+                }
+                ControlOp::Retract | ControlOp::Dispose | ControlOp::Clone => {
+                    // Nothing to do on a returned agent; dispose drops the
+                    // stored result.
+                    if op == ControlOp::Dispose {
+                        self.results.remove(&id.0);
+                        self.dispatched.remove(&id.0);
+                    }
+                    self.respond(ctx, from, req, HttpStatus::Ok, Vec::new());
+                }
+            }
+            return;
+        }
+        if !self.dispatched.contains_key(&id.0) {
+            self.respond(ctx, from, req, HttpStatus::NotFound, Vec::new());
+            return;
+        }
+        // Fan the control request out to every MAS site.
+        let sites = self.directory.names();
+        let mut outstanding = 0;
+        for site in &sites {
+            if let Some(node) = self.directory.resolve(site) {
+                ctx.send(node, Message::new(KIND_CONTROL, encode_control(op, &id)));
+                outstanding += 1;
+            }
+        }
+        if outstanding == 0 {
+            self.respond(ctx, from, req, HttpStatus::NotFound, Vec::new());
+            return;
+        }
+        ctx.metrics().bump("gateway.manage_relayed", 1.0);
+        self.pending_manage.insert(
+            (op_byte(op), id.0.clone()),
+            ManagePending { device: from, request: req.clone(), outstanding },
+        );
+    }
+
+    fn handle_control_resp(&mut self, ctx: &mut Ctx<'_>, body: &[u8]) {
+        let Some((op, id, found, payload)) = decode_control_resp(body) else { return };
+        let key = (op_byte(op), id.0.clone());
+        let Some(pending) = self.pending_manage.get_mut(&key) else { return };
+        if found {
+            let pending = self.pending_manage.remove(&key).expect("present");
+            if op == ControlOp::Clone {
+                // Track the clone so its completion is stored too.
+                if let Ok(clone_id) = std::str::from_utf8(payload) {
+                    self.dispatched.insert(clone_id.to_owned(), DispatchState::InFlight);
+                }
+            }
+            if op == ControlOp::Dispose {
+                self.dispatched.remove(&id.0);
+            }
+            let device = pending.device;
+            let request = pending.request.clone();
+            self.respond(ctx, device, &request, HttpStatus::Ok, payload.to_vec());
+        } else {
+            pending.outstanding -= 1;
+            if pending.outstanding == 0 {
+                let pending = self.pending_manage.remove(&key).expect("present");
+                // The agent may be in transit between sites; report 409 so
+                // the device can retry, unless we never heard of it.
+                let status = if self.dispatched.contains_key(&id.0) {
+                    HttpStatus::Conflict
+                } else {
+                    HttpStatus::NotFound
+                };
+                // Not cached: the device may retry and deserve a fresh answer.
+                reply(ctx, pending.device, &pending.request, status, Vec::new());
+            }
+        }
+    }
+
+    // --- agent launch & return -------------------------------------------
+
+    fn launch(&mut self, ctx: &mut Ctx<'_>, agent_id: &str, attempts: u32) {
+        let Some((mut agent, _)) = self.staging.remove(agent_id) else { return };
+        // Find the first resolvable site, skipping unknown ones.
+        while let Some(site) = agent.next_site().map(str::to_owned) {
+            if self.directory.resolve(&site).is_some() {
+                break;
+            }
+            agent.push_result(&self.config.name, "unreachable", site.into());
+            agent.next_hop += 1;
+        }
+        match agent.next_site().map(str::to_owned) {
+            Some(site) => {
+                let node = self.directory.resolve(&site).expect("checked above");
+                ctx.send(node, Message::new(KIND_TRANSFER, agent.to_bytes()));
+                let tag = self.fresh_tag(agent_id, TagKind::AckTimeout);
+                ctx.set_timer(self.config.ack_timeout, tag);
+                self.staging.insert(agent_id.to_owned(), (agent, attempts));
+            }
+            None => {
+                // Entire itinerary unreachable: complete immediately.
+                self.store_result(ctx, agent);
+            }
+        }
+    }
+
+    fn store_result(&mut self, ctx: &mut Ctx<'_>, agent: MobileAgent) {
+        let doc = ResultDoc::from_agent(&agent);
+        let _ = self.files.allocate(
+            format!("{}/result.xml", agent.id.0),
+            FileKind::ResultDoc,
+            doc.to_document_string().into_bytes(),
+        );
+        self.log.push(format!(
+            "{}: stored result for {} ({} entries)",
+            self.config.name,
+            agent.id,
+            doc.entries.len()
+        ));
+        ctx.metrics().bump("gateway.results_stored", 1.0);
+        self.dispatched.insert(agent.id.0.clone(), DispatchState::Done);
+        self.results.insert(agent.id.0.clone(), doc);
+    }
+}
+
+/// Deterministic per-code shared secret: any gateway holding the operator
+/// secret can issue and validate code ids (stateless federation).
+fn code_secret(operator_secret: &str, id: &UniqueId) -> String {
+    md5_hex(format!("{operator_secret}/{}", id.0).as_bytes())
+}
+
+fn op_byte(op: ControlOp) -> u8 {
+    match op {
+        ControlOp::Status => 1,
+        ControlOp::Retract => 2,
+        ControlOp::Dispose => 3,
+        ControlOp::Clone => 4,
+    }
+}
+
+impl Node for GatewayNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        match msg.kind.as_str() {
+            KIND_PROBE => {
+                // 1-byte RTT probe (Figure 8): echo immediately.
+                ctx.send(from, Message::new(KIND_PROBE_ACK, msg.body));
+            }
+            KIND_COMPLETE => {
+                if let Ok(agent) = MobileAgent::from_bytes(&msg.body) {
+                    self.store_result(ctx, agent);
+                }
+            }
+            KIND_ACK => {
+                if let Ok(id) = std::str::from_utf8(&msg.body) {
+                    self.staging.remove(id);
+                    // The MAS has the agent; the staged classes/params are
+                    // now evictable.
+                    let _ = self.files.release(&format!("{id}/classes"));
+                    let _ = self.files.release(&format!("{id}/params.xml"));
+                }
+            }
+            KIND_CONTROL_RESP => self.handle_control_resp(ctx, &msg.body),
+            _ => {
+                let Some(req) = HttpRequest::from_message(&msg) else { return };
+                // Retransmission of a request we already answered? Replay.
+                if let Some((status, body)) = self.replay.get(&(from, req.req_id)) {
+                    ctx.metrics().bump("gateway.replays", 1.0);
+                    reply(ctx, from, &req, *status, body.clone());
+                    return;
+                }
+                match req.path.as_str() {
+                    PATH_SUBSCRIBE => self.handle_subscribe(ctx, from, &req),
+                    PATH_DISPATCH => self.handle_dispatch(ctx, from, &req),
+                    PATH_RESULT => self.handle_result(ctx, from, &req),
+                    PATH_MANAGE => self.handle_manage(ctx, from, &req),
+                    _ => reply(ctx, from, &req, HttpStatus::NotFound, Vec::new()),
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        let Some((agent_id, kind)) = self.tags.remove(&tag) else { return };
+        match kind {
+            TagKind::Launch => self.launch(ctx, &agent_id, 1),
+            TagKind::AckTimeout => {
+                let Some((_, attempts)) = self.staging.get(&agent_id) else {
+                    return; // acked
+                };
+                let attempts = *attempts;
+                if attempts >= self.config.max_transfer_attempts {
+                    // First site unreachable: skip it and try the next.
+                    if let Some((mut agent, _)) = self.staging.remove(&agent_id) {
+                        let site = agent.next_site().unwrap_or("?").to_owned();
+                        agent.push_result(&self.config.name, "unreachable", site.into());
+                        agent.next_hop += 1;
+                        ctx.metrics().bump("gateway.hops_skipped", 1.0);
+                        self.staging.insert(agent_id.clone(), (agent, 1));
+                        self.launch(ctx, &agent_id, 1);
+                    }
+                } else {
+                    ctx.metrics().bump("gateway.transfer_retries", 1.0);
+                    self.launch(ctx, &agent_id, attempts + 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdagent_codec::compress::decompress;
+    use pdagent_crypto::envelope::seal_envelope;
+    use pdagent_mas::{EchoService, MasNode};
+    use pdagent_net::http::{HttpClient, HttpResponse};
+    use pdagent_net::link::LinkSpec;
+    use pdagent_net::sim::Simulator;
+    use pdagent_vm::assemble;
+
+    fn banking_program() -> Program {
+        assemble(
+            r#"
+            .name ebank
+            param "user"
+            invoke "echo" "txn" 1
+            emit "receipt"
+            halt
+        "#,
+        )
+        .unwrap()
+    }
+
+    /// A scripted device driving the full subscribe → dispatch → collect
+    /// flow over HTTP. Used by the gateway tests; the real device platform
+    /// lives in pdagent-core.
+    struct ScriptDevice {
+        gateway: NodeId,
+        http: HttpClient,
+        phase: Phase,
+        /// Parsed subscription (id, secret, pubkey).
+        sub: Option<(String, String, PublicKey)>,
+        agent_id: Option<String>,
+        result: Option<ResultDoc>,
+        statuses: Vec<HttpStatus>,
+        tamper_key: bool,
+        poll_delay: SimDuration,
+    }
+
+    #[derive(PartialEq)]
+    enum Phase {
+        Subscribing,
+        Dispatching,
+        Waiting,
+        Collecting,
+        Done,
+    }
+
+    impl ScriptDevice {
+        fn new(gateway: NodeId) -> ScriptDevice {
+            ScriptDevice {
+                gateway,
+                http: HttpClient::new(),
+                phase: Phase::Subscribing,
+                sub: None,
+                agent_id: None,
+                result: None,
+                statuses: vec![],
+                tamper_key: false,
+                poll_delay: SimDuration::from_secs(2),
+            }
+        }
+
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>) {
+            let (id, secret, pubkey) = self.sub.clone().unwrap();
+            let auth_key = if self.tamper_key {
+                "wrong-key".to_owned()
+            } else {
+                UniqueId(id.clone()).derive_key(&secret)
+            };
+            let pi = PackedInformation {
+                code_id: id,
+                auth_key,
+                program: banking_program(),
+                itinerary: vec!["bank-a".into(), "bank-b".into()],
+                params: vec![("user".into(), pdagent_vm::Value::Str("alice".into()))],
+                fuel_per_hop: 100_000,
+            };
+            let compressed =
+                compress(pi.to_document_string().as_bytes(), Algorithm::Auto);
+            let env = seal_envelope(&pubkey, &compressed, b"device-entropy-1");
+            self.phase = Phase::Dispatching;
+            self.http.send(
+                ctx,
+                self.gateway,
+                HttpRequest::new("POST", PATH_DISPATCH, env.bytes),
+            );
+        }
+    }
+
+    impl Node for ScriptDevice {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.http.send(
+                ctx,
+                self.gateway,
+                HttpRequest::new("POST", PATH_SUBSCRIBE, b"ebank".to_vec()),
+            );
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+            let Some(HttpResponse { status, body, .. }) = self.http.on_response(ctx, &msg)
+            else {
+                return;
+            };
+            self.statuses.push(status);
+            match self.phase {
+                Phase::Subscribing => {
+                    if status != HttpStatus::Ok {
+                        self.phase = Phase::Done;
+                        return;
+                    }
+                    let xml = decompress(&body).unwrap();
+                    let doc =
+                        Element::parse_str(std::str::from_utf8(&xml).unwrap()).unwrap();
+                    let pubkey = PublicKey {
+                        n: doc.attr("pubkey-n").unwrap().parse().unwrap(),
+                        e: doc.attr("pubkey-e").unwrap().parse().unwrap(),
+                    };
+                    self.sub = Some((
+                        doc.attr("id").unwrap().to_owned(),
+                        doc.attr("secret").unwrap().to_owned(),
+                        pubkey,
+                    ));
+                    self.dispatch(ctx);
+                }
+                Phase::Dispatching => {
+                    if status != HttpStatus::Accepted {
+                        self.phase = Phase::Done;
+                        return;
+                    }
+                    self.agent_id = Some(String::from_utf8(body).unwrap());
+                    self.phase = Phase::Waiting;
+                    ctx.set_timer(self.poll_delay, 1);
+                }
+                Phase::Collecting => {
+                    if status == HttpStatus::Ok {
+                        let xml = decompress(&body).unwrap();
+                        self.result = Some(
+                            ResultDoc::from_document_str(
+                                std::str::from_utf8(&xml).unwrap(),
+                            )
+                            .unwrap(),
+                        );
+                        self.phase = Phase::Done;
+                    } else if status == HttpStatus::Conflict {
+                        // Not ready yet: poll again.
+                        self.phase = Phase::Waiting;
+                        ctx.set_timer(self.poll_delay, 1);
+                    } else {
+                        self.phase = Phase::Done;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            if tag == 1 && self.phase == Phase::Waiting {
+                self.phase = Phase::Collecting;
+                let id = self.agent_id.clone().unwrap();
+                self.http.send(
+                    ctx,
+                    self.gateway,
+                    HttpRequest::new("GET", PATH_RESULT, id.into_bytes()),
+                );
+            } else {
+                self.http.on_timer(ctx, tag);
+            }
+        }
+    }
+
+    /// Full scenario: device + gateway + 2 bank MAS sites.
+    fn build(seed: u64) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        // Node ids are sequential: 0 gateway, 1 bank-a, 2 bank-b, 3 device.
+        let mut directory = SiteDirectory::new();
+        directory.insert("bank-a", 1);
+        directory.insert("bank-b", 2);
+        let mut gw = GatewayNode::new(GatewayConfig::new("gw-1", 99), directory.clone());
+        gw.publish("ebank", banking_program());
+        let gateway = sim.add_node(Box::new(gw));
+        for name in ["bank-a", "bank-b"] {
+            let mut mas = MasNode::new(name, directory.clone());
+            mas.register_service("echo", Box::new(EchoService));
+            sim.add_node(Box::new(mas));
+        }
+        let device = sim.add_node(Box::new(ScriptDevice::new(gateway)));
+        sim.connect(device, gateway, LinkSpec::wireless_gprs());
+        sim.connect(gateway, 1, LinkSpec::wired_internet());
+        sim.connect(gateway, 2, LinkSpec::wired_internet());
+        sim.connect(1, 2, LinkSpec::wired_internet());
+        (sim, gateway, device)
+    }
+
+    #[test]
+    fn end_to_end_subscribe_dispatch_collect() {
+        let (mut sim, gateway, device) = build(1);
+        sim.run_until_idle();
+        let d = sim.node_ref::<ScriptDevice>(device).unwrap();
+        let result = d.result.as_ref().expect("result collected");
+        assert_eq!(result.status, crate::pi::ResultStatus::Completed);
+        // Receipts from both banks, echoing the user parameter.
+        let receipts: Vec<String> = result
+            .entries_for("receipt")
+            .map(|e| e.value.render())
+            .collect();
+        assert_eq!(receipts, vec!["txn(alice)", "txn(alice)"]);
+        let sites: Vec<&str> =
+            result.entries_for("receipt").map(|e| e.site.as_str()).collect();
+        assert_eq!(sites, vec!["bank-a", "bank-b"]);
+        let gw = sim.node_ref::<GatewayNode>(gateway).unwrap();
+        assert_eq!(gw.stored_results(), 1);
+        // The File Directory staged the agent classes, the parameter doc and
+        // the result document; all three are released (evictable) by now —
+        // classes/params when the MAS acked the transfer, the result when
+        // the device collected it.
+        let agent_id = d.agent_id.as_ref().unwrap();
+        assert_eq!(gw.files.len(), 3);
+        for suffix in ["classes", "params.xml", "result.xml"] {
+            assert!(
+                gw.files.read(&format!("{agent_id}/{suffix}")).is_ok(),
+                "missing staged {suffix}"
+            );
+        }
+        assert!(gw.files.used() > 0);
+    }
+
+    #[test]
+    fn invalid_auth_key_is_rejected() {
+        let (mut sim, gateway, device) = build(2);
+        sim.node_mut::<ScriptDevice>(device).unwrap().tamper_key = true;
+        sim.run_until_idle();
+        let d = sim.node_ref::<ScriptDevice>(device).unwrap();
+        assert!(d.statuses.contains(&HttpStatus::Unauthorized));
+        assert!(d.result.is_none());
+        assert_eq!(sim.metrics(gateway).counter("gateway.unauthorized"), 1.0);
+    }
+
+    #[test]
+    fn unknown_service_subscription_is_404() {
+        struct BadSub {
+            gateway: NodeId,
+            http: HttpClient,
+            status: Option<HttpStatus>,
+        }
+        impl Node for BadSub {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.http.send(
+                    ctx,
+                    self.gateway,
+                    HttpRequest::new("POST", PATH_SUBSCRIBE, b"no-such-app".to_vec()),
+                );
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if let Some(resp) = self.http.on_response(ctx, &msg) {
+                    self.status = Some(resp.status);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                self.http.on_timer(ctx, tag);
+            }
+        }
+        let mut sim = Simulator::new(3);
+        let gw =
+            GatewayNode::new(GatewayConfig::new("gw", 1), SiteDirectory::new());
+        let gateway = sim.add_node(Box::new(gw));
+        let client = sim.add_node(Box::new(BadSub {
+            gateway,
+            http: HttpClient::new(),
+            status: None,
+        }));
+        sim.connect(client, gateway, LinkSpec::lan());
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node_ref::<BadSub>(client).unwrap().status,
+            Some(HttpStatus::NotFound)
+        );
+    }
+
+    #[test]
+    fn garbage_envelope_is_400() {
+        struct Garbage {
+            gateway: NodeId,
+            http: HttpClient,
+            status: Option<HttpStatus>,
+        }
+        impl Node for Garbage {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.http.send(
+                    ctx,
+                    self.gateway,
+                    HttpRequest::new("POST", PATH_DISPATCH, vec![0u8; 64]),
+                );
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if let Some(resp) = self.http.on_response(ctx, &msg) {
+                    self.status = Some(resp.status);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                self.http.on_timer(ctx, tag);
+            }
+        }
+        let mut sim = Simulator::new(4);
+        let gw = GatewayNode::new(GatewayConfig::new("gw", 1), SiteDirectory::new());
+        let gateway = sim.add_node(Box::new(gw));
+        let client = sim.add_node(Box::new(Garbage {
+            gateway,
+            http: HttpClient::new(),
+            status: None,
+        }));
+        sim.connect(client, gateway, LinkSpec::lan());
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node_ref::<Garbage>(client).unwrap().status,
+            Some(HttpStatus::BadRequest)
+        );
+        assert_eq!(sim.metrics(gateway).counter("gateway.bad_envelopes"), 1.0);
+    }
+
+    #[test]
+    fn result_poll_before_completion_gets_conflict_then_ok() {
+        let (mut sim, _gateway, device) = build(5);
+        // Poll aggressively so the first poll races the agent.
+        sim.node_mut::<ScriptDevice>(device).unwrap().poll_delay =
+            SimDuration::from_millis(10);
+        sim.run_until_idle();
+        let d = sim.node_ref::<ScriptDevice>(device).unwrap();
+        assert!(d.result.is_some());
+        // At least one Conflict then final Ok (the wireless RTT is ~600ms+,
+        // agent tour ~50ms, so with 10ms poll delay the race is usually
+        // already over; accept either but require the final result).
+        assert_eq!(*d.statuses.last().unwrap(), HttpStatus::Ok);
+    }
+
+    #[test]
+    fn probe_is_echoed() {
+        struct Prober {
+            gateway: NodeId,
+            rtt: Option<SimDuration>,
+            sent_at: SimTime,
+        }
+        impl Node for Prober {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.sent_at = ctx.now();
+                ctx.send(self.gateway, Message::new(KIND_PROBE, vec![1]));
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if msg.kind == KIND_PROBE_ACK {
+                    self.rtt = Some(ctx.now().since(self.sent_at));
+                }
+            }
+        }
+        let mut sim = Simulator::new(6);
+        let gw = GatewayNode::new(GatewayConfig::new("gw", 1), SiteDirectory::new());
+        let gateway = sim.add_node(Box::new(gw));
+        let prober = sim.add_node(Box::new(Prober {
+            gateway,
+            rtt: None,
+            sent_at: SimTime::ZERO,
+        }));
+        sim.connect(prober, gateway, LinkSpec::wireless_gprs());
+        sim.run_until_idle();
+        let p = sim.node_ref::<Prober>(prober).unwrap();
+        // RTT at least 2x base latency.
+        assert!(p.rtt.unwrap() >= SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn entire_itinerary_unreachable_completes_with_errors() {
+        // Directory has no sites at all.
+        let mut sim = Simulator::new(7);
+        let mut gw = GatewayNode::new(GatewayConfig::new("gw", 99), SiteDirectory::new());
+        gw.publish("ebank", banking_program());
+        let gateway = sim.add_node(Box::new(gw));
+        let device = sim.add_node(Box::new(ScriptDevice::new(gateway)));
+        sim.connect(device, gateway, LinkSpec::lan());
+        sim.run_until_idle();
+        let d = sim.node_ref::<ScriptDevice>(device).unwrap();
+        let result = d.result.as_ref().expect("result present");
+        // Marked unreachable for both sites.
+        assert_eq!(result.entries_for("unreachable").count(), 2);
+    }
+}

@@ -1,0 +1,906 @@
+//! [`MasNode`]: the mobile-agent server running at each network site.
+
+use std::collections::HashMap;
+
+use pdagent_net::prelude::*;
+use pdagent_vm::{run, Host, Outcome, Value};
+
+use crate::agent::{AgentId, AgentRecord, MobileAgent};
+use crate::service::Service;
+use crate::{KIND_ACK, KIND_COMPLETE, KIND_CONTROL, KIND_CONTROL_RESP, KIND_TRANSFER};
+
+/// Execution-time model for the site CPU: running an agent that executes
+/// `n` VM instructions occupies the site for `base + n * per_instruction`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuModel {
+    /// Fixed per-visit overhead (agent instantiation, class resolution —
+    /// what Aglets spends creating the aglet from its classes).
+    pub base: SimDuration,
+    /// Nanoseconds per VM instruction.
+    pub per_instruction_ns: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        // A 2004 desktop-class site: 5 ms instantiation + 2 µs/instruction.
+        CpuModel { base: SimDuration::from_millis(5), per_instruction_ns: 2_000 }
+    }
+}
+
+impl CpuModel {
+    /// Execution time for `instructions` VM instructions.
+    pub fn exec_time(&self, instructions: u64) -> SimDuration {
+        self.base + SimDuration::from_micros(instructions * self.per_instruction_ns / 1_000)
+    }
+}
+
+/// Maps site names to simulator node ids. Each MAS holds a copy (topologies
+/// are static within a scenario).
+#[derive(Debug, Clone, Default)]
+pub struct SiteDirectory {
+    sites: HashMap<String, NodeId>,
+}
+
+impl SiteDirectory {
+    /// Empty directory.
+    pub fn new() -> SiteDirectory {
+        SiteDirectory::default()
+    }
+
+    /// Register a site.
+    pub fn insert(&mut self, name: impl Into<String>, node: NodeId) {
+        self.sites.insert(name.into(), node);
+    }
+
+    /// Resolve a site name.
+    pub fn resolve(&self, name: &str) -> Option<NodeId> {
+        self.sites.get(name).copied()
+    }
+
+    /// All site names (sorted, deterministic).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.sites.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Control operations (paper §3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Query the agent's status.
+    Status,
+    /// Pull the agent back to the requester immediately.
+    Retract,
+    /// Destroy the agent.
+    Dispose,
+    /// Fork a copy that continues independently.
+    Clone,
+}
+
+impl ControlOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            ControlOp::Status => 1,
+            ControlOp::Retract => 2,
+            ControlOp::Dispose => 3,
+            ControlOp::Clone => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ControlOp> {
+        match b {
+            1 => Some(ControlOp::Status),
+            2 => Some(ControlOp::Retract),
+            3 => Some(ControlOp::Dispose),
+            4 => Some(ControlOp::Clone),
+            _ => None,
+        }
+    }
+}
+
+/// Encode a control request message body.
+pub fn encode_control(op: ControlOp, id: &AgentId) -> Vec<u8> {
+    let mut out = vec![op.to_byte()];
+    out.extend_from_slice(id.0.as_bytes());
+    out
+}
+
+/// Decode a control request message body.
+pub fn decode_control(body: &[u8]) -> Option<(ControlOp, AgentId)> {
+    let op = ControlOp::from_byte(*body.first()?)?;
+    let id = std::str::from_utf8(&body[1..]).ok()?;
+    Some((op, AgentId(id.to_owned())))
+}
+
+/// Encode a control response: `[op][found][id-len varint][id][payload…]`.
+/// The echoed agent id lets a gateway correlate responses when it has
+/// several management requests outstanding.
+pub fn encode_control_resp(op: ControlOp, id: &AgentId, found: bool, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![op.to_byte(), found as u8];
+    pdagent_codec::varint::write_usize(&mut out, id.0.len());
+    out.extend_from_slice(id.0.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode a control response.
+pub fn decode_control_resp(body: &[u8]) -> Option<(ControlOp, AgentId, bool, &[u8])> {
+    let op = ControlOp::from_byte(*body.first()?)?;
+    let found = *body.get(1)? != 0;
+    let mut pos = 2;
+    let len = pdagent_codec::varint::read_usize(body, &mut pos).ok()?;
+    let end = pos.checked_add(len)?;
+    if end > body.len() {
+        return None;
+    }
+    let id = AgentId(std::str::from_utf8(&body[pos..end]).ok()?.to_owned());
+    Some((op, id, found, &body[end..]))
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// Executing on the site CPU; departs when the timer fires.
+    Executing,
+    /// Sent onward; retained until the receiver acks.
+    AwaitingAck { attempts: u32 },
+}
+
+/// VM host adapter exposing the site's services to a visiting agent.
+struct SiteHost<'a> {
+    site: &'a str,
+    services: &'a mut HashMap<String, Box<dyn Service>>,
+    params: &'a [(String, Value)],
+    emitted: Vec<(String, Value)>,
+    abort_requested: bool,
+    hops_done: usize,
+    hops_total: usize,
+}
+
+impl Host for SiteHost<'_> {
+    fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+        if service == "agent" {
+            // Reflective operations on the agent itself.
+            return match op {
+                "abort" => {
+                    self.abort_requested = true;
+                    Ok(Value::Bool(true))
+                }
+                "hops_done" => Ok(Value::Int(self.hops_done as i64)),
+                "hops_total" => Ok(Value::Int(self.hops_total as i64)),
+                other => Err(format!("agent: unknown operation {other:?}")),
+            };
+        }
+        match self.services.get_mut(service) {
+            Some(svc) => svc.invoke(op, args),
+            None => Err(format!("site {} has no service {service:?}", self.site)),
+        }
+    }
+
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    }
+
+    fn emit(&mut self, key: &str, value: Value) {
+        self.emitted.push((key.to_owned(), value));
+    }
+
+    fn site_name(&self) -> &str {
+        self.site
+    }
+}
+
+/// The mobile-agent server node.
+pub struct MasNode {
+    site_name: String,
+    directory: SiteDirectory,
+    services: HashMap<String, Box<dyn Service>>,
+    cpu: CpuModel,
+    agents: HashMap<AgentId, (MobileAgent, Slot)>,
+    tags: HashMap<u64, (AgentId, TagKind)>,
+    next_tag: u64,
+    clones: u64,
+    /// How long to wait for a transfer ack before retrying.
+    pub ack_timeout: SimDuration,
+    /// Transfer attempts (including the first) before skipping the site.
+    pub max_transfer_attempts: u32,
+    /// Human-readable event log (tests and demos inspect this).
+    pub log: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKind {
+    Depart,
+    AckTimeout,
+}
+
+impl MasNode {
+    /// A MAS for `site_name` with a directory of peer sites.
+    pub fn new(site_name: impl Into<String>, directory: SiteDirectory) -> MasNode {
+        MasNode {
+            site_name: site_name.into(),
+            directory,
+            services: HashMap::new(),
+            cpu: CpuModel::default(),
+            agents: HashMap::new(),
+            tags: HashMap::new(),
+            next_tag: 0,
+            clones: 0,
+            ack_timeout: SimDuration::from_millis(500),
+            max_transfer_attempts: 3,
+            log: Vec::new(),
+        }
+    }
+
+    /// Override the CPU model (builder style).
+    pub fn with_cpu(mut self, cpu: CpuModel) -> MasNode {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Register a service agent under `name`.
+    pub fn register_service(&mut self, name: impl Into<String>, service: Box<dyn Service>) {
+        self.services.insert(name.into(), service);
+    }
+
+    /// Site name.
+    pub fn site_name(&self) -> &str {
+        &self.site_name
+    }
+
+    /// Ids of agents currently present (executing or awaiting ack).
+    pub fn resident_agents(&self) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = self.agents.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn fresh_tag(&mut self, id: &AgentId, kind: TagKind) -> u64 {
+        self.next_tag += 1;
+        self.tags.insert(self.next_tag, (id.clone(), kind));
+        self.next_tag
+    }
+
+    /// Execute an arriving agent on this site and schedule its departure.
+    fn execute_and_schedule(&mut self, ctx: &mut Ctx<'_>, mut agent: MobileAgent) {
+        let should_run = agent.next_site() == Some(self.site_name.as_str());
+        if should_run {
+            let mut host = SiteHost {
+                site: &self.site_name,
+                services: &mut self.services,
+                params: &agent.params,
+                emitted: Vec::new(),
+                abort_requested: false,
+                hops_done: agent.next_hop,
+                hops_total: agent.itinerary.len(),
+            };
+            let before = agent.state.instructions;
+            let outcome = run(&agent.program, &mut agent.state, &mut host, agent.fuel_per_hop);
+            let executed = agent.state.instructions - before;
+            let emitted = std::mem::take(&mut host.emitted);
+            let abort = host.abort_requested;
+            for (key, value) in emitted {
+                agent.push_result(&self.site_name, &key, value);
+            }
+            match outcome {
+                Outcome::Completed => {
+                    agent.next_hop += 1;
+                    if abort {
+                        self.log.push(format!("{}: agent {} aborted itinerary", self.site_name, agent.id));
+                        agent.next_hop = agent.itinerary.len();
+                    }
+                }
+                Outcome::Failed(msg) => {
+                    agent.push_result(&self.site_name, "error", Value::Str(msg.clone()));
+                    self.log.push(format!("{}: agent {} failed: {msg}", self.site_name, agent.id));
+                    agent.next_hop = agent.itinerary.len();
+                }
+                Outcome::OutOfFuel => {
+                    agent.push_result(
+                        &self.site_name,
+                        "error",
+                        Value::Str("out of fuel".into()),
+                    );
+                    self.log.push(format!("{}: agent {} out of fuel", self.site_name, agent.id));
+                    agent.next_hop = agent.itinerary.len();
+                }
+                Outcome::Trapped(e) => {
+                    agent.push_result(&self.site_name, "error", Value::Str(e.to_string()));
+                    self.log.push(format!("{}: agent {} trapped: {e}", self.site_name, agent.id));
+                    agent.next_hop = agent.itinerary.len();
+                }
+            }
+            ctx.metrics().bump("mas.agents_executed", 1.0);
+            ctx.metrics().bump("mas.instructions", executed as f64);
+            let delay = self.cpu.exec_time(executed);
+            let tag = self.fresh_tag(&agent.id, TagKind::Depart);
+            ctx.set_timer(delay, tag);
+            self.agents.insert(agent.id.clone(), (agent, Slot::Executing));
+        } else {
+            // Relay without executing (mis-routed or already-finished agent).
+            let tag = self.fresh_tag(&agent.id, TagKind::Depart);
+            ctx.set_timer(SimDuration::from_millis(1), tag);
+            self.agents.insert(agent.id.clone(), (agent, Slot::Executing));
+        }
+    }
+
+    /// Send the agent onward (next site or origin). Called at departure time
+    /// and on ack-timeout retries.
+    fn depart(&mut self, ctx: &mut Ctx<'_>, id: &AgentId, attempts: u32) {
+        let Some((agent, _)) = self.agents.remove(id) else { return };
+        if agent.done() {
+            // Return to the origin gateway.
+            let origin = agent.origin as NodeId;
+            let body = agent.to_bytes();
+            ctx.send(origin, Message::new(KIND_COMPLETE, body));
+            self.log.push(format!("{}: agent {} returned to origin", self.site_name, id));
+            // Origin delivery runs over the (reliable, wired) backbone; no ack.
+            return;
+        }
+        let next_name = agent.next_site().expect("not done").to_owned();
+        match self.directory.resolve(&next_name) {
+            Some(next_node) => {
+                let body = agent.to_bytes();
+                let sent = ctx.send(next_node, Message::new(KIND_TRANSFER, body));
+                let tag = self.fresh_tag(id, TagKind::AckTimeout);
+                ctx.set_timer(self.ack_timeout, tag);
+                self.agents.insert(id.clone(), (agent, Slot::AwaitingAck { attempts }));
+                if !sent {
+                    ctx.metrics().bump("mas.transfer_send_failed", 1.0);
+                }
+            }
+            None => {
+                // Unknown site: skip it.
+                self.skip_current_hop(ctx, agent, &next_name);
+            }
+        }
+    }
+
+    fn skip_current_hop(&mut self, ctx: &mut Ctx<'_>, mut agent: MobileAgent, site: &str) {
+        agent.push_result(
+            &self.site_name,
+            "unreachable",
+            Value::Str(site.to_owned()),
+        );
+        agent.next_hop += 1;
+        ctx.metrics().bump("mas.hops_skipped", 1.0);
+        self.log.push(format!("{}: skipping unreachable site {site} for agent {}", self.site_name, agent.id));
+        let id = agent.id.clone();
+        self.agents.insert(id.clone(), (agent, Slot::Executing));
+        self.depart(ctx, &id, 1);
+    }
+
+    fn handle_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, body: &[u8]) {
+        let Some((op, id)) = decode_control(body) else {
+            return;
+        };
+        let resp = |found: bool, payload: Vec<u8>| {
+            Message::new(KIND_CONTROL_RESP, encode_control_resp(op, &id, found, &payload))
+        };
+        match op {
+            ControlOp::Status => {
+                let payload = self.agents.get(&id).map(|(agent, _)| {
+                    AgentRecord {
+                        id: id.clone(),
+                        site: self.site_name.clone(),
+                        hops_done: agent.next_hop,
+                        hops_total: agent.itinerary.len(),
+                        instructions: agent.state.instructions,
+                    }
+                    .to_bytes()
+                });
+                ctx.send(from, resp(payload.is_some(), payload.unwrap_or_default()));
+            }
+            ControlOp::Retract => match self.agents.remove(&id) {
+                Some((mut agent, _)) => {
+                    agent.push_result(&self.site_name, "retracted", Value::Bool(true));
+                    agent.next_hop = agent.itinerary.len();
+                    ctx.send(from, Message::new(KIND_COMPLETE, agent.to_bytes()));
+                    ctx.send(from, resp(true, Vec::new()));
+                    self.log.push(format!("{}: agent {} retracted", self.site_name, id));
+                }
+                None => {
+                    ctx.send(from, resp(false, Vec::new()));
+                }
+            },
+            ControlOp::Dispose => {
+                let found = self.agents.remove(&id).is_some();
+                if found {
+                    self.log.push(format!("{}: agent {} disposed", self.site_name, id));
+                }
+                ctx.send(from, resp(found, Vec::new()));
+            }
+            ControlOp::Clone => match self.agents.get(&id) {
+                Some((agent, _)) => {
+                    self.clones += 1;
+                    let mut copy = agent.clone();
+                    copy.id = AgentId(format!("{}-clone{}", id.0, self.clones));
+                    let payload = copy.id.0.clone().into_bytes();
+                    self.log.push(format!("{}: agent {} cloned as {}", self.site_name, id, copy.id));
+                    let copy_id = copy.id.clone();
+                    self.agents.insert(copy_id.clone(), (copy, Slot::Executing));
+                    self.depart(ctx, &copy_id, 1);
+                    ctx.send(from, resp(true, payload));
+                }
+                None => {
+                    ctx.send(from, resp(false, Vec::new()));
+                }
+            },
+        }
+    }
+}
+
+impl Node for MasNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        match msg.kind.as_str() {
+            KIND_TRANSFER => {
+                let Ok(agent) = MobileAgent::from_bytes(&msg.body) else {
+                    ctx.metrics().bump("mas.malformed_transfers", 1.0);
+                    return;
+                };
+                // Ack receipt so the sender releases its copy.
+                ctx.send(from, Message::new(KIND_ACK, agent.id.0.clone().into_bytes()));
+                // Duplicate transfer (our ack was lost)? Drop the duplicate.
+                if self.agents.contains_key(&agent.id) {
+                    ctx.metrics().bump("mas.duplicate_transfers", 1.0);
+                    return;
+                }
+                self.log.push(format!("{}: agent {} arrived", self.site_name, agent.id));
+                self.execute_and_schedule(ctx, agent);
+            }
+            KIND_ACK => {
+                let Ok(id) = std::str::from_utf8(&msg.body) else { return };
+                let id = AgentId(id.to_owned());
+                if matches!(self.agents.get(&id), Some((_, Slot::AwaitingAck { .. }))) {
+                    self.agents.remove(&id);
+                }
+            }
+            KIND_CONTROL => self.handle_control(ctx, from, &msg.body),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        let Some((id, kind)) = self.tags.remove(&tag) else { return };
+        match kind {
+            TagKind::Depart => {
+                if matches!(self.agents.get(&id), Some((_, Slot::Executing))) {
+                    self.depart(ctx, &id, 1);
+                }
+            }
+            TagKind::AckTimeout => {
+                let Some((_, Slot::AwaitingAck { attempts, .. })) = self.agents.get(&id)
+                else {
+                    return; // acked in the meantime
+                };
+                let attempts = *attempts;
+                if attempts >= self.max_transfer_attempts {
+                    // Give up on this site: skip the hop.
+                    let (agent, _) = self.agents.remove(&id).expect("checked above");
+                    let site = agent.next_site().unwrap_or("?").to_owned();
+                    self.skip_current_hop(ctx, agent, &site);
+                } else {
+                    ctx.metrics().bump("mas.transfer_retries", 1.0);
+                    self.depart(ctx, &id, attempts + 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Itinerary;
+    use crate::service::{EchoService, KvService};
+    use pdagent_net::link::LinkSpec;
+    use pdagent_net::sim::Simulator;
+    use pdagent_vm::assemble;
+
+    /// A stub gateway that records completed agents.
+    #[derive(Default)]
+    struct StubOrigin {
+        completed: Vec<MobileAgent>,
+    }
+    impl Node for StubOrigin {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+            if msg.kind == KIND_COMPLETE {
+                self.completed.push(MobileAgent::from_bytes(&msg.body).unwrap());
+            }
+        }
+    }
+
+    fn tour_program() -> pdagent_vm::Program {
+        assemble(
+            r#"
+            .name tour
+            site
+            invoke "echo" "visit" 1
+            emit "visited"
+            halt
+        "#,
+        )
+        .unwrap()
+    }
+
+    /// Build origin + N MAS sites, fully meshed with LAN links.
+    fn build(n_sites: usize, seed: u64) -> (Simulator, NodeId, Vec<NodeId>, SiteDirectory) {
+        let mut sim = Simulator::new(seed);
+        let origin = sim.add_node(Box::<StubOrigin>::default());
+        let mut directory = SiteDirectory::new();
+        // Pre-assign ids: origin=0, sites 1..=n.
+        for i in 0..n_sites {
+            directory.insert(format!("site-{i}"), origin + 1 + i);
+        }
+        let mut sites = Vec::new();
+        for i in 0..n_sites {
+            let mut mas = MasNode::new(format!("site-{i}"), directory.clone());
+            mas.register_service("echo", Box::new(EchoService));
+            mas.register_service("kv", Box::new(KvService::new()));
+            let id = sim.add_node(Box::new(mas));
+            sites.push(id);
+        }
+        for (i, &a) in sites.iter().enumerate() {
+            sim.connect(origin, a, LinkSpec::lan());
+            for &b in &sites[i + 1..] {
+                sim.connect(a, b, LinkSpec::lan());
+            }
+        }
+        (sim, origin, sites, directory)
+    }
+
+    fn launch(
+        sim: &mut Simulator,
+        origin: NodeId,
+        first_site: NodeId,
+        itinerary: Itinerary,
+    ) -> AgentId {
+        let id = AgentId("ag-1".into());
+        let agent = MobileAgent::new(
+            id.clone(),
+            tour_program(),
+            vec![("user".into(), Value::Str("alice".into()))],
+            itinerary,
+            origin as u64,
+        );
+        sim.inject(
+            first_site,
+            origin,
+            Message::new(KIND_TRANSFER, agent.to_bytes()),
+            SimDuration::ZERO,
+        );
+        id
+    }
+
+    #[test]
+    fn agent_tours_all_sites_and_returns() {
+        let (mut sim, origin, sites, _) = build(3, 1);
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0", "site-1", "site-2"]));
+        sim.run_until_idle();
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 1);
+        let agent = &done[0];
+        assert!(agent.done());
+        let visited: Vec<&str> = agent
+            .results
+            .iter()
+            .filter(|r| r.key == "visited")
+            .map(|r| r.site.as_str())
+            .collect();
+        assert_eq!(visited, vec!["site-0", "site-1", "site-2"]);
+        // Each visit echoes "visit(<site>)".
+        assert_eq!(
+            agent.results[0].value,
+            Value::Str("visit(site-0)".into())
+        );
+    }
+
+    #[test]
+    fn execution_takes_simulated_cpu_time() {
+        let (mut sim, origin, sites, _) = build(1, 2);
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0"]));
+        let end = sim.run_until_idle();
+        // At least the CPU base (5 ms) plus two LAN hops.
+        assert!(end.as_secs_f64() > 0.005);
+        assert!(sim.metrics(sites[0]).counter("mas.instructions") > 0.0);
+    }
+
+    #[test]
+    fn down_site_is_skipped_with_note() {
+        let (mut sim, origin, sites, _) = build(3, 3);
+        // Take down site-1's links entirely.
+        sim.set_link_up(sites[0], sites[1], false);
+        sim.set_link_up(sites[1], sites[2], false);
+        sim.set_link_up(origin, sites[1], false);
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0", "site-1", "site-2"]));
+        sim.run_until_idle();
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 1);
+        let agent = &done[0];
+        // site-1 skipped, note recorded; site-2 still visited.
+        assert!(agent
+            .results
+            .iter()
+            .any(|r| r.key == "unreachable" && r.value == Value::Str("site-1".into())));
+        assert!(agent.results.iter().any(|r| r.key == "visited" && r.site == "site-2"));
+        assert!(sim.metrics(sites[0]).counter("mas.hops_skipped") >= 1.0);
+    }
+
+    #[test]
+    fn unknown_site_in_itinerary_is_skipped() {
+        let (mut sim, origin, sites, _) = build(2, 4);
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0", "atlantis", "site-1"]));
+        sim.run_until_idle();
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 1);
+        assert!(done[0]
+            .results
+            .iter()
+            .any(|r| r.key == "unreachable" && r.value == Value::Str("atlantis".into())));
+        assert!(done[0].results.iter().any(|r| r.key == "visited" && r.site == "site-1"));
+    }
+
+    #[test]
+    fn failing_agent_aborts_and_reports() {
+        let (mut sim, origin, sites, _) = build(2, 5);
+        let prog = assemble(".name bad\nfail \"no funds\"\n").unwrap();
+        let agent = MobileAgent::new(
+            AgentId("ag-f".into()),
+            prog,
+            vec![],
+            Itinerary::new(["site-0", "site-1"]),
+            origin as u64,
+        );
+        sim.inject(
+            sites[0],
+            origin,
+            Message::new(KIND_TRANSFER, agent.to_bytes()),
+            SimDuration::ZERO,
+        );
+        sim.run_until_idle();
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 1);
+        let errs: Vec<_> = done[0].results.iter().filter(|r| r.key == "error").collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].value, Value::Str("no funds".into()));
+        // site-1 never visited.
+        assert!(!done[0].results.iter().any(|r| r.site == "site-1"));
+    }
+
+    #[test]
+    fn runaway_agent_contained_by_fuel() {
+        let (mut sim, origin, sites, _) = build(1, 6);
+        let prog = assemble(".name spin\nloop:\njmp loop\n").unwrap();
+        let mut agent = MobileAgent::new(
+            AgentId("ag-spin".into()),
+            prog,
+            vec![],
+            Itinerary::new(["site-0"]),
+            origin as u64,
+        );
+        agent.fuel_per_hop = 50_000;
+        sim.inject(
+            sites[0],
+            origin,
+            Message::new(KIND_TRANSFER, agent.to_bytes()),
+            SimDuration::ZERO,
+        );
+        sim.run_until_idle();
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 1);
+        assert!(done[0]
+            .results
+            .iter()
+            .any(|r| r.key == "error" && r.value == Value::Str("out of fuel".into())));
+    }
+
+    #[test]
+    fn status_control_reports_record() {
+        let (mut sim, origin, sites, _) = build(1, 7);
+        // Controller node that queries status as soon as it starts.
+        struct Controller {
+            mas: NodeId,
+            record: Option<AgentRecord>,
+            not_found: bool,
+        }
+        impl Node for Controller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Query after the agent has arrived (2 ms) but before it
+                // departs (CPU base is 5 ms).
+                ctx.set_timer(SimDuration::from_millis(3), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                ctx.send(
+                    self.mas,
+                    Message::new(
+                        KIND_CONTROL,
+                        encode_control(ControlOp::Status, &AgentId("ag-1".into())),
+                    ),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if msg.kind == KIND_CONTROL_RESP {
+                    let (_, id, found, payload) = decode_control_resp(&msg.body).unwrap();
+                    assert_eq!(id, AgentId("ag-1".into()));
+                    if found {
+                        self.record = Some(AgentRecord::from_bytes(payload).unwrap());
+                    } else {
+                        self.not_found = true;
+                    }
+                }
+            }
+        }
+        let ctl = sim.add_node(Box::new(Controller { mas: sites[0], record: None, not_found: false }));
+        sim.connect(ctl, sites[0], LinkSpec::ideal());
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0"]));
+        sim.run_until_idle();
+        let c = sim.node_ref::<Controller>(ctl).unwrap();
+        let rec = c.record.as_ref().expect("agent should be present at t=3ms");
+        assert_eq!(rec.site, "site-0");
+        assert_eq!(rec.hops_total, 1);
+    }
+
+    #[test]
+    fn retract_pulls_agent_back() {
+        let (mut sim, origin, sites, _) = build(1, 8);
+        struct Retractor {
+            mas: NodeId,
+            completed: Vec<MobileAgent>,
+            acked: bool,
+        }
+        impl Node for Retractor {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(3), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                ctx.send(
+                    self.mas,
+                    Message::new(
+                        KIND_CONTROL,
+                        encode_control(ControlOp::Retract, &AgentId("ag-1".into())),
+                    ),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                match msg.kind.as_str() {
+                    KIND_COMPLETE => {
+                        self.completed.push(MobileAgent::from_bytes(&msg.body).unwrap())
+                    }
+                    KIND_CONTROL_RESP => {
+                        let (op, _, found, _) = decode_control_resp(&msg.body).unwrap();
+                        assert_eq!(op, ControlOp::Retract);
+                        self.acked = found;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let ctl = sim.add_node(Box::new(Retractor { mas: sites[0], completed: vec![], acked: false }));
+        sim.connect(ctl, sites[0], LinkSpec::ideal());
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0"]));
+        sim.run_until_idle();
+        let c = sim.node_ref::<Retractor>(ctl).unwrap();
+        assert!(c.acked);
+        assert_eq!(c.completed.len(), 1);
+        assert!(c.completed[0]
+            .results
+            .iter()
+            .any(|r| r.key == "retracted"));
+        // The origin did NOT also receive it.
+        assert!(sim.node_ref::<StubOrigin>(origin).unwrap().completed.is_empty());
+    }
+
+    #[test]
+    fn dispose_and_unknown_agent_control() {
+        let (mut sim, origin, sites, _) = build(1, 9);
+        struct Disposer {
+            mas: NodeId,
+            responses: Vec<(ControlOp, bool)>,
+        }
+        impl Node for Disposer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(3), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                ctx.send(
+                    self.mas,
+                    Message::new(
+                        KIND_CONTROL,
+                        encode_control(ControlOp::Dispose, &AgentId("ag-1".into())),
+                    ),
+                );
+                ctx.send(
+                    self.mas,
+                    Message::new(
+                        KIND_CONTROL,
+                        encode_control(ControlOp::Dispose, &AgentId("ghost".into())),
+                    ),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if msg.kind == KIND_CONTROL_RESP {
+                    let (op, _, found, _) = decode_control_resp(&msg.body).unwrap();
+                    self.responses.push((op, found));
+                }
+            }
+        }
+        let ctl = sim.add_node(Box::new(Disposer { mas: sites[0], responses: vec![] }));
+        sim.connect(ctl, sites[0], LinkSpec::ideal());
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0"]));
+        sim.run_until_idle();
+        let c = sim.node_ref::<Disposer>(ctl).unwrap();
+        assert_eq!(c.responses, vec![(ControlOp::Dispose, true), (ControlOp::Dispose, false)]);
+        // Disposed: origin never sees the agent.
+        assert!(sim.node_ref::<StubOrigin>(origin).unwrap().completed.is_empty());
+    }
+
+    #[test]
+    fn clone_forks_an_independent_agent() {
+        let (mut sim, origin, sites, _) = build(2, 10);
+        struct Cloner {
+            mas: NodeId,
+            clone_id: Option<String>,
+        }
+        impl Node for Cloner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(3), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                ctx.send(
+                    self.mas,
+                    Message::new(
+                        KIND_CONTROL,
+                        encode_control(ControlOp::Clone, &AgentId("ag-1".into())),
+                    ),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+                if msg.kind == KIND_CONTROL_RESP {
+                    let (_, _, found, payload) = decode_control_resp(&msg.body).unwrap();
+                    if found {
+                        self.clone_id =
+                            Some(String::from_utf8(payload.to_vec()).unwrap());
+                    }
+                }
+            }
+        }
+        let ctl = sim.add_node(Box::new(Cloner { mas: sites[0], clone_id: None }));
+        sim.connect(ctl, sites[0], LinkSpec::ideal());
+        launch(&mut sim, origin, sites[0], Itinerary::new(["site-0", "site-1"]));
+        sim.run_until_idle();
+        let c = sim.node_ref::<Cloner>(ctl).unwrap();
+        let clone_id = c.clone_id.as_ref().expect("clone created");
+        assert!(clone_id.starts_with("ag-1-clone"));
+        // Both original and clone eventually return to origin.
+        let done = &sim.node_ref::<StubOrigin>(origin).unwrap().completed;
+        assert_eq!(done.len(), 2);
+        let ids: Vec<&str> = done.iter().map(|a| a.id.0.as_str()).collect();
+        assert!(ids.contains(&"ag-1"));
+        assert!(ids.contains(&clone_id.as_str()));
+    }
+
+    #[test]
+    fn cpu_model_scales_with_instructions() {
+        let cpu = CpuModel::default();
+        assert_eq!(cpu.exec_time(0), SimDuration::from_millis(5));
+        assert_eq!(
+            cpu.exec_time(1000),
+            SimDuration::from_millis(5) + SimDuration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn control_codec_roundtrip() {
+        for op in [ControlOp::Status, ControlOp::Retract, ControlOp::Dispose, ControlOp::Clone] {
+            let body = encode_control(op, &AgentId("x-1".into()));
+            assert_eq!(decode_control(&body), Some((op, AgentId("x-1".into()))));
+            let resp = encode_control_resp(op, &AgentId("x-1".into()), true, b"pay");
+            assert_eq!(
+                decode_control_resp(&resp),
+                Some((op, AgentId("x-1".into()), true, &b"pay"[..]))
+            );
+        }
+        assert!(decode_control(&[]).is_none());
+        assert!(decode_control(&[99, b'x']).is_none());
+    }
+}

@@ -1,0 +1,346 @@
+//! Link specifications and the topology.
+//!
+//! A link carries messages with delay `base_latency + jitter + size/bandwidth`
+//! and may drop them (loss probability, or administratively down). Jitter is
+//! exponential for wireless links (queueing-dominated, heavy-tailed — the
+//! source of the variance the paper measures in Figure 13) and mildly normal
+//! for wired links.
+
+use std::collections::HashMap;
+
+use crate::message::Message;
+use crate::rng::SimRng;
+use crate::sim::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// The jitter model for a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Jitter {
+    /// No jitter at all (ideal link; useful in unit tests).
+    None,
+    /// Exponential with the given mean — wireless/congested links.
+    Exponential(SimDuration),
+    /// Normal-ish with the given sigma around zero extra delay — wired links.
+    Normal(SimDuration),
+}
+
+/// Static description of a link's behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay before jitter.
+    pub base_latency: SimDuration,
+    /// Jitter model added per message.
+    pub jitter: Jitter,
+    /// Serialization rate in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Probability an individual message is lost.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// An ideal, instantaneous link (unit tests).
+    pub fn ideal() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::ZERO,
+            jitter: Jitter::None,
+            bandwidth_bps: u64::MAX,
+            loss: 0.0,
+        }
+    }
+
+    /// A fast local network: 1 ms ± small jitter, 100 MB/s.
+    pub fn lan() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::from_millis(1),
+            jitter: Jitter::Normal(SimDuration::from_micros(200)),
+            bandwidth_bps: 100_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A wired Internet path: 10 ms ± 2 ms, 1 MB/s (2004-era server uplink).
+    pub fn wired_internet() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::from_millis(10),
+            jitter: Jitter::Normal(SimDuration::from_millis(2)),
+            bandwidth_bps: 1_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// The paper-era wireless hop (GPRS-class): 150 ms one-way, heavy
+    /// exponential jitter (mean 60 ms), 1.8 KB/s, 0.5% loss.
+    pub fn wireless_gprs() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::from_millis(150),
+            jitter: Jitter::Exponential(SimDuration::from_millis(60)),
+            bandwidth_bps: 1_800,
+            loss: 0.005,
+        }
+    }
+
+    /// A 2004 home-broadband path for the paper's "web-based" desktop
+    /// baseline: 25 ms, mild jitter, 64 KB/s.
+    pub fn home_broadband() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::from_millis(25),
+            jitter: Jitter::Normal(SimDuration::from_millis(5)),
+            bandwidth_bps: 64_000,
+            loss: 0.0,
+        }
+    }
+
+    /// Builder: override base latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> LinkSpec {
+        self.base_latency = latency;
+        self
+    }
+
+    /// Builder: override bandwidth.
+    pub fn with_bandwidth(mut self, bps: u64) -> LinkSpec {
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Builder: override loss probability.
+    pub fn with_loss(mut self, loss: f64) -> LinkSpec {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder: override jitter.
+    pub fn with_jitter(mut self, jitter: Jitter) -> LinkSpec {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Time for `size` bytes to serialize onto the link.
+    pub fn transfer_time(&self, size: usize) -> SimDuration {
+        if self.bandwidth_bps == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(size as f64 / self.bandwidth_bps as f64)
+    }
+
+    /// Sample the one-way delivery delay for a message of `size` bytes.
+    pub fn sample_delay(&self, size: usize, rng: &mut SimRng) -> SimDuration {
+        let jitter = match self.jitter {
+            Jitter::None => SimDuration::ZERO,
+            Jitter::Exponential(mean) => rng.exp_duration(mean),
+            Jitter::Normal(sigma) => rng.normal_duration(SimDuration::ZERO, sigma),
+        };
+        self.base_latency + jitter + self.transfer_time(size)
+    }
+}
+
+/// The set of links between nodes. Links are bidirectional and symmetric
+/// (one spec serves both directions); per-direction asymmetry can be had by
+/// installing two directed entries.
+#[derive(Debug, Default)]
+pub struct Topology {
+    links: HashMap<(NodeId, NodeId), LinkSpec>,
+    down: HashMap<(NodeId, NodeId), bool>,
+    /// Per-link serialization occupancy: a message must wait for the link
+    /// to finish transmitting earlier messages (FIFO queueing). This is
+    /// what turns "many concurrent requests" into the growing delays the
+    /// paper attributes to low-bandwidth wireless links.
+    busy_until: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Install a (bidirectional) link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.links.insert(Self::key(a, b), spec);
+    }
+
+    /// Remove a link entirely.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) {
+        self.links.remove(&Self::key(a, b));
+        self.down.remove(&Self::key(a, b));
+        self.busy_until.remove(&Self::key(a, b));
+    }
+
+    /// Administratively mark a link up or down (messages on a down link are
+    /// dropped, modeling the wireless disconnections the paper emphasizes).
+    pub fn set_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.down.insert(Self::key(a, b), !up);
+    }
+
+    /// Is there a usable link between `a` and `b`?
+    pub fn is_up(&self, a: NodeId, b: NodeId) -> bool {
+        let key = Self::key(a, b);
+        self.links.contains_key(&key) && !self.down.get(&key).copied().unwrap_or(false)
+    }
+
+    /// The link spec between `a` and `b`, if connected (regardless of
+    /// up/down state).
+    pub fn spec(&self, a: NodeId, b: NodeId) -> Option<&LinkSpec> {
+        self.links.get(&Self::key(a, b))
+    }
+
+    /// Decide the fate of a message sent at `now`: `None` = dropped,
+    /// `Some(delay)` = delivered after `delay` (measured from `now`).
+    ///
+    /// Serialization is FIFO per link: if the link is still transmitting an
+    /// earlier message, this one queues behind it before its own transfer
+    /// time, latency and jitter.
+    pub fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &Message,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        if !self.is_up(from, to) {
+            return None;
+        }
+        let key = Self::key(from, to);
+        let spec = self.links.get(&key)?;
+        if rng.chance(spec.loss) {
+            return None;
+        }
+        let start = self.busy_until.get(&key).copied().unwrap_or(SimTime::ZERO).max(now);
+        let transfer = spec.transfer_time(msg.wire_size());
+        let done_transmitting = start + transfer;
+        self.busy_until.insert(key, done_transmitting);
+        let jitter = match spec.jitter {
+            Jitter::None => SimDuration::ZERO,
+            Jitter::Exponential(mean) => rng.exp_duration(mean),
+            Jitter::Normal(sigma) => rng.normal_duration(SimDuration::ZERO, sigma),
+        };
+        Some(done_transmitting.since(now) + spec.base_latency + jitter)
+    }
+
+    /// Number of installed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let spec = LinkSpec::ideal().with_bandwidth(1000);
+        assert_eq!(spec.transfer_time(500), SimDuration::from_millis(500));
+        assert_eq!(spec.transfer_time(0), SimDuration::ZERO);
+        assert_eq!(LinkSpec::ideal().transfer_time(10_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sample_delay_at_least_base_plus_transfer() {
+        let mut rng = SimRng::new(1);
+        let spec = LinkSpec::wireless_gprs();
+        for _ in 0..100 {
+            let d = spec.sample_delay(100, &mut rng);
+            assert!(d >= spec.base_latency + spec.transfer_time(100));
+        }
+    }
+
+    #[test]
+    fn ideal_link_is_instant() {
+        let mut rng = SimRng::new(2);
+        assert_eq!(
+            LinkSpec::ideal().sample_delay(1_000_000, &mut rng),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn topology_connect_and_route() {
+        let mut topo = Topology::new();
+        let mut rng = SimRng::new(3);
+        topo.connect(0, 1, LinkSpec::ideal());
+        let msg = Message::signal("ping");
+        let now = SimTime::ZERO;
+        assert!(topo.route(0, 1, &msg, now, &mut rng).is_some());
+        assert!(topo.route(1, 0, &msg, now, &mut rng).is_some()); // bidirectional
+        assert!(topo.route(0, 2, &msg, now, &mut rng).is_none()); // no link
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let mut topo = Topology::new();
+        let mut rng = SimRng::new(4);
+        topo.connect(0, 1, LinkSpec::ideal());
+        topo.set_up(0, 1, false);
+        assert!(!topo.is_up(0, 1));
+        assert!(topo.route(0, 1, &Message::signal("x"), SimTime::ZERO, &mut rng).is_none());
+        topo.set_up(1, 0, true); // symmetric key
+        assert!(topo.is_up(0, 1));
+    }
+
+    #[test]
+    fn lossy_link_drops_sometimes() {
+        let mut topo = Topology::new();
+        let mut rng = SimRng::new(5);
+        topo.connect(0, 1, LinkSpec::ideal().with_loss(0.5));
+        let msg = Message::signal("p");
+        let delivered = (0..1000)
+            .filter(|_| topo.route(0, 1, &msg, SimTime::ZERO, &mut rng).is_some())
+            .count();
+        assert!((400..600).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn disconnect_removes_link() {
+        let mut topo = Topology::new();
+        topo.connect(0, 1, LinkSpec::lan());
+        assert_eq!(topo.link_count(), 1);
+        topo.disconnect(0, 1);
+        assert_eq!(topo.link_count(), 0);
+        assert!(!topo.is_up(0, 1));
+    }
+
+    #[test]
+    fn serialization_queues_fifo() {
+        // Two back-to-back 1000-byte sends at t=0 over a 1000 B/s link: the
+        // second waits for the first's transfer before its own.
+        let mut topo = Topology::new();
+        let mut rng = SimRng::new(9);
+        topo.connect(0, 1, LinkSpec::ideal().with_bandwidth(1000));
+        let msg = Message::new("big", vec![0u8; 1000 - crate::message::FRAME_OVERHEAD - 3]);
+        let now = SimTime::ZERO;
+        let d1 = topo.route(0, 1, &msg, now, &mut rng).unwrap();
+        let d2 = topo.route(0, 1, &msg, now, &mut rng).unwrap();
+        assert_eq!(d1, SimDuration::from_secs(1));
+        assert_eq!(d2, SimDuration::from_secs(2)); // queued behind the first
+        // After the link drains, no residual queueing.
+        let later = SimTime(10_000_000);
+        let d3 = topo.route(0, 1, &msg, later, &mut rng).unwrap();
+        assert_eq!(d3, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        // Wireless must be slowest, LAN fastest — the premise of the paper.
+        let mut rng = SimRng::new(6);
+        let size = 1000;
+        let wireless = LinkSpec::wireless_gprs();
+        let broadband = LinkSpec::home_broadband();
+        let lan = LinkSpec::lan();
+        let avg = |spec: &LinkSpec, rng: &mut SimRng| -> f64 {
+            (0..200).map(|_| spec.sample_delay(size, rng).as_secs_f64()).sum::<f64>() / 200.0
+        };
+        let w = avg(&wireless, &mut rng);
+        let b = avg(&broadband, &mut rng);
+        let l = avg(&lan, &mut rng);
+        assert!(w > b && b > l, "wireless {w} broadband {b} lan {l}");
+    }
+}

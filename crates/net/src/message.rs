@@ -1,0 +1,54 @@
+//! The message envelope: everything that crosses a link is bytes plus a kind
+//! tag, mirroring the paper's wire-format discipline (XML payloads over
+//! HTTP). Protocol layers serialize into [`Message::body`].
+
+/// Fixed per-message framing overhead charged by the link model, standing in
+/// for transport headers (TCP/IP + HTTP line noise).
+pub const FRAME_OVERHEAD: usize = 40;
+
+/// A network message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Protocol discriminator, e.g. `"http.request"`, `"mas.transfer"`.
+    pub kind: String,
+    /// Serialized payload.
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(kind: impl Into<String>, body: Vec<u8>) -> Message {
+        Message { kind: kind.into(), body }
+    }
+
+    /// A zero-payload message (probes, acks).
+    pub fn signal(kind: impl Into<String>) -> Message {
+        Message { kind: kind.into(), body: Vec::new() }
+    }
+
+    /// Bytes this message occupies on the wire, including framing.
+    pub fn wire_size(&self) -> usize {
+        FRAME_OVERHEAD + self.kind.len() + self.body.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let m = Message::new("x", vec![0u8; 100]);
+        assert_eq!(m.wire_size(), FRAME_OVERHEAD + 1 + 100);
+        let s = Message::signal("ping");
+        assert_eq!(s.wire_size(), FRAME_OVERHEAD + 4);
+        assert!(s.body.is_empty());
+    }
+
+    #[test]
+    fn construction() {
+        let m = Message::new(String::from("kind"), b"body".to_vec());
+        assert_eq!(m.kind, "kind");
+        assert_eq!(m.body, b"body");
+    }
+}

@@ -1,0 +1,196 @@
+//! Measurement: connection-time accounting, byte counters, scoreboard.
+//!
+//! "Internet connection time" is the paper's headline metric (Figure 12): the
+//! total virtual time a device holds an open connection to the wired network.
+//! Protocol nodes bracket their online periods with
+//! [`Metrics::connection_opened`] / [`Metrics::connection_closed`]; the
+//! harness reads [`Metrics::total_connection_time`] afterwards.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Per-node measurement state.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Bytes handed to the link layer (counted even if the link drops them —
+    /// the radio still transmitted).
+    pub bytes_sent: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Messages this node sent that the link dropped.
+    pub msgs_dropped: u64,
+    /// Closed connection intervals.
+    intervals: Vec<(SimTime, SimTime)>,
+    /// Currently-open connection start, if any.
+    open_since: Option<SimTime>,
+    /// Free-form named counters for protocol-specific accounting.
+    counters: HashMap<String, f64>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Mark the start of an online period. Nested opens are idempotent (the
+    /// earliest open wins), matching "is the radio up" semantics.
+    pub fn connection_opened(&mut self, now: SimTime) {
+        if self.open_since.is_none() {
+            self.open_since = Some(now);
+        }
+    }
+
+    /// Mark the end of an online period. A close without an open is ignored.
+    pub fn connection_closed(&mut self, now: SimTime) {
+        if let Some(start) = self.open_since.take() {
+            self.intervals.push((start, now));
+        }
+    }
+
+    /// Is a connection currently open?
+    pub fn connection_open(&self) -> bool {
+        self.open_since.is_some()
+    }
+
+    /// Total time online: closed intervals plus any still-open period up to
+    /// `now`.
+    pub fn total_connection_time(&self, now: SimTime) -> SimDuration {
+        let closed: SimDuration = self.intervals.iter().map(|&(s, e)| e.since(s)).sum();
+        match self.open_since {
+            Some(start) => closed + now.since(start),
+            None => closed,
+        }
+    }
+
+    /// Number of completed connections.
+    pub fn connection_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The closed intervals (for inspection in tests/reports).
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
+    /// Add `v` to a named counter.
+    pub fn bump(&mut self, key: &str, v: f64) {
+        *self.counters.entry(key.to_owned()).or_insert(0.0) += v;
+    }
+
+    /// Read a named counter (0 if never bumped).
+    pub fn counter(&self, key: &str) -> f64 {
+        self.counters.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// All named counters, sorted by key (deterministic reporting).
+    pub fn counters_sorted(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<_> =
+            self.counters.iter().map(|(k, &x)| (k.clone(), x)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+/// Registry of per-node metrics plus a global scoreboard.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    per_node: Vec<Metrics>,
+    /// Simulation-wide counters (e.g. total wireless bytes).
+    pub global: Metrics,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Ensure capacity for `n` nodes.
+    pub fn ensure(&mut self, n: usize) {
+        while self.per_node.len() < n {
+            self.per_node.push(Metrics::new());
+        }
+    }
+
+    /// Metrics for one node.
+    pub fn node(&self, id: usize) -> &Metrics {
+        &self.per_node[id]
+    }
+
+    /// Mutable metrics for one node.
+    pub fn node_mut(&mut self, id: usize) -> &mut Metrics {
+        &mut self.per_node[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_intervals_sum() {
+        let mut m = Metrics::new();
+        m.connection_opened(SimTime(100));
+        m.connection_closed(SimTime(300));
+        m.connection_opened(SimTime(1000));
+        m.connection_closed(SimTime(1500));
+        assert_eq!(m.total_connection_time(SimTime(2000)), SimDuration(700));
+        assert_eq!(m.connection_count(), 2);
+        assert!(!m.connection_open());
+    }
+
+    #[test]
+    fn open_interval_counts_up_to_now() {
+        let mut m = Metrics::new();
+        m.connection_opened(SimTime(0));
+        assert!(m.connection_open());
+        assert_eq!(m.total_connection_time(SimTime(500)), SimDuration(500));
+        m.connection_closed(SimTime(800));
+        assert_eq!(m.total_connection_time(SimTime(10_000)), SimDuration(800));
+    }
+
+    #[test]
+    fn nested_opens_idempotent() {
+        let mut m = Metrics::new();
+        m.connection_opened(SimTime(100));
+        m.connection_opened(SimTime(200)); // ignored
+        m.connection_closed(SimTime(300));
+        assert_eq!(m.total_connection_time(SimTime(300)), SimDuration(200));
+    }
+
+    #[test]
+    fn close_without_open_ignored() {
+        let mut m = Metrics::new();
+        m.connection_closed(SimTime(100));
+        assert_eq!(m.connection_count(), 0);
+        assert_eq!(m.total_connection_time(SimTime(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counters() {
+        let mut m = Metrics::new();
+        m.bump("transactions", 1.0);
+        m.bump("transactions", 2.0);
+        m.bump("retries", 1.0);
+        assert_eq!(m.counter("transactions"), 3.0);
+        assert_eq!(m.counter("missing"), 0.0);
+        let sorted = m.counters_sorted();
+        assert_eq!(sorted[0].0, "retries");
+        assert_eq!(sorted[1].0, "transactions");
+    }
+
+    #[test]
+    fn registry_grows() {
+        let mut reg = MetricsRegistry::new();
+        reg.ensure(3);
+        reg.node_mut(2).bump("x", 1.0);
+        assert_eq!(reg.node(2).counter("x"), 1.0);
+        assert_eq!(reg.node(0).counter("x"), 0.0);
+    }
+}

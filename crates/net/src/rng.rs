@@ -1,0 +1,167 @@
+//! Seeded randomness and the latency-jitter distributions.
+//!
+//! All stochastic behaviour in a simulation (jitter samples, loss draws)
+//! flows through one [`SimRng`] owned by the simulator, so a scenario is a
+//! pure function of its seed. The paper's "trials" (Figure 13) are seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// The simulation RNG. A thin wrapper around a seeded [`StdRng`] plus the
+/// distribution helpers the link model needs.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Fork an independent stream (used to give subsystems their own RNG
+    /// without perturbing the main event stream).
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        SimRng { inner: StdRng::seed_from_u64(self.inner.gen::<u64>() ^ label) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Exponentially distributed duration with the given mean. This is the
+    /// canonical heavy-ish tail for queueing-induced network jitter.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let u = self.unit().max(1e-12);
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Approximately normal duration (Irwin–Hall with 6 uniforms), clamped
+    /// at zero. Used for mild wired-link jitter.
+    pub fn normal_duration(&mut self, mean: SimDuration, sigma: SimDuration) -> SimDuration {
+        let sum: f64 = (0..6).map(|_| self.unit()).sum();
+        // Irwin-Hall(6): mean 3, var 0.5 → standardize.
+        let z = (sum - 3.0) / (0.5f64).sqrt();
+        let val = mean.as_secs_f64() + z * sigma.as_secs_f64();
+        SimDuration::from_secs_f64(val)
+    }
+
+    /// Uniform duration in `[lo, hi)`.
+    pub fn uniform_duration(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if hi <= lo {
+            return lo;
+        }
+        SimDuration(self.range_u64(lo.as_micros(), hi.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..50).filter(|_| a.range_u64(0, 1000) == b.range_u64(0, 1000)).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = SimRng::new(3);
+        let mean = SimDuration::from_millis(60);
+        let n = 20_000;
+        let total: f64 =
+            (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - 0.060).abs() < 0.002, "sample mean {sample_mean}");
+    }
+
+    #[test]
+    fn exp_zero_mean_is_zero() {
+        let mut rng = SimRng::new(4);
+        assert_eq!(rng.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn normal_duration_mean_and_clamp() {
+        let mut rng = SimRng::new(5);
+        let mean = SimDuration::from_millis(10);
+        let sigma = SimDuration::from_millis(2);
+        let n = 10_000;
+        let total: f64 =
+            (0..n).map(|_| rng.normal_duration(mean, sigma).as_secs_f64()).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - 0.010).abs() < 0.0005, "sample mean {sample_mean}");
+        // Heavy clamp case: mean 0 with large sigma still never negative.
+        for _ in 0..100 {
+            let d = rng.normal_duration(SimDuration::ZERO, SimDuration::from_secs(1));
+            assert!(d.as_micros() < u64::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn uniform_duration_bounds() {
+        let mut rng = SimRng::new(8);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        for _ in 0..1000 {
+            let d = rng.uniform_duration(lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+        assert_eq!(rng.uniform_duration(hi, lo), hi);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::new(9);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let a: Vec<u64> = (0..10).map(|_| f1.range_u64(0, 1000)).collect();
+        let b: Vec<u64> = (0..10).map(|_| f2.range_u64(0, 1000)).collect();
+        assert_ne!(a, b);
+    }
+}

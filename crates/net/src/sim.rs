@@ -1,0 +1,671 @@
+//! The discrete-event engine: [`Simulator`], [`Node`], [`Ctx`].
+//!
+//! Protocol components (the PDAgent device platform, gateways, mobile-agent
+//! servers, the baseline clients and servers) are [`Node`] state machines.
+//! The simulator owns the virtual clock, the event queue, the topology, the
+//! RNG and the metrics registry; nodes interact with all of them through the
+//! borrowed [`Ctx`] passed to every handler.
+//!
+//! Determinism: events are ordered by `(time, insertion sequence)`, so equal
+//! timestamps resolve in a stable order and a run is a pure function of the
+//! seed and setup.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::link::{LinkSpec, Topology};
+use crate::message::Message;
+use crate::metrics::{Metrics, MetricsRegistry};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEntry};
+
+/// Index of a node within a simulation.
+pub type NodeId = usize;
+
+/// Boxed handler invoked on a node during event dispatch.
+type NodeAction = Box<dyn FnOnce(&mut dyn Node, &mut Ctx<'_>)>;
+
+/// Identifier of a pending timer (for cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Upcast helper so `dyn Node` can be downcast to concrete types after a run.
+pub trait AsAny {
+    /// `&self` as `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// `&mut self` as `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A protocol state machine living at one network node.
+pub trait Node: AsAny {
+    /// Called once at simulation start (time zero), in node-id order.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A message arrived from `from`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message);
+
+    /// A timer set with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: Message },
+    Timer { node: NodeId, tag: u64, id: TimerId },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The per-event view a node gets of the simulation.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    queue: &'a mut BinaryHeap<Reverse<Event>>,
+    seq: &'a mut u64,
+    next_timer: &'a mut u64,
+    cancelled: &'a mut HashSet<TimerId>,
+    topology: &'a mut Topology,
+    rng: &'a mut SimRng,
+    metrics: &'a mut MetricsRegistry,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        *self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq: *self.seq, kind }));
+    }
+
+    /// Send a message to another node over the topology. Returns `true` if
+    /// the link accepted it (it may still take arbitrarily long); `false` if
+    /// there is no usable link or the link dropped it.
+    pub fn send(&mut self, to: NodeId, msg: Message) -> bool {
+        let size = msg.wire_size() as u64;
+        let me = self.metrics.node_mut(self.self_id);
+        me.bytes_sent += size;
+        me.msgs_sent += 1;
+        match self.topology.route(self.self_id, to, &msg, self.now, self.rng) {
+            Some(delay) => {
+                let at = self.now + delay;
+                self.push(at, EventKind::Deliver { to, from: self.self_id, msg });
+                true
+            }
+            None => {
+                self.metrics.node_mut(self.self_id).msgs_dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Arm a one-shot timer after `delay`, carrying `tag` back to
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node: self.self_id, tag, id });
+        id
+    }
+
+    /// Cancel a pending timer. Harmless if it already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id);
+    }
+
+    /// This node's metrics.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics.node_mut(self.self_id)
+    }
+
+    /// The global scoreboard.
+    pub fn global_metrics(&mut self) -> &mut Metrics {
+        &mut self.metrics.global
+    }
+
+    /// Record that this node is now holding an open connection (radio up).
+    pub fn connection_opened(&mut self) {
+        let now = self.now;
+        self.metrics().connection_opened(now);
+    }
+
+    /// Record that this node released its connection (radio down).
+    pub fn connection_closed(&mut self) {
+        let now = self.now;
+        self.metrics().connection_closed(now);
+    }
+
+    /// Administratively raise/lower the link between two nodes (used by
+    /// failure-injection scenarios and by devices modeling disconnection).
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.topology.set_up(a, b, up);
+    }
+
+    /// Is the link between two nodes currently usable?
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.topology.is_up(a, b)
+    }
+}
+
+/// The simulation: nodes + topology + clock + event queue.
+pub struct Simulator {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    topology: Topology,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: SimTime,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    rng: SimRng,
+    metrics: MetricsRegistry,
+    started: bool,
+    events_processed: u64,
+    trace: Option<Trace>,
+    /// Safety valve against runaway protocols.
+    pub max_events: u64,
+}
+
+impl Simulator {
+    /// New simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            nodes: Vec::new(),
+            topology: Topology::new(),
+            queue: BinaryHeap::new(),
+            time: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            metrics: MetricsRegistry::new(),
+            started: false,
+            events_processed: 0,
+            trace: None,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Start recording every delivered message (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Register a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Some(node));
+        self.metrics.ensure(self.nodes.len());
+        id
+    }
+
+    /// Install a bidirectional link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.topology.connect(a, b, spec);
+    }
+
+    /// Raise/lower a link from outside the simulation.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.topology.set_up(a, b, up);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable metrics for a node.
+    pub fn metrics(&self, id: NodeId) -> &Metrics {
+        self.metrics.node(id)
+    }
+
+    /// The global scoreboard.
+    pub fn global_metrics(&self) -> &Metrics {
+        &self.metrics.global
+    }
+
+    /// Downcast a node to its concrete type.
+    pub fn node_ref<T: Any>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id].as_deref().and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcast a node mutably (e.g. to enqueue work between runs).
+    pub fn node_mut<T: Any>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id].as_deref_mut().and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    fn schedule_starts(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                time: self.time,
+                seq: self.seq,
+                kind: EventKind::Start(id),
+            }));
+        }
+    }
+
+    /// Inject a message delivery from "outside" (tests, harnesses). Arrives
+    /// at `delay` from now, bypassing the topology.
+    pub fn inject(&mut self, to: NodeId, from: NodeId, msg: Message, delay: SimDuration) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time: self.time + delay,
+            seq: self.seq,
+            kind: EventKind::Deliver { to, from, msg },
+        }));
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        self.time = event.time;
+        self.events_processed += 1;
+        let (node_id, action): (NodeId, NodeAction) =
+            match event.kind {
+                EventKind::Start(id) => (id, Box::new(|n, ctx| n.on_start(ctx))),
+                EventKind::Deliver { to, from, msg } => {
+                    {
+                        let m = self.metrics.node_mut(to);
+                        m.bytes_received += msg.wire_size() as u64;
+                        m.msgs_received += 1;
+                    }
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(TraceEntry {
+                            at: event.time,
+                            from,
+                            to,
+                            kind: msg.kind.clone(),
+                            bytes: msg.wire_size(),
+                        });
+                    }
+                    (to, Box::new(move |n, ctx| n.on_message(ctx, from, msg)))
+                }
+                EventKind::Timer { node, tag, id } => {
+                    if self.cancelled.remove(&id) {
+                        return;
+                    }
+                    (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
+                }
+            };
+        let Some(mut node) = self.nodes[node_id].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.time,
+            self_id: node_id,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            next_timer: &mut self.next_timer,
+            cancelled: &mut self.cancelled,
+            topology: &mut self.topology,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+        };
+        action(node.as_mut(), &mut ctx);
+        self.nodes[node_id] = Some(node);
+    }
+
+    /// Run until the event queue drains. Returns the final virtual time.
+    ///
+    /// # Panics
+    /// Panics if `max_events` is exceeded (protocol livelock guard).
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.schedule_starts();
+        while let Some(Reverse(event)) = self.queue.pop() {
+            assert!(
+                self.events_processed < self.max_events,
+                "simulation exceeded {} events — livelock?",
+                self.max_events
+            );
+            self.dispatch(event);
+        }
+        self.time
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains, whichever is first.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.schedule_starts();
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.time > deadline {
+                break;
+            }
+            assert!(
+                self.events_processed < self.max_events,
+                "simulation exceeded {} events — livelock?",
+                self.max_events
+            );
+            let Reverse(event) = self.queue.pop().unwrap();
+            self.dispatch(event);
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Jitter;
+
+    /// Replies to every "ping" with a "pong" carrying the same body.
+    struct Ponger {
+        pings_seen: u32,
+    }
+    impl Node for Ponger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+            if msg.kind == "ping" {
+                self.pings_seen += 1;
+                ctx.send(from, Message::new("pong", msg.body));
+            }
+        }
+    }
+
+    /// Sends `count` pings, one per second, records pong arrival times.
+    struct Pinger {
+        peer: NodeId,
+        count: u32,
+        sent: u32,
+        pongs: Vec<SimTime>,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+            if msg.kind == "pong" {
+                self.pongs.push(ctx.now());
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            if self.sent < self.count {
+                self.sent += 1;
+                ctx.send(self.peer, Message::new("ping", vec![0u8; 10]));
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+    }
+
+    fn ping_pong_sim(seed: u64, link: LinkSpec) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        let ponger = sim.add_node(Box::new(Ponger { pings_seen: 0 }));
+        let pinger =
+            sim.add_node(Box::new(Pinger { peer: ponger, count: 5, sent: 0, pongs: vec![] }));
+        sim.connect(pinger, ponger, link);
+        (sim, pinger, ponger)
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let (mut sim, pinger, ponger) = ping_pong_sim(1, LinkSpec::lan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Ponger>(ponger).unwrap().pings_seen, 5);
+        assert_eq!(sim.node_ref::<Pinger>(pinger).unwrap().pongs.len(), 5);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_latency() {
+        let link = LinkSpec::ideal().with_latency(SimDuration::from_millis(100));
+        let (mut sim, pinger, _) = ping_pong_sim(2, link);
+        sim.run_until_idle();
+        let pongs = &sim.node_ref::<Pinger>(pinger).unwrap().pongs;
+        // First pong: 2 x 100ms RTT.
+        assert_eq!(pongs[0], SimTime(200_000));
+        // Later pings go at 1s intervals.
+        assert_eq!(pongs[1], SimTime(1_200_000));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let link = LinkSpec::wireless_gprs();
+            let (mut sim, pinger, _) = ping_pong_sim(seed, link);
+            sim.run_until_idle();
+            sim.node_ref::<Pinger>(pinger).unwrap().pongs.clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn metrics_count_bytes_and_messages() {
+        let (mut sim, pinger, ponger) = ping_pong_sim(3, LinkSpec::ideal());
+        sim.run_until_idle();
+        let pm = sim.metrics(pinger);
+        assert_eq!(pm.msgs_sent, 5);
+        assert_eq!(pm.msgs_received, 5);
+        assert!(pm.bytes_sent > 0);
+        let gm = sim.metrics(ponger);
+        assert_eq!(gm.msgs_received, 5);
+    }
+
+    #[test]
+    fn lossy_link_drops_and_counts() {
+        let link = LinkSpec::ideal().with_loss(1.0);
+        let (mut sim, pinger, ponger) = ping_pong_sim(4, link);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Ponger>(ponger).unwrap().pings_seen, 0);
+        assert_eq!(sim.metrics(pinger).msgs_dropped, 5);
+    }
+
+    #[test]
+    fn send_to_unconnected_node_fails() {
+        struct Lonely {
+            ok: bool,
+        }
+        impl Node for Lonely {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.ok = !ctx.send(999, Message::signal("void"));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        }
+        let mut sim = Simulator::new(5);
+        let id = sim.add_node(Box::new(Lonely { ok: false }));
+        sim.run_until_idle();
+        assert!(sim.node_ref::<Lonely>(id).unwrap().ok);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Node for Timed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulator::new(6);
+        let id = sim.add_node(Box::new(Timed { fired: vec![] }));
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Timed>(id).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn equal_time_events_resolve_by_insertion_order() {
+        struct Recorder {
+            got: Vec<String>,
+        }
+        impl Node for Recorder {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, msg: Message) {
+                self.got.push(msg.kind);
+            }
+        }
+        let mut sim = Simulator::new(7);
+        let id = sim.add_node(Box::new(Recorder { got: vec![] }));
+        sim.inject(id, id, Message::signal("a"), SimDuration::from_millis(5));
+        sim.inject(id, id, Message::signal("b"), SimDuration::from_millis(5));
+        sim.inject(id, id, Message::signal("c"), SimDuration::from_millis(5));
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Recorder>(id).unwrap().got, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, pinger, _) = ping_pong_sim(8, LinkSpec::ideal());
+        // Pings go at t=0,1,2,3,4s. Stop at 2.5s: 3 pings sent.
+        sim.run_until(SimTime(2_500_000));
+        assert_eq!(sim.node_ref::<Pinger>(pinger).unwrap().sent, 3);
+        assert_eq!(sim.now(), SimTime(2_500_000));
+        // Resume to completion.
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Pinger>(pinger).unwrap().sent, 5);
+    }
+
+    #[test]
+    fn link_down_mid_run_blocks_traffic() {
+        let (mut sim, pinger, ponger) = ping_pong_sim(9, LinkSpec::ideal());
+        sim.run_until(SimTime(1_500_000)); // 2 pings through
+        sim.set_link_up(pinger, ponger, false);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Ponger>(ponger).unwrap().pings_seen, 2);
+        assert!(sim.metrics(pinger).msgs_dropped >= 3);
+    }
+
+    #[test]
+    fn connection_time_accounting_via_ctx() {
+        struct OnlineFor {
+            dur: SimDuration,
+        }
+        impl Node for OnlineFor {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connection_opened();
+                ctx.set_timer(self.dur, 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+                ctx.connection_closed();
+            }
+        }
+        let mut sim = Simulator::new(10);
+        let id = sim.add_node(Box::new(OnlineFor { dur: SimDuration::from_secs(3) }));
+        sim.run_until_idle();
+        assert_eq!(
+            sim.metrics(id).total_connection_time(sim.now()),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn jitter_can_reorder_messages() {
+        // Latency jitter is per-message, so two sends in quick succession
+        // can arrive out of order — protocols must not assume FIFO delivery
+        // end-to-end (serialization is FIFO, propagation is not).
+        struct Blast {
+            peer: NodeId,
+        }
+        impl Node for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..50u8 {
+                    ctx.send(self.peer, Message::new("seq", vec![i]));
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        }
+        struct Collector {
+            got: Vec<u8>,
+        }
+        impl Node for Collector {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, msg: Message) {
+                self.got.push(msg.body[0]);
+            }
+        }
+        let mut sim = Simulator::new(13);
+        let collector = sim.add_node(Box::new(Collector { got: vec![] }));
+        let blaster = sim.add_node(Box::new(Blast { peer: collector }));
+        let link = LinkSpec::ideal()
+            .with_latency(SimDuration::from_millis(100))
+            .with_jitter(Jitter::Exponential(SimDuration::from_millis(50)));
+        sim.connect(blaster, collector, link);
+        sim.run_until_idle();
+        let got = &sim.node_ref::<Collector>(collector).unwrap().got;
+        assert_eq!(got.len(), 50);
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_ne!(*got, sorted, "expected at least one reordering");
+    }
+
+    #[test]
+    fn jitter_perturbs_delivery_times() {
+        let link = LinkSpec::ideal()
+            .with_latency(SimDuration::from_millis(50))
+            .with_jitter(Jitter::Exponential(SimDuration::from_millis(20)));
+        let (mut sim, pinger, _) = ping_pong_sim(11, link);
+        sim.run_until_idle();
+        let pongs = &sim.node_ref::<Pinger>(pinger).unwrap().pongs;
+        // All pongs later than the no-jitter bound.
+        for (i, t) in pongs.iter().enumerate() {
+            let floor = SimTime(i as u64 * 1_000_000 + 100_000);
+            assert!(*t > floor, "pong {i} at {t} vs floor {floor}");
+        }
+    }
+}

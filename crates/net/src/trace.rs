@@ -1,0 +1,126 @@
+//! Event tracing: an optional record of every delivery the simulator makes,
+//! for debugging protocols and asserting on wire behaviour in tests
+//! (e.g. "the device sent exactly two HTTP requests after dispatch").
+
+use crate::time::SimTime;
+
+/// One delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Sender node.
+    pub from: usize,
+    /// Receiver node.
+    pub to: usize,
+    /// Message kind.
+    pub kind: String,
+    /// Wire size in bytes.
+    pub bytes: usize,
+}
+
+/// A bounded trace buffer (drops the oldest entries beyond the cap).
+#[derive(Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    /// Maximum retained entries (0 = unbounded).
+    pub cap: usize,
+}
+
+impl Trace {
+    /// An unbounded trace.
+    pub fn new() -> Trace {
+        Trace { entries: Vec::new(), cap: 0 }
+    }
+
+    /// A bounded trace keeping the most recent `cap` entries.
+    pub fn bounded(cap: usize) -> Trace {
+        Trace { entries: Vec::new(), cap }
+    }
+
+    /// Record a delivery.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.cap > 0 && self.entries.len() == self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push(entry);
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of a given message kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Entries between two nodes (either direction).
+    pub fn between(&self, a: usize, b: usize) -> impl Iterator<Item = &TraceEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
+    }
+
+    /// Total bytes delivered to or from a node.
+    pub fn bytes_touching(&self, node: usize) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.from == node || e.to == node)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Render as a human-readable log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {:>3} -> {:>3}  {:<18} {:>6} B\n",
+                e.at, e.from, e.to, e.kind, e.bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, from: usize, to: usize, kind: &str, bytes: usize) -> TraceEntry {
+        TraceEntry { at: SimTime(at), from, to, kind: kind.into(), bytes }
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.record(entry(1, 0, 1, "probe", 41));
+        t.record(entry(2, 1, 0, "probe.ack", 41));
+        t.record(entry(3, 0, 1, "http.request", 900));
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.of_kind("probe").count(), 1);
+        assert_eq!(t.between(0, 1).count(), 3);
+        assert_eq!(t.bytes_touching(0), 41 + 41 + 900);
+        assert_eq!(t.bytes_touching(2), 0);
+    }
+
+    #[test]
+    fn bounded_drops_oldest() {
+        let mut t = Trace::bounded(2);
+        t.record(entry(1, 0, 1, "a", 1));
+        t.record(entry(2, 0, 1, "b", 1));
+        t.record(entry(3, 0, 1, "c", 1));
+        let kinds: Vec<&str> = t.entries().iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn render_is_line_per_entry() {
+        let mut t = Trace::new();
+        t.record(entry(1_000_000, 0, 1, "x", 10));
+        t.record(entry(2_000_000, 1, 0, "y", 20));
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,465 @@
+//! The agent assembler and disassembler.
+//!
+//! A line-oriented assembly dialect in which the example applications write
+//! their agents. Grammar per line (after `;` comments are stripped):
+//!
+//! ```text
+//! .name <ident>              directive: program name
+//! <label>:                   label definition
+//! push 42 | push "s" | push true | push false
+//! nil dup pop swap
+//! load <n> / store <n>       locals 0..=255
+//! gload "<name>" / gstore "<name>"
+//! add sub mul div mod neg
+//! eq ne lt le gt ge and or not concat
+//! jmp <label> / jmpf <label>
+//! listnew listpush listget listlen
+//! invoke "<service>" "<op>" <argc>
+//! param "<name>" / emit "<key>" / site
+//! halt / fail "<msg>"
+//! ```
+
+use crate::isa::Instr;
+use crate::program::Program;
+use crate::value::Value;
+
+/// Assembly error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A token: word, integer or quoted string.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Int(i64),
+    Str(String),
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, AsmError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        if ch.is_whitespace() {
+            chars.next();
+        } else if ch == ';' {
+            break;
+        } else if ch == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        other => {
+                            return Err(AsmError {
+                                line: lineno,
+                                message: format!("bad escape {other:?}"),
+                            })
+                        }
+                    },
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(AsmError {
+                            line: lineno,
+                            message: "unterminated string".into(),
+                        })
+                    }
+                }
+            }
+            toks.push(Tok::Str(s));
+        } else {
+            let mut w = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == ';' {
+                    break;
+                }
+                w.push(c);
+                chars.next();
+            }
+            if let Ok(i) = w.parse::<i64>() {
+                toks.push(Tok::Int(i));
+            } else {
+                toks.push(Tok::Word(w));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Assemble source text into a validated [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut program = Program::default();
+    let mut labels: std::collections::HashMap<String, u32> = Default::default();
+    // (instruction index, label, line) to patch after the first pass.
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new();
+
+    let err = |line: usize, message: String| AsmError { line, message };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        // Label?
+        if toks.len() == 1 {
+            if let Tok::Word(w) = &toks[0] {
+                if let Some(name) = w.strip_suffix(':') {
+                    if name.is_empty() {
+                        return Err(err(lineno, "empty label".into()));
+                    }
+                    if labels.insert(name.to_owned(), program.code.len() as u32).is_some()
+                    {
+                        return Err(err(lineno, format!("duplicate label {name:?}")));
+                    }
+                    continue;
+                }
+            }
+        }
+        let Tok::Word(op) = &toks[0] else {
+            return Err(err(lineno, "expected mnemonic".into()));
+        };
+        let args = &toks[1..];
+        let need_str = |i: usize| -> Result<&str, AsmError> {
+            match args.get(i) {
+                Some(Tok::Str(s)) => Ok(s),
+                _ => Err(err(lineno, format!("{op}: expected string operand {i}"))),
+            }
+        };
+        let need_int = |i: usize| -> Result<i64, AsmError> {
+            match args.get(i) {
+                Some(Tok::Int(v)) => Ok(*v),
+                _ => Err(err(lineno, format!("{op}: expected integer operand {i}"))),
+            }
+        };
+        let need_word = |i: usize| -> Result<&str, AsmError> {
+            match args.get(i) {
+                Some(Tok::Word(w)) => Ok(w),
+                _ => Err(err(lineno, format!("{op}: expected label/word operand {i}"))),
+            }
+        };
+        let simple = |ins: Instr, args_len: usize| -> Result<Instr, AsmError> {
+            if args_len != 0 {
+                return Err(err(lineno, format!("{op} takes no operands")));
+            }
+            Ok(ins)
+        };
+
+        match op.as_str() {
+            ".name" => {
+                program.name = match args.first() {
+                    Some(Tok::Word(w)) => w.clone(),
+                    Some(Tok::Str(s)) => s.clone(),
+                    _ => return Err(err(lineno, ".name needs a name".into())),
+                };
+            }
+            "push" => match args.first() {
+                Some(Tok::Int(v)) => program.code.push(Instr::PushInt(*v)),
+                Some(Tok::Str(s)) => {
+                    let c = program.intern(Value::Str(s.clone()));
+                    program.code.push(Instr::PushConst(c));
+                }
+                Some(Tok::Word(w)) if w == "true" => program.code.push(Instr::PushTrue),
+                Some(Tok::Word(w)) if w == "false" => program.code.push(Instr::PushFalse),
+                _ => return Err(err(lineno, "push needs int, string or bool".into())),
+            },
+            "nil" => program.code.push(simple(Instr::PushNil, args.len())?),
+            "dup" => program.code.push(simple(Instr::Dup, args.len())?),
+            "pop" => program.code.push(simple(Instr::Pop, args.len())?),
+            "swap" => program.code.push(simple(Instr::Swap, args.len())?),
+            "load" | "store" => {
+                let n = need_int(0)?;
+                let n = u8::try_from(n)
+                    .map_err(|_| err(lineno, format!("local slot {n} out of range")))?;
+                program.code.push(if op == "load" { Instr::Load(n) } else { Instr::Store(n) });
+            }
+            "gload" | "gstore" => {
+                let c = program.intern(Value::Str(need_str(0)?.to_owned()));
+                program
+                    .code
+                    .push(if op == "gload" { Instr::GLoad(c) } else { Instr::GStore(c) });
+            }
+            "add" => program.code.push(simple(Instr::Add, args.len())?),
+            "sub" => program.code.push(simple(Instr::Sub, args.len())?),
+            "mul" => program.code.push(simple(Instr::Mul, args.len())?),
+            "div" => program.code.push(simple(Instr::Div, args.len())?),
+            "mod" => program.code.push(simple(Instr::Mod, args.len())?),
+            "neg" => program.code.push(simple(Instr::Neg, args.len())?),
+            "eq" => program.code.push(simple(Instr::Eq, args.len())?),
+            "ne" => program.code.push(simple(Instr::Ne, args.len())?),
+            "lt" => program.code.push(simple(Instr::Lt, args.len())?),
+            "le" => program.code.push(simple(Instr::Le, args.len())?),
+            "gt" => program.code.push(simple(Instr::Gt, args.len())?),
+            "ge" => program.code.push(simple(Instr::Ge, args.len())?),
+            "and" => program.code.push(simple(Instr::And, args.len())?),
+            "or" => program.code.push(simple(Instr::Or, args.len())?),
+            "not" => program.code.push(simple(Instr::Not, args.len())?),
+            "concat" => program.code.push(simple(Instr::Concat, args.len())?),
+            "jmp" | "jmpf" => {
+                let label = need_word(0)?.to_owned();
+                fixups.push((program.code.len(), label, lineno));
+                program.code.push(if op == "jmp" {
+                    Instr::Jump(u32::MAX)
+                } else {
+                    Instr::JumpIfFalse(u32::MAX)
+                });
+            }
+            "listnew" => program.code.push(simple(Instr::ListNew, args.len())?),
+            "listpush" => program.code.push(simple(Instr::ListPush, args.len())?),
+            "listget" => program.code.push(simple(Instr::ListGet, args.len())?),
+            "listlen" => program.code.push(simple(Instr::ListLen, args.len())?),
+            "invoke" => {
+                let s = program.intern(Value::Str(need_str(0)?.to_owned()));
+                let o = program.intern(Value::Str(need_str(1)?.to_owned()));
+                let argc = need_int(2)?;
+                let argc = u8::try_from(argc)
+                    .map_err(|_| err(lineno, format!("argc {argc} out of range")))?;
+                program.code.push(Instr::Invoke(s, o, argc));
+            }
+            "param" => {
+                let c = program.intern(Value::Str(need_str(0)?.to_owned()));
+                program.code.push(Instr::Param(c));
+            }
+            "emit" => {
+                let c = program.intern(Value::Str(need_str(0)?.to_owned()));
+                program.code.push(Instr::Emit(c));
+            }
+            "site" => program.code.push(simple(Instr::Site, args.len())?),
+            "halt" => program.code.push(simple(Instr::Halt, args.len())?),
+            "fail" => {
+                let c = program.intern(Value::Str(need_str(0)?.to_owned()));
+                program.code.push(Instr::Fail(c));
+            }
+            other => return Err(err(lineno, format!("unknown mnemonic {other:?}"))),
+        }
+    }
+
+    // Patch jumps.
+    for (at, label, lineno) in fixups {
+        let Some(&target) = labels.get(&label) else {
+            return Err(AsmError { line: lineno, message: format!("undefined label {label:?}") });
+        };
+        program.code[at] = match program.code[at] {
+            Instr::Jump(_) => Instr::Jump(target),
+            Instr::JumpIfFalse(_) => Instr::JumpIfFalse(target),
+            _ => unreachable!(),
+        };
+    }
+
+    program
+        .validate()
+        .map_err(|e| AsmError { line: 0, message: e.to_string() })?;
+    Ok(program)
+}
+
+/// Render a program back to assembly text (labels synthesized as `L<idx>`).
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    for ins in &program.code {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) = ins {
+            targets.insert(*t);
+        }
+    }
+    let mut out = String::new();
+    if !program.name.is_empty() {
+        out.push_str(&format!(".name {}\n", program.name));
+    }
+    let cname = |i: u16| -> String {
+        match program.consts.get(i as usize) {
+            Some(Value::Str(s)) => format!("{s:?}"),
+            Some(other) => format!("{other}"),
+            None => format!("<bad:{i}>"),
+        }
+    };
+    for (idx, ins) in program.code.iter().enumerate() {
+        if targets.contains(&(idx as u32)) {
+            out.push_str(&format!("L{idx}:\n"));
+        }
+        let line = match *ins {
+            Instr::PushConst(c) => format!("push {}", cname(c)),
+            Instr::PushInt(v) => format!("push {v}"),
+            Instr::PushTrue => "push true".into(),
+            Instr::PushFalse => "push false".into(),
+            Instr::Load(n) => format!("load {n}"),
+            Instr::Store(n) => format!("store {n}"),
+            Instr::GLoad(c) => format!("gload {}", cname(c)),
+            Instr::GStore(c) => format!("gstore {}", cname(c)),
+            Instr::Jump(t) => format!("jmp L{t}"),
+            Instr::JumpIfFalse(t) => format!("jmpf L{t}"),
+            Instr::Invoke(s, o, argc) => {
+                format!("invoke {} {} {argc}", cname(s), cname(o))
+            }
+            Instr::Param(c) => format!("param {}", cname(c)),
+            Instr::Emit(c) => format!("emit {}", cname(c)),
+            Instr::Fail(c) => format!("fail {}", cname(c)),
+            ref other => other.mnemonic().to_owned(),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if targets.contains(&(program.code.len() as u32)) {
+        out.push_str(&format!("L{}:\n", program.code.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_minimal() {
+        let p = assemble(".name t\nhalt\n").unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.code, vec![Instr::Halt]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\n\n   ; indented comment\nhalt ; trailing\n").unwrap();
+        assert_eq!(p.code, vec![Instr::Halt]);
+    }
+
+    #[test]
+    fn push_variants() {
+        let p = assemble("push 5\npush -3\npush \"s\"\npush true\npush false\nhalt").unwrap();
+        assert_eq!(p.code[0], Instr::PushInt(5));
+        assert_eq!(p.code[1], Instr::PushInt(-3));
+        assert!(matches!(p.code[2], Instr::PushConst(_)));
+        assert_eq!(p.code[3], Instr::PushTrue);
+        assert_eq!(p.code[4], Instr::PushFalse);
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let src = r#"
+            push 1
+            jmpf skip
+            push 2
+        skip:
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        assert_eq!(p.code[1], Instr::JumpIfFalse(3));
+    }
+
+    #[test]
+    fn forward_and_backward_jumps() {
+        let src = r#"
+        top:
+            push 1
+            jmpf done
+            jmp top
+        done:
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        assert_eq!(p.code[1], Instr::JumpIfFalse(3));
+        assert_eq!(p.code[2], Instr::Jump(0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let p = assemble(r#"push "a\nb\t\"c\\" "#.to_string().as_str());
+        let p = p.unwrap();
+        assert_eq!(p.consts[0], Value::Str("a\nb\t\"c\\".into()));
+    }
+
+    #[test]
+    fn invoke_and_interning() {
+        let p = assemble(
+            r#"
+            invoke "bank" "balance" 1
+            invoke "bank" "transfer" 3
+            halt
+        "#,
+        )
+        .unwrap();
+        // "bank" interned once.
+        assert_eq!(
+            p.consts.iter().filter(|c| **c == Value::Str("bank".into())).count(),
+            1
+        );
+        assert!(matches!(p.code[0], Instr::Invoke(_, _, 1)));
+        assert!(matches!(p.code[1], Instr::Invoke(_, _, 3)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("halt\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("push").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("x:\nx:\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = assemble("push \"unterminated").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn local_slot_range_checked() {
+        assert!(assemble("load 255\nhalt").is_ok());
+        assert!(assemble("load 256\nhalt").is_err());
+        assert!(assemble("store -1\nhalt").is_err());
+    }
+
+    #[test]
+    fn disassemble_roundtrips_through_assembler() {
+        let src = r#"
+            .name round
+            param "from"
+            store 0
+        loop:
+            load 0
+            push 0
+            gt
+            jmpf end
+            load 0
+            push 1
+            sub
+            store 0
+            jmp loop
+        end:
+            load 0
+            emit "final"
+            halt
+        "#;
+        let p1 = assemble(src).unwrap();
+        let dis = disassemble(&p1);
+        let p2 = assemble(&dis).unwrap();
+        assert_eq!(p1.code, p2.code);
+        assert_eq!(p1.name, p2.name);
+    }
+
+    #[test]
+    fn no_operand_mnemonics_reject_operands() {
+        assert!(assemble("halt 3").is_err());
+        assert!(assemble("dup \"x\"").is_err());
+    }
+}

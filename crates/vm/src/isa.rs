@@ -1,0 +1,265 @@
+//! The instruction set of the agent VM.
+//!
+//! A compact stack-machine ISA sized so that realistic service agents
+//! assemble to the paper's observed 1–8 KB code range. Constants (strings,
+//! large ints) live in the program's constant pool and are referenced by
+//! index; small integers are immediate.
+
+/// One instruction. Jump offsets are *absolute* instruction indices,
+/// resolved by the assembler from labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    // --- stack ---
+    /// Push constant-pool entry `idx`.
+    PushConst(u16),
+    /// Push an immediate integer.
+    PushInt(i64),
+    /// Push `true`.
+    PushTrue,
+    /// Push `false`.
+    PushFalse,
+    /// Push `Nil`.
+    PushNil,
+    /// Duplicate top of stack.
+    Dup,
+    /// Discard top of stack.
+    Pop,
+    /// Swap top two entries.
+    Swap,
+
+    // --- locals & globals ---
+    /// Push local slot `n`.
+    Load(u8),
+    /// Pop into local slot `n`.
+    Store(u8),
+    /// Push the global named by constant `idx` (Nil if unset). Globals
+    /// persist across sites in the agent's migrating state.
+    GLoad(u16),
+    /// Pop into the global named by constant `idx`.
+    GStore(u16),
+
+    // --- arithmetic ---
+    /// `a + b` (ints) or string concatenation if either operand is a string.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b` (traps on division by zero).
+    Div,
+    /// `a % b` (traps on division by zero).
+    Mod,
+    /// `-a`.
+    Neg,
+
+    // --- comparison & logic ---
+    /// Structural equality.
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// `a < b` (ints or strings).
+    Lt,
+    /// `a <= b`.
+    Le,
+    /// `a > b`.
+    Gt,
+    /// `a >= b`.
+    Ge,
+    /// Logical and (truthiness).
+    And,
+    /// Logical or (truthiness).
+    Or,
+    /// Logical not.
+    Not,
+    /// Explicit string concatenation (renders non-strings).
+    Concat,
+
+    // --- control flow ---
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump if falsy.
+    JumpIfFalse(u32),
+
+    // --- lists ---
+    /// Push an empty list.
+    ListNew,
+    /// Pop value then list; push list with value appended.
+    ListPush,
+    /// Pop index then list; push element (traps if out of range).
+    ListGet,
+    /// Pop list; push its length.
+    ListLen,
+
+    // --- host interface ---
+    /// Invoke `service.op(args…)`: service & op are constant indices, `argc`
+    /// arguments are popped (first-pushed = first arg); pushes the result.
+    Invoke(u16, u16, u8),
+    /// Push the launch parameter named by constant `idx` (Nil if absent).
+    Param(u16),
+    /// Pop a value; append it to the agent's result document under the key
+    /// named by constant `idx`.
+    Emit(u16),
+    /// Push the current site's name.
+    Site,
+
+    // --- termination ---
+    /// Successful completion.
+    Halt,
+    /// Abort with the message named by constant `idx`.
+    Fail(u16),
+}
+
+impl Instr {
+    /// Opcode byte for serialization.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Instr::PushConst(_) => 0x01,
+            Instr::PushInt(_) => 0x02,
+            Instr::PushTrue => 0x03,
+            Instr::PushFalse => 0x04,
+            Instr::PushNil => 0x05,
+            Instr::Dup => 0x06,
+            Instr::Pop => 0x07,
+            Instr::Swap => 0x08,
+            Instr::Load(_) => 0x10,
+            Instr::Store(_) => 0x11,
+            Instr::GLoad(_) => 0x12,
+            Instr::GStore(_) => 0x13,
+            Instr::Add => 0x20,
+            Instr::Sub => 0x21,
+            Instr::Mul => 0x22,
+            Instr::Div => 0x23,
+            Instr::Mod => 0x24,
+            Instr::Neg => 0x25,
+            Instr::Eq => 0x30,
+            Instr::Ne => 0x31,
+            Instr::Lt => 0x32,
+            Instr::Le => 0x33,
+            Instr::Gt => 0x34,
+            Instr::Ge => 0x35,
+            Instr::And => 0x36,
+            Instr::Or => 0x37,
+            Instr::Not => 0x38,
+            Instr::Concat => 0x39,
+            Instr::Jump(_) => 0x40,
+            Instr::JumpIfFalse(_) => 0x41,
+            Instr::ListNew => 0x50,
+            Instr::ListPush => 0x51,
+            Instr::ListGet => 0x52,
+            Instr::ListLen => 0x53,
+            Instr::Invoke(_, _, _) => 0x60,
+            Instr::Param(_) => 0x61,
+            Instr::Emit(_) => 0x62,
+            Instr::Site => 0x63,
+            Instr::Halt => 0x70,
+            Instr::Fail(_) => 0x71,
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::PushConst(_) | Instr::PushInt(_) | Instr::PushTrue | Instr::PushFalse => {
+                "push"
+            }
+            Instr::PushNil => "nil",
+            Instr::Dup => "dup",
+            Instr::Pop => "pop",
+            Instr::Swap => "swap",
+            Instr::Load(_) => "load",
+            Instr::Store(_) => "store",
+            Instr::GLoad(_) => "gload",
+            Instr::GStore(_) => "gstore",
+            Instr::Add => "add",
+            Instr::Sub => "sub",
+            Instr::Mul => "mul",
+            Instr::Div => "div",
+            Instr::Mod => "mod",
+            Instr::Neg => "neg",
+            Instr::Eq => "eq",
+            Instr::Ne => "ne",
+            Instr::Lt => "lt",
+            Instr::Le => "le",
+            Instr::Gt => "gt",
+            Instr::Ge => "ge",
+            Instr::And => "and",
+            Instr::Or => "or",
+            Instr::Not => "not",
+            Instr::Concat => "concat",
+            Instr::Jump(_) => "jmp",
+            Instr::JumpIfFalse(_) => "jmpf",
+            Instr::ListNew => "listnew",
+            Instr::ListPush => "listpush",
+            Instr::ListGet => "listget",
+            Instr::ListLen => "listlen",
+            Instr::Invoke(_, _, _) => "invoke",
+            Instr::Param(_) => "param",
+            Instr::Emit(_) => "emit",
+            Instr::Site => "site",
+            Instr::Halt => "halt",
+            Instr::Fail(_) => "fail",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_are_unique() {
+        let all = [
+            Instr::PushConst(0),
+            Instr::PushInt(0),
+            Instr::PushTrue,
+            Instr::PushFalse,
+            Instr::PushNil,
+            Instr::Dup,
+            Instr::Pop,
+            Instr::Swap,
+            Instr::Load(0),
+            Instr::Store(0),
+            Instr::GLoad(0),
+            Instr::GStore(0),
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Mod,
+            Instr::Neg,
+            Instr::Eq,
+            Instr::Ne,
+            Instr::Lt,
+            Instr::Le,
+            Instr::Gt,
+            Instr::Ge,
+            Instr::And,
+            Instr::Or,
+            Instr::Not,
+            Instr::Concat,
+            Instr::Jump(0),
+            Instr::JumpIfFalse(0),
+            Instr::ListNew,
+            Instr::ListPush,
+            Instr::ListGet,
+            Instr::ListLen,
+            Instr::Invoke(0, 0, 0),
+            Instr::Param(0),
+            Instr::Emit(0),
+            Instr::Site,
+            Instr::Halt,
+            Instr::Fail(0),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for i in &all {
+            assert!(seen.insert(i.opcode()), "duplicate opcode {:#x}", i.opcode());
+        }
+        assert_eq!(seen.len(), all.len());
+    }
+
+    #[test]
+    fn mnemonics_nonempty() {
+        assert_eq!(Instr::Halt.mnemonic(), "halt");
+        assert_eq!(Instr::Invoke(0, 0, 0).mnemonic(), "invoke");
+    }
+}

@@ -1,0 +1,644 @@
+//! [`Program`]: an assembled agent — constant pool + code — with the binary
+//! and XML serializations that let it travel.
+//!
+//! The binary form (`PDAC` magic) is what gets stored in the device database
+//! and compressed; the XML form wraps the (base64) binary with metadata and
+//! is what the paper's interoperable wire formats carry.
+
+use pdagent_codec::{base64, varint};
+use pdagent_xml::Element;
+
+use crate::isa::Instr;
+use crate::value::Value;
+
+/// Binary format magic.
+pub const MAGIC: &[u8; 4] = b"PDAC";
+/// Binary format version.
+pub const VERSION: u8 = 1;
+
+/// An assembled agent program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Human-readable agent name (e.g. `"ebank-transfer"`).
+    pub name: String,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Instruction sequence.
+    pub code: Vec<Instr>,
+}
+
+/// Program decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Bad magic or version.
+    BadHeader,
+    /// Truncated or malformed body.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// A constant/jump/local reference is out of range.
+    BadReference {
+        /// Which instruction index.
+        at: usize,
+    },
+    /// The XML wrapper was not a valid `<ma-code>` document.
+    BadXml(String),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::BadHeader => write!(f, "bad PDAC header"),
+            ProgramError::Malformed { what } => write!(f, "malformed program: {what}"),
+            ProgramError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProgramError::BadReference { at } => {
+                write!(f, "out-of-range reference at instruction {at}")
+            }
+            ProgramError::BadXml(msg) => write!(f, "bad ma-code XML: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// One instruction as a `pdax-1` XML element: `<i op="..." .../>` with
+/// operand attributes `c` (const index), `n` (immediate int), `l` (local
+/// slot), `t` (jump target), `s`/`o`/`a` (invoke service/op/argc).
+fn instr_to_xml(ins: &Instr) -> Element {
+    let el = Element::new("i");
+    match *ins {
+        Instr::PushConst(c) => el.with_attr("op", "pushc").with_attr("c", c.to_string()),
+        Instr::PushInt(n) => el.with_attr("op", "pushi").with_attr("n", n.to_string()),
+        Instr::PushTrue => el.with_attr("op", "ptrue"),
+        Instr::PushFalse => el.with_attr("op", "pfalse"),
+        Instr::PushNil => el.with_attr("op", "nil"),
+        Instr::Dup => el.with_attr("op", "dup"),
+        Instr::Pop => el.with_attr("op", "pop"),
+        Instr::Swap => el.with_attr("op", "swap"),
+        Instr::Load(l) => el.with_attr("op", "load").with_attr("l", l.to_string()),
+        Instr::Store(l) => el.with_attr("op", "store").with_attr("l", l.to_string()),
+        Instr::GLoad(c) => el.with_attr("op", "gload").with_attr("c", c.to_string()),
+        Instr::GStore(c) => el.with_attr("op", "gstore").with_attr("c", c.to_string()),
+        Instr::Add => el.with_attr("op", "add"),
+        Instr::Sub => el.with_attr("op", "sub"),
+        Instr::Mul => el.with_attr("op", "mul"),
+        Instr::Div => el.with_attr("op", "div"),
+        Instr::Mod => el.with_attr("op", "mod"),
+        Instr::Neg => el.with_attr("op", "neg"),
+        Instr::Eq => el.with_attr("op", "eq"),
+        Instr::Ne => el.with_attr("op", "ne"),
+        Instr::Lt => el.with_attr("op", "lt"),
+        Instr::Le => el.with_attr("op", "le"),
+        Instr::Gt => el.with_attr("op", "gt"),
+        Instr::Ge => el.with_attr("op", "ge"),
+        Instr::And => el.with_attr("op", "and"),
+        Instr::Or => el.with_attr("op", "or"),
+        Instr::Not => el.with_attr("op", "not"),
+        Instr::Concat => el.with_attr("op", "concat"),
+        Instr::Jump(t) => el.with_attr("op", "jmp").with_attr("t", t.to_string()),
+        Instr::JumpIfFalse(t) => el.with_attr("op", "jmpf").with_attr("t", t.to_string()),
+        Instr::ListNew => el.with_attr("op", "listnew"),
+        Instr::ListPush => el.with_attr("op", "listpush"),
+        Instr::ListGet => el.with_attr("op", "listget"),
+        Instr::ListLen => el.with_attr("op", "listlen"),
+        Instr::Invoke(s, o, a) => el
+            .with_attr("op", "invoke")
+            .with_attr("s", s.to_string())
+            .with_attr("o", o.to_string())
+            .with_attr("a", a.to_string()),
+        Instr::Param(c) => el.with_attr("op", "param").with_attr("c", c.to_string()),
+        Instr::Emit(c) => el.with_attr("op", "emit").with_attr("c", c.to_string()),
+        Instr::Site => el.with_attr("op", "site"),
+        Instr::Halt => el.with_attr("op", "halt"),
+        Instr::Fail(c) => el.with_attr("op", "fail").with_attr("c", c.to_string()),
+    }
+}
+
+/// Parse a `pdax-1` instruction element.
+fn instr_from_xml(el: &Element) -> Result<Instr, ProgramError> {
+    let bad = |msg: String| ProgramError::BadXml(msg);
+    if el.name() != "i" {
+        return Err(bad(format!("expected <i>, found <{}>", el.name())));
+    }
+    let op = el.attr("op").ok_or_else(|| bad("missing op".into()))?;
+    let attr_u16 = |name: &str| -> Result<u16, ProgramError> {
+        el.attr(name)
+            .ok_or_else(|| bad(format!("{op}: missing {name:?}")))?
+            .parse::<u16>()
+            .map_err(|e| bad(format!("{op}: bad {name:?}: {e}")))
+    };
+    let attr_u8 = |name: &str| -> Result<u8, ProgramError> {
+        el.attr(name)
+            .ok_or_else(|| bad(format!("{op}: missing {name:?}")))?
+            .parse::<u8>()
+            .map_err(|e| bad(format!("{op}: bad {name:?}: {e}")))
+    };
+    let attr_u32 = |name: &str| -> Result<u32, ProgramError> {
+        el.attr(name)
+            .ok_or_else(|| bad(format!("{op}: missing {name:?}")))?
+            .parse::<u32>()
+            .map_err(|e| bad(format!("{op}: bad {name:?}: {e}")))
+    };
+    Ok(match op {
+        "pushc" => Instr::PushConst(attr_u16("c")?),
+        "pushi" => Instr::PushInt(
+            el.attr("n")
+                .ok_or_else(|| bad("pushi: missing n".into()))?
+                .parse::<i64>()
+                .map_err(|e| bad(format!("pushi: bad n: {e}")))?,
+        ),
+        "ptrue" => Instr::PushTrue,
+        "pfalse" => Instr::PushFalse,
+        "nil" => Instr::PushNil,
+        "dup" => Instr::Dup,
+        "pop" => Instr::Pop,
+        "swap" => Instr::Swap,
+        "load" => Instr::Load(attr_u8("l")?),
+        "store" => Instr::Store(attr_u8("l")?),
+        "gload" => Instr::GLoad(attr_u16("c")?),
+        "gstore" => Instr::GStore(attr_u16("c")?),
+        "add" => Instr::Add,
+        "sub" => Instr::Sub,
+        "mul" => Instr::Mul,
+        "div" => Instr::Div,
+        "mod" => Instr::Mod,
+        "neg" => Instr::Neg,
+        "eq" => Instr::Eq,
+        "ne" => Instr::Ne,
+        "lt" => Instr::Lt,
+        "le" => Instr::Le,
+        "gt" => Instr::Gt,
+        "ge" => Instr::Ge,
+        "and" => Instr::And,
+        "or" => Instr::Or,
+        "not" => Instr::Not,
+        "concat" => Instr::Concat,
+        "jmp" => Instr::Jump(attr_u32("t")?),
+        "jmpf" => Instr::JumpIfFalse(attr_u32("t")?),
+        "listnew" => Instr::ListNew,
+        "listpush" => Instr::ListPush,
+        "listget" => Instr::ListGet,
+        "listlen" => Instr::ListLen,
+        "invoke" => Instr::Invoke(attr_u16("s")?, attr_u16("o")?, attr_u8("a")?),
+        "param" => Instr::Param(attr_u16("c")?),
+        "emit" => Instr::Emit(attr_u16("c")?),
+        "site" => Instr::Site,
+        "halt" => Instr::Halt,
+        "fail" => Instr::Fail(attr_u16("c")?),
+        other => return Err(bad(format!("unknown op {other:?}"))),
+    })
+}
+
+fn value_to_xml(v: &Value) -> Element {
+    v.to_xml()
+}
+
+fn value_from_xml(el: &Element) -> Result<Value, ProgramError> {
+    Value::from_xml(el).map_err(ProgramError::BadXml)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+impl Program {
+    /// Serialize to the binary `PDAC` form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.code.len() * 3 + 64);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        varint::write_usize(&mut out, self.name.len());
+        out.extend_from_slice(self.name.as_bytes());
+        varint::write_usize(&mut out, self.consts.len());
+        for c in &self.consts {
+            c.encode(&mut out);
+        }
+        varint::write_usize(&mut out, self.code.len());
+        for ins in &self.code {
+            out.push(ins.opcode());
+            match *ins {
+                Instr::PushConst(i)
+                | Instr::GLoad(i)
+                | Instr::GStore(i)
+                | Instr::Param(i)
+                | Instr::Emit(i)
+                | Instr::Fail(i) => varint::write_u64(&mut out, i as u64),
+                Instr::PushInt(v) => varint::write_u64(&mut out, zigzag(v)),
+                Instr::Load(n) | Instr::Store(n) => out.push(n),
+                Instr::Jump(t) | Instr::JumpIfFalse(t) => {
+                    varint::write_u64(&mut out, t as u64)
+                }
+                Instr::Invoke(s, o, argc) => {
+                    varint::write_u64(&mut out, s as u64);
+                    varint::write_u64(&mut out, o as u64);
+                    out.push(argc);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parse the binary `PDAC` form, then validate all references.
+    pub fn from_bytes(input: &[u8]) -> Result<Program, ProgramError> {
+        if input.len() < 5 || &input[..4] != MAGIC || input[4] != VERSION {
+            return Err(ProgramError::BadHeader);
+        }
+        let mut pos = 5;
+        let name_len = varint::read_usize(input, &mut pos)
+            .map_err(|_| ProgramError::Malformed { what: "name length" })?;
+        let name_end = pos
+            .checked_add(name_len)
+            .filter(|&e| e <= input.len())
+            .ok_or(ProgramError::Malformed { what: "name bytes" })?;
+        let name = std::str::from_utf8(&input[pos..name_end])
+            .map_err(|_| ProgramError::Malformed { what: "name utf8" })?
+            .to_owned();
+        pos = name_end;
+
+        let n_consts = varint::read_usize(input, &mut pos)
+            .map_err(|_| ProgramError::Malformed { what: "const count" })?;
+        if n_consts > input.len() {
+            return Err(ProgramError::Malformed { what: "const count" });
+        }
+        let mut consts = Vec::with_capacity(n_consts);
+        for _ in 0..n_consts {
+            consts.push(
+                Value::decode(input, &mut pos)
+                    .map_err(|_| ProgramError::Malformed { what: "constant" })?,
+            );
+        }
+
+        let n_code = varint::read_usize(input, &mut pos)
+            .map_err(|_| ProgramError::Malformed { what: "code count" })?;
+        if n_code > input.len() {
+            return Err(ProgramError::Malformed { what: "code count" });
+        }
+        let mut code = Vec::with_capacity(n_code);
+        let read_u16 = |input: &[u8], pos: &mut usize| -> Result<u16, ProgramError> {
+            let v = varint::read_u64(input, pos)
+                .map_err(|_| ProgramError::Malformed { what: "operand" })?;
+            u16::try_from(v).map_err(|_| ProgramError::Malformed { what: "operand range" })
+        };
+        for _ in 0..n_code {
+            let op = *input
+                .get(pos)
+                .ok_or(ProgramError::Malformed { what: "opcode" })?;
+            pos += 1;
+            let ins = match op {
+                0x01 => Instr::PushConst(read_u16(input, &mut pos)?),
+                0x02 => {
+                    let raw = varint::read_u64(input, &mut pos)
+                        .map_err(|_| ProgramError::Malformed { what: "int operand" })?;
+                    Instr::PushInt(unzigzag(raw))
+                }
+                0x03 => Instr::PushTrue,
+                0x04 => Instr::PushFalse,
+                0x05 => Instr::PushNil,
+                0x06 => Instr::Dup,
+                0x07 => Instr::Pop,
+                0x08 => Instr::Swap,
+                0x10 => Instr::Load(
+                    *input.get(pos).ok_or(ProgramError::Malformed { what: "local" })?,
+                ),
+                0x11 => Instr::Store(
+                    *input.get(pos).ok_or(ProgramError::Malformed { what: "local" })?,
+                ),
+                0x12 => Instr::GLoad(read_u16(input, &mut pos)?),
+                0x13 => Instr::GStore(read_u16(input, &mut pos)?),
+                0x20 => Instr::Add,
+                0x21 => Instr::Sub,
+                0x22 => Instr::Mul,
+                0x23 => Instr::Div,
+                0x24 => Instr::Mod,
+                0x25 => Instr::Neg,
+                0x30 => Instr::Eq,
+                0x31 => Instr::Ne,
+                0x32 => Instr::Lt,
+                0x33 => Instr::Le,
+                0x34 => Instr::Gt,
+                0x35 => Instr::Ge,
+                0x36 => Instr::And,
+                0x37 => Instr::Or,
+                0x38 => Instr::Not,
+                0x39 => Instr::Concat,
+                0x40 | 0x41 => {
+                    let t = varint::read_u64(input, &mut pos)
+                        .map_err(|_| ProgramError::Malformed { what: "jump target" })?;
+                    let t = u32::try_from(t)
+                        .map_err(|_| ProgramError::Malformed { what: "jump range" })?;
+                    if op == 0x40 {
+                        Instr::Jump(t)
+                    } else {
+                        Instr::JumpIfFalse(t)
+                    }
+                }
+                0x50 => Instr::ListNew,
+                0x51 => Instr::ListPush,
+                0x52 => Instr::ListGet,
+                0x53 => Instr::ListLen,
+                0x60 => {
+                    let s = read_u16(input, &mut pos)?;
+                    let o = read_u16(input, &mut pos)?;
+                    let argc = *input
+                        .get(pos)
+                        .ok_or(ProgramError::Malformed { what: "argc" })?;
+                    pos += 1;
+                    Instr::Invoke(s, o, argc)
+                }
+                0x61 => Instr::Param(read_u16(input, &mut pos)?),
+                0x62 => Instr::Emit(read_u16(input, &mut pos)?),
+                0x63 => Instr::Site,
+                0x70 => Instr::Halt,
+                0x71 => Instr::Fail(read_u16(input, &mut pos)?),
+                other => return Err(ProgramError::UnknownOpcode(other)),
+            };
+            // Advance past the single-byte local operand.
+            if matches!(op, 0x10 | 0x11) {
+                pos += 1;
+            }
+            code.push(ins);
+        }
+        let program = Program { name, consts, code };
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// Validate that every constant/jump reference is in range.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let nc = self.consts.len();
+        let ni = self.code.len();
+        for (at, ins) in self.code.iter().enumerate() {
+            let ok = match *ins {
+                Instr::PushConst(i)
+                | Instr::GLoad(i)
+                | Instr::GStore(i)
+                | Instr::Param(i)
+                | Instr::Emit(i)
+                | Instr::Fail(i) => (i as usize) < nc,
+                Instr::Invoke(s, o, _) => (s as usize) < nc && (o as usize) < nc,
+                Instr::Jump(t) | Instr::JumpIfFalse(t) => (t as usize) <= ni,
+                _ => true,
+            };
+            if !ok {
+                return Err(ProgramError::BadReference { at });
+            }
+        }
+        Ok(())
+    }
+
+    /// Wrap in the `<ma-code>` XML element used inside Packed Information.
+    ///
+    /// This is the **verbose, structured** `pdax-1` form — every instruction
+    /// an element — realizing the paper's proposal of "a standard MA code
+    /// format (e.g., specified using XML) which can be understood and
+    /// interpreted by gateways and different MA servers". It is larger than
+    /// the binary form but self-describing and highly compressible (which is
+    /// why the platform compresses MA code before storing/shipping it).
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("ma-code")
+            .with_attr("name", &self.name)
+            .with_attr("format", "pdax-1");
+        let mut consts = Element::new("consts");
+        for c in &self.consts {
+            consts.push_child(value_to_xml(c));
+        }
+        root.push_child(consts);
+        let mut code = Element::new("code");
+        for ins in &self.code {
+            code.push_child(instr_to_xml(ins));
+        }
+        root.push_child(code);
+        root
+    }
+
+    /// Wrap in the compact `pdac-1` form: base64 of the binary encoding.
+    /// Denser on the wire, but opaque to non-PDAgent tooling.
+    pub fn to_xml_compact(&self) -> Element {
+        let bytes = self.to_bytes();
+        Element::new("ma-code")
+            .with_attr("name", &self.name)
+            .with_attr("format", "pdac-1")
+            .with_attr("size", bytes.len().to_string())
+            .with_text(base64::encode(&bytes))
+    }
+
+    /// Unwrap from a `<ma-code>` element (either format).
+    pub fn from_xml(el: &Element) -> Result<Program, ProgramError> {
+        if el.name() != "ma-code" {
+            return Err(ProgramError::BadXml(format!(
+                "expected <ma-code>, found <{}>",
+                el.name()
+            )));
+        }
+        match el.attr("format") {
+            Some("pdac-1") => {
+                let bytes = base64::decode(&el.text())
+                    .map_err(|e| ProgramError::BadXml(format!("base64: {e}")))?;
+                Program::from_bytes(&bytes)
+            }
+            Some("pdax-1") => {
+                let name = el.attr("name").unwrap_or_default().to_owned();
+                let consts_el = el
+                    .child("consts")
+                    .ok_or_else(|| ProgramError::BadXml("missing <consts>".into()))?;
+                let mut consts = Vec::new();
+                for v in consts_el.children() {
+                    consts.push(value_from_xml(v)?);
+                }
+                let code_el = el
+                    .child("code")
+                    .ok_or_else(|| ProgramError::BadXml("missing <code>".into()))?;
+                let mut code = Vec::new();
+                for i in code_el.children() {
+                    code.push(instr_from_xml(i)?);
+                }
+                let program = Program { name, consts, code };
+                program.validate()?;
+                Ok(program)
+            }
+            other => Err(ProgramError::BadXml(format!("unsupported format {other:?}"))),
+        }
+    }
+
+    /// Size of the binary form in bytes — the quantity the paper budgets at
+    /// 1–8 KB per application agent.
+    pub fn byte_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Intern a constant, returning its index (dedup by equality).
+    pub fn intern(&mut self, value: Value) -> u16 {
+        if let Some(i) = self.consts.iter().position(|c| *c == value) {
+            return i as u16;
+        }
+        let i = self.consts.len();
+        assert!(i < u16::MAX as usize, "constant pool overflow");
+        self.consts.push(value);
+        i as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program { name: "sample".into(), ..Default::default() };
+        let s_bank = p.intern(Value::Str("bank".into()));
+        let s_op = p.intern(Value::Str("transfer".into()));
+        let s_out = p.intern(Value::Str("receipt".into()));
+        p.code = vec![
+            Instr::Param(s_bank),
+            Instr::PushInt(12500),
+            Instr::PushInt(-3),
+            Instr::Add,
+            Instr::Invoke(s_bank, s_op, 2),
+            Instr::Dup,
+            Instr::JumpIfFalse(9),
+            Instr::Emit(s_out),
+            Instr::Halt,
+            Instr::Fail(s_op),
+        ];
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(Program::from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn xml_roundtrip_verbose() {
+        let p = sample();
+        let el = p.to_xml();
+        assert_eq!(el.attr("name"), Some("sample"));
+        assert_eq!(el.attr("format"), Some("pdax-1"));
+        let doc = el.to_document_string();
+        let back = Element::parse_str(&doc).unwrap();
+        assert_eq!(Program::from_xml(&back).unwrap(), p);
+    }
+
+    #[test]
+    fn xml_roundtrip_compact() {
+        let p = sample();
+        let el = p.to_xml_compact();
+        assert_eq!(el.attr("format"), Some("pdac-1"));
+        let doc = el.to_document_string();
+        let back = Element::parse_str(&doc).unwrap();
+        assert_eq!(Program::from_xml(&back).unwrap(), p);
+    }
+
+    #[test]
+    fn verbose_xml_rejects_bad_references() {
+        // An out-of-range const index must fail validation at parse time.
+        let doc = r#"<ma-code name="x" format="pdax-1"><consts/><code><i op="pushc" c="3"/></code></ma-code>"#;
+        let el = Element::parse_str(doc).unwrap();
+        assert!(matches!(
+            Program::from_xml(&el),
+            Err(ProgramError::BadReference { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn verbose_xml_rejects_unknown_ops() {
+        let doc = r#"<ma-code name="x" format="pdax-1"><consts/><code><i op="explode"/></code></ma-code>"#;
+        let el = Element::parse_str(doc).unwrap();
+        assert!(matches!(Program::from_xml(&el), Err(ProgramError::BadXml(_))));
+    }
+
+    #[test]
+    fn intern_dedups() {
+        let mut p = Program::default();
+        let a = p.intern(Value::Str("x".into()));
+        let b = p.intern(Value::Str("x".into()));
+        let c = p.intern(Value::Str("y".into()));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.consts.len(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(Program::from_bytes(b""), Err(ProgramError::BadHeader));
+        assert_eq!(Program::from_bytes(b"XXXX\x01"), Err(ProgramError::BadHeader));
+        assert_eq!(Program::from_bytes(b"PDAC\x63"), Err(ProgramError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 5..bytes.len() {
+            assert!(
+                Program::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut p = Program { name: "t".into(), ..Default::default() };
+        p.code = vec![Instr::Halt];
+        let mut bytes = p.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xEE;
+        assert_eq!(Program::from_bytes(&bytes), Err(ProgramError::UnknownOpcode(0xEE)));
+    }
+
+    #[test]
+    fn validate_catches_bad_const_ref() {
+        let p = Program {
+            name: "bad".into(),
+            consts: vec![],
+            code: vec![Instr::PushConst(0)],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::BadReference { at: 0 }));
+    }
+
+    #[test]
+    fn validate_catches_bad_jump() {
+        let p = Program {
+            name: "bad".into(),
+            consts: vec![],
+            code: vec![Instr::Jump(5), Instr::Halt],
+        };
+        assert_eq!(p.validate(), Err(ProgramError::BadReference { at: 0 }));
+    }
+
+    #[test]
+    fn jump_to_end_is_allowed() {
+        // Jumping to code.len() means "fall off the end" = halt.
+        let p = Program {
+            name: "edge".into(),
+            consts: vec![],
+            code: vec![Instr::Jump(1)],
+        };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn from_xml_rejects_wrong_element() {
+        let el = Element::new("not-code");
+        assert!(matches!(Program::from_xml(&el), Err(ProgramError::BadXml(_))));
+        let el = Element::new("ma-code").with_attr("format", "java-class");
+        assert!(matches!(Program::from_xml(&el), Err(ProgramError::BadXml(_))));
+    }
+
+    #[test]
+    fn byte_size_in_paper_range_for_realistic_agent() {
+        // A sample agent sits comfortably inside the paper's 1–8 KB claim
+        // (this tiny one is far below; the apps crate asserts the range for
+        // the real e-banking agent).
+        assert!(sample().byte_size() < 8 * 1024);
+    }
+}

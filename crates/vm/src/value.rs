@@ -1,0 +1,338 @@
+//! The dynamic value type agents compute with, and its serialization.
+
+use pdagent_codec::varint;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / absence.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer. Money in the examples is integer cents.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Heterogeneous list.
+    List(Vec<Value>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueDecodeError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ValueDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed value encoding at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for ValueDecodeError {}
+
+/// ZigZag encoding maps signed to unsigned for varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+impl Value {
+    /// Truthiness: `Nil`, `false`, `0`, `""` and `[]` are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Nil => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// Integer view, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Append the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Nil => out.push(0),
+            Value::Bool(false) => out.push(1),
+            Value::Bool(true) => out.push(2),
+            Value::Int(i) => {
+                out.push(3);
+                varint::write_u64(out, zigzag(*i));
+            }
+            Value::Str(s) => {
+                out.push(4);
+                varint::write_usize(out, s.len());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::List(items) => {
+                out.push(5);
+                varint::write_usize(out, items.len());
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Decode one value from `input` starting at `*pos`.
+    pub fn decode(input: &[u8], pos: &mut usize) -> Result<Value, ValueDecodeError> {
+        let err = |pos: usize| ValueDecodeError { offset: pos };
+        let tag = *input.get(*pos).ok_or(err(*pos))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(Value::Nil),
+            1 => Ok(Value::Bool(false)),
+            2 => Ok(Value::Bool(true)),
+            3 => {
+                let raw = varint::read_u64(input, pos).map_err(|_| err(*pos))?;
+                Ok(Value::Int(unzigzag(raw)))
+            }
+            4 => {
+                let len = varint::read_usize(input, pos).map_err(|_| err(*pos))?;
+                let end = pos.checked_add(len).ok_or(err(*pos))?;
+                if end > input.len() {
+                    return Err(err(*pos));
+                }
+                let s = std::str::from_utf8(&input[*pos..end])
+                    .map_err(|_| err(*pos))?
+                    .to_owned();
+                *pos = end;
+                Ok(Value::Str(s))
+            }
+            5 => {
+                let len = varint::read_usize(input, pos).map_err(|_| err(*pos))?;
+                // Guard absurd lengths before allocating.
+                if len > input.len().saturating_sub(*pos) {
+                    return Err(err(*pos));
+                }
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Value::decode(input, pos)?);
+                }
+                Ok(Value::List(items))
+            }
+            _ => Err(err(*pos - 1)),
+        }
+    }
+
+    /// Render for result documents / display.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Nil => "nil".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Typed XML form `<v t="...">...</v>` (recursive for lists) — used by
+    /// the PI parameter encoding and the verbose program format.
+    pub fn to_xml(&self) -> pdagent_xml::Element {
+        use pdagent_xml::Element;
+        match self {
+            Value::Nil => Element::new("v").with_attr("t", "nil"),
+            Value::Bool(b) => {
+                Element::new("v").with_attr("t", "bool").with_text(b.to_string())
+            }
+            Value::Int(i) => Element::new("v").with_attr("t", "int").with_text(i.to_string()),
+            Value::Str(s) => Element::new("v").with_attr("t", "str").with_text(s.clone()),
+            Value::List(items) => {
+                let mut el = Element::new("v").with_attr("t", "list");
+                for item in items {
+                    el.push_child(item.to_xml());
+                }
+                el
+            }
+        }
+    }
+
+    /// Parse the typed XML form.
+    pub fn from_xml(el: &pdagent_xml::Element) -> Result<Value, String> {
+        if el.name() != "v" {
+            return Err(format!("expected <v>, found <{}>", el.name()));
+        }
+        match el.attr("t").ok_or("missing t attribute")? {
+            "nil" => Ok(Value::Nil),
+            "bool" => match el.text().as_str() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                other => Err(format!("bad bool {other:?}")),
+            },
+            "int" => el.text().parse::<i64>().map(Value::Int).map_err(|e| format!("bad int: {e}")),
+            "str" => Ok(Value::Str(el.text())),
+            "list" => {
+                let mut items = Vec::new();
+                for child in el.children() {
+                    items.push(Value::from_xml(child)?);
+                }
+                Ok(Value::List(items))
+            }
+            other => Err(format!("unknown value type {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        let back = Value::decode(&buf, &mut pos).unwrap();
+        assert_eq!(&back, v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(&Value::Nil);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Int(0));
+        roundtrip(&Value::Int(-1));
+        roundtrip(&Value::Int(i64::MAX));
+        roundtrip(&Value::Int(i64::MIN));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Str("héllo 中文".into()));
+        roundtrip(&Value::List(vec![]));
+        roundtrip(&Value::List(vec![
+            Value::Int(1),
+            Value::Str("two".into()),
+            Value::List(vec![Value::Bool(true), Value::Nil]),
+        ]));
+    }
+
+    #[test]
+    fn zigzag_examples() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [0i64, 1, -1, 1000, -1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(-5).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(Value::List(vec![Value::Nil]).truthy());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Value::decode(&[], &mut 0).is_err());
+        assert!(Value::decode(&[99], &mut 0).is_err());
+        // Str claims 100 bytes but only 2 follow.
+        assert!(Value::decode(&[4, 100, b'a', b'b'], &mut 0).is_err());
+        // List claims huge length.
+        assert!(Value::decode(&[5, 0xff, 0xff, 0x7f], &mut 0).is_err());
+        // Invalid UTF-8 payload.
+        assert!(Value::decode(&[4, 1, 0xff], &mut 0).is_err());
+    }
+
+    #[test]
+    fn render_forms() {
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::Str("hi".into()).render(), "hi");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]).render(),
+            "[1, a]"
+        );
+        assert_eq!(Value::Nil.to_string(), "nil");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn sequential_decode() {
+        let mut buf = Vec::new();
+        Value::Int(1).encode(&mut buf);
+        Value::Str("x".into()).encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(Value::decode(&buf, &mut pos).unwrap(), Value::Int(1));
+        assert_eq!(Value::decode(&buf, &mut pos).unwrap(), Value::Str("x".into()));
+        assert_eq!(pos, buf.len());
+    }
+}

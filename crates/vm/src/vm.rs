@@ -1,0 +1,782 @@
+//! The interpreter: fuel-metered execution of a [`Program`] against a
+//! [`Host`].
+//!
+//! An agent's *migrating state* ([`AgentState`]) — its globals and the
+//! results it has accumulated — survives across sites: the MAS serializes it
+//! into the transfer message along with the program, exactly as Aglets
+//! serializes an agent's fields. Locals and the operand stack are per-site
+//! scratch space (the paper's platform, like most weak-mobility systems,
+//! resumes agents from their entry point at each hop).
+
+use std::collections::BTreeMap;
+
+use pdagent_codec::varint;
+
+use crate::isa::Instr;
+use crate::program::Program;
+use crate::value::Value;
+
+/// Number of local variable slots.
+pub const LOCALS: usize = 64;
+/// Operand stack limit.
+pub const STACK_LIMIT: usize = 1024;
+
+/// The interface through which an agent touches the site it is running on.
+pub trait Host {
+    /// Invoke an operation on a named site service (e.g.
+    /// `bank.transfer(from, to, amount)`). Errors become [`VmError::Host`].
+    fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String>;
+
+    /// A launch parameter by name (`None` → the VM pushes `Nil`).
+    fn param(&self, name: &str) -> Option<Value>;
+
+    /// Append a value to the agent's result document.
+    fn emit(&mut self, key: &str, value: Value);
+
+    /// Name of the site the agent is currently executing at.
+    fn site_name(&self) -> &str;
+}
+
+/// A simple map-backed host for tests and local (device-side) dry runs.
+#[derive(Debug, Default)]
+pub struct MapHost {
+    site: String,
+    params: BTreeMap<String, Value>,
+    emitted: Vec<(String, Value)>,
+    /// Canned service responses: `(service, op)` → result.
+    pub services: BTreeMap<(String, String), Value>,
+}
+
+impl MapHost {
+    /// A host for the named site.
+    pub fn new(site: impl Into<String>) -> MapHost {
+        MapHost { site: site.into(), ..Default::default() }
+    }
+
+    /// Set a launch parameter.
+    pub fn set_param(&mut self, name: impl Into<String>, value: Value) {
+        self.params.insert(name.into(), value);
+    }
+
+    /// Install a canned service response.
+    pub fn set_service(&mut self, service: &str, op: &str, result: Value) {
+        self.services.insert((service.to_owned(), op.to_owned()), result);
+    }
+
+    /// First emitted value for `key`.
+    pub fn emitted(&self, key: &str) -> Option<&Value> {
+        self.emitted.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All emitted pairs in order.
+    pub fn all_emitted(&self) -> &[(String, Value)] {
+        &self.emitted
+    }
+}
+
+impl Host for MapHost {
+    fn invoke(&mut self, service: &str, op: &str, args: &[Value]) -> Result<Value, String> {
+        self.services
+            .get(&(service.to_owned(), op.to_owned()))
+            .cloned()
+            .ok_or_else(|| format!("no service {service}.{op} (args {args:?})"))
+    }
+
+    fn param(&self, name: &str) -> Option<Value> {
+        self.params.get(name).cloned()
+    }
+
+    fn emit(&mut self, key: &str, value: Value) {
+        self.emitted.push((key.to_owned(), value));
+    }
+
+    fn site_name(&self) -> &str {
+        &self.site
+    }
+}
+
+/// An execution fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Operand stack underflow.
+    StackUnderflow {
+        /// Instruction index.
+        at: usize,
+    },
+    /// Operand stack overflow (runaway agent).
+    StackOverflow {
+        /// Instruction index.
+        at: usize,
+    },
+    /// Type mismatch for an operation.
+    TypeError {
+        /// Instruction index.
+        at: usize,
+        /// Description.
+        message: String,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero {
+        /// Instruction index.
+        at: usize,
+    },
+    /// List index out of range.
+    IndexOutOfRange {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A host invoke returned an error.
+    Host {
+        /// Instruction index.
+        at: usize,
+        /// Host-provided message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::StackUnderflow { at } => write!(f, "stack underflow at {at}"),
+            VmError::StackOverflow { at } => write!(f, "stack overflow at {at}"),
+            VmError::TypeError { at, message } => write!(f, "type error at {at}: {message}"),
+            VmError::DivisionByZero { at } => write!(f, "division by zero at {at}"),
+            VmError::IndexOutOfRange { at } => write!(f, "index out of range at {at}"),
+            VmError::Host { at, message } => write!(f, "host error at {at}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `halt` reached (or fell off the end of the code).
+    Completed,
+    /// `fail "<msg>"` executed.
+    Failed(String),
+    /// The fuel budget ran out (runaway/hostile agent contained).
+    OutOfFuel,
+    /// An execution fault.
+    Trapped(VmError),
+}
+
+/// The agent's migrating state: globals + instruction count, serialized into
+/// agent-transfer messages between sites.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AgentState {
+    /// Named globals that persist across hops (`gload`/`gstore`).
+    pub globals: BTreeMap<String, Value>,
+    /// Total instructions executed across all hops (accounting).
+    pub instructions: u64,
+}
+
+impl AgentState {
+    /// Serialize to bytes (for the MAS transfer protocol).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.instructions);
+        varint::write_usize(&mut out, self.globals.len());
+        for (k, v) in &self.globals {
+            varint::write_usize(&mut out, k.len());
+            out.extend_from_slice(k.as_bytes());
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(input: &[u8]) -> Option<AgentState> {
+        let mut pos = 0;
+        let instructions = varint::read_u64(input, &mut pos).ok()?;
+        let n = varint::read_usize(input, &mut pos).ok()?;
+        if n > input.len() {
+            return None;
+        }
+        let mut globals = BTreeMap::new();
+        for _ in 0..n {
+            let klen = varint::read_usize(input, &mut pos).ok()?;
+            let end = pos.checked_add(klen)?;
+            if end > input.len() {
+                return None;
+            }
+            let k = std::str::from_utf8(&input[pos..end]).ok()?.to_owned();
+            pos = end;
+            let v = Value::decode(input, &mut pos).ok()?;
+            globals.insert(k, v);
+        }
+        Some(AgentState { globals, instructions })
+    }
+}
+
+/// Execute `program` against `host` with at most `fuel` instructions,
+/// reading and updating the agent's migrating `state`.
+pub fn run(program: &Program, state: &mut AgentState, host: &mut dyn Host, fuel: u64) -> Outcome {
+    debug_assert!(program.validate().is_ok(), "run() requires a validated program");
+    let mut stack: Vec<Value> = Vec::with_capacity(32);
+    let mut locals: Vec<Value> = vec![Value::Nil; LOCALS];
+    let mut pc: usize = 0;
+    let mut remaining = fuel;
+
+    macro_rules! pop {
+        ($at:expr) => {
+            match stack.pop() {
+                Some(v) => v,
+                None => return Outcome::Trapped(VmError::StackUnderflow { at: $at }),
+            }
+        };
+    }
+    macro_rules! push {
+        ($at:expr, $v:expr) => {{
+            if stack.len() >= STACK_LIMIT {
+                return Outcome::Trapped(VmError::StackOverflow { at: $at });
+            }
+            stack.push($v);
+        }};
+    }
+    macro_rules! pop_int {
+        ($at:expr, $opname:expr) => {
+            match pop!($at) {
+                Value::Int(i) => i,
+                other => {
+                    return Outcome::Trapped(VmError::TypeError {
+                        at: $at,
+                        message: format!("{} expects int, got {}", $opname, other.type_name()),
+                    })
+                }
+            }
+        };
+    }
+
+    while pc < program.code.len() {
+        if remaining == 0 {
+            return Outcome::OutOfFuel;
+        }
+        remaining -= 1;
+        state.instructions += 1;
+        let at = pc;
+        let ins = program.code[pc];
+        pc += 1;
+        match ins {
+            Instr::PushConst(i) => push!(at, program.consts[i as usize].clone()),
+            Instr::PushInt(v) => push!(at, Value::Int(v)),
+            Instr::PushTrue => push!(at, Value::Bool(true)),
+            Instr::PushFalse => push!(at, Value::Bool(false)),
+            Instr::PushNil => push!(at, Value::Nil),
+            Instr::Dup => {
+                let v = pop!(at);
+                push!(at, v.clone());
+                push!(at, v);
+            }
+            Instr::Pop => {
+                pop!(at);
+            }
+            Instr::Swap => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, b);
+                push!(at, a);
+            }
+            Instr::Load(n) => {
+                let v = locals.get(n as usize).cloned().unwrap_or(Value::Nil);
+                push!(at, v);
+            }
+            Instr::Store(n) => {
+                let v = pop!(at);
+                if let Some(slot) = locals.get_mut(n as usize) {
+                    *slot = v;
+                }
+            }
+            Instr::GLoad(i) => {
+                let name = program.consts[i as usize].render();
+                let v = state.globals.get(&name).cloned().unwrap_or(Value::Nil);
+                push!(at, v);
+            }
+            Instr::GStore(i) => {
+                let name = program.consts[i as usize].render();
+                let v = pop!(at);
+                state.globals.insert(name, v);
+            }
+            Instr::Add => {
+                let b = pop!(at);
+                let a = pop!(at);
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        push!(at, Value::Int(x.wrapping_add(y)))
+                    }
+                    (Value::Str(x), y) => push!(at, Value::Str(format!("{x}{y}"))),
+                    (x, Value::Str(y)) => push!(at, Value::Str(format!("{x}{y}"))),
+                    (x, y) => {
+                        return Outcome::Trapped(VmError::TypeError {
+                            at,
+                            message: format!(
+                                "add: {} + {}",
+                                x.type_name(),
+                                y.type_name()
+                            ),
+                        })
+                    }
+                }
+            }
+            Instr::Sub => {
+                let b = pop_int!(at, "sub");
+                let a = pop_int!(at, "sub");
+                push!(at, Value::Int(a.wrapping_sub(b)));
+            }
+            Instr::Mul => {
+                let b = pop_int!(at, "mul");
+                let a = pop_int!(at, "mul");
+                push!(at, Value::Int(a.wrapping_mul(b)));
+            }
+            Instr::Div => {
+                let b = pop_int!(at, "div");
+                let a = pop_int!(at, "div");
+                if b == 0 {
+                    return Outcome::Trapped(VmError::DivisionByZero { at });
+                }
+                push!(at, Value::Int(a.wrapping_div(b)));
+            }
+            Instr::Mod => {
+                let b = pop_int!(at, "mod");
+                let a = pop_int!(at, "mod");
+                if b == 0 {
+                    return Outcome::Trapped(VmError::DivisionByZero { at });
+                }
+                push!(at, Value::Int(a.wrapping_rem(b)));
+            }
+            Instr::Neg => {
+                let a = pop_int!(at, "neg");
+                push!(at, Value::Int(a.wrapping_neg()));
+            }
+            Instr::Eq => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, Value::Bool(a == b));
+            }
+            Instr::Ne => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, Value::Bool(a != b));
+            }
+            Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge => {
+                let b = pop!(at);
+                let a = pop!(at);
+                let ord = match (&a, &b) {
+                    (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                    (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                    _ => {
+                        return Outcome::Trapped(VmError::TypeError {
+                            at,
+                            message: format!(
+                                "compare: {} vs {}",
+                                a.type_name(),
+                                b.type_name()
+                            ),
+                        })
+                    }
+                };
+                let result = match ins {
+                    Instr::Lt => ord.is_lt(),
+                    Instr::Le => ord.is_le(),
+                    Instr::Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                };
+                push!(at, Value::Bool(result));
+            }
+            Instr::And => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, Value::Bool(a.truthy() && b.truthy()));
+            }
+            Instr::Or => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, Value::Bool(a.truthy() || b.truthy()));
+            }
+            Instr::Not => {
+                let a = pop!(at);
+                push!(at, Value::Bool(!a.truthy()));
+            }
+            Instr::Concat => {
+                let b = pop!(at);
+                let a = pop!(at);
+                push!(at, Value::Str(format!("{a}{b}")));
+            }
+            Instr::Jump(t) => pc = t as usize,
+            Instr::JumpIfFalse(t) => {
+                if !pop!(at).truthy() {
+                    pc = t as usize;
+                }
+            }
+            Instr::ListNew => push!(at, Value::List(Vec::new())),
+            Instr::ListPush => {
+                let v = pop!(at);
+                match pop!(at) {
+                    Value::List(mut items) => {
+                        items.push(v);
+                        push!(at, Value::List(items));
+                    }
+                    other => {
+                        return Outcome::Trapped(VmError::TypeError {
+                            at,
+                            message: format!("listpush on {}", other.type_name()),
+                        })
+                    }
+                }
+            }
+            Instr::ListGet => {
+                let idx = pop_int!(at, "listget");
+                match pop!(at) {
+                    Value::List(items) => {
+                        let Some(v) =
+                            usize::try_from(idx).ok().and_then(|i| items.get(i)).cloned()
+                        else {
+                            return Outcome::Trapped(VmError::IndexOutOfRange { at });
+                        };
+                        push!(at, v);
+                    }
+                    other => {
+                        return Outcome::Trapped(VmError::TypeError {
+                            at,
+                            message: format!("listget on {}", other.type_name()),
+                        })
+                    }
+                }
+            }
+            Instr::ListLen => match pop!(at) {
+                Value::List(items) => push!(at, Value::Int(items.len() as i64)),
+                other => {
+                    return Outcome::Trapped(VmError::TypeError {
+                        at,
+                        message: format!("listlen on {}", other.type_name()),
+                    })
+                }
+            },
+            Instr::Invoke(s, o, argc) => {
+                let service = program.consts[s as usize].render();
+                let op = program.consts[o as usize].render();
+                let argc = argc as usize;
+                if stack.len() < argc {
+                    return Outcome::Trapped(VmError::StackUnderflow { at });
+                }
+                let args: Vec<Value> = stack.split_off(stack.len() - argc);
+                match host.invoke(&service, &op, &args) {
+                    Ok(v) => push!(at, v),
+                    Err(message) => return Outcome::Trapped(VmError::Host { at, message }),
+                }
+            }
+            Instr::Param(i) => {
+                let name = program.consts[i as usize].render();
+                push!(at, host.param(&name).unwrap_or(Value::Nil));
+            }
+            Instr::Emit(i) => {
+                let key = program.consts[i as usize].render();
+                let v = pop!(at);
+                host.emit(&key, v);
+            }
+            Instr::Site => push!(at, Value::Str(host.site_name().to_owned())),
+            Instr::Halt => return Outcome::Completed,
+            Instr::Fail(i) => {
+                return Outcome::Failed(program.consts[i as usize].render())
+            }
+        }
+    }
+    Outcome::Completed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn exec(src: &str) -> (Outcome, MapHost, AgentState) {
+        let program = assemble(src).unwrap();
+        let mut host = MapHost::new("site-a");
+        let mut state = AgentState::default();
+        let outcome = run(&program, &mut state, &mut host, 100_000);
+        (outcome, host, state)
+    }
+
+    #[test]
+    fn arithmetic_and_emit() {
+        let (out, host, _) = exec(
+            r#"
+            push 6
+            push 7
+            mul
+            emit "answer"
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("answer"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn string_concat_via_add_and_concat() {
+        let (out, host, _) = exec(
+            r#"
+            push "total: "
+            push 99
+            add
+            emit "msg"
+            push 1
+            push "x"
+            concat
+            emit "m2"
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("msg"), Some(&Value::Str("total: 99".into())));
+        assert_eq!(host.emitted("m2"), Some(&Value::Str("1x".into())));
+    }
+
+    #[test]
+    fn loop_with_locals() {
+        // Sum 1..=10 via a loop.
+        let (out, host, _) = exec(
+            r#"
+            push 0
+            store 0      ; acc
+            push 1
+            store 1      ; i
+        loop:
+            load 1
+            push 10
+            le
+            jmpf done
+            load 0
+            load 1
+            add
+            store 0
+            load 1
+            push 1
+            add
+            store 1
+            jmp loop
+        done:
+            load 0
+            emit "sum"
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("sum"), Some(&Value::Int(55)));
+    }
+
+    #[test]
+    fn params_and_site() {
+        let program = assemble(
+            r#"
+            param "who"
+            site
+            concat
+            emit "greeting"
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut host = MapHost::new("bank-1");
+        host.set_param("who", Value::Str("alice@".into()));
+        let mut state = AgentState::default();
+        assert_eq!(run(&program, &mut state, &mut host, 1000), Outcome::Completed);
+        assert_eq!(host.emitted("greeting"), Some(&Value::Str("alice@bank-1".into())));
+    }
+
+    #[test]
+    fn missing_param_is_nil() {
+        let (out, host, _) = exec("param \"nope\"\nemit \"x\"\nhalt");
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("x"), Some(&Value::Nil));
+    }
+
+    #[test]
+    fn globals_persist_across_runs() {
+        let program = assemble(
+            r#"
+            gload "visits"
+            push 1
+            add
+            gstore "visits"
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut state = AgentState::default();
+        // gload of unset global is Nil; Nil + 1 is a type error — seed it.
+        state.globals.insert("visits".into(), Value::Int(0));
+        for expected in 1..=3 {
+            let mut host = MapHost::new(format!("site-{expected}"));
+            assert_eq!(run(&program, &mut state, &mut host, 1000), Outcome::Completed);
+            assert_eq!(state.globals["visits"], Value::Int(expected));
+        }
+    }
+
+    #[test]
+    fn invoke_dispatches_to_host() {
+        let program = assemble(
+            r#"
+            push "acct-1"
+            push 500
+            invoke "bank" "withdraw" 2
+            emit "receipt"
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut host = MapHost::new("bank");
+        host.set_service("bank", "withdraw", Value::Str("rcpt-77".into()));
+        let mut state = AgentState::default();
+        assert_eq!(run(&program, &mut state, &mut host, 1000), Outcome::Completed);
+        assert_eq!(host.emitted("receipt"), Some(&Value::Str("rcpt-77".into())));
+    }
+
+    #[test]
+    fn invoke_unknown_service_traps() {
+        let (out, _, _) = exec("invoke \"no\" \"op\" 0\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::Host { .. })));
+    }
+
+    #[test]
+    fn fail_reports_message() {
+        let (out, _, _) = exec("fail \"insufficient funds\"");
+        assert_eq!(out, Outcome::Failed("insufficient funds".into()));
+    }
+
+    #[test]
+    fn out_of_fuel_on_infinite_loop() {
+        let program = assemble("loop:\njmp loop\n").unwrap();
+        let mut host = MapHost::new("s");
+        let mut state = AgentState::default();
+        assert_eq!(run(&program, &mut state, &mut host, 10_000), Outcome::OutOfFuel);
+        assert_eq!(state.instructions, 10_000);
+    }
+
+    #[test]
+    fn stack_underflow_trapped() {
+        let (out, _, _) = exec("pop\nhalt");
+        assert_eq!(out, Outcome::Trapped(VmError::StackUnderflow { at: 0 }));
+        let (out, _, _) = exec("add\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn stack_overflow_trapped() {
+        let (out, _, _) = exec("loop:\npush 1\njmp loop\n");
+        assert!(matches!(out, Outcome::Trapped(VmError::StackOverflow { .. })));
+    }
+
+    #[test]
+    fn division_by_zero_trapped() {
+        let (out, _, _) = exec("push 1\npush 0\ndiv\nhalt");
+        assert_eq!(out, Outcome::Trapped(VmError::DivisionByZero { at: 2 }));
+        let (out, _, _) = exec("push 1\npush 0\nmod\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::DivisionByZero { .. })));
+    }
+
+    #[test]
+    fn type_errors_trapped() {
+        let (out, _, _) = exec("push true\npush 1\nsub\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::TypeError { .. })));
+        let (out, _, _) = exec("push 1\npush \"s\"\nlt\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::TypeError { .. })));
+    }
+
+    #[test]
+    fn list_operations() {
+        let (out, host, _) = exec(
+            r#"
+            listnew
+            push 10
+            listpush
+            push 20
+            listpush
+            dup
+            listlen
+            emit "len"
+            push 1
+            listget
+            emit "second"
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("len"), Some(&Value::Int(2)));
+        assert_eq!(host.emitted("second"), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn list_index_out_of_range_trapped() {
+        let (out, _, _) = exec("listnew\npush 0\nlistget\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::IndexOutOfRange { .. })));
+        let (out, _, _) = exec("listnew\npush -1\nlistget\nhalt");
+        assert!(matches!(out, Outcome::Trapped(VmError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_end_completes() {
+        let (out, _, _) = exec("push 1\npop");
+        assert_eq!(out, Outcome::Completed);
+    }
+
+    #[test]
+    fn conditionals() {
+        let (out, host, _) = exec(
+            r#"
+            push 5
+            push 3
+            gt
+            jmpf no
+            push "bigger"
+            emit "r"
+            jmp end
+        no:
+            push "smaller"
+            emit "r"
+        end:
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("r"), Some(&Value::Str("bigger".into())));
+    }
+
+    #[test]
+    fn agent_state_roundtrips() {
+        let mut state = AgentState { instructions: 12345, ..Default::default() };
+        state.globals.insert("k1".into(), Value::Int(-7));
+        state.globals.insert("k2".into(), Value::List(vec![Value::Str("a".into())]));
+        let bytes = state.to_bytes();
+        assert_eq!(AgentState::from_bytes(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn agent_state_rejects_garbage() {
+        assert!(AgentState::from_bytes(&[0xff, 0xff]).is_none());
+        let mut state = AgentState::default();
+        state.globals.insert("key".into(), Value::Int(1));
+        let bytes = state.to_bytes();
+        // Truncating mid-globals must fail cleanly.
+        assert!(AgentState::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn logic_ops() {
+        let (out, host, _) = exec(
+            r#"
+            push true
+            push false
+            or
+            push true
+            and
+            not
+            emit "v"
+            halt
+        "#,
+        );
+        assert_eq!(out, Outcome::Completed);
+        assert_eq!(host.emitted("v"), Some(&Value::Bool(false)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Escaping and unescaping of character data and attribute values.
+//!
+//! Only the five predefined XML entities and numeric character references are
+//! supported, which matches kXML's default entity table.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escape a string for use as element character data.
+///
+/// `<`, `>` and `&` are replaced by entity references. Quotes are left alone
+/// (they are only special inside attribute values).
+pub fn escape_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+///
+/// In addition to the text escapes, `"` becomes `&quot;` and the line-ending
+/// characters become character references so they survive attribute-value
+/// normalization on re-parse.
+pub fn escape_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Decode entity and character references in `input`.
+///
+/// `offset_base` is the byte offset of `input` within the whole document and
+/// is only used to produce accurate error positions.
+pub fn unescape(input: &str, offset_base: usize) -> XmlResult<String> {
+    if !input.contains('&') {
+        return Ok(input.to_owned());
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 code point.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = input[i..]
+            .find(';')
+            .map(|p| i + p)
+            .ok_or(XmlError::UnexpectedEof { context: "entity reference" })?;
+        let name = &input[i + 1..semi];
+        let decoded = decode_entity(name, offset_base + i)?;
+        out.push(decoded);
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+/// Decode a single entity name (the part between `&` and `;`).
+fn decode_entity(name: &str, offset: usize) -> XmlResult<char> {
+    match name {
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "amp" => Ok('&'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            if let Some(rest) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                let code = u32::from_str_radix(rest, 16).map_err(|_| XmlError::UnknownEntity {
+                    offset,
+                    name: name.to_owned(),
+                })?;
+                char::from_u32(code).ok_or_else(|| XmlError::UnknownEntity {
+                    offset,
+                    name: name.to_owned(),
+                })
+            } else if let Some(rest) = name.strip_prefix('#') {
+                let code = rest.parse::<u32>().map_err(|_| XmlError::UnknownEntity {
+                    offset,
+                    name: name.to_owned(),
+                })?;
+                char::from_u32(code).ok_or_else(|| XmlError::UnknownEntity {
+                    offset,
+                    name: name.to_owned(),
+                })
+            } else {
+                Err(XmlError::UnknownEntity { offset, name: name.to_owned() })
+            }
+        }
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(escape_text("\"quoted\""), "\"quoted\"");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b"), "a&quot;b");
+        assert_eq!(escape_attr("a\nb\tc"), "a&#10;b&#9;c");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", 0).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_numeric_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+        assert_eq!(unescape("&#x4E2D;", 0).unwrap(), "中");
+    }
+
+    #[test]
+    fn unescape_passthrough_multibyte() {
+        assert_eq!(unescape("héllo wörld 中文", 0).unwrap(), "héllo wörld 中文");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors() {
+        let err = unescape("x&nbsp;y", 10).unwrap_err();
+        assert_eq!(err, XmlError::UnknownEntity { offset: 11, name: "nbsp".into() });
+    }
+
+    #[test]
+    fn unescape_unterminated_entity_errors() {
+        let err = unescape("x&lt", 0).unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn unescape_invalid_codepoint_errors() {
+        // Surrogate code points are not valid chars.
+        assert!(unescape("&#xD800;", 0).is_err());
+        assert!(unescape("&#99999999;", 0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        for s in ["", "a<b>&c", "x & y < z", "中文 & <tags>"] {
+            assert_eq!(unescape(&escape_text(s), 0).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn roundtrip_attr() {
+        for s in ["", "a\"b'c", "line\nbreak\ttab", "<&>\""] {
+            assert_eq!(unescape(&escape_attr(s), 0).unwrap(), s);
+        }
+    }
+}

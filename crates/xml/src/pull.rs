@@ -1,0 +1,620 @@
+//! The pull parser: the kXML-style event interface.
+//!
+//! [`PullParser`] walks a `&str` and yields [`XmlEvent`]s on demand. It keeps
+//! an explicit element stack so it can verify well-formedness (every start
+//! tag matched by the right end tag, exactly one root element, nothing after
+//! the root).
+
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+
+/// An attribute as it appears on a start tag, with its value already
+/// entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<?xml version="1.0" ...?>` — at most one, at the start.
+    Declaration {
+        /// Raw content between `<?xml` and `?>`.
+        content: String,
+    },
+    /// A start tag. `self_closing` is true for `<name/>`, in which case no
+    /// matching [`XmlEvent::EndElement`] will be emitted.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// Whether the tag was written as `<name/>`.
+        self_closing: bool,
+    },
+    /// An end tag (or the implicit end of a self-closing tag is *not*
+    /// reported; see [`XmlEvent::StartElement::self_closing`]).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data, entity-decoded. Whitespace-only runs between elements
+    /// are still reported; the DOM layer filters them.
+    Text(String),
+    /// A `<![CDATA[...]]>` section, verbatim.
+    CData(String),
+    /// A `<!-- ... -->` comment, verbatim.
+    Comment(String),
+    /// A `<?target data?>` processing instruction (other than the XML
+    /// declaration).
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data (possibly empty).
+        data: String,
+    },
+    /// End of the document.
+    Eof,
+}
+
+/// Pull parser over an in-memory document.
+///
+/// ```
+/// use pdagent_xml::pull::{PullParser, XmlEvent};
+/// let mut p = PullParser::new("<a x='1'>hi</a>");
+/// match p.next_event().unwrap() {
+///     XmlEvent::StartElement { name, attributes, .. } => {
+///         assert_eq!(name, "a");
+///         assert_eq!(attributes[0].value, "1");
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub struct PullParser<'a> {
+    input: &'a str,
+    pos: usize,
+    stack: Vec<String>,
+    seen_root: bool,
+    done: bool,
+}
+
+impl<'a> PullParser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        PullParser { input, pos: 0, stack: Vec::new(), seen_root: false, done: false }
+    }
+
+    /// Create a parser over raw bytes, validating UTF-8 first.
+    pub fn from_bytes(input: &'a [u8]) -> XmlResult<Self> {
+        match std::str::from_utf8(input) {
+            Ok(s) => Ok(Self::new(s)),
+            Err(e) => Err(XmlError::InvalidUtf8 { offset: e.valid_up_to() }),
+        }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    /// Pull the next event. After [`XmlEvent::Eof`] every further call also
+    /// returns `Eof`.
+    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        if self.done {
+            return Ok(XmlEvent::Eof);
+        }
+        if self.pos >= self.input.len() {
+            if !self.stack.is_empty() {
+                return Err(XmlError::UnexpectedEof { context: "element content" });
+            }
+            if !self.seen_root {
+                return Err(XmlError::NoRootElement);
+            }
+            self.done = true;
+            return Ok(XmlEvent::Eof);
+        }
+
+        if self.rest().starts_with('<') {
+            self.parse_markup()
+        } else {
+            self.parse_text()
+        }
+    }
+
+    /// Iterate events until `Eof`, collecting them. Mostly useful in tests.
+    pub fn collect_events(mut self) -> XmlResult<Vec<XmlEvent>> {
+        let mut out = Vec::new();
+        loop {
+            let ev = self.next_event()?;
+            let end = ev == XmlEvent::Eof;
+            out.push(ev);
+            if end {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> XmlResult<XmlEvent> {
+        let start = self.pos;
+        let end = self.rest().find('<').map(|p| self.pos + p).unwrap_or(self.input.len());
+        let raw = &self.input[start..end];
+        self.pos = end;
+        if self.stack.is_empty() {
+            // Outside the root element only whitespace is allowed.
+            if raw.trim().is_empty() {
+                return self.next_event();
+            }
+            if self.seen_root {
+                return Err(XmlError::TrailingContent { offset: start });
+            }
+            return Err(XmlError::Syntax {
+                offset: start,
+                message: "character data before root element".into(),
+            });
+        }
+        Ok(XmlEvent::Text(unescape(raw, start)?))
+    }
+
+    fn parse_markup(&mut self) -> XmlResult<XmlEvent> {
+        debug_assert!(self.rest().starts_with('<'));
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            return self.parse_comment();
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.parse_cdata();
+        }
+        if rest.starts_with("<!DOCTYPE") || rest.starts_with("<!doctype") {
+            self.skip_doctype()?;
+            return self.next_event();
+        }
+        if rest.starts_with("<?") {
+            return self.parse_pi();
+        }
+        if rest.starts_with("</") {
+            return self.parse_end_tag();
+        }
+        self.parse_start_tag()
+    }
+
+    fn parse_comment(&mut self) -> XmlResult<XmlEvent> {
+        self.bump(4); // "<!--"
+        let close = self
+            .rest()
+            .find("-->")
+            .ok_or(XmlError::UnexpectedEof { context: "comment" })?;
+        let content = self.rest()[..close].to_owned();
+        self.bump(close + 3);
+        Ok(XmlEvent::Comment(content))
+    }
+
+    fn parse_cdata(&mut self) -> XmlResult<XmlEvent> {
+        if self.stack.is_empty() {
+            return Err(self.syntax("CDATA section outside root element"));
+        }
+        self.bump(9); // "<![CDATA["
+        let close = self
+            .rest()
+            .find("]]>")
+            .ok_or(XmlError::UnexpectedEof { context: "CDATA section" })?;
+        let content = self.rest()[..close].to_owned();
+        self.bump(close + 3);
+        Ok(XmlEvent::CData(content))
+    }
+
+    /// DOCTYPE declarations are skipped wholesale (kXML "relaxed" behaviour).
+    /// Internal subsets in square brackets are balanced correctly.
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        let mut depth_sq = 0usize;
+        let bytes = self.input.as_bytes();
+        let mut i = self.pos;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'[' => depth_sq += 1,
+                b']' => depth_sq = depth_sq.saturating_sub(1),
+                b'>' if depth_sq == 0 => {
+                    self.pos = i + 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Err(XmlError::UnexpectedEof { context: "DOCTYPE declaration" })
+    }
+
+    fn parse_pi(&mut self) -> XmlResult<XmlEvent> {
+        self.bump(2); // "<?"
+        let close = self
+            .rest()
+            .find("?>")
+            .ok_or(XmlError::UnexpectedEof { context: "processing instruction" })?;
+        let content = &self.rest()[..close];
+        let result = if content.starts_with("xml")
+            && content[3..].starts_with(|c: char| c.is_whitespace())
+        {
+            XmlEvent::Declaration { content: content[3..].trim().to_owned() }
+        } else {
+            let (target, data) = match content.find(|c: char| c.is_whitespace()) {
+                Some(p) => (&content[..p], content[p..].trim_start()),
+                None => (content, ""),
+            };
+            if target.is_empty() {
+                return Err(self.syntax("processing instruction with empty target"));
+            }
+            XmlEvent::ProcessingInstruction {
+                target: target.to_owned(),
+                data: data.to_owned(),
+            }
+        };
+        self.bump(close + 2);
+        Ok(result)
+    }
+
+    fn parse_end_tag(&mut self) -> XmlResult<XmlEvent> {
+        let tag_offset = self.pos;
+        self.bump(2); // "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        if !self.rest().starts_with('>') {
+            return Err(self.syntax("expected '>' to close end tag"));
+        }
+        self.bump(1);
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) => Err(XmlError::MismatchedTag {
+                offset: tag_offset,
+                expected: open,
+                found: name,
+            }),
+            None => Err(XmlError::Syntax {
+                offset: tag_offset,
+                message: format!("end tag </{name}> with no open element"),
+            }),
+        }
+    }
+
+    fn parse_start_tag(&mut self) -> XmlResult<XmlEvent> {
+        let tag_offset = self.pos;
+        self.bump(1); // "<"
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.starts_with("/>") {
+                self.bump(2);
+                self.note_element(tag_offset)?;
+                return Ok(XmlEvent::StartElement { name, attributes, self_closing: true });
+            }
+            if rest.starts_with('>') {
+                self.bump(1);
+                self.note_element(tag_offset)?;
+                self.stack.push(name.clone());
+                return Ok(XmlEvent::StartElement { name, attributes, self_closing: false });
+            }
+            if rest.is_empty() {
+                return Err(XmlError::UnexpectedEof { context: "start tag" });
+            }
+            let attr = self.read_attribute()?;
+            if attributes.iter().any(|a: &Attribute| a.name == attr.name) {
+                return Err(self.syntax(format!("duplicate attribute {:?}", attr.name)));
+            }
+            attributes.push(attr);
+        }
+    }
+
+    /// Well-formedness bookkeeping for a new element at the current depth.
+    fn note_element(&mut self, offset: usize) -> XmlResult<()> {
+        if self.stack.is_empty() {
+            if self.seen_root {
+                return Err(XmlError::TrailingContent { offset });
+            }
+            self.seen_root = true;
+        }
+        Ok(())
+    }
+
+    fn read_attribute(&mut self) -> XmlResult<Attribute> {
+        let name = self.read_name()?;
+        self.skip_ws();
+        if !self.rest().starts_with('=') {
+            return Err(self.syntax(format!("attribute {name:?} missing '='")));
+        }
+        self.bump(1);
+        self.skip_ws();
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.syntax("attribute value must be quoted")),
+        };
+        self.bump(1);
+        let value_start = self.pos;
+        let close = self
+            .rest()
+            .find(quote)
+            .ok_or(XmlError::UnexpectedEof { context: "attribute value" })?;
+        let raw = &self.rest()[..close];
+        if raw.contains('<') {
+            return Err(self.syntax("'<' not allowed in attribute value"));
+        }
+        let value = unescape(raw, value_start)?;
+        self.bump(close + 1);
+        Ok(Attribute { name, value })
+    }
+
+    fn read_name(&mut self) -> XmlResult<String> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, ch) in rest.char_indices() {
+            if i == 0 {
+                if !is_name_start(ch) {
+                    return Err(self.syntax("expected a name"));
+                }
+            } else if !is_name_char(ch) {
+                end = i;
+                break;
+            }
+            end = i + ch.len_utf8();
+        }
+        if end == 0 {
+            return Err(self.syntax("expected a name"));
+        }
+        let name = rest[..end].to_owned();
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn skip_ws(&mut self) {
+        let n = self.rest().len() - self.rest().trim_start().len();
+        self.bump(n);
+    }
+}
+
+/// Is `ch` valid as the first character of an XML name?
+pub fn is_name_start(ch: char) -> bool {
+    ch.is_alphabetic() || ch == '_' || ch == ':'
+}
+
+/// Is `ch` valid as a subsequent character of an XML name?
+pub fn is_name_char(ch: char) -> bool {
+    ch.is_alphanumeric() || matches!(ch, '_' | ':' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<XmlEvent> {
+        PullParser::new(s).collect_events().unwrap()
+    }
+
+    fn err(s: &str) -> XmlError {
+        PullParser::new(s).collect_events().unwrap_err()
+    }
+
+    #[test]
+    fn minimal_document() {
+        assert_eq!(
+            events("<a/>"),
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: true
+                },
+                XmlEvent::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn element_with_text() {
+        assert_eq!(
+            events("<a>hello</a>"),
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                XmlEvent::Text("hello".into()),
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_single_and_double_quoted() {
+        let evs = events(r#"<a x="1" y='two'/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0], Attribute { name: "x".into(), value: "1".into() });
+                assert_eq!(attributes[1], Attribute { name: "y".into(), value: "two".into() });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_value_entities_decoded() {
+        let evs = events(r#"<a msg="a &amp; b &lt; c"/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "a & b < c");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_entities_decoded() {
+        let evs = events("<a>&lt;tag&gt; &amp; &#65;</a>");
+        assert_eq!(evs[1], XmlEvent::Text("<tag> & A".into()));
+    }
+
+    #[test]
+    fn nested_elements_and_depth() {
+        let mut p = PullParser::new("<a><b><c/></b></a>");
+        p.next_event().unwrap();
+        assert_eq!(p.depth(), 1);
+        p.next_event().unwrap();
+        assert_eq!(p.depth(), 2);
+        p.next_event().unwrap(); // <c/> does not push
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn declaration_and_pi() {
+        let evs = events("<?xml version=\"1.0\"?><?target some data?><root/>");
+        assert_eq!(evs[0], XmlEvent::Declaration { content: "version=\"1.0\"".into() });
+        assert_eq!(
+            evs[1],
+            XmlEvent::ProcessingInstruction {
+                target: "target".into(),
+                data: "some data".into()
+            }
+        );
+    }
+
+    #[test]
+    fn comments_inside_and_outside_root() {
+        let evs = events("<!-- head --><a><!-- body --></a><!-- tail -->");
+        assert_eq!(evs[0], XmlEvent::Comment(" head ".into()));
+        assert_eq!(evs[2], XmlEvent::Comment(" body ".into()));
+        assert_eq!(evs[4], XmlEvent::Comment(" tail ".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let evs = events("<a><![CDATA[<not> &parsed;]]></a>");
+        assert_eq!(evs[1], XmlEvent::CData("<not> &parsed;".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = events("<!DOCTYPE pi [ <!ELEMENT pi ANY> ]><pi/>");
+        assert!(matches!(evs[0], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn mismatched_tag_is_error() {
+        assert!(matches!(err("<a><b></a></b>"), XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_is_error() {
+        assert!(matches!(err("<a><b></b>"), XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn two_roots_is_error() {
+        assert!(matches!(err("<a/><b/>"), XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn text_after_root_is_error() {
+        assert!(matches!(err("<a/>junk"), XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        assert_eq!(err(""), XmlError::NoRootElement);
+        assert_eq!(err("   \n  "), XmlError::NoRootElement);
+    }
+
+    #[test]
+    fn stray_end_tag_is_error() {
+        assert!(matches!(err("</a>"), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_error() {
+        assert!(matches!(err(r#"<a x="1" x="2"/>"#), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn unquoted_attribute_is_error() {
+        assert!(matches!(err("<a x=1/>"), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn lt_in_attribute_is_error() {
+        assert!(matches!(err(r#"<a x="a<b"/>"#), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let bytes = b"<a>\xff</a>";
+        assert!(matches!(
+            PullParser::from_bytes(bytes),
+            Err(XmlError::InvalidUtf8 { offset: 3 })
+        ));
+    }
+
+    #[test]
+    fn whitespace_between_elements_reported_inside_root() {
+        let evs = events("<a>\n  <b/>\n</a>");
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t.trim().is_empty()));
+    }
+
+    #[test]
+    fn names_with_dashes_dots_colons() {
+        let evs = events("<ns:elem-name.x/>");
+        assert!(
+            matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "ns:elem-name.x")
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerant_tags() {
+        let evs = events("<a  x = \"1\"  />");
+        match &evs[0] {
+            XmlEvent::StartElement { name, attributes, self_closing } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes[0].value, "1");
+                assert!(self_closing);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let evs = events("<b ></b >");
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "b"));
+        assert!(matches!(&evs[1], XmlEvent::EndElement { name } if name == "b"));
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let mut p = PullParser::new("<a/>");
+        p.next_event().unwrap();
+        assert_eq!(p.next_event().unwrap(), XmlEvent::Eof);
+        assert_eq!(p.next_event().unwrap(), XmlEvent::Eof);
+    }
+
+    #[test]
+    fn multibyte_text_offsets() {
+        let evs = events("<a>中文テキスト</a>");
+        assert_eq!(evs[1], XmlEvent::Text("中文テキスト".into()));
+    }
+}

@@ -1,0 +1,340 @@
+//! Document writer.
+//!
+//! [`XmlWriter`] produces well-formed XML with correct escaping. Two modes:
+//! *compact* (the wire form — no whitespace between tags, minimizing the bytes
+//! shipped over the wireless link, per the paper's packet-size concern) and
+//! *pretty* (indented, for logs and human inspection).
+
+use crate::escape::{escape_attr, escape_text};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Before any content.
+    Start,
+    /// Inside a start tag (attributes may still be added).
+    TagOpen,
+    /// After a complete child (tag closed).
+    Content,
+}
+
+/// A streaming XML writer.
+///
+/// ```
+/// use pdagent_xml::writer::XmlWriter;
+/// let mut w = XmlWriter::compact();
+/// w.start("pi");
+/// w.attr("version", "1");
+/// w.start("code");
+/// w.text("payload");
+/// w.end();
+/// w.end();
+/// assert_eq!(w.finish(), "<pi version=\"1\"><code>payload</code></pi>");
+/// ```
+#[derive(Debug)]
+pub struct XmlWriter {
+    out: String,
+    stack: Vec<String>,
+    state: State,
+    pretty: bool,
+    /// Set when the current element has text content, which suppresses
+    /// pretty-printing for its end tag (so text round-trips exactly).
+    text_content: Vec<bool>,
+}
+
+impl XmlWriter {
+    /// Writer with no inter-tag whitespace (wire form).
+    pub fn compact() -> Self {
+        XmlWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            state: State::Start,
+            pretty: false,
+            text_content: Vec::new(),
+        }
+    }
+
+    /// Writer that indents nested elements by two spaces.
+    pub fn pretty() -> Self {
+        XmlWriter { pretty: true, ..XmlWriter::compact() }
+    }
+
+    /// Emit the standard XML declaration. Must be the first call if used.
+    pub fn declaration(&mut self) {
+        assert_eq!(self.state, State::Start, "declaration must come first");
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.pretty {
+            self.out.push('\n');
+        }
+    }
+
+    fn close_open_tag(&mut self) {
+        if self.state == State::TagOpen {
+            self.out.push('>');
+            self.state = State::Content;
+        }
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        if self.pretty && !self.out.is_empty() && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        if self.pretty {
+            for _ in 0..depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Open an element. Attributes may be added until the next `start`,
+    /// `text` or `end` call.
+    pub fn start(&mut self, name: &str) {
+        self.close_open_tag();
+        let depth = self.stack.len();
+        if self.pretty && !self.current_has_text() {
+            self.newline_indent(depth);
+        }
+        self.out.push('<');
+        self.out.push_str(name);
+        self.stack.push(name.to_owned());
+        self.text_content.push(false);
+        self.state = State::TagOpen;
+    }
+
+    fn current_has_text(&self) -> bool {
+        self.text_content.last().copied().unwrap_or(false)
+    }
+
+    /// Add an attribute to the element opened by the last `start` call.
+    ///
+    /// # Panics
+    /// Panics if called when no start tag is open for attributes.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        assert_eq!(
+            self.state,
+            State::TagOpen,
+            "attr() must directly follow start() (element <{:?}>)",
+            self.stack.last()
+        );
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attr(value));
+        self.out.push('"');
+    }
+
+    /// Write escaped character data inside the current element.
+    pub fn text(&mut self, text: &str) {
+        self.close_open_tag();
+        if let Some(flag) = self.text_content.last_mut() {
+            *flag = true;
+        }
+        self.out.push_str(&escape_text(text));
+    }
+
+    /// Write a CDATA section. A literal `]]>` in the payload is handled with
+    /// the standard section-splitting trick (`]]` ends one section, `>` starts
+    /// the next), so any string re-parses identically.
+    pub fn cdata(&mut self, data: &str) {
+        self.close_open_tag();
+        if let Some(flag) = self.text_content.last_mut() {
+            *flag = true;
+        }
+        let parts: Vec<&str> = data.split("]]>").collect();
+        for (i, part) in parts.iter().enumerate() {
+            self.out.push_str("<![CDATA[");
+            self.out.push_str(part);
+            if i + 1 < parts.len() {
+                self.out.push_str("]]");
+            }
+            self.out.push_str("]]>");
+            if i + 1 < parts.len() {
+                self.out.push_str("<![CDATA[>]]>");
+            }
+        }
+    }
+
+    /// Write a comment. `--` inside the payload is replaced by `- -` to keep
+    /// the document well-formed.
+    pub fn comment(&mut self, text: &str) {
+        self.close_open_tag();
+        let depth = self.stack.len();
+        if self.pretty && !self.current_has_text() {
+            self.newline_indent(depth);
+        }
+        self.out.push_str("<!--");
+        self.out.push_str(&text.replace("--", "- -"));
+        self.out.push_str("-->");
+    }
+
+    /// Close the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if there is no open element.
+    pub fn end(&mut self) {
+        let name = self.stack.pop().expect("end() with no open element");
+        let had_text = self.text_content.pop().unwrap_or(false);
+        match self.state {
+            State::TagOpen => {
+                self.out.push_str("/>");
+            }
+            _ => {
+                if self.pretty && !had_text {
+                    self.newline_indent(self.stack.len());
+                }
+                self.out.push_str("</");
+                self.out.push_str(&name);
+                self.out.push('>');
+            }
+        }
+        self.state = State::Content;
+    }
+
+    /// Finish the document and return it.
+    ///
+    /// # Panics
+    /// Panics if elements are still open.
+    pub fn finish(mut self) -> String {
+        assert!(
+            self.stack.is_empty(),
+            "finish() with unclosed elements: {:?}",
+            self.stack
+        );
+        if self.pretty && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        self.out
+    }
+
+    /// Bytes written so far (useful for size accounting while streaming).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Element;
+
+    #[test]
+    fn compact_nested() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.attr("k", "v");
+        w.start("b");
+        w.text("t");
+        w.end();
+        w.start("c");
+        w.end();
+        w.end();
+        assert_eq!(w.finish(), r#"<a k="v"><b>t</b><c/></a>"#);
+    }
+
+    #[test]
+    fn escaping_in_text_and_attr() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.attr("q", "say \"hi\" & <go>");
+        w.text("1 < 2 & 3 > 2");
+        w.end();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            r#"<a q="say &quot;hi&quot; &amp; &lt;go&gt;">1 &lt; 2 &amp; 3 &gt; 2</a>"#
+        );
+        // And it parses back to the same values.
+        let el = Element::parse_str(&s).unwrap();
+        assert_eq!(el.attr("q"), Some("say \"hi\" & <go>"));
+        assert_eq!(el.text(), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn pretty_indents_elements_but_not_text() {
+        let mut w = XmlWriter::pretty();
+        w.declaration();
+        w.start("root");
+        w.start("child");
+        w.text("inline");
+        w.end();
+        w.start("empty");
+        w.end();
+        w.end();
+        let s = w.finish();
+        assert!(s.contains("\n  <child>inline</child>"));
+        assert!(s.contains("\n  <empty/>"));
+        assert!(s.ends_with("</root>\n"));
+    }
+
+    #[test]
+    fn declaration_first() {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start("a");
+        w.end();
+        assert_eq!(w.finish(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_with_open_element_panics() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        let _ = w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "attr() must directly follow")]
+    fn attr_after_text_panics() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.text("x");
+        w.attr("k", "v");
+    }
+
+    #[test]
+    fn comment_double_dash_sanitized() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.comment("x -- y");
+        w.end();
+        let s = w.finish();
+        Element::parse_str(&s).unwrap();
+        assert!(s.contains("<!--x - - y-->"));
+    }
+
+    #[test]
+    fn cdata_simple() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.cdata("<raw> & stuff");
+        w.end();
+        let s = w.finish();
+        let el = Element::parse_str(&s).unwrap();
+        assert_eq!(el.text(), "<raw> & stuff");
+    }
+
+    #[test]
+    fn cdata_with_embedded_terminator_roundtrips() {
+        let mut w = XmlWriter::compact();
+        w.start("a");
+        w.cdata("x]]>y]]>z");
+        w.end();
+        let s = w.finish();
+        let el = Element::parse_str(&s).unwrap();
+        assert_eq!(el.text(), "x]]>y]]>z");
+    }
+
+    #[test]
+    fn len_tracks_bytes() {
+        let mut w = XmlWriter::compact();
+        assert!(w.is_empty());
+        w.start("a");
+        w.end();
+        assert_eq!(w.len(), "<a/>".len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Mobile-agent management from the handheld (paper §3.6): dispatch a
+//! long-running news-clipping agent, query its status mid-flight, then
+//! retract it before the itinerary finishes — all through the gateway.
+//!
+//! Run with: `cargo run --example agent_management`
+
+use pdagent::apps::news::{headlines, news_params, news_program};
+use pdagent::apps::NewsService;
+use pdagent::core::{
+    ControlOp, DeployRequest, DeviceCommand, DeviceEvent, DeviceNode, Scenario, ScenarioSpec,
+    SiteSpec,
+};
+use pdagent::mas::AgentRecord;
+use pdagent::net::http::HttpStatus;
+use pdagent::net::time::{SimDuration, SimTime};
+
+fn news_site(name: &str, n: usize) -> SiteSpec {
+    let name_owned = name.to_owned();
+    SiteSpec::new(name).with_service("news", move || {
+        let mut svc = NewsService::new();
+        for i in 0..n {
+            svc = svc.with(&format!("{name_owned} story {i}"), "tech", (i as i64) + 1);
+        }
+        svc
+    })
+}
+
+fn main() {
+    let mut spec = ScenarioSpec::new(3);
+    spec.catalog = vec![("news".into(), news_program())];
+    // A long itinerary of news sites so the agent stays out for a while.
+    spec.sites = (0..6).map(|i| news_site(&format!("news-{i}"), 2)).collect();
+    // Ask for far more headlines than exist so the agent tours everything;
+    // keep the first result poll far away so management happens mid-flight,
+    // and give each site a slow CPU so the tour takes tens of seconds.
+    spec.device.result_poll_initial = SimDuration::from_secs(120);
+    spec.site_cpu = Some(pdagent::mas::CpuModel {
+        base: SimDuration::from_secs(5),
+        per_instruction_ns: 2_000,
+    });
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "news".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "news",
+            news_params("tech", 48, 100),
+            (0..6).map(|i| format!("news-{i}")).collect(),
+        )),
+    ];
+
+    let mut scenario = Scenario::build(spec);
+
+    // Run until the agent has been dispatched.
+    scenario.sim.run_until(SimTime(15_000_000));
+    let agent_id = scenario
+        .device_ref()
+        .last_agent_id()
+        .expect("agent dispatched by t=15s")
+        .to_owned();
+    println!("agent {agent_id} dispatched; querying status from the handheld…");
+
+    // 1. Status query (§3.6 "view agent status").
+    scenario.device_mut().enqueue(DeviceCommand::Manage {
+        op: ControlOp::Status,
+        agent_id: agent_id.clone(),
+    });
+    DeviceNode::kick(&mut scenario.sim, scenario.device);
+    scenario.sim.run_until(SimTime(25_000_000));
+
+    for e in &scenario.device_ref().events {
+        if let DeviceEvent::ManageCompleted { op: ControlOp::Status, status, payload, .. } = e
+        {
+            match status {
+                HttpStatus::Ok if payload == b"returned" => {
+                    println!("status: agent already returned")
+                }
+                HttpStatus::Ok => {
+                    if let Ok(rec) = AgentRecord::from_bytes(payload) {
+                        println!(
+                            "status: at {}, hop {}/{}, {} instructions so far",
+                            rec.site, rec.hops_done, rec.hops_total, rec.instructions
+                        );
+                    }
+                }
+                HttpStatus::Conflict => println!("status: agent in transit between sites"),
+                other => println!("status query: HTTP {}", other.code()),
+            }
+        }
+    }
+
+    // 2. Retract the agent before it finishes (§3.6 "retract an agent").
+    println!("retracting {agent_id}…");
+    scenario.device_mut().enqueue(DeviceCommand::Manage {
+        op: ControlOp::Retract,
+        agent_id: agent_id.clone(),
+    });
+    DeviceNode::kick(&mut scenario.sim, scenario.device);
+    scenario.sim.run_until_idle();
+
+    let device = scenario.device_ref();
+    let result = device.db.result(&agent_id).expect("retracted result stored");
+    println!(
+        "\nresult status: {:?} — {} headlines clipped before retraction:",
+        result.status,
+        headlines(&result).len()
+    );
+    for (site, h) in headlines(&result) {
+        println!("  [{site}] {h}");
+    }
+    println!("\n(partial results preserved — the paper's retract semantics)");
+}

@@ -1,0 +1,102 @@
+//! The e-banking application at full scale — the paper's evaluation
+//! scenario (Figures 10–11): a batch of transactions across two banks,
+//! dispatched through the nearest of three gateways, with decline handling
+//! and per-site settlement summaries.
+//!
+//! Run with: `cargo run --example e_banking`
+
+use pdagent::apps::ebank::{
+    declines, ebank_program, itinerary_for, receipts, settlements, transactions_param,
+};
+use pdagent::apps::{BankService, Transaction};
+use pdagent::core::{
+    DeployRequest, DeviceCommand, DeviceEvent, Scenario, ScenarioSpec, SiteSpec,
+};
+use pdagent::net::time::SimDuration;
+
+fn main() {
+    let mut spec = ScenarioSpec::new(7);
+
+    // Three gateways at different distances; the platform probes and picks
+    // the nearest (paper §3.5, Figure 8).
+    spec.gateways = vec!["gw-kowloon".into(), "gw-island".into(), "gw-nt".into()];
+    spec.gateway_extra_latency = vec![
+        SimDuration::ZERO,                 // nearest
+        SimDuration::from_millis(120),
+        SimDuration::from_millis(300),
+    ];
+
+    spec.catalog = vec![("ebank".into(), ebank_program())];
+    spec.sites = vec![
+        SiteSpec::new("hsbank").with_service("bank", || {
+            BankService::new("hsbank")
+                .with_account("alice", 250_000)
+                .with_account("landlord", 0)
+        }),
+        SiteSpec::new("citybank").with_service("bank", || {
+            BankService::new("citybank")
+                .with_account("alice", 3_000) // deliberately underfunded
+                .with_account("gym", 0)
+        }),
+    ];
+
+    // Ten transactions, the paper's largest batch. Two will be declined at
+    // citybank for insufficient funds.
+    let mut txs = Vec::new();
+    for month in 1..=4 {
+        txs.push(Transaction::new("hsbank", "alice", "landlord", 45_000 + month));
+    }
+    for week in 1..=4 {
+        txs.push(Transaction::new("hsbank", "alice", "groceries", 1_200 + week));
+    }
+    txs.push(Transaction::new("citybank", "alice", "gym", 2_500)); // ok
+    txs.push(Transaction::new("citybank", "alice", "gym", 2_500)); // declined
+
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "ebank".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "ebank",
+            vec![transactions_param(&txs)],
+            itinerary_for(&txs),
+        )),
+    ];
+
+    let mut scenario = Scenario::build(spec);
+    let device = scenario.run();
+
+    let (agent_id, gateway) = device
+        .events
+        .iter()
+        .find_map(|e| match e {
+            DeviceEvent::Dispatched { agent_id, gateway, .. } => {
+                Some((agent_id.clone(), gateway.clone()))
+            }
+            _ => None,
+        })
+        .expect("dispatched");
+    println!("dispatched {agent_id} via {gateway} (nearest of 3)");
+    assert_eq!(gateway, "gw-kowloon");
+
+    let result = device.db.result(&agent_id).expect("result collected");
+    println!("\n== receipts ({}) ==", receipts(&result).len());
+    for r in receipts(&result) {
+        println!("  {r}");
+    }
+    println!("\n== declines ({}) ==", declines(&result).len());
+    for d in declines(&result) {
+        println!("  {d}");
+    }
+    println!("\n== per-site settlement ==");
+    for s in settlements(&result) {
+        println!("  {s}");
+    }
+
+    assert_eq!(receipts(&result).len(), 9);
+    assert_eq!(declines(&result).len(), 1);
+
+    let t = &device.timings[0];
+    println!("\nonline time: dispatch {} + collect {} = {}",
+        t.dispatch_online, t.collect_online, t.completion);
+    println!("(the agent executed {} transactions while the user was offline)",
+        receipts(&result).len());
+}

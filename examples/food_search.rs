@@ -1,0 +1,71 @@
+//! The Food Search Engine (named in the paper's §4): a mobile agent tours
+//! district restaurant directories, filters by the user's cuisine and
+//! budget, and brings back the matches.
+//!
+//! Run with: `cargo run --example food_search`
+
+use pdagent::apps::food::{food_params, food_program, matches};
+use pdagent::apps::FoodService;
+use pdagent::core::{
+    DeployRequest, DeviceCommand, DeviceEvent, Scenario, ScenarioSpec, SiteSpec,
+};
+
+fn main() {
+    let mut spec = ScenarioSpec::new(11);
+    spec.catalog = vec![("food-search".into(), food_program())];
+    spec.sites = vec![
+        SiteSpec::new("dir-kowloon").with_service("food", || {
+            FoodService::new()
+                .with("Golden Wok", "dimsum", 8_000, "Hung Hom")
+                .with("Lucky Dragon", "dimsum", 12_000, "Mong Kok")
+                .with("Pasta Bar", "italian", 9_000, "TST")
+        }),
+        SiteSpec::new("dir-island").with_service("food", || {
+            FoodService::new()
+                .with("Jade Palace", "dimsum", 30_000, "Central")
+                .with("Harbour Dim Sum", "dimsum", 9_500, "Wan Chai")
+        }),
+        SiteSpec::new("dir-nt").with_service("food", || {
+            FoodService::new().with("Village Teahouse", "dimsum", 4_500, "Sha Tin")
+        }),
+    ];
+
+    // The user's context: dim sum, at most HK$100 per head.
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "food-search".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "food-search",
+            food_params("dimsum", 10_000),
+            vec!["dir-kowloon".into(), "dir-island".into(), "dir-nt".into()],
+        )),
+    ];
+
+    let mut scenario = Scenario::build(spec);
+    let device = scenario.run();
+
+    let agent_id = device
+        .events
+        .iter()
+        .find_map(|e| match e {
+            DeviceEvent::Dispatched { agent_id, .. } => Some(agent_id.clone()),
+            _ => None,
+        })
+        .expect("dispatched");
+    let result = device.db.result(&agent_id).expect("result collected");
+
+    println!("dim sum under HK$100/head, across 3 directories:\n");
+    for (site, m) in matches(&result) {
+        let mut parts = m.split('|');
+        let (name, district, price) = (
+            parts.next().unwrap_or("?"),
+            parts.next().unwrap_or("?"),
+            parts.next().unwrap_or("?"),
+        );
+        let dollars = price.parse::<i64>().unwrap_or(0) / 100;
+        println!("  {name:<18} {district:<10} HK${dollars:<4} (from {site})");
+    }
+
+    let found = matches(&result).len();
+    assert_eq!(found, 3, "Golden Wok, Harbour Dim Sum, Village Teahouse");
+    println!("\n{found} matches found while the user was offline.");
+}

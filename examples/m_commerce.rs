@@ -1,0 +1,71 @@
+//! M-commerce price comparison — the paper's named future-work application:
+//! phase 1 sends a quoting agent around the shops; phase 2 parameterizes an
+//! ordering agent from the best quote and sends it straight to the winner.
+//!
+//! Run with: `cargo run --example m_commerce`
+
+use pdagent::apps::mcommerce::{
+    best_offer, confirmation, order_params, order_program, quote_params, quote_program,
+};
+use pdagent::apps::ShopService;
+use pdagent::core::{
+    DeployRequest, DeviceCommand, DeviceNode, Scenario, ScenarioSpec, SiteSpec,
+};
+
+fn main() {
+    let mut spec = ScenarioSpec::new(9);
+    spec.catalog = vec![
+        ("mc-quote".into(), quote_program()),
+        ("mc-order".into(), order_program()),
+    ];
+    spec.sites = vec![
+        SiteSpec::new("shop-central").with_service("shop", || {
+            ShopService::new("shop-central").with_item("pda-2004", 189_900, 4)
+        }),
+        SiteSpec::new("shop-mongkok").with_service("shop", || {
+            ShopService::new("shop-mongkok").with_item("pda-2004", 149_900, 2)
+        }),
+        SiteSpec::new("shop-shamshuipo").with_service("shop", || {
+            ShopService::new("shop-shamshuipo").with_item("pda-2004", 139_900, 0) // sold out!
+        }),
+    ];
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "mc-quote".into() },
+        DeviceCommand::Subscribe { service: "mc-order".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "mc-quote",
+            quote_params("pda-2004"),
+            vec!["shop-central".into(), "shop-mongkok".into(), "shop-shamshuipo".into()],
+        )),
+    ];
+
+    let mut scenario = Scenario::build(spec);
+
+    // Phase 1: quote tour.
+    scenario.sim.run_until_idle();
+    let quote_agent = scenario.device_ref().last_agent_id().unwrap().to_owned();
+    let quote_result = scenario.device_ref().db.result(&quote_agent).unwrap();
+    println!("== quotes for pda-2004 ==");
+    for entry in quote_result.entries_for("quote") {
+        println!("  {}", entry.value.render());
+    }
+    let (shop, price) = best_offer(&quote_result).expect("someone stocks it");
+    println!("\nbest offer: {shop} at HK${}", price / 100);
+    println!("(sham shui po quoted nothing — sold out)");
+
+    // Phase 2: the order agent, parameterized by the quote.
+    scenario.device_mut().enqueue(DeviceCommand::Deploy(DeployRequest::new(
+        "mc-order",
+        order_params("pda-2004", price),
+        vec![shop],
+    )));
+    DeviceNode::kick(&mut scenario.sim, scenario.device);
+    scenario.sim.run_until_idle();
+
+    let order_agent = scenario.device_ref().last_agent_id().unwrap().to_owned();
+    let order_result = scenario.device_ref().db.result(&order_agent).unwrap();
+    println!("\n== order ==");
+    println!("  {}", confirmation(&order_result).expect("confirmed"));
+    println!("\n(both phases ran as mobile agents; the handheld was online only");
+    println!(" to upload each PI and download each result)");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the smallest complete PDAgent deployment.
+//!
+//! One handheld, one gateway, two bank sites. The device subscribes to the
+//! e-banking service (downloading the mobile-agent code), deploys it with
+//! two transactions, disconnects, and later collects the XML result
+//! document — the paper's §3 lifecycle end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pdagent::apps::ebank::{ebank_program, itinerary_for, receipts, transactions_param};
+use pdagent::apps::{BankService, Transaction};
+use pdagent::core::{
+    ui, DeployRequest, DeviceCommand, DeviceEvent, Scenario, ScenarioSpec, SiteSpec,
+};
+
+fn main() {
+    // --- 1. Describe the world -------------------------------------------
+    let mut spec = ScenarioSpec::new(/* seed = */ 42);
+    spec.catalog = vec![("ebank".into(), ebank_program())];
+    spec.sites = vec![
+        SiteSpec::new("bank-a").with_service("bank", || {
+            BankService::new("bank-a").with_account("alice", 100_000)
+        }),
+        SiteSpec::new("bank-b").with_service("bank", || {
+            BankService::new("bank-b").with_account("alice", 50_000)
+        }),
+    ];
+
+    // --- 2. The user's transaction batch ---------------------------------
+    let txs = vec![
+        Transaction::new("bank-a", "alice", "bob", 12_500),
+        Transaction::new("bank-b", "alice", "carol", 9_900),
+    ];
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "ebank".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "ebank",
+            vec![transactions_param(&txs)],
+            itinerary_for(&txs),
+        )),
+    ];
+
+    // --- 3. Run ------------------------------------------------------------
+    let mut scenario = Scenario::build(spec);
+    let device = scenario.run();
+
+    // --- 4. Inspect --------------------------------------------------------
+    println!("== device events ==");
+    for event in &device.events {
+        match event {
+            DeviceEvent::Subscribed { service, code_id } => {
+                println!("subscribed to {service:?} (code id {code_id})");
+            }
+            DeviceEvent::Dispatched { agent_id, gateway, rtt } => {
+                println!("dispatched agent {agent_id} via {gateway} (RTT {rtt})");
+            }
+            DeviceEvent::ResultCollected { agent_id, result } => {
+                println!("collected result for {agent_id} ({:?})", result.status);
+                for r in receipts(result) {
+                    println!("  receipt: {r}");
+                }
+            }
+            other => println!("{other:?}"),
+        }
+    }
+
+    let timing = &device.timings[0];
+    println!("\n== the paper's headline numbers ==");
+    println!("PI upload (online):        {}", timing.dispatch_online);
+    println!("result download (online):  {}", timing.collect_online);
+    println!("completion (online total): {}", timing.completion);
+    println!("PI envelope size:          {} bytes", timing.pi_bytes);
+    println!("result download size:      {} bytes", timing.result_bytes);
+
+    assert_eq!(device.db.results().len(), 1, "exactly one result stored");
+    println!("\nOK: result stored in the device database.");
+
+    // --- 5. The platform screens (paper Figures 9 & 11) -------------------
+    println!("\n{}", ui::main_screen(device));
+    println!("{}", ui::agent_management_screen(device));
+    println!("{}", ui::result_screen(&device.db.results()[0]));
+}

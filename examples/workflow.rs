@@ -1,0 +1,55 @@
+//! Mobile workflow management — the paper's named future-work application:
+//! a purchase requisition travels an approval chain (team lead → department
+//! → finance) as a mobile agent; the first rejection stops the chain and
+//! the audit trail comes home.
+//!
+//! Run with: `cargo run --example workflow`
+
+use pdagent::apps::workflow::{
+    decisions, outcome, workflow_params, workflow_program,
+};
+use pdagent::apps::ApprovalService;
+use pdagent::core::{DeployRequest, DeviceCommand, Scenario, ScenarioSpec, SiteSpec};
+
+fn run_requisition(amount_cents: i64, seed: u64) {
+    let mut spec = ScenarioSpec::new(seed);
+    spec.catalog = vec![("workflow".into(), workflow_program())];
+    spec.sites = vec![
+        SiteSpec::new("team-lead")
+            .with_service("approval", || ApprovalService::new("lead", 50_000)),
+        SiteSpec::new("department")
+            .with_service("approval", || ApprovalService::new("dept", 200_000)),
+        SiteSpec::new("finance")
+            .with_service("approval", || ApprovalService::new("cfo", 1_000_000)),
+    ];
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "workflow".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "workflow",
+            workflow_params(amount_cents, "alice"),
+            vec!["team-lead".into(), "department".into(), "finance".into()],
+        )),
+    ];
+    let mut scenario = Scenario::build(spec);
+    let device = scenario.run();
+    let agent_id = device.last_agent_id().unwrap().to_owned();
+    let result = device.db.result(&agent_id).unwrap();
+
+    println!(
+        "requisition of HK${}: {}",
+        amount_cents / 100,
+        outcome(&result).unwrap_or_else(|| "?".into())
+    );
+    for (site, note) in decisions(&result) {
+        println!("  [{site}] {note}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("== approval chain: lead (limit $500) → dept ($2000) → cfo ($10000) ==\n");
+    run_requisition(30_000, 1); // $300: sails through all three
+    run_requisition(120_000, 2); // $1200: lead rejects immediately
+    run_requisition(450_000, 3); // $4500: lead rejects (over their limit)
+    println!("(each requisition ran as a mobile agent while the user was offline)");
+}

@@ -1,0 +1,64 @@
+//! # PDAgent — umbrella crate
+//!
+//! A Rust reproduction of *"PDAgent: A Platform for Developing and Deploying
+//! Mobile Agent-enabled Applications for Wireless Devices"* (Cao, Tse, Chan —
+//! ICPP 2004).
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`core`] | `pdagent-core` | **The paper's contribution**: the device platform (subscription, PI dispatch, result collection, RTT gateway selection, agent management) |
+//! | [`gateway`] | `pdagent-gateway` | The middle-tier gateway + central server + wire formats |
+//! | [`mas`] | `pdagent-mas` | The mobile-agent server substrate (Aglets analog) |
+//! | [`vm`] | `pdagent-vm` | The agent bytecode VM (code mobility without runtime code loading) |
+//! | [`net`] | `pdagent-net` | The discrete-event network simulator |
+//! | [`crypto`] | `pdagent-crypto` | MD5 + toy-RSA envelopes (§3.4 security model) |
+//! | [`codec`] | `pdagent-codec` | Compression (LZSS/Huffman/RLE), base64, varints |
+//! | [`xml`] | `pdagent-xml` | kXML-analog pull parser / DOM / writer |
+//! | [`apps`] | `pdagent-apps` | E-banking, food-search and news-clipping applications |
+//! | [`baselines`] | `pdagent-baselines` | Client-server / web-based / client-agent-server comparisons |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pdagent::core::{DeployRequest, DeviceCommand, Scenario, ScenarioSpec, SiteSpec};
+//! use pdagent::apps::ebank::{ebank_program, transactions_param, itinerary_for};
+//! use pdagent::apps::{BankService, Transaction};
+//!
+//! // One gateway, two banks, one handheld.
+//! let mut spec = ScenarioSpec::new(42);
+//! spec.catalog = vec![("ebank".into(), ebank_program())];
+//! spec.sites = vec![
+//!     SiteSpec::new("bank-a")
+//!         .with_service("bank", || BankService::new("bank-a").with_account("alice", 100_000)),
+//!     SiteSpec::new("bank-b")
+//!         .with_service("bank", || BankService::new("bank-b").with_account("alice", 50_000)),
+//! ];
+//! let txs = vec![
+//!     Transaction::new("bank-a", "alice", "bob", 12_500),
+//!     Transaction::new("bank-b", "alice", "carol", 9_900),
+//! ];
+//! spec.commands = vec![
+//!     DeviceCommand::Subscribe { service: "ebank".into() },
+//!     DeviceCommand::Deploy(DeployRequest::new(
+//!         "ebank",
+//!         vec![transactions_param(&txs)],
+//!         itinerary_for(&txs),
+//!     )),
+//! ];
+//! let mut scenario = Scenario::build(spec);
+//! let device = scenario.run();
+//! assert_eq!(device.db.results().len(), 1);
+//! ```
+
+pub use pdagent_apps as apps;
+pub use pdagent_baselines as baselines;
+pub use pdagent_codec as codec;
+pub use pdagent_core as core;
+pub use pdagent_crypto as crypto;
+pub use pdagent_gateway as gateway;
+pub use pdagent_mas as mas;
+pub use pdagent_net as net;
+pub use pdagent_vm as vm;
+pub use pdagent_xml as xml;

@@ -1,0 +1,105 @@
+//! The two-phase m-commerce flow end to end: a quote tour, then an order
+//! deployment parameterized by the quote's outcome — the paper's §2 vision
+//! of dynamically parameterizing downloaded MA code from context.
+
+use pdagent::apps::mcommerce::{
+    best_offer, confirmation, order_params, order_program, quote_params, quote_program,
+};
+use pdagent::apps::ShopService;
+use pdagent::core::{
+    DeployRequest, DeviceCommand, DeviceNode, Scenario, ScenarioSpec, SiteSpec,
+};
+use pdagent::gateway::pi::ResultStatus;
+
+fn shops_spec(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(seed);
+    spec.catalog = vec![
+        ("mc-quote".into(), quote_program()),
+        ("mc-order".into(), order_program()),
+    ];
+    spec.sites = vec![
+        SiteSpec::new("shop-pricey")
+            .with_service("shop", || ShopService::new("shop-pricey").with_item("pda", 180_000, 3)),
+        SiteSpec::new("shop-cheap")
+            .with_service("shop", || ShopService::new("shop-cheap").with_item("pda", 120_000, 1)),
+        SiteSpec::new("shop-mid")
+            .with_service("shop", || ShopService::new("shop-mid").with_item("pda", 150_000, 9)),
+    ];
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "mc-quote".into() },
+        DeviceCommand::Subscribe { service: "mc-order".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "mc-quote",
+            quote_params("pda"),
+            vec!["shop-pricey".into(), "shop-cheap".into(), "shop-mid".into()],
+        )),
+    ];
+    spec
+}
+
+#[test]
+fn quote_then_order_at_the_winner() {
+    let mut scenario = Scenario::build(shops_spec(61));
+    // Phase 1: the quote tour.
+    scenario.sim.run_until_idle();
+    let quote_agent = scenario.device_ref().last_agent_id().unwrap().to_owned();
+    let quote_result = scenario.device_ref().db.result(&quote_agent).unwrap();
+    assert_eq!(quote_result.status, ResultStatus::Completed);
+    let (shop, price) = best_offer(&quote_result).expect("an offer was found");
+    assert_eq!(shop, "shop-cheap");
+    assert_eq!(price, 120_000);
+    // Three per-shop quote lines came back too.
+    assert_eq!(quote_result.entries_for("quote").count(), 3);
+
+    // Phase 2: the user (app layer) parameterizes the order agent from the
+    // quote and deploys it straight to the winning shop.
+    scenario.device_mut().enqueue(DeviceCommand::Deploy(DeployRequest::new(
+        "mc-order",
+        order_params("pda", price),
+        vec![shop.clone()],
+    )));
+    DeviceNode::kick(&mut scenario.sim, scenario.device);
+    scenario.sim.run_until_idle();
+
+    let order_agent = scenario.device_ref().last_agent_id().unwrap().to_owned();
+    assert_ne!(order_agent, quote_agent);
+    let order_result = scenario.device_ref().db.result(&order_agent).unwrap();
+    assert_eq!(order_result.status, ResultStatus::Completed);
+    let conf = confirmation(&order_result).expect("order confirmed");
+    assert!(conf.contains("pda@120000"), "{conf}");
+
+    // The shop's stock really decremented (the MAS owns the service state).
+    // Deploy a second order — stock was 1, so this one must fail.
+    scenario.device_mut().enqueue(DeviceCommand::Deploy(DeployRequest::new(
+        "mc-order",
+        order_params("pda", price),
+        vec![shop],
+    )));
+    DeviceNode::kick(&mut scenario.sim, scenario.device);
+    scenario.sim.run_until_idle();
+    let second = scenario.device_ref().last_agent_id().unwrap().to_owned();
+    let second_result = scenario.device_ref().db.result(&second).unwrap();
+    assert_eq!(second_result.status, ResultStatus::Failed);
+    assert!(second_result
+        .entries_for("error")
+        .any(|e| e.value.render().contains("out of stock")));
+}
+
+#[test]
+fn no_shop_stocks_the_item() {
+    let mut spec = shops_spec(62);
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "mc-quote".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "mc-quote",
+            quote_params("flying-car"),
+            vec!["shop-pricey".into(), "shop-cheap".into(), "shop-mid".into()],
+        )),
+    ];
+    let mut scenario = Scenario::build(spec);
+    let device = scenario.run();
+    let agent = device.last_agent_id().unwrap().to_owned();
+    let result = device.db.result(&agent).unwrap();
+    assert_eq!(result.status, ResultStatus::Completed);
+    assert!(best_offer(&result).is_none());
+}

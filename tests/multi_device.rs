@@ -1,0 +1,137 @@
+//! Multiple handhelds sharing one gateway infrastructure: the platform must
+//! isolate users (ids, keys, results) while the banks see a consistent
+//! global ledger.
+
+use pdagent::apps::ebank::{ebank_program, itinerary_for, receipts, transactions_param};
+use pdagent::apps::{BankService, Transaction};
+use pdagent::core::{
+    DeployRequest, DeviceCommand, DeviceConfig, Scenario, ScenarioSpec, SiteSpec,
+};
+
+fn deploy_cmds(user: &str, payee: &str, amount: i64) -> Vec<DeviceCommand> {
+    let txs = vec![
+        Transaction::new("bank-a", user, payee, amount),
+        Transaction::new("bank-b", user, payee, amount + 1),
+    ];
+    vec![
+        DeviceCommand::Subscribe { service: "ebank".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "ebank",
+            vec![transactions_param(&txs)],
+            itinerary_for(&txs),
+        )),
+    ]
+}
+
+fn multi_spec(seed: u64, n_extra: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(seed);
+    spec.catalog = vec![("ebank".into(), ebank_program())];
+    spec.sites = vec![
+        SiteSpec::new("bank-a").with_service("bank", || {
+            BankService::new("bank-a")
+                .with_account("alice", 1_000_000)
+                .with_account("bob", 1_000_000)
+                .with_account("carol", 1_000_000)
+        }),
+        SiteSpec::new("bank-b").with_service("bank", || {
+            BankService::new("bank-b")
+                .with_account("alice", 1_000_000)
+                .with_account("bob", 1_000_000)
+                .with_account("carol", 1_000_000)
+        }),
+    ];
+    spec.commands = deploy_cmds("alice", "rent", 10_000);
+    let users = ["bob", "carol"];
+    for i in 0..n_extra {
+        let user = users[i % users.len()];
+        let mut cfg = DeviceConfig::new(format!("pda-{user}"));
+        cfg.entropy_seed = 100 + i as u64;
+        spec.extra_devices.push((cfg, deploy_cmds(user, "bills", 5_000 + i as i64)));
+    }
+    spec
+}
+
+#[test]
+fn three_devices_complete_independently() {
+    let mut scenario = Scenario::build(multi_spec(51, 2));
+    scenario.sim.run_until_idle();
+
+    // Every device got exactly its own result.
+    let primary = scenario.device_ref();
+    assert_eq!(primary.timings.len(), 1);
+    let alice_result = primary.db.results().pop().unwrap();
+    assert!(receipts(&alice_result)[0].contains("alice"));
+
+    for i in 0..2 {
+        let dev = scenario.extra_device_ref(i);
+        assert_eq!(dev.timings.len(), 1, "device {i} events: {:?}", dev.events);
+        let result = dev.db.results().pop().unwrap();
+        let who = if i == 0 { "bob" } else { "carol" };
+        assert!(
+            receipts(&result).iter().all(|r| r.contains(who)),
+            "device {i} saw foreign receipts: {:?}",
+            receipts(&result)
+        );
+        // And never someone else's.
+        assert!(!receipts(&result).iter().any(|r| r.contains("alice")));
+    }
+
+    // The gateway holds all three results under distinct agent ids.
+    assert_eq!(scenario.gateway_ref(0).stored_results(), 3);
+    let mut ids: Vec<String> = [scenario.device]
+        .iter()
+        .chain(&scenario.extra_devices)
+        .map(|&d| {
+            scenario
+                .sim
+                .node_ref::<pdagent::core::DeviceNode>(d)
+                .unwrap()
+                .last_agent_id()
+                .unwrap()
+                .to_owned()
+        })
+        .collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "agent ids must be distinct");
+}
+
+#[test]
+fn concurrent_load_is_deterministic() {
+    let run = |seed| {
+        let mut scenario = Scenario::build(multi_spec(seed, 2));
+        scenario.sim.run_until_idle();
+        (
+            scenario.device_ref().timings.clone(),
+            scenario.extra_device_ref(0).timings.clone(),
+            scenario.extra_device_ref(1).timings.clone(),
+            scenario.sim.now(),
+        )
+    };
+    assert_eq!(run(52), run(52));
+}
+
+#[test]
+fn eight_device_soak() {
+    // A small soak: 1 + 8 devices, everyone completes, nothing leaks.
+    let mut scenario = Scenario::build(multi_spec(53, 8));
+    scenario.sim.run_until_idle();
+    assert_eq!(scenario.device_ref().timings.len(), 1);
+    for i in 0..8 {
+        let dev = scenario.extra_device_ref(i);
+        assert_eq!(
+            dev.timings.len(),
+            1,
+            "device {i} did not finish: {:?}",
+            dev.events
+        );
+        assert!(dev.idle());
+    }
+    assert_eq!(scenario.gateway_ref(0).stored_results(), 9);
+    // No device still holds a connection.
+    let now = scenario.sim.now();
+    for &d in std::iter::once(&scenario.device).chain(&scenario.extra_devices) {
+        assert!(!scenario.sim.metrics(d).connection_open());
+        assert!(scenario.sim.metrics(d).total_connection_time(now).as_secs_f64() > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The workflow application end to end, and wire-level assertions via the
+//! simulator's trace facility.
+
+use pdagent::apps::workflow::{decisions, outcome, workflow_params, workflow_program};
+use pdagent::apps::ApprovalService;
+use pdagent::core::{DeployRequest, DeviceCommand, Scenario, ScenarioSpec, SiteSpec};
+use pdagent::gateway::pi::ResultStatus;
+
+fn workflow_spec(seed: u64, amount_cents: i64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(seed);
+    spec.catalog = vec![("workflow".into(), workflow_program())];
+    spec.sites = vec![
+        SiteSpec::new("team-lead")
+            .with_service("approval", || ApprovalService::new("lead", 50_000)),
+        SiteSpec::new("department")
+            .with_service("approval", || ApprovalService::new("dept", 200_000)),
+        SiteSpec::new("finance")
+            .with_service("approval", || ApprovalService::new("cfo", 1_000_000)),
+    ];
+    spec.commands = vec![
+        DeviceCommand::Subscribe { service: "workflow".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "workflow",
+            workflow_params(amount_cents, "alice"),
+            vec!["team-lead".into(), "department".into(), "finance".into()],
+        )),
+    ];
+    spec
+}
+
+#[test]
+fn requisition_within_limits_is_fully_approved() {
+    let mut scenario = Scenario::build(workflow_spec(41, 30_000));
+    let device = scenario.run();
+    let agent_id = device.last_agent_id().unwrap().to_owned();
+    let result = device.db.result(&agent_id).unwrap();
+    assert_eq!(result.status, ResultStatus::Completed);
+    assert_eq!(outcome(&result).as_deref(), Some("approved"));
+    let chain = decisions(&result);
+    assert_eq!(chain.len(), 3);
+    assert_eq!(chain[0].0, "team-lead");
+    assert_eq!(chain[2].0, "finance");
+    assert!(chain[2].1.contains("cfo: approved"));
+}
+
+#[test]
+fn oversized_requisition_is_rejected_at_the_right_level() {
+    // 120k: lead (50k limit) rejects immediately.
+    let mut scenario = Scenario::build(workflow_spec(42, 120_000));
+    let device = scenario.run();
+    let agent_id = device.last_agent_id().unwrap().to_owned();
+    let result = device.db.result(&agent_id).unwrap();
+    assert_eq!(outcome(&result).as_deref(), Some("rejected"));
+    let chain = decisions(&result);
+    assert_eq!(chain.len(), 1, "chain stopped at the first rejection: {chain:?}");
+    assert!(chain[0].1.contains("exceeds limit"));
+    // department and finance never saw the agent.
+    assert!(!chain.iter().any(|(site, _)| site == "department" || site == "finance"));
+}
+
+#[test]
+fn trace_shows_the_papers_protocol_structure() {
+    let mut scenario = Scenario::build(workflow_spec(43, 30_000));
+    scenario.sim.enable_trace();
+    scenario.sim.run_until_idle();
+    let trace = scenario.sim.trace().unwrap();
+
+    let device = scenario.device;
+    let gateway = scenario.gateways[0];
+
+    // The device's entire wired-network interaction is a handful of HTTP
+    // exchanges: subscribe (req+resp), dispatch (req+resp), collect
+    // (req+resp) — plus the tiny probe/ack pairs. No per-transaction
+    // traffic ever touches the wireless link; the agent transfers happen
+    // on the backbone.
+    let device_http: Vec<_> = trace
+        .entries()
+        .iter()
+        .filter(|e| {
+            (e.from == device || e.to == device)
+                && (e.kind == "http.request" || e.kind == "http.response")
+        })
+        .collect();
+    assert_eq!(
+        device_http.len(),
+        6,
+        "expected 3 request/response pairs, got:\n{}",
+        trace.render()
+    );
+
+    // Agent transfers: gateway → site0 → site1 → site2 → gateway = 4
+    // `mas.transfer`/`mas.complete` legs, each acked (except the final
+    // return). None involve the device.
+    let transfers: Vec<_> = trace.of_kind("mas.transfer").collect();
+    assert_eq!(transfers.len(), 3);
+    assert!(transfers.iter().all(|e| e.from != device && e.to != device));
+    assert_eq!(trace.of_kind("mas.complete").count(), 1);
+    assert_eq!(
+        trace.of_kind("mas.complete").next().unwrap().to,
+        gateway
+    );
+
+    // Probes exist and are tiny.
+    assert!(trace.of_kind("probe").count() >= 1);
+    assert!(trace.of_kind("probe").all(|e| e.bytes < 64));
+
+    // Everything the device uploaded (PI included) fits in a few KB.
+    let device_bytes: usize = trace
+        .entries()
+        .iter()
+        .filter(|e| e.from == device)
+        .map(|e| e.bytes)
+        .sum();
+    assert!(device_bytes < 8 * 1024, "device uploaded {device_bytes} bytes");
+}
