@@ -226,7 +226,7 @@ impl Node for ClientAgentDevice {
                 self.launch_status = Some(resp.status);
                 ctx.connection_closed();
                 if resp.status == HttpStatus::Accepted {
-                    self.agent_id = Some(String::from_utf8(resp.body).unwrap_or_default());
+                    self.agent_id = Some(String::from_utf8(resp.body.to_vec()).unwrap_or_default());
                     self.phase = Phase::Waiting;
                     ctx.set_timer(self.poll_interval, TAG_POLL);
                 } else {

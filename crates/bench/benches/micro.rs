@@ -15,6 +15,10 @@ use pdagent_crypto::rsa::KeyPair;
 use pdagent_gateway::pi::PackedInformation;
 use pdagent_core::rms::RecordStore;
 use pdagent_mas::{AgentId, Itinerary, MobileAgent};
+use pdagent_net::link::LinkSpec;
+use pdagent_net::message::Message;
+use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
+use pdagent_net::time::SimDuration;
 use pdagent_vm::{run, AgentState, MapHost, Value};
 use pdagent_xml::Element;
 
@@ -208,6 +212,79 @@ fn bench_program_encodings(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_event_loop(c: &mut Criterion) {
+    // Raw simulator event-loop throughput: a single node that re-arms a
+    // timer EVENTS times. Measures heap push/pop, the armed-timer set and
+    // dispatch — no message payloads at all.
+    struct Ticker {
+        remaining: u64,
+    }
+    impl Node for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_micros(1), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+    }
+    const EVENTS: u64 = 10_000;
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("event_loop_10k_timers", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            sim.add_node(Box::new(Ticker { remaining: EVENTS }));
+            std::hint::black_box(sim.run_until_idle())
+        })
+    });
+    group.finish();
+}
+
+fn bench_message_hop(c: &mut Criterion) {
+    // Message-hop throughput: two nodes ping-pong a 1 KiB body over a LAN
+    // link. The responder forwards the received message, so with the
+    // zero-copy `Bytes` path every hop reuses one shared allocation; this is
+    // the number the §6 performance model in DESIGN.md cites.
+    struct Pong;
+    impl Node for Pong {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+            ctx.send(from, msg);
+        }
+    }
+    struct Ping {
+        peer: NodeId,
+        remaining: u64,
+    }
+    impl Node for Ping {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.peer, Message::new("hop", vec![0x5a; 1024]));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, msg);
+            }
+        }
+    }
+    const HOPS: u64 = 10_000;
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(HOPS));
+    group.bench_function("message_hop_10k_x_1KiB", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let pong = sim.add_node(Box::new(Pong));
+            let ping = sim.add_node(Box::new(Ping { peer: pong, remaining: HOPS }));
+            sim.connect(ping, pong, LinkSpec::lan());
+            std::hint::black_box(sim.run_until_idle())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_xml,
@@ -217,6 +294,8 @@ criterion_group!(
     bench_pi_roundtrip,
     bench_rms,
     bench_agent_transfer,
-    bench_program_encodings
+    bench_program_encodings,
+    bench_event_loop,
+    bench_message_hop
 );
 criterion_main!(benches);

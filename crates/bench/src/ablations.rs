@@ -19,7 +19,8 @@ use pdagent_net::link::LinkSpec;
 use pdagent_net::sim::Simulator;
 use pdagent_vm::Value;
 
-use crate::workload::{batch, run_pdagent_with};
+use crate::parallel::parallel_map;
+use crate::workload::{batch, run_pdagent_with, PdagentRun};
 
 /// Compression ablation result.
 #[derive(Debug, Clone)]
@@ -28,17 +29,23 @@ pub struct CompressionAblation {
     pub compressed: (usize, f64),
     /// PI size and completion with Store (no compression).
     pub stored: (usize, f64),
+    /// Total simulator events processed across both runs.
+    pub events: u64,
 }
 
-/// Run the compression ablation at `n` transactions.
+/// Run the compression ablation at `n` transactions (both configurations in
+/// parallel).
 pub fn run_compression(n: u32, seed: u64) -> CompressionAblation {
-    let on = run_pdagent_with(n, seed, |_| {});
-    let off = run_pdagent_with(n, seed, |spec| {
-        spec.device.compression = Algorithm::Store;
+    let runs = parallel_map(vec![Algorithm::Auto, Algorithm::Store], |alg| {
+        run_pdagent_with(n, seed, |spec| {
+            spec.device.compression = alg;
+        })
     });
+    let (on, off) = (&runs[0], &runs[1]);
     CompressionAblation {
         compressed: (on.pi_bytes, on.completion_secs),
         stored: (off.pi_bytes, off.completion_secs),
+        events: on.events + off.events,
     }
 }
 
@@ -78,13 +85,41 @@ pub struct MobilityAblation {
     pub pdagent: (usize, f64),
     /// Client-agent-server (pre-installed): request bytes, online seconds.
     pub preinstalled: (usize, f64),
+    /// Total simulator events processed across both runs.
+    pub events: u64,
 }
 
-/// Run the code-mobility ablation at `n` transactions.
-pub fn run_mobility(n: u32, seed: u64) -> MobilityAblation {
-    let pda = run_pdagent_with(n, seed, |_| {});
+enum MobilityRun {
+    Pdagent(PdagentRun),
+    /// `(request bytes, online seconds, sim events)`.
+    Preinstalled(usize, f64, u64),
+}
 
-    // Client-agent-server on an equivalent topology.
+/// Run the code-mobility ablation at `n` transactions (both models in
+/// parallel).
+pub fn run_mobility(n: u32, seed: u64) -> MobilityAblation {
+    let runs = parallel_map(vec![0u8, 1], |model| match model {
+        0 => MobilityRun::Pdagent(run_pdagent_with(n, seed, |_| {})),
+        _ => {
+            let (bytes, secs, events) = run_preinstalled(n, seed);
+            MobilityRun::Preinstalled(bytes, secs, events)
+        }
+    });
+    let (MobilityRun::Pdagent(pda), MobilityRun::Preinstalled(bytes, secs, events)) =
+        (&runs[0], &runs[1])
+    else {
+        unreachable!("job order is fixed");
+    };
+    MobilityAblation {
+        pdagent: (pda.pi_bytes, pda.connection_secs),
+        preinstalled: (*bytes, *secs),
+        events: pda.events + events,
+    }
+}
+
+/// Client-agent-server on an equivalent topology:
+/// `(request bytes, online seconds, sim events)`.
+fn run_preinstalled(n: u32, seed: u64) -> (usize, f64, u64) {
     let mut sim = Simulator::new(seed);
     let mut directory = SiteDirectory::new();
     directory.insert("bank-a", 1);
@@ -120,11 +155,7 @@ pub fn run_mobility(n: u32, seed: u64) -> MobilityAblation {
     let d = sim.node_ref::<ClientAgentDevice>(device).expect("device");
     assert!(d.result.is_some(), "client-agent-server run completed");
     let online = d.online_time.expect("online time").as_secs_f64();
-
-    MobilityAblation {
-        pdagent: (pda.pi_bytes, pda.connection_secs),
-        preinstalled: (request_bytes, online),
-    }
+    (request_bytes, online, sim.events_processed())
 }
 
 impl MobilityAblation {

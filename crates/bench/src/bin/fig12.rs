@@ -1,14 +1,35 @@
 //! Regenerate paper Figure 12: Internet connection time vs. number of
-//! transactions for PDAgent, Client-Server and Web-based.
+//! transactions for PDAgent, Client-Server and Web-based. Writes
+//! `BENCH_fig12.json` alongside the table.
 //!
 //! `cargo run -p pdagent-bench --release --bin fig12 [seed]`
 
+use std::time::Instant;
+
 use pdagent_bench::fig12;
+use pdagent_bench::report::{write_bench_report, Json};
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let t0 = Instant::now();
     let fig = fig12::run(seed);
+    let wall = t0.elapsed().as_secs_f64();
     print!("{}", fig.table());
+
+    let results = Json::obj(vec![
+        ("seed", seed.into()),
+        ("transactions", Json::arr(fig.transactions.clone())),
+        ("pdagent_secs", Json::arr(fig.pdagent.clone())),
+        ("client_server_secs", Json::arr(fig.client_server.clone())),
+        ("web_based_secs", Json::arr(fig.web_based.clone())),
+        ("pdagent_wireless_bytes", Json::arr(fig.pdagent_bytes.clone())),
+        ("client_server_wireless_bytes", Json::arr(fig.client_server_bytes.clone())),
+    ]);
+    match write_bench_report("fig12", wall, fig.events, results) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_fig12.json: {e}"),
+    }
+
     match fig.check_shape() {
         Ok(()) => println!("\nshape check: OK (PDAgent flat & lowest; interactive approaches grow; ordering holds)"),
         Err(e) => {

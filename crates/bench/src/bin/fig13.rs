@@ -1,16 +1,68 @@
 //! Regenerate paper Figure 13: transaction completion times across four
 //! trials for the Client-Server platform (top panel) and PDAgent (bottom).
 //!
+//! Runs the 80-simulation sweep once sequentially and once on the parallel
+//! runner, verifies the two are byte-identical, and writes
+//! `BENCH_fig13.json` with both wall times, the speedup and the per-point
+//! results.
+//!
 //! `cargo run -p pdagent-bench --release --bin fig13 [base_seed]`
 
-use pdagent_bench::fig13;
+use std::time::Instant;
+
+use pdagent_bench::report::{write_bench_report, Json};
+use pdagent_bench::{fig13, parallel};
+
+fn trials_json(series: &fig13::TrialSeries) -> Json {
+    Json::obj(vec![
+        ("transactions", Json::arr(series.transactions.clone())),
+        (
+            "trials",
+            Json::Arr(series.trials.iter().map(|t| Json::arr(t.clone())).collect()),
+        ),
+        ("mean", Json::arr(series.mean())),
+        ("spread", Json::arr(series.spread())),
+    ])
+}
 
 fn main() {
     let base_seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let t0 = Instant::now();
+    let sequential = fig13::run_sequential(base_seed);
+    let seq_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
     let fig = fig13::run(base_seed);
+    let par_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(fig, sequential, "parallel run diverged from sequential");
+
     print!("{}", fig.client_server.table("Figure 13 (top) — Client-Server completion time (s), 4 trials"));
     println!();
     print!("{}", fig.pdagent.table("Figure 13 (bottom) — PDAgent completion time (s), 4 trials"));
+
+    let speedup = if par_secs > 0.0 { seq_secs / par_secs } else { 1.0 };
+    println!(
+        "\nharness: sequential {seq_secs:.2}s, parallel {par_secs:.2}s on {} thread(s) — {speedup:.2}x, byte-identical",
+        parallel::thread_count()
+    );
+
+    let results = Json::obj(vec![
+        ("base_seed", base_seed.into()),
+        ("client_server", trials_json(&fig.client_server)),
+        ("pdagent", trials_json(&fig.pdagent)),
+        ("sequential_wall_secs", seq_secs.into()),
+        ("parallel_wall_secs", par_secs.into()),
+        ("speedup", speedup.into()),
+        ("byte_identical", true.into()),
+    ]);
+    // Wall time / events reported for the parallel run (the one users get).
+    match write_bench_report("fig13", par_secs, fig.events, results) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_fig13.json: {e}"),
+    }
+
     match fig.check_shape() {
         Ok(()) => println!(
             "\nshape check: OK (client-server grows & spreads; PDAgent flat, stable, ≤8s band)"

@@ -1,13 +1,52 @@
 //! Regenerate the paper's footprint claims (TAB-FOOT): agent code sizes,
-//! compression ratios and the on-device database footprint.
+//! compression ratios and the on-device database footprint. Writes
+//! `BENCH_footprint.json` alongside the table (no simulations run here, so
+//! `sim_events` is 0).
 //!
 //! `cargo run -p pdagent-bench --release --bin footprint`
 
+use std::time::Instant;
+
 use pdagent_bench::footprint;
+use pdagent_bench::report::{write_bench_report, Json};
 
 fn main() {
+    let t0 = Instant::now();
     let f = footprint::run();
+    let wall = t0.elapsed().as_secs_f64();
     print!("{}", f.table());
+
+    let agents = f
+        .agents
+        .iter()
+        .map(|a| {
+            Json::obj(vec![
+                ("name", a.name.as_str().into()),
+                ("bytecode_bytes", a.bytecode.into()),
+                ("xml_bytes", a.xml.into()),
+                (
+                    "compressed",
+                    Json::Obj(
+                        a.compressed
+                            .iter()
+                            .map(|&(alg, size)| (alg.to_owned(), size.into()))
+                            .collect(),
+                    ),
+                ),
+                ("stored_bytes", a.stored_size().into()),
+            ])
+        })
+        .collect();
+    let results = Json::obj(vec![
+        ("agents", Json::Arr(agents)),
+        ("db_after_subscriptions_bytes", f.db_after_subscriptions.into()),
+        ("db_snapshot_bytes", f.db_snapshot.into()),
+    ]);
+    match write_bench_report("footprint", wall, 0, results) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_footprint.json: {e}"),
+    }
+
     match f.check_shape() {
         Ok(()) => println!("\nshape check: OK (code in band, compression shrinks it, DB ≪ 120 KB)"),
         Err(e) => {

@@ -1,13 +1,18 @@
 //! Regenerate the §3.5 gateway-selection experiment (Figure 8's model):
 //! nearest-by-RTT probing vs. first-in-list dispatch, plus the DESIGN.md
-//! ablations (compression on/off, code mobility vs. pre-installed).
+//! ablations (compression on/off, code mobility vs. pre-installed). Writes
+//! `BENCH_gateway_selection.json` alongside the tables.
 //!
 //! `cargo run -p pdagent-bench --release --bin gateway_selection [seed]`
 
+use std::time::Instant;
+
+use pdagent_bench::report::{write_bench_report, Json};
 use pdagent_bench::{ablations, gateway_selection};
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let t0 = Instant::now();
 
     let g = gateway_selection::run(seed);
     print!("{}", g.table());
@@ -30,6 +35,41 @@ fn main() {
     if let Err(e) = m.check_shape() {
         println!("shape check FAILED: {e}");
         std::process::exit(1);
+    }
+
+    let wall = t0.elapsed().as_secs_f64();
+    let events = g.events + c.events + m.events;
+    let results = Json::obj(vec![
+        ("seed", seed.into()),
+        (
+            "gateway_selection",
+            Json::obj(vec![
+                ("nearest_secs", g.nearest_secs.into()),
+                ("first_secs", g.first_secs.into()),
+            ]),
+        ),
+        (
+            "compression_ablation",
+            Json::obj(vec![
+                ("compressed_pi_bytes", c.compressed.0.into()),
+                ("compressed_completion_secs", c.compressed.1.into()),
+                ("stored_pi_bytes", c.stored.0.into()),
+                ("stored_completion_secs", c.stored.1.into()),
+            ]),
+        ),
+        (
+            "mobility_ablation",
+            Json::obj(vec![
+                ("pdagent_upload_bytes", m.pdagent.0.into()),
+                ("pdagent_online_secs", m.pdagent.1.into()),
+                ("preinstalled_upload_bytes", m.preinstalled.0.into()),
+                ("preinstalled_online_secs", m.preinstalled.1.into()),
+            ]),
+        ),
+    ]);
+    match write_bench_report("gateway_selection", wall, events, results) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_gateway_selection.json: {e}"),
     }
 
     println!("\nshape checks: OK");

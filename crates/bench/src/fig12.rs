@@ -7,7 +7,8 @@
 //! transactions); PDAgent stays flat at a few seconds because only the PI
 //! upload and the result download are online.
 
-use crate::workload::{run_client_server_full, run_pdagent, run_web};
+use crate::parallel::parallel_map;
+use crate::workload::{run_client_server_full, run_pdagent, run_web_full};
 
 /// Median of a small slice.
 fn median(values: &[f64]) -> f64 {
@@ -17,7 +18,7 @@ fn median(values: &[f64]) -> f64 {
 }
 
 /// The figure's data: one row per transaction count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12 {
     /// Transaction counts (1..=10).
     pub transactions: Vec<u32>,
@@ -31,29 +32,66 @@ pub struct Fig12 {
     pub pdagent_bytes: Vec<u64>,
     /// Wireless bytes moved by the client-server handheld.
     pub client_server_bytes: Vec<u64>,
+    /// Total simulator events processed across all runs.
+    pub events: u64,
 }
 
-/// Run the full figure with the given trial seed.
+/// Approach tags for the per-point job list.
+const PDAGENT: u8 = 0;
+const CLIENT_SERVER: u8 = 1;
+const WEB: u8 = 2;
+
+/// One independent simulation: `(seconds, wireless bytes, sim events)`.
+/// Web-based reports no wireless bytes (it is a desktop baseline).
+fn point((approach, n, seed): (u8, u32, u64)) -> (f64, u64, u64) {
+    match approach {
+        PDAGENT => {
+            let r = run_pdagent(n, seed);
+            (r.connection_secs, r.wireless_bytes, r.events)
+        }
+        CLIENT_SERVER => run_client_server_full(n, seed),
+        _ => {
+            let (secs, events) = run_web_full(n, seed);
+            (secs, 0, events)
+        }
+    }
+}
+
+fn jobs(seed: u64, transactions: &[u32]) -> Vec<(u8, u32, u64)> {
+    [PDAGENT, CLIENT_SERVER, WEB]
+        .iter()
+        .flat_map(|&a| transactions.iter().map(move |&n| (a, n, seed)))
+        .collect()
+}
+
+fn assemble(transactions: Vec<u32>, points: Vec<(f64, u64, u64)>) -> Fig12 {
+    let k = transactions.len();
+    let series = |i: usize| points[i * k..(i + 1) * k].to_vec();
+    let (pda, cs, web) = (series(0), series(1), series(2));
+    Fig12 {
+        transactions,
+        pdagent: pda.iter().map(|p| p.0).collect(),
+        client_server: cs.iter().map(|p| p.0).collect(),
+        web_based: web.iter().map(|p| p.0).collect(),
+        pdagent_bytes: pda.iter().map(|p| p.1).collect(),
+        client_server_bytes: cs.iter().map(|p| p.1).collect(),
+        events: points.iter().map(|p| p.2).sum(),
+    }
+}
+
+/// Run the full figure with the given trial seed, fanning the 30 independent
+/// simulations across worker threads. Byte-identical to [`run_sequential`].
 pub fn run(seed: u64) -> Fig12 {
     let transactions: Vec<u32> = (1..=10).collect();
-    let mut fig = Fig12 {
-        transactions: transactions.clone(),
-        pdagent: Vec::new(),
-        client_server: Vec::new(),
-        web_based: Vec::new(),
-        pdagent_bytes: Vec::new(),
-        client_server_bytes: Vec::new(),
-    };
-    for &n in &transactions {
-        let pda = run_pdagent(n, seed);
-        fig.pdagent.push(pda.connection_secs);
-        fig.pdagent_bytes.push(pda.wireless_bytes);
-        let (cs_secs, cs_bytes) = run_client_server_full(n, seed);
-        fig.client_server.push(cs_secs);
-        fig.client_server_bytes.push(cs_bytes);
-        fig.web_based.push(run_web(n, seed));
-    }
-    fig
+    let points = parallel_map(jobs(seed, &transactions), point);
+    assemble(transactions, points)
+}
+
+/// Single-threaded reference run (determinism baseline and speedup anchor).
+pub fn run_sequential(seed: u64) -> Fig12 {
+    let transactions: Vec<u32> = (1..=10).collect();
+    let points = jobs(seed, &transactions).into_iter().map(point).collect();
+    assemble(transactions, points)
 }
 
 impl Fig12 {
@@ -150,5 +188,16 @@ mod tests {
             fig.check_shape()
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", fig.table()));
         }
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let par = run(4);
+        let seq = run_sequential(4);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&par.pdagent), bits(&seq.pdagent));
+        assert_eq!(bits(&par.client_server), bits(&seq.client_server));
+        assert_eq!(bits(&par.web_based), bits(&seq.web_based));
+        assert_eq!(par, seq);
     }
 }

@@ -9,10 +9,11 @@
 //! (its axis tops out at 8 s) with a small spread, because only two short
 //! online windows are exposed to the wireless jitter.
 
-use crate::workload::{run_client_server, run_pdagent};
+use crate::parallel::parallel_map;
+use crate::workload::{run_client_server_full, run_pdagent};
 
 /// One approach's four-trial data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialSeries {
     /// Transaction counts (1..=10).
     pub transactions: Vec<u32>,
@@ -62,28 +63,79 @@ impl TrialSeries {
 }
 
 /// The whole figure: both panels.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig13 {
     /// Top panel: client-server platform.
     pub client_server: TrialSeries,
     /// Bottom panel: PDAgent.
     pub pdagent: TrialSeries,
+    /// Total simulator events processed across all runs.
+    pub events: u64,
 }
 
-/// Run four trials (seeds `base_seed..base_seed+4`) of both approaches.
+const CLIENT_SERVER: u8 = 0;
+const PDAGENT: u8 = 1;
+
+/// One independent simulation: `(completion seconds, sim events)`.
+fn point((approach, n, seed): (u8, u32, u64)) -> (f64, u64) {
+    match approach {
+        CLIENT_SERVER => {
+            let (secs, _, events) = run_client_server_full(n, seed);
+            (secs, events)
+        }
+        _ => {
+            let r = run_pdagent(n, seed);
+            (r.completion_secs, r.events)
+        }
+    }
+}
+
+/// Job list: 4 trials x 10 transaction counts x 2 approaches = 80
+/// independent simulations, in a fixed deterministic order.
+fn jobs(base_seed: u64, transactions: &[u32]) -> Vec<(u8, u32, u64)> {
+    let mut out = Vec::with_capacity(transactions.len() * 8);
+    for approach in [CLIENT_SERVER, PDAGENT] {
+        for trial in 0..4 {
+            for &n in transactions {
+                out.push((approach, n, base_seed + trial));
+            }
+        }
+    }
+    out
+}
+
+fn assemble(transactions: Vec<u32>, points: Vec<(f64, u64)>) -> Fig13 {
+    let k = transactions.len();
+    let panel = |offset: usize| TrialSeries {
+        transactions: transactions.clone(),
+        trials: (0..4)
+            .map(|t| {
+                let start = offset + t * k;
+                points[start..start + k].iter().map(|p| p.0).collect()
+            })
+            .collect(),
+    };
+    Fig13 {
+        client_server: panel(0),
+        pdagent: panel(4 * k),
+        events: points.iter().map(|p| p.1).sum(),
+    }
+}
+
+/// Run four trials (seeds `base_seed..base_seed+4`) of both approaches,
+/// fanning the 80 independent simulations across worker threads.
+/// Byte-identical to [`run_sequential`].
 pub fn run(base_seed: u64) -> Fig13 {
     let transactions: Vec<u32> = (1..=10).collect();
-    let mut cs = TrialSeries { transactions: transactions.clone(), trials: Vec::new() };
-    let mut pda = TrialSeries { transactions: transactions.clone(), trials: Vec::new() };
-    for trial in 0..4 {
-        let seed = base_seed + trial;
-        cs.trials
-            .push(transactions.iter().map(|&n| run_client_server(n, seed)).collect());
-        pda.trials.push(
-            transactions.iter().map(|&n| run_pdagent(n, seed).completion_secs).collect(),
-        );
-    }
-    Fig13 { client_server: cs, pdagent: pda }
+    let points = parallel_map(jobs(base_seed, &transactions), point);
+    assemble(transactions, points)
+}
+
+/// Single-threaded reference run (determinism baseline and speedup anchor).
+pub fn run_sequential(base_seed: u64) -> Fig13 {
+    let transactions: Vec<u32> = (1..=10).collect();
+    let points = jobs(base_seed, &transactions).into_iter().map(point).collect();
+    assemble(transactions, points)
 }
 
 impl Fig13 {
@@ -143,6 +195,23 @@ mod tests {
         let table = series.table("t");
         assert!(table.contains("trial1") && table.contains("trial2"));
         assert_eq!(table.lines().count(), 4); // header x2 + 2 rows
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let par = run(100);
+        let seq = run_sequential(100);
+        for (p, s) in par
+            .client_server
+            .trials
+            .iter()
+            .chain(par.pdagent.trials.iter())
+            .zip(seq.client_server.trials.iter().chain(seq.pdagent.trials.iter()))
+        {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(p), bits(s));
+        }
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use pdagent_core::ScenarioSpec;
 use pdagent_net::time::SimDuration;
 
+use crate::parallel::parallel_map;
 use crate::workload::run_pdagent_with;
 
 /// Gateway distances used in the experiment (extra one-way latency).
@@ -34,18 +35,25 @@ pub struct GatewaySelection {
     pub nearest_secs: f64,
     /// Dispatch connection time when stuck with the (distant) first gateway.
     pub first_secs: f64,
+    /// Total simulator events processed across both runs.
+    pub events: u64,
 }
 
-/// Run both policies on the same topology and seed.
+/// Run both policies on the same topology and seed (the two simulations run
+/// on separate worker threads).
 pub fn run(seed: u64) -> GatewaySelection {
-    let nearest = run_pdagent_with(3, seed, spread_gateways);
-    let first = run_pdagent_with(3, seed, |spec| {
-        spread_gateways(spec);
-        spec.device.selection = pdagent_core::SelectionPolicy::FirstInList;
+    let runs = parallel_map(vec![false, true], |first_in_list| {
+        run_pdagent_with(3, seed, |spec| {
+            spread_gateways(spec);
+            if first_in_list {
+                spec.device.selection = pdagent_core::SelectionPolicy::FirstInList;
+            }
+        })
     });
     GatewaySelection {
-        nearest_secs: nearest.connection_secs,
-        first_secs: first.connection_secs,
+        nearest_secs: runs[0].connection_secs,
+        first_secs: runs[1].connection_secs,
+        events: runs.iter().map(|r| r.events).sum(),
     }
 }
 

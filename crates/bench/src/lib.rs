@@ -16,10 +16,21 @@
 //!   (the §3.5 model, Figure 8).
 //! * [`ablations`] — compression on/off and code-mobility vs. pre-installed
 //!   (client-agent-server) comparisons called out in DESIGN.md §5.
+//!
+//! Infrastructure:
+//!
+//! * [`parallel`] — fans independent `(seed, params)` simulations across
+//!   worker threads with deterministic, order-merged results. Every figure
+//!   module has a parallel `run` and a `run_sequential` reference;
+//!   `PDAGENT_BENCH_THREADS` pins the worker count.
+//! * [`report`] — the `BENCH_<figure>.json` machine-readable reports the
+//!   `src/bin/*` binaries emit (wall time, events/sec, per-point results).
 
 pub mod ablations;
 pub mod fig12;
 pub mod fig13;
 pub mod footprint;
 pub mod gateway_selection;
+pub mod parallel;
+pub mod report;
 pub mod workload;

@@ -1,0 +1,204 @@
+//! Machine-readable benchmark reports: each figure binary writes a
+//! `BENCH_<figure>.json` next to its table output so CI and plotting
+//! scripts can consume wall time, event throughput and the per-point
+//! results without screen-scraping. Hand-rolled writer — the container has
+//! no serde, and the value space here is tiny.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`]/[`Json::arr`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats only; NaN/inf render as `null` (JSON has no spelling for them).
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs (preserves insertion order).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array from anything convertible.
+    pub fn arr<T: Into<Json>>(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Render as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Shortest representation that round-trips; keep a `.0`
+                    // on whole numbers so readers see a float.
+                    let s = format!("{x}");
+                    let whole = !s.contains(['.', 'e', 'E']);
+                    out.push_str(&s);
+                    if whole {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::Int(x as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Int(x as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Int(x as i64)
+    }
+}
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(x)
+    }
+}
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(x: &str) -> Json {
+        Json::Str(x.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(x: String) -> Json {
+        Json::Str(x)
+    }
+}
+
+/// The standard envelope every figure binary writes: identification, wall
+/// time, simulator-event throughput, thread count, and the figure-specific
+/// `results` payload.
+pub fn bench_report(figure: &str, wall_secs: f64, events: u64, results: Json) -> Json {
+    let events_per_sec = if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 };
+    Json::obj(vec![
+        ("figure", figure.into()),
+        ("wall_secs", wall_secs.into()),
+        ("sim_events", events.into()),
+        ("events_per_sec", events_per_sec.into()),
+        ("threads", crate::parallel::thread_count().into()),
+        ("results", results),
+    ])
+}
+
+/// Write `BENCH_<figure>.json` in the current directory. Returns the path.
+pub fn write_bench_report(
+    figure: &str,
+    wall_secs: f64,
+    events: u64,
+    results: Json,
+) -> std::io::Result<String> {
+    let path = format!("BENCH_{figure}.json");
+    let body = bench_report(figure, wall_secs, events, results).render();
+    std::fs::write(&path, body + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let j = Json::obj(vec![
+            ("a", 1.5.into()),
+            ("b", Json::arr(vec![1u32, 2, 3])),
+            ("c", Json::obj(vec![("s", "x\"y\n".into()), ("t", true.into())])),
+            ("n", Json::Null),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"a":1.5,"b":[1,2,3],"c":{"s":"x\"y\n","t":true},"n":null}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Num(2.0).render(), "2.0");
+        assert_eq!(Json::Num(0.25).render(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn report_envelope_has_throughput() {
+        let r = bench_report("fig_test", 2.0, 1000, Json::Null).render();
+        assert!(r.contains("\"figure\":\"fig_test\""));
+        assert!(r.contains("\"events_per_sec\":500"));
+    }
+}

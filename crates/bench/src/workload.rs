@@ -36,6 +36,8 @@ pub struct PdagentRun {
     pub result_bytes: usize,
     /// Total bytes the device moved over the wireless link (both ways).
     pub wireless_bytes: u64,
+    /// Simulator events processed by the run (for throughput reporting).
+    pub events: u64,
 }
 
 /// Run the PDAgent e-banking scenario with `n` transactions.
@@ -94,6 +96,7 @@ pub fn run_pdagent_with(
         pi_bytes: timing.pi_bytes,
         result_bytes: timing.result_bytes,
         wireless_bytes,
+        events: scenario.sim.events_processed(),
     }
 }
 
@@ -110,8 +113,8 @@ pub fn run_client_server(n: u32, seed: u64) -> f64 {
     run_client_server_full(n, seed).0
 }
 
-/// Client-server run returning `(online seconds, wireless bytes)`.
-pub fn run_client_server_full(n: u32, seed: u64) -> (f64, u64) {
+/// Client-server run returning `(online seconds, wireless bytes, sim events)`.
+pub fn run_client_server_full(n: u32, seed: u64) -> (f64, u64, u64) {
     let mut sim = Simulator::new(seed);
     let server = sim.add_node(Box::new(BankServer::new()));
     let device = sim.add_node(Box::new(ClientServerDevice::new(
@@ -126,12 +129,18 @@ pub fn run_client_server_full(n: u32, seed: u64) -> (f64, u64) {
     (
         d.online_time.expect("finished").as_secs_f64(),
         m.bytes_sent + m.bytes_received,
+        sim.events_processed(),
     )
 }
 
 /// Run the web-based (desktop browser) session with `n` transactions.
 /// Returns the session connection time in seconds.
 pub fn run_web(n: u32, seed: u64) -> f64 {
+    run_web_full(n, seed).0
+}
+
+/// Web-based run returning `(online seconds, sim events)`.
+pub fn run_web_full(n: u32, seed: u64) -> (f64, u64) {
     let mut sim = Simulator::new(seed);
     let server = sim.add_node(Box::new(BankServer::new()));
     let client =
@@ -140,7 +149,7 @@ pub fn run_web(n: u32, seed: u64) -> f64 {
     sim.run_until_idle();
     let c = sim.node_ref::<WebClient>(client).expect("client");
     assert!(!c.aborted, "web session aborted (seed {seed}, n {n})");
-    c.online_time.expect("finished").as_secs_f64()
+    (c.online_time.expect("finished").as_secs_f64(), sim.events_processed())
 }
 
 #[cfg(test)]

@@ -129,7 +129,8 @@ pub enum DeviceEvent {
         /// Gateway's HTTP status.
         status: HttpStatus,
         /// Response payload (e.g. an `AgentRecord` for status queries).
-        payload: Vec<u8>,
+        /// Shares the HTTP response buffer — cloning the event is cheap.
+        payload: bytes::Bytes,
     },
     /// Something failed.
     Error {
@@ -806,7 +807,7 @@ impl DeviceNode {
         op: ControlOp,
         agent_id: String,
         status: HttpStatus,
-        body: Vec<u8>,
+        body: bytes::Bytes,
     ) {
         ctx.connection_closed();
         self.events.push(DeviceEvent::ManageCompleted {

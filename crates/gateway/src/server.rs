@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
+
 use pdagent_codec::compress::{compress, decompress, Algorithm};
 use pdagent_crypto::envelope::open_envelope;
 use pdagent_crypto::keys::{KeyRegistry, UniqueId};
@@ -103,7 +105,7 @@ pub struct GatewayNode {
     /// client's RTO) replay the original response instead of re-executing
     /// the handler — without this, a retransmitted dispatch would create a
     /// duplicate agent.
-    replay: HashMap<(NodeId, u64), (HttpStatus, Vec<u8>)>,
+    replay: HashMap<(NodeId, u64), (HttpStatus, Bytes)>,
     /// Human-readable event log.
     pub log: Vec<String>,
     /// The File Directory (Figure 6): staged agent classes, parameter docs
@@ -142,8 +144,11 @@ impl GatewayNode {
         from: NodeId,
         req: &HttpRequest,
         status: HttpStatus,
-        body: Vec<u8>,
+        body: impl Into<Bytes>,
     ) {
+        // The cache entry and the wire reply share one allocation; a later
+        // replay clones the `Bytes` handle, not the payload.
+        let body = body.into();
         self.replay.insert((from, req.req_id), (status, body.clone()));
         reply(ctx, from, req, status, body);
     }
@@ -693,7 +698,7 @@ mod tests {
                         self.phase = Phase::Done;
                         return;
                     }
-                    self.agent_id = Some(String::from_utf8(body).unwrap());
+                    self.agent_id = Some(String::from_utf8(body.to_vec()).unwrap());
                     self.phase = Phase::Waiting;
                     ctx.set_timer(self.poll_delay, 1);
                 }

@@ -142,8 +142,10 @@ pub fn decode_control_resp(body: &[u8]) -> Option<(ControlOp, AgentId, bool, &[u
 enum Slot {
     /// Executing on the site CPU; departs when the timer fires.
     Executing,
-    /// Sent onward; retained until the receiver acks.
-    AwaitingAck { attempts: u32 },
+    /// Sent onward; retained until the receiver acks. `wire` caches the
+    /// serialized transfer frame: the agent is frozen while awaiting an ack,
+    /// so retries clone the same buffer instead of re-serializing.
+    AwaitingAck { attempts: u32, wire: Message },
 }
 
 /// VM host adapter exposing the site's services to a visiting agent.
@@ -327,7 +329,7 @@ impl MasNode {
     /// Send the agent onward (next site or origin). Called at departure time
     /// and on ack-timeout retries.
     fn depart(&mut self, ctx: &mut Ctx<'_>, id: &AgentId, attempts: u32) {
-        let Some((agent, _)) = self.agents.remove(id) else { return };
+        let Some((agent, slot)) = self.agents.remove(id) else { return };
         if agent.done() {
             // Return to the origin gateway.
             let origin = agent.origin as NodeId;
@@ -340,11 +342,14 @@ impl MasNode {
         let next_name = agent.next_site().expect("not done").to_owned();
         match self.directory.resolve(&next_name) {
             Some(next_node) => {
-                let body = agent.to_bytes();
-                let sent = ctx.send(next_node, Message::new(KIND_TRANSFER, body));
+                let wire = match slot {
+                    Slot::AwaitingAck { wire, .. } => wire,
+                    _ => Message::new(KIND_TRANSFER, agent.to_bytes()),
+                };
+                let sent = ctx.send(next_node, wire.clone());
                 let tag = self.fresh_tag(id, TagKind::AckTimeout);
                 ctx.set_timer(self.ack_timeout, tag);
-                self.agents.insert(id.clone(), (agent, Slot::AwaitingAck { attempts }));
+                self.agents.insert(id.clone(), (agent, Slot::AwaitingAck { attempts, wire }));
                 if !sent {
                     ctx.metrics().bump("mas.transfer_send_failed", 1.0);
                 }

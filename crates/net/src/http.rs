@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use pdagent_codec::varint;
 
 use crate::message::Message;
@@ -87,8 +88,9 @@ pub struct HttpRequest {
     pub method: String,
     /// Path, e.g. `"/pdagent/dispatch"`.
     pub path: String,
-    /// Payload.
-    pub body: Vec<u8>,
+    /// Payload. Parsing slices the carrying message's buffer, so a request
+    /// decoded from the wire aliases the received bytes instead of copying.
+    pub body: Bytes,
 }
 
 /// A framed response.
@@ -98,8 +100,8 @@ pub struct HttpResponse {
     pub req_id: u64,
     /// Status.
     pub status: HttpStatus,
-    /// Payload.
-    pub body: Vec<u8>,
+    /// Payload (zero-copy slice of the carrying message when parsed).
+    pub body: Bytes,
 }
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
@@ -118,21 +120,27 @@ fn read_str(input: &[u8], pos: &mut usize) -> Option<String> {
     Some(s)
 }
 
-fn read_bytes(input: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
-    let len = varint::read_usize(input, pos).ok()?;
+/// Read a length-prefixed byte field as a zero-copy slice of the message
+/// buffer.
+fn read_body(msg: &Message, pos: &mut usize) -> Option<Bytes> {
+    let len = varint::read_usize(&msg.body, pos).ok()?;
     let end = pos.checked_add(len)?;
-    if end > input.len() {
+    if end > msg.body.len() {
         return None;
     }
-    let b = input[*pos..end].to_vec();
+    let b = msg.body.slice(*pos..end);
     *pos = end;
     Some(b)
 }
 
 impl HttpRequest {
     /// Construct a request (the client assigns `req_id`).
-    pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
-        HttpRequest { req_id: 0, method: method.into(), path: path.into(), body }
+    pub fn new(
+        method: impl Into<String>,
+        path: impl Into<String>,
+        body: impl Into<Bytes>,
+    ) -> Self {
+        HttpRequest { req_id: 0, method: method.into(), path: path.into(), body: body.into() }
     }
 
     /// Serialize into a [`Message`].
@@ -155,15 +163,15 @@ impl HttpRequest {
         let req_id = varint::read_u64(&msg.body, &mut pos).ok()?;
         let method = read_str(&msg.body, &mut pos)?;
         let path = read_str(&msg.body, &mut pos)?;
-        let body = read_bytes(&msg.body, &mut pos)?;
+        let body = read_body(msg, &mut pos)?;
         Some(HttpRequest { req_id, method, path, body })
     }
 }
 
 impl HttpResponse {
     /// Construct a response to `req`.
-    pub fn reply(req: &HttpRequest, status: HttpStatus, body: Vec<u8>) -> HttpResponse {
-        HttpResponse { req_id: req.req_id, status, body }
+    pub fn reply(req: &HttpRequest, status: HttpStatus, body: impl Into<Bytes>) -> HttpResponse {
+        HttpResponse { req_id: req.req_id, status, body: body.into() }
     }
 
     /// Serialize into a [`Message`].
@@ -184,7 +192,7 @@ impl HttpResponse {
         let mut pos = 0;
         let req_id = varint::read_u64(&msg.body, &mut pos).ok()?;
         let code = varint::read_u64(&msg.body, &mut pos).ok()? as u16;
-        let body = read_bytes(&msg.body, &mut pos)?;
+        let body = read_body(msg, &mut pos)?;
         Some(HttpResponse { req_id, status: HttpStatus::from_code(code), body })
     }
 }
@@ -211,6 +219,9 @@ pub enum TimerOutcome {
 #[derive(Debug)]
 struct Pending {
     request: HttpRequest,
+    /// The serialized request, kept so retransmissions clone the same wire
+    /// buffer (a refcount bump) instead of re-serializing the request.
+    wire: Message,
     server: NodeId,
     attempts: u32,
     timer: TimerId,
@@ -261,9 +272,10 @@ impl HttpClient {
         self.next_id += 1;
         let req_id = self.next_id;
         request.req_id = req_id;
-        ctx.send(server, request.to_message());
+        let wire = request.to_message();
+        ctx.send(server, wire.clone());
         let timer = ctx.set_timer(self.timeout, HTTP_TIMER_BASE | req_id);
-        self.pending.insert(req_id, Pending { request, server, attempts: 1, timer });
+        self.pending.insert(req_id, Pending { request, wire, server, attempts: 1, timer });
         req_id
     }
 
@@ -291,7 +303,7 @@ impl HttpClient {
         }
         pending.attempts += 1;
         ctx.metrics().bump("http.retransmits", 1.0);
-        ctx.send(pending.server, pending.request.to_message());
+        ctx.send(pending.server, pending.wire.clone());
         pending.timer = ctx.set_timer(self.timeout, HTTP_TIMER_BASE | req_id);
         self.pending.insert(req_id, pending);
         TimerOutcome::Retried { req_id }
@@ -305,13 +317,15 @@ impl HttpClient {
     }
 }
 
-/// Server-side convenience: parse a request and reply via `ctx`.
+/// Server-side convenience: parse a request and reply via `ctx`. The body
+/// accepts anything `Bytes`-convertible — echoing a request body back is a
+/// refcount bump, not a copy.
 pub fn reply(
     ctx: &mut Ctx<'_>,
     to: NodeId,
     req: &HttpRequest,
     status: HttpStatus,
-    body: Vec<u8>,
+    body: impl Into<Bytes>,
 ) {
     ctx.send(to, HttpResponse::reply(req, status, body).to_message());
 }
@@ -350,8 +364,25 @@ mod tests {
         let mut req = HttpRequest::new("GET", "/x", vec![1, 2, 3]);
         req.req_id = 1;
         let mut msg = req.to_message();
-        msg.body.truncate(msg.body.len() - 2);
+        msg.body = msg.body.slice(..msg.body.len() - 2);
         assert!(HttpRequest::from_message(&msg).is_none());
+    }
+
+    #[test]
+    fn parsed_bodies_alias_the_wire_buffer() {
+        // Zero-copy parse: the request body produced by `from_message` is a
+        // slice of the message buffer itself.
+        let mut req = HttpRequest::new("POST", "/dispatch", vec![0x5au8; 256]);
+        req.req_id = 7;
+        let msg = req.to_message();
+        let parsed = HttpRequest::from_message(&msg).unwrap();
+        assert!(parsed.body.shares_allocation_with(&msg.body));
+        assert_eq!(parsed.body.len(), 256);
+        let resp = HttpResponse::reply(&parsed, HttpStatus::Ok, parsed.body.clone());
+        let resp_msg = resp.to_message();
+        let parsed_resp = HttpResponse::from_message(&resp_msg).unwrap();
+        assert!(parsed_resp.body.shares_allocation_with(&resp_msg.body));
+        assert_eq!(parsed_resp.body, parsed.body);
     }
 
     #[test]
@@ -373,9 +404,28 @@ mod tests {
         assert!(!HttpStatus::NotFound.is_success());
     }
 
+    #[test]
+    fn echo_reply_aliases_request_buffer() {
+        // The EchoServer pattern below (`reply(..., req.body.clone())`) must
+        // be zero-copy end to end on the server: the reply body is the same
+        // backing range of the request's wire buffer, length for length.
+        let mut req = HttpRequest::new("POST", "/echo", vec![0x42u8; 512]);
+        req.req_id = 3;
+        let wire = req.to_message();
+        let parsed = HttpRequest::from_message(&wire).unwrap();
+        let resp = HttpResponse::reply(&parsed, HttpStatus::Ok, parsed.body.clone());
+        assert_eq!(resp.body.len(), parsed.body.len());
+        assert!(
+            resp.body.shares_allocation_with(&wire.body),
+            "echo reply must alias the request wire buffer, not copy it"
+        );
+        assert_eq!(resp.body.as_ptr(), parsed.body.as_ptr());
+    }
+
     // --- end-to-end client/server over the simulator ---
 
-    /// Echo server: replies 200 with the request body.
+    /// Echo server: replies 200 with the request body (zero-copy: the clone
+    /// is a refcount bump on the request's wire buffer).
     struct EchoServer;
     impl Node for EchoServer {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {

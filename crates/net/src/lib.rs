@@ -69,7 +69,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::http::{HttpRequest, HttpResponse, HttpStatus};
     pub use crate::link::LinkSpec;
-    pub use crate::message::Message;
+    pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;
     pub use crate::rng::SimRng;
     pub use crate::sim::{Ctx, Node, NodeId, Simulator};

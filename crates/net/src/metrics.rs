@@ -78,9 +78,15 @@ impl Metrics {
         &self.intervals
     }
 
-    /// Add `v` to a named counter.
+    /// Add `v` to a named counter. The key is only allocated the first time
+    /// it is seen; steady-state bumps are a pure hash lookup.
     pub fn bump(&mut self, key: &str, v: f64) {
-        *self.counters.entry(key.to_owned()).or_insert(0.0) += v;
+        match self.counters.get_mut(key) {
+            Some(c) => *c += v,
+            None => {
+                self.counters.insert(key.to_owned(), v);
+            }
+        }
     }
 
     /// Read a named counter (0 if never bumped).
@@ -88,11 +94,12 @@ impl Metrics {
         self.counters.get(key).copied().unwrap_or(0.0)
     }
 
-    /// All named counters, sorted by key (deterministic reporting).
-    pub fn counters_sorted(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<_> =
-            self.counters.iter().map(|(k, &x)| (k.clone(), x)).collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+    /// All named counters, sorted by key (deterministic reporting). Borrows
+    /// the keys — taking a snapshot clones nothing.
+    pub fn counters_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> =
+            self.counters.iter().map(|(k, &x)| (k.as_str(), x)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
         v
     }
 }

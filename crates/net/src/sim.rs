@@ -98,7 +98,7 @@ pub struct Ctx<'a> {
     queue: &'a mut BinaryHeap<Reverse<Event>>,
     seq: &'a mut u64,
     next_timer: &'a mut u64,
-    cancelled: &'a mut HashSet<TimerId>,
+    armed: &'a mut HashSet<TimerId>,
     topology: &'a mut Topology,
     rng: &'a mut SimRng,
     metrics: &'a mut MetricsRegistry,
@@ -152,13 +152,14 @@ impl Ctx<'_> {
         *self.next_timer += 1;
         let id = TimerId(*self.next_timer);
         let at = self.now + delay;
+        self.armed.insert(id);
         self.push(at, EventKind::Timer { node: self.self_id, tag, id });
         id
     }
 
     /// Cancel a pending timer. Harmless if it already fired.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.insert(id);
+        self.armed.remove(&id);
     }
 
     /// This node's metrics.
@@ -203,7 +204,11 @@ pub struct Simulator {
     time: SimTime,
     seq: u64,
     next_timer: u64,
-    cancelled: HashSet<TimerId>,
+    /// Timers set but not yet fired or cancelled. An entry is removed either
+    /// by `cancel_timer` or when its event pops, so the set is bounded by the
+    /// number of *outstanding* timers — cancelling after the fire (or never
+    /// cancelling at all) leaves nothing behind.
+    armed: HashSet<TimerId>,
     rng: SimRng,
     metrics: MetricsRegistry,
     started: bool,
@@ -223,7 +228,7 @@ impl Simulator {
             time: SimTime::ZERO,
             seq: 0,
             next_timer: 0,
-            cancelled: HashSet::new(),
+            armed: HashSet::new(),
             rng: SimRng::new(seed),
             metrics: MetricsRegistry::new(),
             started: false,
@@ -269,6 +274,13 @@ impl Simulator {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Timers currently armed (set, not yet fired or cancelled). Bounded by
+    /// live protocol state; a steadily growing value indicates a node leaking
+    /// timers.
+    pub fn outstanding_timers(&self) -> usize {
+        self.armed.len()
     }
 
     /// Immutable metrics for a node.
@@ -341,7 +353,10 @@ impl Simulator {
                     (to, Box::new(move |n, ctx| n.on_message(ctx, from, msg)))
                 }
                 EventKind::Timer { node, tag, id } => {
-                    if self.cancelled.remove(&id) {
+                    // Fires only if still armed; popping always purges the
+                    // entry, so cancelled-timer bookkeeping cannot grow
+                    // without bound.
+                    if !self.armed.remove(&id) {
                         return;
                     }
                     (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
@@ -356,7 +371,7 @@ impl Simulator {
             queue: &mut self.queue,
             seq: &mut self.seq,
             next_timer: &mut self.next_timer,
-            cancelled: &mut self.cancelled,
+            armed: &mut self.armed,
             topology: &mut self.topology,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
@@ -548,12 +563,80 @@ mod tests {
         let id = sim.add_node(Box::new(Timed { fired: vec![] }));
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<Timed>(id).unwrap().fired, vec![1, 3]);
+        assert_eq!(sim.outstanding_timers(), 0);
+    }
+
+    #[test]
+    fn timer_bookkeeping_stays_bounded() {
+        // Regression: the old implementation kept a cancelled-timer set that
+        // grew forever when timers were cancelled *after* firing (the common
+        // ack-cancels-retransmit pattern). Now every pop purges its entry.
+        struct Churner {
+            rounds: u32,
+            last: Option<TimerId>,
+        }
+        impl Node for Churner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+                // Cancel the timer that just fired (a no-op semantically, but
+                // it used to leak an entry per round) and arm the next one.
+                if let Some(id) = self.last.take() {
+                    ctx.cancel_timer(id);
+                }
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+                }
+            }
+        }
+        let mut sim = Simulator::new(14);
+        sim.add_node(Box::new(Churner { rounds: 10_000, last: None }));
+        sim.run_until_idle();
+        assert_eq!(sim.outstanding_timers(), 0, "armed set must drain to zero");
+    }
+
+    #[test]
+    fn message_body_is_shared_not_copied_in_transit() {
+        // The collector keeps the delivered message; its body must alias the
+        // allocation the sender created (zero-copy link transit).
+        struct Sender {
+            peer: NodeId,
+            original: Message,
+        }
+        impl Node for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.peer, self.original.clone());
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        }
+        struct Keeper {
+            got: Option<Message>,
+        }
+        impl Node for Keeper {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, msg: Message) {
+                self.got = Some(msg);
+            }
+        }
+        let original = Message::new("bulk", vec![0xabu8; 4096]);
+        let mut sim = Simulator::new(15);
+        let keeper = sim.add_node(Box::new(Keeper { got: None }));
+        let sender = sim.add_node(Box::new(Sender { peer: keeper, original: original.clone() }));
+        sim.connect(sender, keeper, LinkSpec::lan());
+        sim.run_until_idle();
+        let got = sim.node_ref::<Keeper>(keeper).unwrap().got.as_ref().unwrap();
+        assert!(
+            got.body.shares_allocation_with(&original.body),
+            "delivered body must alias the sender's buffer"
+        );
     }
 
     #[test]
     fn equal_time_events_resolve_by_insertion_order() {
         struct Recorder {
-            got: Vec<String>,
+            got: Vec<crate::message::Kind>,
         }
         impl Node for Recorder {
             fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, msg: Message) {

@@ -2,6 +2,7 @@
 //! for debugging protocols and asserting on wire behaviour in tests
 //! (e.g. "the device sent exactly two HTTP requests after dispatch").
 
+use crate::message::Kind;
 use crate::time::SimTime;
 
 /// One delivered message.
@@ -13,8 +14,8 @@ pub struct TraceEntry {
     pub from: usize,
     /// Receiver node.
     pub to: usize,
-    /// Message kind.
-    pub kind: String,
+    /// Message kind (interned — recording an entry never copies the string).
+    pub kind: Kind,
     /// Wire size in bytes.
     pub bytes: usize,
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Repo verification: build, test, lint. This is what CI runs and what a
+# contributor should run before pushing. Tier-1 (ROADMAP.md) is the
+# build+test pair; clippy keeps the workspace warning-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,643 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so crates.io `proptest`
+//! cannot be resolved. This shim implements the API surface the workspace's
+//! property tests use: the `proptest!`/`prop_oneof!`/`prop_assert*` macros,
+//! `Strategy` with `prop_map`/`prop_recursive`, `any::<T>()`, range and tuple
+//! strategies, `collection::vec`, and string generation from a small regex
+//! subset (character classes, `\PC`, `{n,m}` quantifiers — exactly what the
+//! test patterns use).
+//!
+//! Differences from upstream, by design: no shrinking (a failing case reports
+//! its values via the assertion message), and generation is deterministic —
+//! each test's stream is seeded from the test's name, so failures reproduce
+//! exactly on re-run.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic per-test generator stream.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a), so every run of a given test sees
+        /// the same case sequence.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.gen()
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.inner.gen_range(0..n)
+        }
+
+        /// Uniform length in `[lo, hi)` (empty range collapses to `lo`).
+        pub fn len_in(&mut self, range: core::ops::Range<usize>) -> usize {
+            if range.start >= range.end {
+                range.start
+            } else {
+                self.inner.gen_range(range)
+            }
+        }
+    }
+
+    /// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursion-bounded extension: `f` receives a strategy for the previous
+    /// depth level and returns the next level. Generation picks a depth in
+    /// `0..=depth` uniformly (`0` = this leaf strategy).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("at least the leaf level").clone();
+            levels.push(f(prev).boxed());
+        }
+        Recursive { levels }
+    }
+
+    /// Type-erase.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_recursive` adapter: one boxed strategy per depth level.
+pub struct Recursive<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let d = rng.below(self.levels.len());
+        self.levels[d].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vector strategy: length drawn from `len`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.len_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+// --- string generation from a regex subset ----------------------------------
+
+/// One generatable unit of a pattern.
+enum Atom {
+    /// Explicit character alternatives (from a `[...]` class or a literal).
+    Choice(Vec<char>),
+    /// `\PC`: any non-control character (printable ASCII + some unicode).
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `\PC` draws from beyond ASCII, exercising multi-byte UTF-8 in
+/// the XML/codec round-trip tests.
+const UNICODE_PALETTE: [char; 8] = ['é', 'ß', 'λ', 'Ж', '中', '日', '€', '🙂'];
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut choices = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        }
+                    } else {
+                        chars[i]
+                    };
+                    // Range like `a-z` (a `-` right before `]` is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                choices.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // skip ']'
+                Atom::Choice(choices)
+            }
+            '\\' if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                let c = match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                i += 1;
+                Atom::Choice(vec![c])
+            }
+            literal => {
+                i += 1;
+                Atom::Choice(vec![literal])
+            }
+        };
+        // Optional `{n}` / `{n,m}` quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let inner: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match inner.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = inner.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let count = if piece.max > piece.min {
+            piece.min + rng.below(piece.max - piece.min + 1)
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Choice(choices) => {
+                    assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+                    out.push(choices[rng.below(choices.len())]);
+                }
+                Atom::Printable => {
+                    // Mostly printable ASCII, occasionally multi-byte unicode.
+                    if rng.below(8) == 0 {
+                        out.push(UNICODE_PALETTE[rng.below(UNICODE_PALETTE.len())]);
+                    } else {
+                        out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+// --- macros ------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property assertion; on failure the enclosing case returns an error (no
+/// panic mid-case, matching upstream behaviour).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                left, right
+            ));
+        }
+    }};
+}
+
+/// The test-defining macro. Each `#[test] fn name(arg in strategy, ...)` body
+/// runs `config.cases` times with freshly generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut proptest_rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for proptest_case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        proptest_case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::vec as pvec;
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_classes_ranges_and_quantifiers() {
+        let mut rng = crate::test_runner::TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z_][a-zA-Z0-9_.-]{0,10}", &mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(s.chars().count() <= 11);
+            for c in cs {
+                assert!(c.is_ascii_alphanumeric() || "_.-".contains(c), "bad char {c:?} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class_never_emits_control_chars() {
+        let mut rng = crate::test_runner::TestRng::from_name("printable");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(!s.chars().any(char::is_control), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        let mut rng = crate::test_runner::TestRng::from_name("escaped");
+        let mut saw_quote = false;
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z <>/=\"\n]{0,50}", &mut rng);
+            saw_quote |= s.contains('"');
+            saw_newline |= s.contains('\n');
+            for c in s.chars() {
+                assert!(c.is_ascii_lowercase() || " <>/=\"\n".contains(c), "bad {c:?}");
+            }
+        }
+        assert!(saw_quote && saw_newline);
+    }
+
+    #[test]
+    fn vec_and_tuple_and_range_strategies() {
+        let mut rng = crate::test_runner::TestRng::from_name("vec");
+        for _ in 0..100 {
+            let v = Strategy::generate(&pvec((0u8..4, 1usize..64), 1..40), &mut rng);
+            assert!((1..40).contains(&v.len()));
+            for (op, size) in v {
+                assert!(op < 4);
+                assert!((1..64).contains(&size));
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_bounded_depth() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(bool),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<bool>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 6, |inner| pvec(inner, 0..6).prop_map(Tree::Node));
+        let mut rng = crate::test_runner::TestRng::from_name("tree");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, &mut rng);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 2, "recursion never went deep (max {max_depth})");
+        assert!(max_depth <= 3, "recursion exceeded bound (max {max_depth})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 3u64..10, data in pvec(any::<u8>(), 0..8)) {
+            prop_assert!((3..10).contains(&x), "x out of range: {x}");
+            prop_assert_eq!(data.len(), data.iter().map(|_| 1usize).sum::<usize>());
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so crates.io `rand` cannot be
+//! resolved. This shim provides the small API surface the workspace uses —
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen::<u64>()`,
+//! `Rng::gen::<f64>()`, and `Rng::gen_range(Range)` — backed by xoshiro256**
+//! seeded through SplitMix64.
+//!
+//! Note: the generator is deliberately *not* bit-compatible with upstream
+//! `StdRng` (ChaCha12). All simulation determinism in this repo is
+//! seed-relative (same seed → same stream on this build), which is the
+//! property every test and figure harness relies on.
+
+pub mod rngs {
+    /// A deterministic, seedable generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into the full generator state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro from 64 bits.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0, 0, 0, 0] {
+            s = [0x1, 0x9e3779b97f4a7c15, 0xdeadbeefcafef00d, 0x0ddc0ffeebadf00d];
+        }
+        StdRng { s }
+    }
+}
+
+/// Value types that `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn sample_from(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_from(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_from(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn sample_from(rng: &mut StdRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample_from(rng: &mut StdRng) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for usize {
+    fn sample_from(rng: &mut StdRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_from(rng: &mut StdRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_from(rng: &mut StdRng) -> f64 {
+        // 53 high bits → uniform in [0, 1), the usual construction.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                // Debiased multiply-shift (Lemire); span ≤ 2^64 so one u64 draw
+                // with widening multiply gives an unbiased result after the
+                // standard rejection step.
+                let span = span as u64; // span == 0 encodes the full 2^64 span
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128) * (span as u128);
+                    if (m as u64) < threshold {
+                        continue;
+                    }
+                    return self.start + (m >> 64) as $t;
+                }
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == 0 && hi == <$t>::MAX {
+                    return <$t as Standard>::sample_from(rng);
+                }
+                (lo..hi + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + <f64 as Standard>::sample_from(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Uniform value in the given range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_from(self)
+    }
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range appear");
+        // The RSA keygen range from crates/crypto.
+        for _ in 0..100 {
+            let v = rng.gen_range(1u64 << 31..1u64 << 32);
+            assert!((1u64 << 31..1u64 << 32).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_full_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let v = rng.gen_range(5u8..=5);
+        assert_eq!(v, 5);
+    }
+}
