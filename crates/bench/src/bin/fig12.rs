@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use pdagent_bench::fig12;
-use pdagent_bench::report::{write_bench_report, Json};
+use pdagent_bench::report::{write_bench_report_with_obs, Json};
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -25,7 +25,7 @@ fn main() {
         ("pdagent_wireless_bytes", Json::arr(fig.pdagent_bytes.clone())),
         ("client_server_wireless_bytes", Json::arr(fig.client_server_bytes.clone())),
     ]);
-    match write_bench_report("fig12", wall, fig.events, results) {
+    match write_bench_report_with_obs("fig12", wall, fig.events, results, &fig.obs) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write BENCH_fig12.json: {e}"),
     }

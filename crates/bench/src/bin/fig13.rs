@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use pdagent_bench::report::{write_bench_report, Json};
+use pdagent_bench::report::{write_bench_report_with_obs, Json};
 use pdagent_bench::{fig13, parallel};
 
 fn trials_json(series: &fig13::TrialSeries) -> Json {
@@ -58,7 +58,7 @@ fn main() {
         ("byte_identical", true.into()),
     ]);
     // Wall time / events reported for the parallel run (the one users get).
-    match write_bench_report("fig13", par_secs, fig.events, results) {
+    match write_bench_report_with_obs("fig13", par_secs, fig.events, results, &fig.obs) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_fig13.json: {e}"),
     }

@@ -8,7 +8,8 @@
 use std::time::Instant;
 
 use pdagent_bench::footprint;
-use pdagent_bench::report::{write_bench_report, Json};
+use pdagent_bench::report::{write_bench_report_with_obs, Json};
+use pdagent_bench::workload::run_pdagent_obs;
 
 fn main() {
     let t0 = Instant::now();
@@ -42,7 +43,11 @@ fn main() {
         ("db_after_subscriptions_bytes", f.db_after_subscriptions.into()),
         ("db_snapshot_bytes", f.db_snapshot.into()),
     ]);
-    match write_bench_report("footprint", wall, 0, results) {
+    // Footprint itself runs no simulations (sim_events stays 0); the obs
+    // section comes from one traced single-transaction probe journey so the
+    // report still carries per-stage latency percentiles.
+    let (_, obs) = run_pdagent_obs(1, 1);
+    match write_bench_report_with_obs("footprint", wall, 0, results, &obs) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write BENCH_footprint.json: {e}"),
     }

@@ -7,7 +7,8 @@
 
 use std::time::Instant;
 
-use pdagent_bench::report::{write_bench_report, Json};
+use pdagent_bench::report::{write_bench_report_with_obs, Json};
+use pdagent_bench::workload::run_pdagent_obs;
 use pdagent_bench::{ablations, gateway_selection};
 
 fn main() {
@@ -67,7 +68,11 @@ fn main() {
             ]),
         ),
     ]);
-    match write_bench_report("gateway_selection", wall, events, results) {
+    // The obs section traces one representative 10-transaction e-banking
+    // journey at the same seed (the ablation runners themselves are
+    // untraced so their existing numbers are untouched).
+    let (_, obs) = run_pdagent_obs(10, seed);
+    match write_bench_report_with_obs("gateway_selection", wall, events, results, &obs) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write BENCH_gateway_selection.json: {e}"),
     }

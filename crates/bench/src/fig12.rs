@@ -8,7 +8,8 @@
 //! upload and the result download are online.
 
 use crate::parallel::parallel_map;
-use crate::workload::{run_client_server_full, run_pdagent, run_web_full};
+use crate::workload::{run_client_server_full, run_pdagent_obs, run_web_full};
+use pdagent_net::obs::ObsSummary;
 
 /// Median of a small slice.
 fn median(values: &[f64]) -> f64 {
@@ -34,6 +35,11 @@ pub struct Fig12 {
     pub client_server_bytes: Vec<u64>,
     /// Total simulator events processed across all runs.
     pub events: u64,
+    /// Observability digest of the PDAgent runs: per-stage latency
+    /// histograms plus retry/drop totals. Tracing does not perturb the
+    /// simulation, so every other field is byte-identical to an untraced
+    /// run (asserted in `workload::tests`).
+    pub obs: ObsSummary,
 }
 
 /// Approach tags for the per-point job list.
@@ -41,18 +47,19 @@ const PDAGENT: u8 = 0;
 const CLIENT_SERVER: u8 = 1;
 const WEB: u8 = 2;
 
-/// One independent simulation: `(seconds, wireless bytes, sim events)`.
-/// Web-based reports no wireless bytes (it is a desktop baseline).
-fn point((approach, n, seed): (u8, u32, u64)) -> (f64, u64, u64) {
+/// One independent simulation: `(seconds, wireless bytes, sim events)` plus
+/// the PDAgent trace digest (empty for the two baselines). Web-based
+/// reports no wireless bytes (it is a desktop baseline).
+fn point((approach, n, seed): (u8, u32, u64)) -> ((f64, u64, u64), ObsSummary) {
     match approach {
         PDAGENT => {
-            let r = run_pdagent(n, seed);
-            (r.connection_secs, r.wireless_bytes, r.events)
+            let (r, obs) = run_pdagent_obs(n, seed);
+            ((r.connection_secs, r.wireless_bytes, r.events), obs)
         }
-        CLIENT_SERVER => run_client_server_full(n, seed),
+        CLIENT_SERVER => (run_client_server_full(n, seed), ObsSummary::default()),
         _ => {
             let (secs, events) = run_web_full(n, seed);
-            (secs, 0, events)
+            ((secs, 0, events), ObsSummary::default())
         }
     }
 }
@@ -64,18 +71,23 @@ fn jobs(seed: u64, transactions: &[u32]) -> Vec<(u8, u32, u64)> {
         .collect()
 }
 
-fn assemble(transactions: Vec<u32>, points: Vec<(f64, u64, u64)>) -> Fig12 {
+fn assemble(transactions: Vec<u32>, points: Vec<((f64, u64, u64), ObsSummary)>) -> Fig12 {
     let k = transactions.len();
+    let mut obs = ObsSummary::default();
+    for (_, o) in &points {
+        obs.merge(o);
+    }
     let series = |i: usize| points[i * k..(i + 1) * k].to_vec();
     let (pda, cs, web) = (series(0), series(1), series(2));
     Fig12 {
         transactions,
-        pdagent: pda.iter().map(|p| p.0).collect(),
-        client_server: cs.iter().map(|p| p.0).collect(),
-        web_based: web.iter().map(|p| p.0).collect(),
-        pdagent_bytes: pda.iter().map(|p| p.1).collect(),
-        client_server_bytes: cs.iter().map(|p| p.1).collect(),
-        events: points.iter().map(|p| p.2).sum(),
+        pdagent: pda.iter().map(|p| p.0 .0).collect(),
+        client_server: cs.iter().map(|p| p.0 .0).collect(),
+        web_based: web.iter().map(|p| p.0 .0).collect(),
+        pdagent_bytes: pda.iter().map(|p| p.0 .1).collect(),
+        client_server_bytes: cs.iter().map(|p| p.0 .1).collect(),
+        events: points.iter().map(|p| p.0 .2).sum(),
+        obs,
     }
 }
 
@@ -198,6 +210,10 @@ mod tests {
         assert_eq!(bits(&par.pdagent), bits(&seq.pdagent));
         assert_eq!(bits(&par.client_server), bits(&seq.client_server));
         assert_eq!(bits(&par.web_based), bits(&seq.web_based));
+        // Full-struct equality includes the merged obs digest: the
+        // order-merged parallel fan-out must reproduce it exactly.
         assert_eq!(par, seq);
+        assert_eq!(par.obs.traces, 10, "one trace per PDAgent deploy");
+        assert!(!par.obs.stages.is_empty());
     }
 }

@@ -10,7 +10,8 @@
 //! online windows are exposed to the wireless jitter.
 
 use crate::parallel::parallel_map;
-use crate::workload::{run_client_server_full, run_pdagent};
+use crate::workload::{run_client_server_full, run_pdagent_obs};
+use pdagent_net::obs::ObsSummary;
 
 /// One approach's four-trial data.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,21 +72,24 @@ pub struct Fig13 {
     pub pdagent: TrialSeries,
     /// Total simulator events processed across all runs.
     pub events: u64,
+    /// Observability digest of the PDAgent runs (see `Fig12::obs`).
+    pub obs: ObsSummary,
 }
 
 const CLIENT_SERVER: u8 = 0;
 const PDAGENT: u8 = 1;
 
-/// One independent simulation: `(completion seconds, sim events)`.
-fn point((approach, n, seed): (u8, u32, u64)) -> (f64, u64) {
+/// One independent simulation: `(completion seconds, sim events)` plus the
+/// PDAgent trace digest (empty for the client-server baseline).
+fn point((approach, n, seed): (u8, u32, u64)) -> ((f64, u64), ObsSummary) {
     match approach {
         CLIENT_SERVER => {
             let (secs, _, events) = run_client_server_full(n, seed);
-            (secs, events)
+            ((secs, events), ObsSummary::default())
         }
         _ => {
-            let r = run_pdagent(n, seed);
-            (r.completion_secs, r.events)
+            let (r, obs) = run_pdagent_obs(n, seed);
+            ((r.completion_secs, r.events), obs)
         }
     }
 }
@@ -104,21 +108,26 @@ fn jobs(base_seed: u64, transactions: &[u32]) -> Vec<(u8, u32, u64)> {
     out
 }
 
-fn assemble(transactions: Vec<u32>, points: Vec<(f64, u64)>) -> Fig13 {
+fn assemble(transactions: Vec<u32>, points: Vec<((f64, u64), ObsSummary)>) -> Fig13 {
     let k = transactions.len();
+    let mut obs = ObsSummary::default();
+    for (_, o) in &points {
+        obs.merge(o);
+    }
     let panel = |offset: usize| TrialSeries {
         transactions: transactions.clone(),
         trials: (0..4)
             .map(|t| {
                 let start = offset + t * k;
-                points[start..start + k].iter().map(|p| p.0).collect()
+                points[start..start + k].iter().map(|p| p.0 .0).collect()
             })
             .collect(),
     };
     Fig13 {
         client_server: panel(0),
         pdagent: panel(4 * k),
-        events: points.iter().map(|p| p.1).sum(),
+        events: points.iter().map(|p| p.0 .1).sum(),
+        obs,
     }
 }
 
@@ -211,7 +220,9 @@ mod tests {
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
             assert_eq!(bits(p), bits(s));
         }
+        // Includes the merged obs digest (40 PDAgent runs → 40 traces).
         assert_eq!(par, seq);
+        assert_eq!(par.obs.traces, 40);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! results without screen-scraping. Hand-rolled writer — the container has
 //! no serde, and the value space here is tiny.
 
+use pdagent_net::obs::ObsSummary;
 use std::fmt::Write as _;
 
 /// A JSON value. Construct with the `From` impls and [`Json::obj`]/[`Json::arr`].
@@ -157,6 +158,51 @@ pub fn bench_report(figure: &str, wall_secs: f64, events: u64, results: Json) ->
     ])
 }
 
+/// Render an [`ObsSummary`] as a bench report's `obs` section: per-stage
+/// latency percentiles in microseconds plus reliability counters.
+pub fn obs_json(obs: &ObsSummary) -> Json {
+    let stages = obs
+        .stages
+        .iter()
+        .map(|(name, h)| {
+            (
+                name.clone(),
+                Json::obj(vec![
+                    ("count", h.count().into()),
+                    ("p50_us", h.p50().into()),
+                    ("p90_us", h.p90().into()),
+                    ("p99_us", h.p99().into()),
+                    ("max_us", h.max().into()),
+                    ("mean_us", h.mean().into()),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("stages", Json::Obj(stages)),
+        ("retries", obs.retries.into()),
+        ("drops", obs.drops.into()),
+        ("traces", obs.traces.into()),
+    ])
+}
+
+/// [`bench_report`] with an `obs` section appended after `results`. The
+/// pre-existing envelope keys are untouched, so readers keyed on them see
+/// identical values with or without observability.
+pub fn bench_report_with_obs(
+    figure: &str,
+    wall_secs: f64,
+    events: u64,
+    results: Json,
+    obs: &ObsSummary,
+) -> Json {
+    let mut report = bench_report(figure, wall_secs, events, results);
+    if let Json::Obj(pairs) = &mut report {
+        pairs.push(("obs".to_owned(), obs_json(obs)));
+    }
+    report
+}
+
 /// Write `BENCH_<figure>.json` in the current directory. Returns the path.
 pub fn write_bench_report(
     figure: &str,
@@ -166,6 +212,20 @@ pub fn write_bench_report(
 ) -> std::io::Result<String> {
     let path = format!("BENCH_{figure}.json");
     let body = bench_report(figure, wall_secs, events, results).render();
+    std::fs::write(&path, body + "\n")?;
+    Ok(path)
+}
+
+/// [`write_bench_report`], with the `obs` section included.
+pub fn write_bench_report_with_obs(
+    figure: &str,
+    wall_secs: f64,
+    events: u64,
+    results: Json,
+    obs: &ObsSummary,
+) -> std::io::Result<String> {
+    let path = format!("BENCH_{figure}.json");
+    let body = bench_report_with_obs(figure, wall_secs, events, results, obs).render();
     std::fs::write(&path, body + "\n")?;
     Ok(path)
 }
@@ -200,5 +260,30 @@ mod tests {
         let r = bench_report("fig_test", 2.0, 1000, Json::Null).render();
         assert!(r.contains("\"figure\":\"fig_test\""));
         assert!(r.contains("\"events_per_sec\":500"));
+    }
+
+    #[test]
+    fn obs_section_appends_without_touching_results() {
+        let mut obs = ObsSummary::default();
+        let mut h = pdagent_net::obs::Histogram::new();
+        h.record(100);
+        h.record(200);
+        obs.stages.push(("http.upload".into(), h));
+        obs.retries = 3;
+        obs.traces = 1;
+        let plain = bench_report("fig_test", 2.0, 10, Json::obj(vec![("k", 1u32.into())]));
+        let with = bench_report_with_obs(
+            "fig_test",
+            2.0,
+            10,
+            Json::obj(vec![("k", 1u32.into())]),
+            &obs,
+        );
+        // Identical prefix: obs is strictly appended after `results`.
+        let (p, w) = (plain.render(), with.render());
+        assert!(w.starts_with(&p[..p.len() - 1]), "plain={p} with={w}");
+        assert!(w.contains("\"obs\":{\"stages\":{\"http.upload\":{\"count\":2"));
+        assert!(w.contains("\"retries\":3"));
+        assert!(w.contains("\"max_us\":200"));
     }
 }

@@ -10,6 +10,7 @@ use pdagent_core::{
     DeployRequest, DeviceCommand, Scenario, ScenarioSpec, SelectionPolicy, SiteSpec,
 };
 use pdagent_net::link::LinkSpec;
+use pdagent_net::obs::ObsSummary;
 use pdagent_net::sim::Simulator;
 
 /// The transaction batch for `n` transactions: alternating between two
@@ -45,12 +46,9 @@ pub fn run_pdagent(n: u32, seed: u64) -> PdagentRun {
     run_pdagent_with(n, seed, |_| {})
 }
 
-/// Run PDAgent with a hook to adjust the spec (ablations).
-pub fn run_pdagent_with(
-    n: u32,
-    seed: u64,
-    adjust: impl FnOnce(&mut ScenarioSpec),
-) -> PdagentRun {
+/// The standard e-banking [`ScenarioSpec`]: two funded banks, one
+/// subscribe-then-deploy device session over `n` transactions.
+pub fn pdagent_spec(n: u32, seed: u64) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new(seed);
     spec.catalog = vec![("ebank".into(), ebank_program())];
     spec.sites = vec![
@@ -70,9 +68,41 @@ pub fn run_pdagent_with(
             itinerary_for(&txs),
         )),
     ];
+    spec
+}
+
+/// Run PDAgent with a hook to adjust the spec (ablations).
+pub fn run_pdagent_with(
+    n: u32,
+    seed: u64,
+    adjust: impl FnOnce(&mut ScenarioSpec),
+) -> PdagentRun {
+    let mut spec = pdagent_spec(n, seed);
     adjust(&mut spec);
     let mut scenario = Scenario::build(spec);
     scenario.sim.run_until_idle();
+    measure_pdagent(&scenario)
+}
+
+/// Run PDAgent with the observability collector attached. Returns the
+/// measured run (identical to [`run_pdagent`] — tracing never perturbs the
+/// simulation) plus the trace digest: per-stage latency histograms, retry
+/// and drop totals, and the trace count.
+pub fn run_pdagent_obs(n: u32, seed: u64) -> (PdagentRun, ObsSummary) {
+    let mut spec = pdagent_spec(n, seed);
+    spec.observe = true;
+    let mut scenario = Scenario::build(spec);
+    scenario.sim.run_until_idle();
+    let run = measure_pdagent(&scenario);
+    let mut obs = scenario.sim.obs_summary().expect("collector enabled");
+    obs.retries = (scenario.sim.counter_total("http.retransmits")
+        + scenario.sim.counter_total("gateway.transfer_retries")
+        + scenario.sim.counter_total("mas.transfer_retries")) as u64;
+    (run, obs)
+}
+
+/// Extract the paper's measurements from a finished e-banking scenario.
+fn measure_pdagent(scenario: &Scenario) -> PdagentRun {
     let now = scenario.sim.now();
     // Subtract the subscription's online time: Figure 12/13 measure service
     // *execution*; subscription is a one-time setup (§3.1). The subscription
@@ -171,6 +201,22 @@ mod tests {
         let web = run_web(3, 1);
         assert!(cs > 10.0 && cs < 80.0, "cs={cs}");
         assert!(web > 5.0 && web < 40.0, "web={web}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_exactly() {
+        let plain = run_pdagent(5, 7);
+        let (traced, obs) = run_pdagent_obs(5, 7);
+        assert_eq!(plain.connection_secs, traced.connection_secs);
+        assert_eq!(plain.completion_secs, traced.completion_secs);
+        assert_eq!(plain.wireless_bytes, traced.wireless_bytes);
+        assert_eq!(plain.events, traced.events);
+        assert!(obs.traces >= 1);
+        let stage_names: Vec<&str> =
+            obs.stages.iter().map(|(n, _)| n.as_str()).collect();
+        for want in ["journey", "http.upload", "gateway.stage", "mas.exec"] {
+            assert!(stage_names.contains(&want), "missing stage {want}: {stage_names:?}");
+        }
     }
 
     #[test]

@@ -224,11 +224,39 @@ const TAG_ENTRY_DONE: u64 = 2;
 const TAG_PROBE_TIMEOUT: u64 = 3;
 const TAG_POLL: u64 = 4;
 
+/// Observability handles for one agent journey (§ [`pdagent_net::obs`]):
+/// the trace id minted at data entry plus the span ids opened so far. All
+/// zeros when no collector is attached — every hook call is then a no-op,
+/// so the deploy flow pays nothing for carrying this `Copy` struct.
+#[derive(Debug, Clone, Copy, Default)]
+struct JourneyObs {
+    trace: u64,
+    /// The `journey` root span covering entry → result stored.
+    root: u32,
+    /// `http.upload` (dispatch POST in flight).
+    upload: u32,
+    /// `result.wait` (device disconnected, agent roaming).
+    wait: u32,
+    /// `result.fetch` (one collect GET attempt).
+    fetch: u32,
+}
+
+impl JourneyObs {
+    /// Close every open span for this journey (idempotent; unopened spans
+    /// are id 0 and ignored). Used on both success and failure exits.
+    fn close_all(&self, ctx: &mut Ctx<'_>) {
+        ctx.span_end(self.fetch);
+        ctx.span_end(self.wait);
+        ctx.span_end(self.upload);
+        ctx.span_end(self.root);
+    }
+}
+
 #[derive(Debug)]
 enum Phase {
     Idle,
     FetchingList {
-        resume_deploy: Option<DeployRequest>,
+        resume_deploy: Option<(DeployRequest, JourneyObs)>,
     },
     Subscribing {
         service: String,
@@ -237,6 +265,7 @@ enum Phase {
     },
     Entering {
         deploy: DeployRequest,
+        obs: JourneyObs,
     },
     Probing {
         deploy: DeployRequest,
@@ -244,6 +273,7 @@ enum Phase {
         rtts: Vec<Option<SimDuration>>,
         refreshed: bool,
         attempt: u32,
+        obs: JourneyObs,
     },
     Uploading {
         gateway: GatewayEntry,
@@ -251,6 +281,7 @@ enum Phase {
         opened_at: SimTime,
         pi_bytes: usize,
         req_id: u64,
+        obs: JourneyObs,
     },
     WaitingResult {
         agent_id: String,
@@ -258,6 +289,7 @@ enum Phase {
         dispatch_online: SimDuration,
         collect_online: SimDuration,
         pi_bytes: usize,
+        obs: JourneyObs,
     },
     Collecting {
         agent_id: String,
@@ -267,6 +299,7 @@ enum Phase {
         pi_bytes: usize,
         opened_at: SimTime,
         req_id: u64,
+        obs: JourneyObs,
     },
     Managing {
         op: ControlOp,
@@ -394,7 +427,11 @@ impl DeviceNode {
 
     // --- gateway list ------------------------------------------------------
 
-    fn start_fetch_list(&mut self, ctx: &mut Ctx<'_>, resume_deploy: Option<DeployRequest>) {
+    fn start_fetch_list(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        resume_deploy: Option<(DeployRequest, JourneyObs)>,
+    ) {
         let Some(central) = self.config.central_server else {
             self.error("fetch-gateways", "no central server configured");
             self.next_command(ctx);
@@ -410,7 +447,7 @@ impl DeviceNode {
         ctx: &mut Ctx<'_>,
         status: HttpStatus,
         body: &[u8],
-        resume_deploy: Option<DeployRequest>,
+        resume_deploy: Option<(DeployRequest, JourneyObs)>,
     ) {
         ctx.connection_closed();
         if status == HttpStatus::Ok {
@@ -430,7 +467,7 @@ impl DeviceNode {
         }
         match resume_deploy {
             // A deploy was waiting on the refreshed list: re-probe.
-            Some(deploy) => self.start_probing(ctx, deploy, true),
+            Some((deploy, obs)) => self.start_probing(ctx, deploy, obs, true),
             None => self.next_command(ctx),
         }
     }
@@ -501,29 +538,42 @@ impl DeviceNode {
             return;
         }
         // Offline data entry: the user fills the form while disconnected.
+        // The journey trace starts here — one trace id covers this logical
+        // agent from form entry to result stored on the device.
+        let trace = ctx.obs_new_trace();
+        let root = ctx.span_begin(trace, 0, "journey");
+        let obs = JourneyObs { trace, root, ..JourneyObs::default() };
         let think = SimDuration(
             self.config.entry_time_per_param.as_micros() * deploy.params.len().max(1) as u64,
         );
         ctx.set_timer(think, TAG_ENTRY_DONE);
-        self.phase = Phase::Entering { deploy };
+        self.phase = Phase::Entering { deploy, obs };
     }
 
-    fn start_probing(&mut self, ctx: &mut Ctx<'_>, deploy: DeployRequest, refreshed: bool) {
-        self.start_probing_attempt(ctx, deploy, refreshed, 1);
+    fn start_probing(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        deploy: DeployRequest,
+        obs: JourneyObs,
+        refreshed: bool,
+    ) {
+        self.start_probing_attempt(ctx, deploy, obs, refreshed, 1);
     }
 
     fn start_probing_attempt(
         &mut self,
         ctx: &mut Ctx<'_>,
         deploy: DeployRequest,
+        obs: JourneyObs,
         refreshed: bool,
         attempt: u32,
     ) {
         if self.gateways.is_empty() {
             if !refreshed && self.config.central_server.is_some() {
-                self.start_fetch_list(ctx, Some(deploy));
+                self.start_fetch_list(ctx, Some((deploy, obs)));
             } else {
                 self.error("deploy", "no gateways available");
+                obs.close_all(ctx);
                 self.next_command(ctx);
             }
             return;
@@ -533,7 +583,7 @@ impl DeviceNode {
             ctx.connection_opened();
             let gateway = self.gateways[0].clone();
             let now = ctx.now();
-            self.start_upload(ctx, deploy, gateway, SimDuration::ZERO, now);
+            self.start_upload(ctx, deploy, obs, gateway, SimDuration::ZERO, now);
             return;
         }
         // Figure 8: send 1-bit data to all gateways on the list. Probes are
@@ -548,7 +598,8 @@ impl DeviceNode {
         }
         ctx.set_timer(self.config.probe_timeout, TAG_PROBE_TIMEOUT);
         let n = self.gateways.len();
-        self.phase = Phase::Probing { deploy, sent_at, rtts: vec![None; n], refreshed, attempt };
+        self.phase =
+            Phase::Probing { deploy, sent_at, rtts: vec![None; n], refreshed, attempt, obs };
         ctx.metrics().bump("device.probe_rounds", 1.0);
     }
 
@@ -558,7 +609,7 @@ impl DeviceNode {
         if !all_in && !force {
             return;
         }
-        let Phase::Probing { deploy, rtts, refreshed, sent_at, attempt } =
+        let Phase::Probing { deploy, rtts, refreshed, sent_at, attempt, obs } =
             std::mem::replace(&mut self.phase, Phase::Idle)
         else {
             unreachable!();
@@ -577,9 +628,10 @@ impl DeviceNode {
                 ctx.connection_closed();
                 if attempt < 3 {
                     ctx.metrics().bump("device.probe_retries", 1.0);
-                    self.start_probing_attempt(ctx, deploy, refreshed, attempt + 1);
+                    self.start_probing_attempt(ctx, deploy, obs, refreshed, attempt + 1);
                 } else {
                     self.error("deploy", "no gateway answered probes");
+                    obs.close_all(ctx);
                     self.next_command(ctx);
                 }
             }
@@ -592,11 +644,11 @@ impl DeviceNode {
                     // probe again (exactly once).
                     ctx.connection_closed();
                     ctx.metrics().bump("device.list_refreshes", 1.0);
-                    self.start_fetch_list(ctx, Some(deploy));
+                    self.start_fetch_list(ctx, Some((deploy, obs)));
                     return;
                 }
                 let gateway = self.gateways[idx].clone();
-                self.start_upload(ctx, deploy, gateway, rtt, sent_at);
+                self.start_upload(ctx, deploy, obs, gateway, rtt, sent_at);
             }
         }
     }
@@ -605,6 +657,7 @@ impl DeviceNode {
         &mut self,
         ctx: &mut Ctx<'_>,
         deploy: DeployRequest,
+        mut obs: JourneyObs,
         gateway: GatewayEntry,
         rtt: SimDuration,
         conn_opened_at: SimTime,
@@ -612,9 +665,14 @@ impl DeviceNode {
         let Some(sub) = self.db.subscription(&deploy.service) else {
             ctx.connection_closed();
             self.error("deploy", "subscription vanished");
+            obs.close_all(ctx);
             self.next_command(ctx);
             return;
         };
+        // PI assembly is instantaneous in sim time; record it as an instant
+        // span so the timeline shows where packing sits in the journey.
+        let pack = ctx.span_begin(obs.trace, obs.root, "pi.pack");
+        ctx.span_end(pack);
         // Agent Dispatcher: assemble the PI (§3.2).
         let pi = PackedInformation {
             code_id: sub.code_id.clone(),
@@ -640,11 +698,15 @@ impl DeviceNode {
         };
         let pi_bytes = payload.len();
         // The connection has been up since the probe round started; it stays
-        // up through the upload.
+        // up through the upload. The dispatch request carries the journey's
+        // trace context so the gateway (and everything downstream) can hang
+        // its spans off this journey's root.
+        obs.upload = ctx.span_begin(obs.trace, obs.root, "http.upload");
         let req_id = self.http.send(
             ctx,
             gateway.node,
-            HttpRequest::new("POST", PATH_DISPATCH, payload),
+            HttpRequest::new("POST", PATH_DISPATCH, payload)
+                .traced(ObsContext { trace: obs.trace, span: obs.root }),
         );
         self.phase = Phase::Uploading {
             gateway,
@@ -652,6 +714,7 @@ impl DeviceNode {
             opened_at: conn_opened_at,
             pi_bytes,
             req_id,
+            obs,
         };
     }
 
@@ -665,18 +728,22 @@ impl DeviceNode {
         rtt: SimDuration,
         pi_bytes: usize,
         opened_at: SimTime,
+        mut obs: JourneyObs,
     ) {
         // Online window closes as soon as the 202 lands — "once the agent is
         // dispatched, the user can disconnect from the network".
         let dispatch_online = ctx.now().since(opened_at);
         ctx.connection_closed();
+        ctx.span_end(obs.upload);
         if status != HttpStatus::Accepted {
             self.error("deploy", format!("dispatch rejected: HTTP {}", status.code()));
+            obs.close_all(ctx);
             self.next_command(ctx);
             return;
         }
         let Ok(agent_id) = std::str::from_utf8(body).map(str::to_owned) else {
             self.error("deploy", "bad agent id in dispatch response");
+            obs.close_all(ctx);
             self.next_command(ctx);
             return;
         };
@@ -688,6 +755,7 @@ impl DeviceNode {
             rtt,
         });
         // Disconnect, then reconnect later to collect.
+        obs.wait = ctx.span_begin(obs.trace, obs.root, "result.wait");
         ctx.set_timer(self.config.result_poll_initial, TAG_POLL);
         self.phase = Phase::WaitingResult {
             agent_id,
@@ -695,22 +763,31 @@ impl DeviceNode {
             dispatch_online,
             collect_online: SimDuration::ZERO,
             pi_bytes,
+            obs,
         };
     }
 
     // --- result collection ---------------------------------------------------
 
     fn start_collect(&mut self, ctx: &mut Ctx<'_>) {
-        let Phase::WaitingResult { agent_id, gateway, dispatch_online, collect_online, pi_bytes } =
-            std::mem::replace(&mut self.phase, Phase::Idle)
+        let Phase::WaitingResult {
+            agent_id,
+            gateway,
+            dispatch_online,
+            collect_online,
+            pi_bytes,
+            mut obs,
+        } = std::mem::replace(&mut self.phase, Phase::Idle)
         else {
             return;
         };
         ctx.connection_opened();
+        obs.fetch = ctx.span_begin(obs.trace, obs.root, "result.fetch");
         let req_id = self.http.send(
             ctx,
             gateway.node,
-            HttpRequest::new("GET", PATH_RESULT, agent_id.clone().into_bytes()),
+            HttpRequest::new("GET", PATH_RESULT, agent_id.clone().into_bytes())
+                .traced(ObsContext { trace: obs.trace, span: obs.fetch }),
         );
         self.phase = Phase::Collecting {
             agent_id,
@@ -720,6 +797,7 @@ impl DeviceNode {
             pi_bytes,
             opened_at: ctx.now(),
             req_id,
+            obs,
         };
     }
 
@@ -735,9 +813,11 @@ impl DeviceNode {
         mut collect_online: SimDuration,
         pi_bytes: usize,
         opened_at: SimTime,
+        mut obs: JourneyObs,
     ) {
         collect_online += ctx.now().since(opened_at);
         ctx.connection_closed();
+        ctx.span_end(obs.fetch);
         match status {
             HttpStatus::Ok => {
                 let result_bytes = body.len();
@@ -765,22 +845,27 @@ impl DeviceNode {
                     }
                     Err(e) => self.error("collect", e),
                 }
+                obs.close_all(ctx);
                 self.next_command(ctx);
             }
             HttpStatus::Conflict => {
-                // Not ready: disconnect and re-poll later.
+                // Not ready: disconnect and re-poll later (the `result.wait`
+                // span stays open — the journey is still in flight).
                 ctx.metrics().bump("device.result_polls", 1.0);
                 ctx.set_timer(self.config.result_poll_interval, TAG_POLL);
+                obs.fetch = 0;
                 self.phase = Phase::WaitingResult {
                     agent_id,
                     gateway,
                     dispatch_online,
                     collect_online,
                     pi_bytes,
+                    obs,
                 };
             }
             other => {
                 self.error("collect", format!("HTTP {}", other.code()));
+                obs.close_all(ctx);
                 self.next_command(ctx);
             }
         }
@@ -853,11 +938,11 @@ impl Node for DeviceNode {
             Phase::Subscribing { service, req_id, .. } if req_id == resp.req_id => {
                 self.finish_subscribe(ctx, &service, resp.status, &resp.body);
             }
-            Phase::Uploading { gateway, rtt, pi_bytes, req_id, opened_at }
+            Phase::Uploading { gateway, rtt, pi_bytes, req_id, opened_at, obs }
                 if req_id == resp.req_id =>
             {
                 self.finish_upload(
-                    ctx, resp.status, &resp.body, gateway, rtt, pi_bytes, opened_at,
+                    ctx, resp.status, &resp.body, gateway, rtt, pi_bytes, opened_at, obs,
                 );
             }
             Phase::Collecting {
@@ -868,6 +953,7 @@ impl Node for DeviceNode {
                 pi_bytes,
                 opened_at,
                 req_id,
+                obs,
             } if req_id == resp.req_id => {
                 self.finish_collect(
                     ctx,
@@ -879,6 +965,7 @@ impl Node for DeviceNode {
                     collect_online,
                     pi_bytes,
                     opened_at,
+                    obs,
                 );
             }
             Phase::Managing { op, agent_id, req_id } if req_id == resp.req_id => {
@@ -895,10 +982,10 @@ impl Node for DeviceNode {
         match tag {
             TAG_NEXT => self.start_next(ctx),
             TAG_ENTRY_DONE => {
-                if let Phase::Entering { deploy } =
+                if let Phase::Entering { deploy, obs } =
                     std::mem::replace(&mut self.phase, Phase::Idle)
                 {
-                    self.start_probing(ctx, deploy, false);
+                    self.start_probing(ctx, deploy, obs, false);
                 }
             }
             TAG_PROBE_TIMEOUT => self.maybe_finish_probing(ctx, true),
@@ -930,18 +1017,22 @@ impl Node for DeviceNode {
                             collect_online,
                             pi_bytes,
                             opened_at,
+                            mut obs,
                             ..
                         } if self.collect_failures < 10 => {
                             self.collect_failures += 1;
                             ctx.metrics().bump("device.collect_failures", 1.0);
                             let extra = ctx.now().since(opened_at);
                             ctx.set_timer(self.config.result_poll_interval, TAG_POLL);
+                            ctx.span_end(obs.fetch);
+                            obs.fetch = 0;
                             self.phase = Phase::WaitingResult {
                                 agent_id,
                                 gateway,
                                 dispatch_online,
                                 collect_online: collect_online + extra,
                                 pi_bytes,
+                                obs,
                             };
                         }
                         other => {
@@ -952,6 +1043,18 @@ impl Node for DeviceNode {
                                 Phase::Managing { .. } => "manage",
                                 _ => "http",
                             };
+                            // Close any journey spans the dying phase held.
+                            match &other {
+                                Phase::Uploading { obs, .. }
+                                | Phase::Collecting { obs, .. }
+                                | Phase::Entering { obs, .. }
+                                | Phase::Probing { obs, .. }
+                                | Phase::WaitingResult { obs, .. } => obs.close_all(ctx),
+                                Phase::FetchingList {
+                                    resume_deploy: Some((_, obs)),
+                                } => obs.close_all(ctx),
+                                _ => {}
+                            }
                             self.error(context, "request timed out after retries");
                             self.next_command(ctx);
                         }

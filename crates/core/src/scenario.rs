@@ -38,6 +38,15 @@ pub struct ScenarioSpec {
     /// Additional devices beyond the primary one: `(config, commands)`.
     /// Each gets its own wireless links to the central server and gateways.
     pub extra_devices: Vec<(DeviceConfig, Vec<DeviceCommand>)>,
+    /// Attach an observability collector ([`Simulator::enable_obs`]): trace
+    /// ids are minted per deployment and spans are recorded across device,
+    /// gateway and MAS nodes. Off by default — with no collector the
+    /// instrumentation hooks are no-ops and allocate nothing.
+    pub observe: bool,
+    /// Write the collected spans as JSONL (one span per line) to this path
+    /// after every [`Scenario::run`]. Implies nothing unless `observe` is
+    /// also set.
+    pub obs_jsonl: Option<std::path::PathBuf>,
 }
 
 /// A deferred service constructor.
@@ -102,6 +111,8 @@ impl ScenarioSpec {
             gateway_extra_latency: Vec::new(),
             site_cpu: None,
             extra_devices: Vec::new(),
+            observe: false,
+            obs_jsonl: None,
         }
     }
 }
@@ -120,12 +131,17 @@ pub struct Scenario {
     pub sites: Vec<NodeId>,
     /// Extra device node ids (same order as `spec.extra_devices`).
     pub extra_devices: Vec<NodeId>,
+    /// Where to export collected spans as JSONL after each run, if anywhere.
+    obs_jsonl: Option<std::path::PathBuf>,
 }
 
 impl Scenario {
     /// Build the world from a spec.
     pub fn build(spec: ScenarioSpec) -> Scenario {
         let mut sim = Simulator::new(spec.seed);
+        if spec.observe {
+            sim.enable_obs();
+        }
 
         // Ids are assigned sequentially; pre-compute them so the directory
         // and gateway list can be constructed up front.
@@ -236,12 +252,17 @@ impl Scenario {
             }
         }
 
-        Scenario { sim, device, central, gateways, sites, extra_devices }
+        let obs_jsonl = spec.obs_jsonl;
+        Scenario { sim, device, central, gateways, sites, extra_devices, obs_jsonl }
     }
 
     /// Shorthand: run to idle and return the device node for inspection.
     pub fn run(&mut self) -> &DeviceNode {
         self.sim.run_until_idle();
+        if let (Some(path), Some(collector)) = (&self.obs_jsonl, self.sim.obs()) {
+            // Export failures must not fail the simulation.
+            let _ = std::fs::write(path, collector.to_jsonl());
+        }
         self.device_ref()
     }
 

@@ -106,6 +106,12 @@ pub struct GatewayNode {
     /// the handler — without this, a retransmitted dispatch would create a
     /// duplicate agent.
     replay: HashMap<(NodeId, u64), (HttpStatus, Bytes)>,
+    /// Observability side table: journey context (trace id + journey root
+    /// span, taken from the dispatch request) and the open `gateway.stage`
+    /// span per agent. Kept outside [`MobileAgent`] so the agent wire format
+    /// is untouched; needed because [`GatewayNode::launch`] re-creates the
+    /// transfer message on every retry.
+    obs: HashMap<String, (ObsContext, u32)>,
     /// Human-readable event log.
     pub log: Vec<String>,
     /// The File Directory (Figure 6): staged agent classes, parameter docs
@@ -132,6 +138,7 @@ impl GatewayNode {
             next_tag: 0,
             pending_manage: HashMap::new(),
             replay: HashMap::new(),
+            obs: HashMap::new(),
             log: Vec::new(),
             files: FileDirectory::new(64 << 20), // 64 MiB gateway disk budget
         }
@@ -150,6 +157,7 @@ impl GatewayNode {
         // replay clones the `Bytes` handle, not the payload.
         let body = body.into();
         self.replay.insert((from, req.req_id), (status, body.clone()));
+        ctx.metrics().set_gauge("gateway.replay_entries", self.replay.len() as f64);
         reply(ctx, from, req, status, body);
     }
 
@@ -309,6 +317,11 @@ impl GatewayNode {
         // Respond immediately with the agent id (the device shows it on
         // screen, Figure 11c), then launch after the processing delay.
         self.respond(ctx, from, req, HttpStatus::Accepted, agent_id.clone().into_bytes());
+        // `gateway.stage` covers dispatch arrival → first transfer acked.
+        // Onward transfers carry the journey root (`req.obs.span`) so MAS hop
+        // spans nest directly under the journey, not under this stage.
+        let stage = ctx.span_begin(req.obs.trace, req.obs.span, "gateway.stage");
+        self.obs.insert(agent_id.clone(), (req.obs, stage));
         let delay = self.processing_delay(req.body.len());
         let tag = self.fresh_tag(&agent_id, TagKind::Launch);
         ctx.set_timer(delay, tag);
@@ -452,7 +465,8 @@ impl GatewayNode {
         match agent.next_site().map(str::to_owned) {
             Some(site) => {
                 let node = self.directory.resolve(&site).expect("checked above");
-                ctx.send(node, Message::new(KIND_TRANSFER, agent.to_bytes()));
+                let octx = self.obs.get(agent_id).map(|&(c, _)| c).unwrap_or_default();
+                ctx.send(node, Message::new(KIND_TRANSFER, agent.to_bytes()).traced(octx));
                 let tag = self.fresh_tag(agent_id, TagKind::AckTimeout);
                 ctx.set_timer(self.config.ack_timeout, tag);
                 self.staging.insert(agent_id.to_owned(), (agent, attempts));
@@ -478,8 +492,16 @@ impl GatewayNode {
             doc.entries.len()
         ));
         ctx.metrics().bump("gateway.results_stored", 1.0);
+        // Close the stage span if it is still open (idempotent — an agent
+        // whose whole itinerary was unreachable never got an ack), and drop
+        // the journey's side-table entry: the gateway is done with it.
+        if let Some((_, stage)) = self.obs.remove(&agent.id.0) {
+            ctx.span_end(stage);
+        }
         self.dispatched.insert(agent.id.0.clone(), DispatchState::Done);
         self.results.insert(agent.id.0.clone(), doc);
+        ctx.metrics().set_gauge("gateway.results_entries", self.results.len() as f64);
+        ctx.metrics().set_gauge("gateway.dispatched_entries", self.dispatched.len() as f64);
     }
 }
 
@@ -513,6 +535,10 @@ impl Node for GatewayNode {
             KIND_ACK => {
                 if let Ok(id) = std::str::from_utf8(&msg.body) {
                     self.staging.remove(id);
+                    // Staging ends when the first MAS acks the transfer.
+                    if let Some(&(_, stage)) = self.obs.get(id) {
+                        ctx.span_end(stage);
+                    }
                     // The MAS has the agent; the staged classes/params are
                     // now evictable.
                     let _ = self.files.release(&format!("{id}/classes"));

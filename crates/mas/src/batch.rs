@@ -31,7 +31,10 @@ pub struct BatchMasNode {
     site_name: String,
     directory: SiteDirectory,
     services: HashMap<String, Box<dyn Service>>,
-    queue: VecDeque<MobileAgent>,
+    /// Queued agents with their journey context and open `itinerary.hop`
+    /// span (carried beside the agent — the wire format stays shared with
+    /// [`crate::MasNode`]).
+    queue: VecDeque<(MobileAgent, ObsContext, u32)>,
     /// How often the batch executor wakes up.
     pub tick: SimDuration,
     /// Per-agent execution cost charged at batch time.
@@ -109,7 +112,7 @@ impl BatchMasNode {
         self.services.insert(name.into(), service);
     }
 
-    fn run_one(&mut self, ctx: &mut Ctx<'_>, mut agent: MobileAgent) {
+    fn run_one(&mut self, ctx: &mut Ctx<'_>, mut agent: MobileAgent, jctx: ObsContext, hop: u32) {
         if agent.next_site() == Some(self.site_name.as_str()) {
             let mut host = BatchHost {
                 site: &self.site_name,
@@ -154,20 +157,24 @@ impl BatchMasNode {
             ctx.metrics().bump("batchmas.agents_executed", 1.0);
         }
         // Forward (fire-and-forget: the batch server leans on the *sender's*
-        // retry for reliability, a deliberately different design).
+        // retry for reliability, a deliberately different design). Onward
+        // messages carry the journey context the transfer arrived with.
         if agent.done() {
             let origin = agent.origin as NodeId;
-            ctx.send(origin, Message::new(KIND_COMPLETE, agent.to_bytes()));
+            ctx.send(origin, Message::new(KIND_COMPLETE, agent.to_bytes()).traced(jctx));
+            ctx.span_end(hop);
         } else if let Some(next) =
             agent.next_site().and_then(|s| self.directory.resolve(s))
         {
-            ctx.send(next, Message::new(KIND_TRANSFER, agent.to_bytes()));
+            ctx.send(next, Message::new(KIND_TRANSFER, agent.to_bytes()).traced(jctx));
+            ctx.span_end(hop);
         } else {
-            // Unknown next site: skip it, then try again.
+            // Unknown next site: skip it, then try again (still resident —
+            // the hop span stays open).
             let site = agent.next_site().unwrap_or("?").to_owned();
             agent.push_result(&self.site_name, "unreachable", Value::Str(site));
             agent.next_hop += 1;
-            self.queue.push_back(agent);
+            self.queue.push_back((agent, jctx, hop));
         }
     }
 }
@@ -178,10 +185,19 @@ impl Node for BatchMasNode {
             if let Ok(agent) = MobileAgent::from_bytes(&msg.body) {
                 ctx.send(from, Message::new(KIND_ACK, agent.id.0.clone().into_bytes()));
                 // Duplicate (our ack was lost)? Drop it.
-                if self.queue.iter().any(|a| a.id == agent.id) {
+                if self.queue.iter().any(|(a, _, _)| a.id == agent.id) {
                     return;
                 }
-                self.queue.push_back(agent);
+                // Residence span: queued-waiting-for-tick counts as part of
+                // the hop — that wait is the batch server's defining cost.
+                let hop = ctx.span_begin_indexed(
+                    msg.obs.trace,
+                    msg.obs.span,
+                    "itinerary.hop",
+                    Some(agent.next_hop as u32),
+                );
+                self.queue.push_back((agent, msg.obs, hop));
+                ctx.metrics().set_gauge("batchmas.queued_agents", self.queue.len() as f64);
                 let delay = self.tick;
                 self.arm_tick(ctx, delay);
             }
@@ -195,11 +211,12 @@ impl Node for BatchMasNode {
         self.tick_armed = false;
         // Drain the whole queue this tick, charging exec_cost per agent by
         // *delaying the next tick* (the batch runner is busy).
-        let batch: Vec<MobileAgent> = self.queue.drain(..).collect();
+        let batch: Vec<(MobileAgent, ObsContext, u32)> = self.queue.drain(..).collect();
         let busy = SimDuration(self.exec_cost.as_micros() * batch.len() as u64);
-        for agent in batch {
-            self.run_one(ctx, agent);
+        for (agent, jctx, hop) in batch {
+            self.run_one(ctx, agent, jctx, hop);
         }
+        ctx.metrics().set_gauge("batchmas.queued_agents", self.queue.len() as f64);
         if !self.queue.is_empty() {
             let delay = self.tick + busy;
             self.arm_tick(ctx, delay);

@@ -144,8 +144,20 @@ enum Slot {
     Executing,
     /// Sent onward; retained until the receiver acks. `wire` caches the
     /// serialized transfer frame: the agent is frozen while awaiting an ack,
-    /// so retries clone the same buffer instead of re-serializing.
+    /// so retries clone the same buffer instead of re-serializing (and the
+    /// cached frame keeps its observability context across retries).
     AwaitingAck { attempts: u32, wire: Message },
+}
+
+/// Observability state for one resident agent, kept beside (not inside) the
+/// agent so the wire format is untouched: the journey context from the
+/// arriving transfer, the open `itinerary.hop[i]` span, and the open
+/// `mas.exec` span while the site CPU is busy.
+#[derive(Debug, Clone, Copy, Default)]
+struct AgentObs {
+    jctx: ObsContext,
+    hop: u32,
+    exec: u32,
 }
 
 /// VM host adapter exposing the site's services to a visiting agent.
@@ -199,6 +211,7 @@ pub struct MasNode {
     services: HashMap<String, Box<dyn Service>>,
     cpu: CpuModel,
     agents: HashMap<AgentId, (MobileAgent, Slot)>,
+    obs: HashMap<AgentId, AgentObs>,
     tags: HashMap<u64, (AgentId, TagKind)>,
     next_tag: u64,
     clones: u64,
@@ -225,6 +238,7 @@ impl MasNode {
             services: HashMap::new(),
             cpu: CpuModel::default(),
             agents: HashMap::new(),
+            obs: HashMap::new(),
             tags: HashMap::new(),
             next_tag: 0,
             clones: 0,
@@ -315,6 +329,11 @@ impl MasNode {
             ctx.metrics().bump("mas.agents_executed", 1.0);
             ctx.metrics().bump("mas.instructions", executed as f64);
             let delay = self.cpu.exec_time(executed);
+            // `mas.exec` covers the modeled CPU occupancy: now → departure.
+            if let Some(o) = self.obs.get_mut(&agent.id) {
+                let (trace, hop) = (o.jctx.trace, o.hop);
+                o.exec = ctx.span_begin(trace, hop, "mas.exec");
+            }
             let tag = self.fresh_tag(&agent.id, TagKind::Depart);
             ctx.set_timer(delay, tag);
             self.agents.insert(agent.id.clone(), (agent, Slot::Executing));
@@ -330,11 +349,24 @@ impl MasNode {
     /// and on ack-timeout retries.
     fn depart(&mut self, ctx: &mut Ctx<'_>, id: &AgentId, attempts: u32) {
         let Some((agent, slot)) = self.agents.remove(id) else { return };
+        let jctx = match self.obs.get_mut(id) {
+            Some(o) => {
+                // CPU occupancy ends at departure time (idempotent on ack
+                // retries, where the exec span is long closed).
+                ctx.span_end(o.exec);
+                o.jctx
+            }
+            None => ObsContext::NONE,
+        };
         if agent.done() {
             // Return to the origin gateway.
             let origin = agent.origin as NodeId;
             let body = agent.to_bytes();
-            ctx.send(origin, Message::new(KIND_COMPLETE, body));
+            ctx.send(origin, Message::new(KIND_COMPLETE, body).traced(jctx));
+            if let Some(o) = self.obs.remove(id) {
+                ctx.span_end(o.hop);
+            }
+            ctx.metrics().set_gauge("mas.resident_agents", self.agents.len() as f64);
             self.log.push(format!("{}: agent {} returned to origin", self.site_name, id));
             // Origin delivery runs over the (reliable, wired) backbone; no ack.
             return;
@@ -344,7 +376,7 @@ impl MasNode {
             Some(next_node) => {
                 let wire = match slot {
                     Slot::AwaitingAck { wire, .. } => wire,
-                    _ => Message::new(KIND_TRANSFER, agent.to_bytes()),
+                    _ => Message::new(KIND_TRANSFER, agent.to_bytes()).traced(jctx),
                 };
                 let sent = ctx.send(next_node, wire.clone());
                 let tag = self.fresh_tag(id, TagKind::AckTimeout);
@@ -358,6 +390,21 @@ impl MasNode {
                 // Unknown site: skip it.
                 self.skip_current_hop(ctx, agent, &next_name);
             }
+        }
+    }
+
+    /// Close any open spans for an agent leaving this site abnormally
+    /// (retract/dispose) and drop its side-table entry. Returns the journey
+    /// context for stamping a final message.
+    fn close_agent_obs(&mut self, ctx: &mut Ctx<'_>, id: &AgentId) -> ObsContext {
+        match self.obs.remove(id) {
+            Some(o) => {
+                ctx.span_end(o.exec);
+                ctx.span_end(o.hop);
+                ctx.metrics().set_gauge("mas.resident_agents", self.agents.len() as f64);
+                o.jctx
+            }
+            None => ObsContext::NONE,
         }
     }
 
@@ -400,7 +447,8 @@ impl MasNode {
                 Some((mut agent, _)) => {
                     agent.push_result(&self.site_name, "retracted", Value::Bool(true));
                     agent.next_hop = agent.itinerary.len();
-                    ctx.send(from, Message::new(KIND_COMPLETE, agent.to_bytes()));
+                    let jctx = self.close_agent_obs(ctx, &id);
+                    ctx.send(from, Message::new(KIND_COMPLETE, agent.to_bytes()).traced(jctx));
                     ctx.send(from, resp(true, Vec::new()));
                     self.log.push(format!("{}: agent {} retracted", self.site_name, id));
                 }
@@ -411,6 +459,7 @@ impl MasNode {
             ControlOp::Dispose => {
                 let found = self.agents.remove(&id).is_some();
                 if found {
+                    self.close_agent_obs(ctx, &id);
                     self.log.push(format!("{}: agent {} disposed", self.site_name, id));
                 }
                 ctx.send(from, resp(found, Vec::new()));
@@ -423,6 +472,13 @@ impl MasNode {
                     let payload = copy.id.0.clone().into_bytes();
                     self.log.push(format!("{}: agent {} cloned as {}", self.site_name, id, copy.id));
                     let copy_id = copy.id.clone();
+                    // The clone continues the same logical journey: it
+                    // inherits the original's trace context, and the sites it
+                    // visits open their own hop spans under the same root.
+                    let jctx =
+                        self.obs.get(&id).map(|o| o.jctx).unwrap_or(ObsContext::NONE);
+                    self.obs
+                        .insert(copy_id.clone(), AgentObs { jctx, hop: 0, exec: 0 });
                     self.agents.insert(copy_id.clone(), (copy, Slot::Executing));
                     self.depart(ctx, &copy_id, 1);
                     ctx.send(from, resp(true, payload));
@@ -450,14 +506,30 @@ impl Node for MasNode {
                     ctx.metrics().bump("mas.duplicate_transfers", 1.0);
                     return;
                 }
+                // One `itinerary.hop[i]` span per residence at this site,
+                // parented to the journey root the transfer message carries.
+                let hop = ctx.span_begin_indexed(
+                    msg.obs.trace,
+                    msg.obs.span,
+                    "itinerary.hop",
+                    Some(agent.next_hop as u32),
+                );
+                self.obs
+                    .insert(agent.id.clone(), AgentObs { jctx: msg.obs, hop, exec: 0 });
                 self.log.push(format!("{}: agent {} arrived", self.site_name, agent.id));
                 self.execute_and_schedule(ctx, agent);
+                ctx.metrics().set_gauge("mas.resident_agents", self.agents.len() as f64);
             }
             KIND_ACK => {
                 let Ok(id) = std::str::from_utf8(&msg.body) else { return };
                 let id = AgentId(id.to_owned());
                 if matches!(self.agents.get(&id), Some((_, Slot::AwaitingAck { .. }))) {
                     self.agents.remove(&id);
+                    // The next site has the agent: this residence is over.
+                    if let Some(o) = self.obs.remove(&id) {
+                        ctx.span_end(o.hop);
+                    }
+                    ctx.metrics().set_gauge("mas.resident_agents", self.agents.len() as f64);
                 }
             }
             KIND_CONTROL => self.handle_control(ctx, from, &msg.body),

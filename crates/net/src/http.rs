@@ -15,6 +15,7 @@ use bytes::Bytes;
 use pdagent_codec::varint;
 
 use crate::message::Message;
+use crate::obs::ObsContext;
 use crate::sim::{Ctx, NodeId, TimerId};
 use crate::time::SimDuration;
 
@@ -91,6 +92,9 @@ pub struct HttpRequest {
     /// Payload. Parsing slices the carrying message's buffer, so a request
     /// decoded from the wire aliases the received bytes instead of copying.
     pub body: Bytes,
+    /// Observability metadata; carried on the wrapping [`Message`], not in
+    /// the framed payload, and preserved across retransmissions.
+    pub obs: ObsContext,
 }
 
 /// A framed response.
@@ -102,6 +106,9 @@ pub struct HttpResponse {
     pub status: HttpStatus,
     /// Payload (zero-copy slice of the carrying message when parsed).
     pub body: Bytes,
+    /// Observability metadata, copied from the request by
+    /// [`HttpResponse::reply`] so responses stay attributed to the journey.
+    pub obs: ObsContext,
 }
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
@@ -140,7 +147,19 @@ impl HttpRequest {
         path: impl Into<String>,
         body: impl Into<Bytes>,
     ) -> Self {
-        HttpRequest { req_id: 0, method: method.into(), path: path.into(), body: body.into() }
+        HttpRequest {
+            req_id: 0,
+            method: method.into(),
+            path: path.into(),
+            body: body.into(),
+            obs: ObsContext::NONE,
+        }
+    }
+
+    /// Attach observability metadata (builder-style).
+    pub fn traced(mut self, obs: ObsContext) -> HttpRequest {
+        self.obs = obs;
+        self
     }
 
     /// Serialize into a [`Message`].
@@ -151,7 +170,7 @@ impl HttpRequest {
         write_str(&mut out, &self.path);
         varint::write_usize(&mut out, self.body.len());
         out.extend_from_slice(&self.body);
-        Message::new(KIND_REQUEST, out)
+        Message::new(KIND_REQUEST, out).traced(self.obs)
     }
 
     /// Parse from a [`Message`]; `None` if it is not a well-formed request.
@@ -164,14 +183,14 @@ impl HttpRequest {
         let method = read_str(&msg.body, &mut pos)?;
         let path = read_str(&msg.body, &mut pos)?;
         let body = read_body(msg, &mut pos)?;
-        Some(HttpRequest { req_id, method, path, body })
+        Some(HttpRequest { req_id, method, path, body, obs: msg.obs })
     }
 }
 
 impl HttpResponse {
-    /// Construct a response to `req`.
+    /// Construct a response to `req` (inherits the request's trace context).
     pub fn reply(req: &HttpRequest, status: HttpStatus, body: impl Into<Bytes>) -> HttpResponse {
-        HttpResponse { req_id: req.req_id, status, body: body.into() }
+        HttpResponse { req_id: req.req_id, status, body: body.into(), obs: req.obs }
     }
 
     /// Serialize into a [`Message`].
@@ -181,7 +200,7 @@ impl HttpResponse {
         varint::write_u64(&mut out, self.status.code() as u64);
         varint::write_usize(&mut out, self.body.len());
         out.extend_from_slice(&self.body);
-        Message::new(KIND_RESPONSE, out)
+        Message::new(KIND_RESPONSE, out).traced(self.obs)
     }
 
     /// Parse from a [`Message`]; `None` if it is not a well-formed response.
@@ -193,7 +212,7 @@ impl HttpResponse {
         let req_id = varint::read_u64(&msg.body, &mut pos).ok()?;
         let code = varint::read_u64(&msg.body, &mut pos).ok()? as u16;
         let body = read_body(msg, &mut pos)?;
-        Some(HttpResponse { req_id, status: HttpStatus::from_code(code), body })
+        Some(HttpResponse { req_id, status: HttpStatus::from_code(code), body, obs: msg.obs })
     }
 }
 
@@ -353,6 +372,20 @@ mod tests {
         assert_eq!(back.req_id, 9);
         assert_eq!(back.status, HttpStatus::Accepted);
         assert_eq!(back.body, b"ok");
+    }
+
+    #[test]
+    fn trace_context_rides_request_and_reply() {
+        let obs = ObsContext { trace: 5, span: 2 };
+        let mut req = HttpRequest::new("POST", "/dispatch", vec![]).traced(obs);
+        req.req_id = 1;
+        let msg = req.to_message();
+        assert_eq!(msg.obs, obs, "request context must ride the message");
+        let parsed = HttpRequest::from_message(&msg).unwrap();
+        assert_eq!(parsed.obs, obs);
+        let resp = HttpResponse::reply(&parsed, HttpStatus::Ok, vec![]);
+        let back = HttpResponse::from_message(&resp.to_message()).unwrap();
+        assert_eq!(back.obs, obs, "reply inherits the request context");
     }
 
     #[test]

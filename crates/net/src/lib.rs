@@ -21,7 +21,11 @@
 //! * [`http`] — an HTTP-like request/response layer with timeouts and
 //!   retries, plus client-side helpers.
 //! * [`metrics`] — connection-time accounting (the paper's headline metric),
-//!   byte counters and a free-form scoreboard.
+//!   byte counters, a free-form scoreboard and gauges.
+//! * [`obs`] — causal observability: trace ids minted per agent journey,
+//!   parent/child spans with sim-time bounds, log-bucket latency histograms
+//!   and deterministic timeline/JSONL exporters. Zero-cost unless a
+//!   collector is attached via [`sim::Simulator::enable_obs`].
 //!
 //! Determinism: a simulation is a pure function of its seed and setup. All
 //! randomness flows from the seed; the event queue breaks time ties by
@@ -60,6 +64,7 @@ pub mod http;
 pub mod link;
 pub mod message;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use crate::link::LinkSpec;
     pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;
+    pub use crate::obs::{Histogram, ObsContext, ObsSummary};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Ctx, Node, NodeId, Simulator};
     pub use crate::time::{SimDuration, SimTime};

@@ -17,6 +17,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use bytes::Bytes;
 
+use crate::obs::ObsContext;
+
 /// Fixed per-message framing overhead charged by the link model, standing in
 /// for transport headers (TCP/IP + HTTP line noise).
 pub const FRAME_OVERHEAD: usize = 40;
@@ -155,23 +157,44 @@ impl From<String> for Kind {
 /// `Clone` is cheap by construction (refcount bumps on both fields); protocol
 /// layers hand the same body allocation from serialization through link
 /// transit, retransmission buffers and trace capture.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Message {
     /// Protocol discriminator, e.g. `"http.request"`, `"mas.transfer"`.
     pub kind: Kind,
     /// Serialized payload (shared, immutable).
     pub body: Bytes,
+    /// Observability metadata (trace id + parent span). Rides in the modeled
+    /// [`FRAME_OVERHEAD`] headers: a `Copy` of two integers that contributes
+    /// nothing to [`Message::wire_size`], the payload serialization, or
+    /// message equality — link timing and results are identical with or
+    /// without tracing.
+    pub obs: ObsContext,
+}
+
+/// Equality covers the wire content (kind + body); the [`ObsContext`]
+/// metadata is deliberately excluded so traced and untraced runs compare
+/// messages identically.
+impl PartialEq for Message {
+    fn eq(&self, other: &Message) -> bool {
+        self.kind == other.kind && self.body == other.body
+    }
 }
 
 impl Message {
-    /// Construct a message.
+    /// Construct a message (untraced; see [`Message::traced`]).
     pub fn new(kind: impl Into<Kind>, body: impl Into<Bytes>) -> Message {
-        Message { kind: kind.into(), body: body.into() }
+        Message { kind: kind.into(), body: body.into(), obs: ObsContext::NONE }
     }
 
     /// A zero-payload message (probes, acks).
     pub fn signal(kind: impl Into<Kind>) -> Message {
-        Message { kind: kind.into(), body: Bytes::new() }
+        Message { kind: kind.into(), body: Bytes::new(), obs: ObsContext::NONE }
+    }
+
+    /// Attach observability metadata (builder-style).
+    pub fn traced(mut self, obs: ObsContext) -> Message {
+        self.obs = obs;
+        self
     }
 
     /// Bytes this message occupies on the wire, including framing.
@@ -211,6 +234,17 @@ mod tests {
         assert_eq!(a, "mas.transfer");
         assert_eq!("mas.transfer", a);
         assert_eq!(format!("{a}"), "mas.transfer");
+    }
+
+    #[test]
+    fn obs_metadata_is_invisible_on_the_wire() {
+        use crate::obs::ObsContext;
+        let plain = Message::new("x", b"payload".to_vec());
+        let traced = plain.clone().traced(ObsContext { trace: 7, span: 3 });
+        assert_eq!(traced.obs.trace, 7);
+        assert_eq!(plain.wire_size(), traced.wire_size());
+        assert_eq!(plain, traced, "obs metadata must not affect equality");
+        assert!(Message::signal("ack").obs.is_none());
     }
 
     #[test]

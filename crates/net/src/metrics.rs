@@ -30,6 +30,10 @@ pub struct Metrics {
     open_since: Option<SimTime>,
     /// Free-form named counters for protocol-specific accounting.
     counters: HashMap<String, f64>,
+    /// Named gauges (set-semantics: last write wins). Used for instantaneous
+    /// sizes — cache entries, staged agents — where `bump` accumulation would
+    /// be meaningless.
+    gauges: HashMap<String, f64>,
 }
 
 impl Metrics {
@@ -99,6 +103,30 @@ impl Metrics {
     pub fn counters_sorted(&self) -> Vec<(&str, f64)> {
         let mut v: Vec<(&str, f64)> =
             self.counters.iter().map(|(k, &x)| (k.as_str(), x)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Set a named gauge to `v` (last write wins). Like `bump`, the key is
+    /// only allocated the first time it is seen.
+    pub fn set_gauge(&mut self, key: &str, v: f64) {
+        match self.gauges.get_mut(key) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(key.to_owned(), v);
+            }
+        }
+    }
+
+    /// Read a named gauge (0 if never set).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// All named gauges, sorted by key.
+    pub fn gauges_sorted(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> =
+            self.gauges.iter().map(|(k, &x)| (k.as_str(), x)).collect();
         v.sort_by(|a, b| a.0.cmp(b.0));
         v
     }
@@ -190,6 +218,19 @@ mod tests {
         let sorted = m.counters_sorted();
         assert_eq!(sorted[0].0, "retries");
         assert_eq!(sorted[1].0, "transactions");
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut m = Metrics::new();
+        m.set_gauge("gateway.replay_entries", 3.0);
+        m.set_gauge("gateway.replay_entries", 7.0);
+        m.set_gauge("mas.completed_entries", 1.0);
+        assert_eq!(m.gauge("gateway.replay_entries"), 7.0);
+        assert_eq!(m.gauge("missing"), 0.0);
+        let sorted = m.gauges_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted[0].0, "gateway.replay_entries");
     }
 
     #[test]

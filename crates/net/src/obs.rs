@@ -1,0 +1,506 @@
+//! Causal observability: trace IDs, spans and latency histograms.
+//!
+//! The simulator's [`crate::metrics`] counters answer "how much in total";
+//! the delivery [`crate::trace`] answers "what crossed the wire". Neither
+//! can answer *"which hop of transaction #7 ate the latency"*. This module
+//! adds the missing causal layer:
+//!
+//! * **Trace IDs** — minted at the device when a Packed Information is
+//!   dispatched, then carried in the metadata of every message that belongs
+//!   to that logical journey ([`ObsContext`] on [`crate::message::Message`]).
+//!   The context rides in the modeled frame headers: it contributes nothing
+//!   to [`crate::message::Message::wire_size`], so link timing and results
+//!   are byte-identical with or without a collector attached.
+//! * **Spans** — named intervals with parent links and begin/end sim-times
+//!   (`pi.pack`, `http.upload`, `gateway.stage`, `itinerary.hop[i]`,
+//!   `mas.exec`, `result.wait`, `result.fetch`), forming one tree per trace.
+//! * **Histograms** — fixed log-bucket latency distributions per span stage,
+//!   alloc-free on the record path, with p50/p90/p99/max extraction.
+//!
+//! Everything funnels through an optional [`Collector`] owned by the
+//! simulator. When no collector is attached the instrumentation hooks on
+//! [`crate::sim::Ctx`] are branch-and-return no-ops: no allocation, no
+//! recording, no behavioural difference (asserted by test).
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Observability metadata carried by every message (in the modeled frame
+/// headers — excluded from wire size). `trace == 0` means "untraced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsContext {
+    /// Trace (journey) identifier; 0 = none.
+    pub trace: u64,
+    /// Span to parent remote work under; 0 = none.
+    pub span: u32,
+}
+
+impl ObsContext {
+    /// The untraced context.
+    pub const NONE: ObsContext = ObsContext { trace: 0, span: 0 };
+
+    /// True when no trace is attached.
+    pub fn is_none(&self) -> bool {
+        self.trace == 0
+    }
+}
+
+/// One named interval in a trace tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span id (collector-global, 1-based; 0 is the null span).
+    pub id: u32,
+    /// Parent span id (0 = root of its trace).
+    pub parent: u32,
+    /// Owning trace id.
+    pub trace: u64,
+    /// Stage name (static — recording never allocates for the name).
+    pub name: &'static str,
+    /// Optional index (e.g. itinerary hop number).
+    pub index: Option<u32>,
+    /// Node the span was recorded on.
+    pub node: usize,
+    /// Begin sim-time.
+    pub begin: SimTime,
+    /// End sim-time (`None` while open).
+    pub end: Option<SimTime>,
+}
+
+impl Span {
+    /// Display label, e.g. `itinerary.hop[1]` or `mas.exec`.
+    pub fn label(&self) -> String {
+        match self.index {
+            Some(i) => format!("{}[{i}]", self.name),
+            None => self.name.to_owned(),
+        }
+    }
+}
+
+const BUCKETS: usize = 65;
+
+/// Fixed log-bucket histogram over `u64` microsecond values.
+///
+/// Bucket `i > 0` holds values with bit-length `i` (the range
+/// `[2^(i-1), 2^i)`); bucket 0 holds exact zeros. Recording touches one
+/// array slot and three scalars — no allocation, ever. Percentiles are
+/// bucket-resolution upper bounds clamped to the exact observed max, so
+/// `percentile(p)` never under-reports and over-reports by less than 2x.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Record one value (alloc-free).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `p` in `[0, 1]`, at bucket resolution.
+    ///
+    /// Returns the upper bound of the bucket containing the rank-`⌈p·n⌉`
+    /// value, clamped to the exact max — an upper bound on the true
+    /// percentile that is tight to within one power of two.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile (bucket resolution).
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Merge another histogram in (bucket-wise addition — commutative and
+    /// associative, so parallel shard merges are order-independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregated per-stage latency distributions plus reliability counters —
+/// the portable digest of a run that bench reports embed as their `obs`
+/// section. Merging is order-independent (see [`Histogram::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsSummary {
+    /// `(stage name, latency histogram in µs)`, sorted by name.
+    pub stages: Vec<(String, Histogram)>,
+    /// Total retransmissions / transfer retries observed.
+    pub retries: u64,
+    /// Total messages dropped by the link model.
+    pub drops: u64,
+    /// Traces started.
+    pub traces: u64,
+}
+
+impl ObsSummary {
+    /// Merge another summary in.
+    pub fn merge(&mut self, other: &ObsSummary) {
+        for (name, hist) in &other.stages {
+            match self.stages.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.stages[i].1.merge(hist),
+                Err(i) => self.stages.insert(i, (name.clone(), hist.clone())),
+            }
+        }
+        self.retries += other.retries;
+        self.drops += other.drops;
+        self.traces += other.traces;
+    }
+}
+
+/// The span/histogram sink attached to a simulator via
+/// `Simulator::enable_obs()`.
+#[derive(Debug, Default)]
+pub struct Collector {
+    spans: Vec<Span>,
+    stages: Vec<(&'static str, Histogram)>,
+    next_trace: u64,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Mint the next trace id (1-based; deterministic — a plain counter).
+    pub fn new_trace(&mut self) -> u64 {
+        self.next_trace += 1;
+        self.next_trace
+    }
+
+    /// Number of traces minted.
+    pub fn traces(&self) -> u64 {
+        self.next_trace
+    }
+
+    /// Open a span; returns its id.
+    pub fn begin_span(
+        &mut self,
+        trace: u64,
+        parent: u32,
+        name: &'static str,
+        index: Option<u32>,
+        node: usize,
+        at: SimTime,
+    ) -> u32 {
+        let id = self.spans.len() as u32 + 1;
+        self.spans.push(Span { id, parent, trace, name, index, node, begin: at, end: None });
+        id
+    }
+
+    /// Close a span, recording its latency into the stage histogram.
+    /// Idempotent: closing a closed (or null) span is a no-op, so e.g. both
+    /// the transfer-ack and the result-arrival paths may try to end
+    /// `gateway.stage`.
+    pub fn end_span(&mut self, span: u32, at: SimTime) {
+        if span == 0 {
+            return;
+        }
+        let Some(s) = self.spans.get_mut(span as usize - 1) else { return };
+        if s.end.is_some() {
+            return;
+        }
+        s.end = Some(at);
+        let micros = at.0.saturating_sub(s.begin.0);
+        let name = s.name;
+        match self.stages.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.record(micros),
+            None => {
+                let mut h = Histogram::new();
+                h.record(micros);
+                self.stages.push((name, h));
+            }
+        }
+    }
+
+    /// All spans, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans belonging to one trace.
+    pub fn spans_for(&self, trace: u64) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.trace == trace)
+    }
+
+    /// Per-stage latency histograms, sorted by stage name.
+    pub fn stages(&self) -> Vec<(&'static str, &Histogram)> {
+        let mut v: Vec<_> = self.stages.iter().map(|(n, h)| (*n, h)).collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Portable digest (retries/drops are filled in by the caller, which
+    /// has access to the simulator's metrics).
+    pub fn summary(&self) -> ObsSummary {
+        let mut stages: Vec<(String, Histogram)> =
+            self.stages.iter().map(|(n, h)| ((*n).to_owned(), h.clone())).collect();
+        stages.sort_by(|a, b| a.0.cmp(&b.0));
+        ObsSummary { stages, retries: 0, drops: 0, traces: self.next_trace }
+    }
+
+    /// Deterministic text timeline for one trace: each span on its own line,
+    /// indented under its parent, with begin/end offsets (in seconds)
+    /// relative to the trace's first span.
+    pub fn render_trace(&self, trace: u64) -> String {
+        let spans: Vec<&Span> = self.spans_for(trace).collect();
+        let Some(origin) = spans.iter().map(|s| s.begin.0).min() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let mut roots: Vec<&Span> =
+            spans.iter().copied().filter(|s| s.parent == 0).collect();
+        roots.sort_by_key(|s| (s.begin.0, s.id));
+        for root in roots {
+            self.render_span(&mut out, &spans, root, origin, 0);
+        }
+        out
+    }
+
+    fn render_span(
+        &self,
+        out: &mut String,
+        spans: &[&Span],
+        span: &Span,
+        origin: u64,
+        depth: usize,
+    ) {
+        let begin = (span.begin.0 - origin) as f64 / 1e6;
+        let end = span
+            .end
+            .map(|e| format!("{:8.3}s", (e.0 - origin) as f64 / 1e6))
+            .unwrap_or_else(|| "    open".to_owned());
+        let _ = writeln!(
+            out,
+            "[{begin:8.3}s – {end}] {:indent$}{}",
+            "",
+            span.label(),
+            indent = depth * 2
+        );
+        let mut children: Vec<&Span> =
+            spans.iter().copied().filter(|s| s.parent == span.id).collect();
+        children.sort_by_key(|s| (s.begin.0, s.id));
+        for child in children {
+            self.render_span(out, spans, child, origin, depth + 1);
+        }
+    }
+
+    /// JSONL export: one JSON object per span, in creation order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = write!(
+                out,
+                "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\"",
+                s.trace, s.id, s.parent, s.name
+            );
+            if let Some(i) = s.index {
+                let _ = write!(out, ",\"index\":{i}");
+            }
+            let _ = write!(out, ",\"node\":{},\"begin_us\":{}", s.node, s.begin.0);
+            if let Some(e) = s.end {
+                let _ = write!(out, ",\"end_us\":{}", e.0);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_default_is_none() {
+        assert!(ObsContext::default().is_none());
+        assert!(ObsContext::NONE.is_none());
+        assert!(!ObsContext { trace: 3, span: 0 }.is_none());
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 1000, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.percentile(1.0), 5000);
+        // p50 covers the rank-3 value (30): upper bound of its bucket.
+        assert!(h.p50() >= 30 && h.p50() < 64);
+        assert!(h.p99() <= h.max());
+        assert_eq!(Histogram::new().p50(), 0);
+    }
+
+    #[test]
+    fn histogram_zero_goes_to_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 7, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 900, 90000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn spans_nest_and_close_idempotently() {
+        let mut c = Collector::new();
+        let t = c.new_trace();
+        let root = c.begin_span(t, 0, "journey", None, 3, SimTime(0));
+        let child = c.begin_span(t, root, "http.upload", None, 3, SimTime(10));
+        c.end_span(child, SimTime(1_010));
+        c.end_span(child, SimTime(9_999_999)); // ignored
+        c.end_span(0, SimTime(5)); // null span: no-op
+        c.end_span(root, SimTime(2_000));
+        let spans: Vec<_> = c.spans_for(t).collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, root);
+        assert_eq!(spans[1].end, Some(SimTime(1_010)));
+        let stages = c.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "http.upload");
+        assert_eq!(stages[0].1.max(), 1_000);
+    }
+
+    #[test]
+    fn timeline_renders_nested_tree() {
+        let mut c = Collector::new();
+        let t = c.new_trace();
+        let root = c.begin_span(t, 0, "journey", None, 0, SimTime(1_000_000));
+        let hop = c.begin_span(t, root, "itinerary.hop", Some(1), 4, SimTime(1_500_000));
+        c.end_span(hop, SimTime(2_500_000));
+        c.end_span(root, SimTime(3_000_000));
+        let txt = c.render_trace(t);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("journey"));
+        assert!(lines[1].contains("  itinerary.hop[1]"), "{txt}");
+        assert!(lines[1].contains("0.500s"), "{txt}");
+        // Unknown trace renders empty.
+        assert_eq!(c.render_trace(999), "");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_span() {
+        let mut c = Collector::new();
+        let t = c.new_trace();
+        let s = c.begin_span(t, 0, "mas.exec", Some(0), 2, SimTime(7));
+        c.end_span(s, SimTime(11));
+        let jsonl = c.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"name\":\"mas.exec\""));
+        assert!(jsonl.contains("\"index\":0"));
+        assert!(jsonl.contains("\"end_us\":11"));
+    }
+
+    #[test]
+    fn summary_merge_is_order_independent() {
+        let mk = |vals: &[u64]| {
+            let mut c = Collector::new();
+            let t = c.new_trace();
+            for &v in vals {
+                let s = c.begin_span(t, 0, "x", None, 0, SimTime(0));
+                c.end_span(s, SimTime(v));
+            }
+            c.summary()
+        };
+        let a = mk(&[5, 10]);
+        let b = mk(&[700, 9000]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+}

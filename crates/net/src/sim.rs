@@ -17,6 +17,7 @@ use std::collections::{BinaryHeap, HashSet};
 use crate::link::{LinkSpec, Topology};
 use crate::message::Message;
 use crate::metrics::{Metrics, MetricsRegistry};
+use crate::obs::{Collector, ObsSummary};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEntry};
@@ -102,6 +103,7 @@ pub struct Ctx<'a> {
     topology: &'a mut Topology,
     rng: &'a mut SimRng,
     metrics: &'a mut MetricsRegistry,
+    obs: &'a mut Option<Collector>,
 }
 
 impl Ctx<'_> {
@@ -194,6 +196,55 @@ impl Ctx<'_> {
     pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
         self.topology.is_up(a, b)
     }
+
+    // --- observability hooks (see crate::obs) ------------------------------
+    //
+    // Every hook is a branch-and-return no-op when no collector is attached:
+    // no allocation, no recording, nothing on the message hot path.
+
+    /// Is an observability collector attached to this simulation?
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Mint a fresh trace id (a deterministic counter). Returns 0 —
+    /// "untraced" — when no collector is attached.
+    pub fn obs_new_trace(&mut self) -> u64 {
+        match self.obs {
+            Some(c) => c.new_trace(),
+            None => 0,
+        }
+    }
+
+    /// Open a span under `parent` in `trace`. Returns the span id, or 0
+    /// (the null span) when no collector is attached or `trace` is 0.
+    pub fn span_begin(&mut self, trace: u64, parent: u32, name: &'static str) -> u32 {
+        self.span_begin_indexed(trace, parent, name, None)
+    }
+
+    /// [`Ctx::span_begin`] with an index (e.g. the itinerary hop number).
+    pub fn span_begin_indexed(
+        &mut self,
+        trace: u64,
+        parent: u32,
+        name: &'static str,
+        index: Option<u32>,
+    ) -> u32 {
+        let (now, node) = (self.now, self.self_id);
+        match self.obs {
+            Some(c) if trace != 0 => c.begin_span(trace, parent, name, index, node, now),
+            _ => 0,
+        }
+    }
+
+    /// Close a span at the current time. Idempotent; a no-op for the null
+    /// span or without a collector.
+    pub fn span_end(&mut self, span: u32) {
+        let now = self.now;
+        if let Some(c) = self.obs {
+            c.end_span(span, now);
+        }
+    }
 }
 
 /// The simulation: nodes + topology + clock + event queue.
@@ -214,6 +265,7 @@ pub struct Simulator {
     started: bool,
     events_processed: u64,
     trace: Option<Trace>,
+    obs: Option<Collector>,
     /// Safety valve against runaway protocols.
     pub max_events: u64,
 }
@@ -234,6 +286,7 @@ impl Simulator {
             started: false,
             events_processed: 0,
             trace: None,
+            obs: None,
             max_events: 50_000_000,
         }
     }
@@ -246,6 +299,43 @@ impl Simulator {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attach an observability collector (spans, trace ids, latency
+    /// histograms — see [`crate::obs`]). Purely observational: enabling it
+    /// never changes simulation results.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Collector::new());
+        }
+    }
+
+    /// The attached collector, if observability was enabled.
+    pub fn obs(&self) -> Option<&Collector> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable access to the attached collector.
+    pub fn obs_mut(&mut self) -> Option<&mut Collector> {
+        self.obs.as_mut()
+    }
+
+    /// Aggregated per-stage latency digest (drops filled from the link
+    /// model's counters; protocol retry counters are the caller's domain).
+    pub fn obs_summary(&self) -> Option<ObsSummary> {
+        let mut s = self.obs.as_ref()?.summary();
+        s.drops = (0..self.nodes.len()).map(|i| self.metrics.node(i).msgs_dropped).sum();
+        Some(s)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sum of a named [`Metrics`] counter over every node.
+    pub fn counter_total(&self, key: &str) -> f64 {
+        (0..self.nodes.len()).map(|i| self.metrics.node(i).counter(key)).sum()
     }
 
     /// Register a node; returns its id.
@@ -348,6 +438,7 @@ impl Simulator {
                             to,
                             kind: msg.kind.clone(),
                             bytes: msg.wire_size(),
+                            trace: msg.obs.trace,
                         });
                     }
                     (to, Box::new(move |n, ctx| n.on_message(ctx, from, msg)))
@@ -375,6 +466,7 @@ impl Simulator {
             topology: &mut self.topology,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
+            obs: &mut self.obs,
         };
         action(node.as_mut(), &mut ctx);
         self.nodes[node_id] = Some(node);

@@ -2,6 +2,8 @@
 //! for debugging protocols and asserting on wire behaviour in tests
 //! (e.g. "the device sent exactly two HTTP requests after dispatch").
 
+use std::collections::VecDeque;
+
 use crate::message::Kind;
 use crate::time::SimTime;
 
@@ -18,12 +20,19 @@ pub struct TraceEntry {
     pub kind: Kind,
     /// Wire size in bytes.
     pub bytes: usize,
+    /// Trace id of the journey this delivery belongs to (0 = untraced); see
+    /// [`crate::obs`].
+    pub trace: u64,
 }
 
 /// A bounded trace buffer (drops the oldest entries beyond the cap).
+///
+/// Backed by a ring buffer, so a bounded trace evicts in O(1) — the old
+/// `Vec::remove(0)` implementation shifted the whole buffer on every record
+/// once full.
 #[derive(Debug, Default)]
 pub struct Trace {
-    entries: Vec<TraceEntry>,
+    entries: VecDeque<TraceEntry>,
     /// Maximum retained entries (0 = unbounded).
     pub cap: usize,
 }
@@ -31,30 +40,35 @@ pub struct Trace {
 impl Trace {
     /// An unbounded trace.
     pub fn new() -> Trace {
-        Trace { entries: Vec::new(), cap: 0 }
+        Trace { entries: VecDeque::new(), cap: 0 }
     }
 
     /// A bounded trace keeping the most recent `cap` entries.
     pub fn bounded(cap: usize) -> Trace {
-        Trace { entries: Vec::new(), cap }
+        Trace { entries: VecDeque::with_capacity(cap), cap }
     }
 
-    /// Record a delivery.
+    /// Record a delivery (O(1), including eviction when bounded).
     pub fn record(&mut self, entry: TraceEntry) {
         if self.cap > 0 && self.entries.len() == self.cap {
-            self.entries.remove(0);
+            self.entries.pop_front();
         }
-        self.entries.push(entry);
+        self.entries.push_back(entry);
     }
 
     /// All retained entries, oldest first.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = &TraceEntry> {
+        self.entries.iter()
     }
 
     /// Entries of a given message kind.
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
         self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Entries belonging to one observability trace id.
+    pub fn of_trace(&self, trace: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.trace == trace)
     }
 
     /// Entries between two nodes (either direction).
@@ -91,7 +105,7 @@ mod tests {
     use super::*;
 
     fn entry(at: u64, from: usize, to: usize, kind: &str, bytes: usize) -> TraceEntry {
-        TraceEntry { at: SimTime(at), from, to, kind: kind.into(), bytes }
+        TraceEntry { at: SimTime(at), from, to, kind: kind.into(), bytes, trace: 0 }
     }
 
     #[test]
@@ -113,8 +127,31 @@ mod tests {
         t.record(entry(1, 0, 1, "a", 1));
         t.record(entry(2, 0, 1, "b", 1));
         t.record(entry(3, 0, 1, "c", 1));
-        let kinds: Vec<&str> = t.entries().iter().map(|e| e.kind.as_str()).collect();
+        let kinds: Vec<&str> = t.entries().map(|e| e.kind.as_str()).collect();
         assert_eq!(kinds, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn bounded_eviction_keeps_order_across_wraps() {
+        // Push far past the cap; the survivors must be the newest, in order.
+        let mut t = Trace::bounded(3);
+        for i in 0..100u64 {
+            t.record(entry(i, 0, 1, "k", i as usize));
+        }
+        let bytes: Vec<usize> = t.entries().map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn filters_by_trace_id() {
+        let mut t = Trace::new();
+        let mut tagged = entry(1, 0, 1, "http.request", 10);
+        tagged.trace = 42;
+        t.record(tagged);
+        t.record(entry(2, 1, 0, "http.response", 10));
+        assert_eq!(t.of_trace(42).count(), 1);
+        assert_eq!(t.of_trace(0).count(), 1);
+        assert_eq!(t.of_trace(7).count(), 0);
     }
 
     #[test]

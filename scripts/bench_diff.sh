@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Compare freshly generated BENCH_<figure>.json reports against the
+# committed baselines in bench/baselines/, flagging wall-time and
+# events-per-second regressions beyond the threshold (default 20%).
+#
+# Usage:
+#   scripts/bench_diff.sh [--threshold PCT] [report_dir]
+#
+# report_dir defaults to the repo root (where the figure binaries write
+# their BENCH_*.json). Exits nonzero if any figure regressed; missing
+# baselines or reports are reported but do not fail the run, so adding a
+# new figure never blocks until its baseline is committed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold=20
+if [[ "${1:-}" == "--threshold" ]]; then
+  threshold="$2"
+  shift 2
+fi
+report_dir="${1:-.}"
+baseline_dir="bench/baselines"
+
+# Extract a top-level numeric field from one of our BENCH json files.
+# The envelope is flat for these keys, so a sed scrape is reliable.
+field() { # file key
+  local v
+  v=$(sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -1)
+  echo "${v:-0}"
+}
+
+# pct_change new old -> integer percent change ((new-old)/old*100), via awk.
+pct_change() {
+  awk -v n="$1" -v o="$2" 'BEGIN {
+    if (o == 0) { print 0; exit }
+    printf "%d\n", (n - o) / o * 100
+  }'
+}
+
+status=0
+checked=0
+for baseline in "$baseline_dir"/BENCH_*.json; do
+  [[ -e "$baseline" ]] || { echo "no baselines in $baseline_dir"; exit 0; }
+  name=$(basename "$baseline")
+  report="$report_dir/$name"
+  if [[ ! -f "$report" ]]; then
+    echo "SKIP $name: no fresh report in $report_dir (run the figure binaries first)"
+    continue
+  fi
+  checked=$((checked + 1))
+
+  old_wall=$(field "$baseline" wall_secs)
+  new_wall=$(field "$report" wall_secs)
+  old_eps=$(field "$baseline" events_per_sec)
+  new_eps=$(field "$report" events_per_sec)
+
+  wall_pct=$(pct_change "$new_wall" "$old_wall")
+  # events/sec regresses when it *drops*, so compare baseline against fresh.
+  eps_pct=$(pct_change "$old_eps" "$new_eps")
+
+  verdict="ok"
+  if (( wall_pct > threshold )); then
+    verdict="WALL-TIME REGRESSION (+${wall_pct}%)"
+    status=1
+  fi
+  if (( eps_pct > threshold )); then
+    verdict="$verdict THROUGHPUT REGRESSION (-${eps_pct}%)"
+    status=1
+  fi
+  printf '%-28s wall %ss -> %ss (%+d%%)   events/s %s -> %s   %s\n' \
+    "$name" "$old_wall" "$new_wall" "$wall_pct" "$old_eps" "$new_eps" "$verdict"
+done
+
+if (( checked == 0 )); then
+  echo "bench_diff: nothing compared"
+elif (( status == 0 )); then
+  echo "bench_diff: OK (threshold ${threshold}%)"
+else
+  echo "bench_diff: FAILED (threshold ${threshold}%)"
+fi
+exit "$status"

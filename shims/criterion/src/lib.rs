@@ -43,6 +43,10 @@ pub struct Bencher<'a> {
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
     median_ns_per_iter: f64,
+    /// Sample standard deviation of the per-iteration sample times.
+    stddev_ns: f64,
+    /// Median absolute deviation — robust spread, immune to one noisy sample.
+    mad_ns: f64,
     total_iters: u64,
 }
 
@@ -75,10 +79,28 @@ impl Bencher<'_> {
             samples_ns.push(ns);
             total_iters += iters_per_sample;
         }
-        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = samples_ns[samples_ns.len() / 2];
-        *self.result = Some(Measurement { median_ns_per_iter: median, total_iters });
+        let (median, stddev, mad) = spread_stats(&mut samples_ns);
+        *self.result = Some(Measurement {
+            median_ns_per_iter: median,
+            stddev_ns: stddev,
+            mad_ns: mad,
+            total_iters,
+        });
     }
+}
+
+/// `(median, sample stddev, median absolute deviation)` of `samples`
+/// (sorted in place). Panics on an empty slice.
+fn spread_stats(samples: &mut [f64]) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (samples.len() - 1).max(1) as f64;
+    let mut deviations: Vec<f64> = samples.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = deviations[deviations.len() / 2];
+    (median, variance.sqrt(), mad)
 }
 
 fn human_time(ns: f64) -> String {
@@ -120,8 +142,12 @@ fn run_one(
     f(&mut bencher);
     match result {
         Some(m) => {
-            let mut line =
-                format!("{name:<52} time: {:>12}", human_time(m.median_ns_per_iter));
+            let mut line = format!(
+                "{name:<52} time: {:>12} ± {:>9} (MAD {})",
+                human_time(m.median_ns_per_iter),
+                human_time(m.stddev_ns),
+                human_time(m.mad_ns),
+            );
             if let Some(tp) = throughput {
                 let per_sec = match tp {
                     Throughput::Bytes(n) => n as f64 / (m.median_ns_per_iter / 1e9),
@@ -135,9 +161,36 @@ fn run_one(
             }
             line.push_str(&format!("   ({} iters)", m.total_iters));
             println!("{line}");
+            save_measurement(name, &m);
         }
         None => println!("{name:<52} (no measurement: bencher never called iter)"),
     }
+}
+
+/// When `CRITERION_SAVE=<path>` is set, append one JSON line per benchmark
+/// (name, median/stddev/MAD in ns, iteration count) so regression tooling
+/// can diff runs without screen-scraping the human table.
+fn save_measurement(name: &str, m: &Measurement) {
+    let Ok(path) = std::env::var("CRITERION_SAVE") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{},\"stddev_ns\":{},\"mad_ns\":{},\"iters\":{}}}\n",
+        m.median_ns_per_iter, m.stddev_ns, m.mad_ns, m.total_iters
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
 }
 
 /// A named collection of benchmarks sharing sample-size/throughput settings.
@@ -262,4 +315,26 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::spread_stats;
+
+    #[test]
+    fn spread_stats_on_known_samples() {
+        // Sorted: [1, 2, 3, 4, 100] — median 3, MAD = median(|x-3|) =
+        // median([2,1,0,1,97]) = 1. One outlier inflates stddev, not MAD.
+        let mut s = vec![3.0, 1.0, 100.0, 2.0, 4.0];
+        let (median, stddev, mad) = spread_stats(&mut s);
+        assert_eq!(median, 3.0);
+        assert_eq!(mad, 1.0);
+        assert!(stddev > 40.0, "outlier should dominate stddev: {stddev}");
+    }
+
+    #[test]
+    fn spread_stats_single_sample_is_degenerate_zero_spread() {
+        let mut s = vec![7.5];
+        assert_eq!(spread_stats(&mut s), (7.5, 0.0, 0.0));
+    }
 }

@@ -466,3 +466,90 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A log-bucket histogram's percentile is an upper bound on the true
+    /// rank value, tight to within one power of two, never above the exact
+    /// max, and exact at p = 1.0.
+    #[test]
+    fn histogram_percentile_bounds(
+        values in pvec(0u64..1_000_000, 1..200),
+        p_mil in 0u64..1000,
+    ) {
+        use pdagent::net::obs::Histogram;
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().unwrap();
+        let p = p_mil as f64 / 1000.0;
+        let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+        let truth = sorted[rank - 1];
+        let est = h.percentile(p);
+        prop_assert!(est >= truth, "estimate {est} under true rank value {truth}");
+        prop_assert!(est <= max, "estimate {est} above exact max {max}");
+        if truth == 0 {
+            prop_assert_eq!(est, 0);
+        } else {
+            prop_assert!(est < truth * 2, "estimate {est} not within 2x of {truth}");
+        }
+        prop_assert_eq!(h.percentile(1.0), max);
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Percentile is monotone in p.
+    #[test]
+    fn histogram_percentile_is_monotone(
+        values in pvec(0u64..1_000_000, 1..100),
+        ps_mil in pvec(0u64..1000, 2..8),
+    ) {
+        use pdagent::net::obs::Histogram;
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut ps: Vec<f64> = ps_mil.iter().map(|&m| m as f64 / 1000.0).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in ps.windows(2) {
+            prop_assert!(
+                h.percentile(pair[0]) <= h.percentile(pair[1]),
+                "percentile not monotone at {pair:?}"
+            );
+        }
+    }
+
+    /// Merging shard histograms is identical to recording everything into
+    /// one, in either merge order — the guarantee the parallel benchmark
+    /// fan-out relies on for deterministic obs sections.
+    #[test]
+    fn histogram_merge_equals_single_recording(
+        a in pvec(0u64..1_000_000, 0..100),
+        b in pvec(0u64..1_000_000, 0..100),
+    ) {
+        use pdagent::net::obs::Histogram;
+        let mut whole = Histogram::new();
+        for &v in a.iter().chain(b.iter()) {
+            whole.record(v);
+        }
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut merged_ab = ha.clone();
+        merged_ab.merge(&hb);
+        let mut merged_ba = hb;
+        merged_ba.merge(&ha);
+        prop_assert_eq!(&merged_ab, &whole);
+        prop_assert_eq!(&merged_ba, &whole);
+    }
+}

@@ -75,7 +75,6 @@ fn trace_shows_the_papers_protocol_structure() {
     // on the backbone.
     let device_http: Vec<_> = trace
         .entries()
-        .iter()
         .filter(|e| {
             (e.from == device || e.to == device)
                 && (e.kind == "http.request" || e.kind == "http.response")
@@ -107,7 +106,6 @@ fn trace_shows_the_papers_protocol_structure() {
     // Everything the device uploaded (PI included) fits in a few KB.
     let device_bytes: usize = trace
         .entries()
-        .iter()
         .filter(|e| e.from == device)
         .map(|e| e.bytes)
         .sum();
