@@ -1,0 +1,165 @@
+//! The thousand-device PI-upload soak on the sharded simulation engine.
+//!
+//! Runs the fleet soak (`pdagent_bench::soak`) three ways and writes
+//! `BENCH_soak.json`:
+//!
+//! 1. **Unbatched** single-shard reference (per-fragment link events) — the
+//!    event-count baseline the batched path is measured against.
+//! 2. **Batched** single-shard run — the canonical results; also run with
+//!    observability on for the per-stage percentiles.
+//! 3. A **scaling curve** over shard counts, asserting every partitioning's
+//!    results section is byte-identical to the single-shard run.
+//!
+//! `cargo run -p pdagent-bench --release --bin soak [devices] [shard_list] [seed]`
+//! — defaults: 1000 devices, shards `1,2,4,8`, seed 42. The CI smoke runs
+//! `soak 64 1,2`.
+
+use std::time::Instant;
+
+use pdagent_bench::report::{write_bench_report_with_obs, Json};
+use pdagent_bench::soak::{run_soak, SoakOutcome, SoakSpec};
+use pdagent_bench::parallel;
+
+/// Devices per cell: ten handhelds behind each serving gateway.
+const DEVICES_PER_CELL: usize = 10;
+
+fn timed(spec: &SoakSpec) -> (SoakOutcome, f64) {
+    let t = Instant::now();
+    let out = run_soak(spec);
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// Percentile of a sorted slice (nearest-rank).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let devices: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let shard_list: Vec<usize> = args
+        .next()
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let cells = devices.div_ceil(DEVICES_PER_CELL).max(1);
+    let spec = SoakSpec::new(seed, cells, DEVICES_PER_CELL);
+    let devices = spec.devices();
+    println!(
+        "soak: {devices} devices in {cells} cells, PI pad {} KB, seed {seed}, {} worker thread(s)",
+        spec.pi_pad / 1024,
+        parallel::thread_count()
+    );
+
+    // 1. Per-fragment reference: same results, every wire fragment is a
+    //    heap event. This is what the batched path saves.
+    let mut unbatched_spec = spec.clone();
+    unbatched_spec.batch_links = false;
+    let (unbatched, unbatched_wall) = timed(&unbatched_spec);
+
+    // 2. Canonical batched single-shard run, observability on.
+    let mut observed_spec = spec.clone();
+    observed_spec.observe = true;
+    let (base, base_wall) = timed(&observed_spec);
+    assert_eq!(
+        base.results, unbatched.results,
+        "batched delivery changed the soak results"
+    );
+    let reduction = unbatched.events as f64 / base.events as f64;
+    println!(
+        "link batching: {} events vs {} per-fragment ({reduction:.1}x fewer), results identical",
+        base.events, unbatched.events
+    );
+
+    // 3. Scaling curve over shard counts; every point must reproduce the
+    //    single-shard results byte-for-byte.
+    let mut curve = Vec::new();
+    println!("\n{:>7} {:>10} {:>12} {:>12} {:>10} {:>8}", "shards", "wall_s", "devices/s", "events/s", "peak_q", "epochs");
+    for &shards in &shard_list {
+        let mut s = spec.clone();
+        s.shards = shards;
+        let (out, wall) = timed(&s);
+        assert_eq!(
+            base.results, out.results,
+            "{shards}-shard soak diverged from single-shard"
+        );
+        println!(
+            "{:>7} {:>10.2} {:>12.1} {:>12.0} {:>10} {:>8}",
+            shards,
+            wall,
+            devices as f64 / wall,
+            out.events as f64 / wall,
+            out.peak_queue,
+            out.epochs
+        );
+        curve.push(Json::obj(vec![
+            ("shards", shards.into()),
+            ("wall_secs", wall.into()),
+            ("devices_per_sec", (devices as f64 / wall).into()),
+            ("events_per_sec", (out.events as f64 / wall).into()),
+            ("peak_queue", out.peak_queue.into()),
+            ("epochs", out.epochs.into()),
+            ("byte_identical", true.into()),
+        ]));
+    }
+
+    let mut completion: Vec<u64> = base
+        .results
+        .cells
+        .iter()
+        .flat_map(|c| c.completion_us.iter().copied())
+        .collect();
+    completion.sort_unstable();
+    let completed: u64 = base.results.cells.iter().map(|c| u64::from(c.completed)).sum();
+    println!(
+        "\n{completed}/{devices} deploys completed; completion p50 {:.1}s p95 {:.1}s; sim span {:.0}s",
+        pct(&completion, 50.0) as f64 / 1e6,
+        pct(&completion, 95.0) as f64 / 1e6,
+        base.sim_secs
+    );
+
+    let results = Json::obj(vec![
+        ("seed", seed.into()),
+        ("devices", devices.into()),
+        ("cells", cells.into()),
+        ("devices_per_cell", DEVICES_PER_CELL.into()),
+        ("pi_pad_bytes", spec.pi_pad.into()),
+        ("completed", completed.into()),
+        ("coordinator_beats", base.results.coordinator_beats.into()),
+        ("completion_p50_us", pct(&completion, 50.0).into()),
+        ("completion_p95_us", pct(&completion, 95.0).into()),
+        ("sim_secs", base.sim_secs.into()),
+        ("events_per_device", base.events_per_device.into()),
+        ("events_unbatched", unbatched.events.into()),
+        ("events_batched", base.events.into()),
+        ("event_reduction", reduction.into()),
+        ("unbatched_wall_secs", unbatched_wall.into()),
+        ("peak_queue", base.peak_queue.into()),
+        ("byte_identical", true.into()),
+        ("scaling", Json::Arr(curve)),
+    ]);
+    match write_bench_report_with_obs("soak", base_wall, base.events, results, &base.obs) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_soak.json: {e}"),
+    }
+
+    // Shape checks (CI gate): everything finished, and batching pays for
+    // itself by at least the 5x the sharded-engine issue demands.
+    if completed != devices as u64 {
+        println!("\nshape check FAILED: {completed}/{devices} deploys completed");
+        std::process::exit(1);
+    }
+    if reduction < 5.0 {
+        println!("\nshape check FAILED: batching saved only {reduction:.1}x events (need ≥5x)");
+        std::process::exit(1);
+    }
+    println!("\nshape check: OK (all deploys done, byte-identical shards, {reduction:.1}x event cut)");
+}

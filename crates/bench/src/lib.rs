@@ -33,4 +33,6 @@ pub mod footprint;
 pub mod gateway_selection;
 pub mod parallel;
 pub mod report;
+pub mod shard;
+pub mod soak;
 pub mod workload;

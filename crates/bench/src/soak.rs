@@ -1,0 +1,512 @@
+//! The thousand-device PI-upload soak.
+//!
+//! The paper evaluates one handheld against one gateway; the ROADMAP
+//! north-star is an operator fleet. This workload models that fleet as
+//! `cells` independent *cells* — a serving gateway, its cell-local central
+//! server, two bank MAS sites, and `devices_per_cell` handhelds each
+//! subscribing to and deploying the e-banking agent with a padded PI (the
+//! "Packed Information" upload that dominates the wireless budget) — plus a
+//! thin cross-cell control plane: one *auditor* per cell heartbeating a
+//! global *coordinator* over a WAN backbone link.
+//!
+//! Cells never talk to each other, so the topology partitions cleanly along
+//! cell boundaries: [`run_soak`] carves the cells onto `shards` simulators
+//! ([`pdagent_core::ShardPlan`]) bridged by [`crate::shard::ShardedSim`]'s
+//! epoch exchange, with the auditor→coordinator WAN hops as the only
+//! cross-shard traffic. Node labels come from the plan, so **the results
+//! section is byte-identical for every shard count** — that is asserted by
+//! the `soak` binary and the property suite, not just claimed.
+
+use pdagent_apps::ebank::{ebank_program, itinerary_for, transactions_param};
+use pdagent_apps::{BankService, Transaction};
+use pdagent_core::shard::ShardPlan;
+use pdagent_core::{DeployRequest, DeviceCommand, DeviceConfig, DeviceNode};
+use pdagent_gateway::central::{CentralServer, GatewayEntry};
+use pdagent_gateway::server::{GatewayConfig, GatewayNode};
+use pdagent_mas::server::SiteDirectory;
+use pdagent_mas::MasNode;
+use pdagent_net::link::LinkSpec;
+use pdagent_net::message::Message;
+use pdagent_net::obs::ObsSummary;
+use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
+use pdagent_net::time::SimDuration;
+use pdagent_vm::Value;
+
+use crate::shard::ShardedSim;
+
+/// Label of the global coordinator (below the cell label stride).
+const COORD_LABEL: u64 = 1;
+
+/// Node index of each role within a cell's label space.
+const J_CENTRAL: usize = 0;
+const J_GATEWAY: usize = 1;
+const J_SITE_A: usize = 2;
+const J_SITE_B: usize = 3;
+const J_AUDITOR: usize = 4;
+const J_DEVICE0: usize = 5;
+
+/// Soak parameters.
+#[derive(Debug, Clone)]
+pub struct SoakSpec {
+    /// Trial seed (also the per-shard topology seed — every shard uses the
+    /// same one, which is what makes link RNG streams partition-invariant).
+    pub seed: u64,
+    /// Number of cells.
+    pub cells: usize,
+    /// Handhelds per cell.
+    pub devices_per_cell: usize,
+    /// e-bank transactions per device session.
+    pub transactions: u32,
+    /// Extra bytes of user data packed into each PI (sized so the upload,
+    /// not the handshake, dominates the session — the paper's 1.8 KB/s
+    /// wireless regime).
+    pub pi_pad: usize,
+    /// Heartbeats each auditor sends the coordinator.
+    pub heartbeats: u32,
+    /// Simulator shards to partition the cells over (clamped to `cells`).
+    pub shards: usize,
+    /// Link MTU: messages larger than this fragment into MTU-byte frames.
+    pub mtu: Option<usize>,
+    /// Batched (one event per burst) vs per-fragment event scheduling.
+    pub batch_links: bool,
+    /// Attach the observability collector to every shard.
+    pub observe: bool,
+}
+
+impl SoakSpec {
+    /// Paper-calibrated defaults: 1 transaction, 48 KB PI pad, 256-byte
+    /// frames, batched delivery, single shard.
+    pub fn new(seed: u64, cells: usize, devices_per_cell: usize) -> SoakSpec {
+        SoakSpec {
+            seed,
+            cells,
+            devices_per_cell,
+            transactions: 1,
+            pi_pad: 48 * 1024,
+            heartbeats: 4,
+            shards: 1,
+            mtu: Some(256),
+            batch_links: true,
+            observe: false,
+        }
+    }
+
+    /// Total devices across all cells.
+    pub fn devices(&self) -> usize {
+        self.cells * self.devices_per_cell
+    }
+}
+
+/// Per-cell aggregates. Everything here is an integer or an
+/// insertion-ordered integer vector, so two runs can be compared for *byte*
+/// equality without floating-point summation-order hazards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Devices whose deploy completed (result collected).
+    pub completed: u32,
+    /// Per-device completion time in microseconds, in device order.
+    pub completion_us: Vec<u64>,
+    /// Per-device PI envelope bytes, in device order.
+    pub pi_bytes: Vec<u64>,
+    /// Total bytes the cell's devices moved over wireless (both ways).
+    pub wireless_bytes: u64,
+    /// Heartbeat acks the cell's auditor got back from the coordinator.
+    pub auditor_acks: u32,
+    /// Replayed responses the cell's gateway served from its replay cache.
+    pub gateway_replays: u64,
+    /// Entries the gateway's replay/result caches evicted.
+    pub gateway_evictions: u64,
+}
+
+/// The byte-comparable results of a soak run (what must be identical across
+/// shard counts and batching modes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakResults {
+    /// One entry per cell, in cell order.
+    pub cells: Vec<CellResult>,
+    /// Heartbeats the coordinator counted (over all cells).
+    pub coordinator_beats: u64,
+}
+
+/// A finished soak: the comparable results plus engine-side measurements
+/// that legitimately vary with partitioning or batching mode.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Byte-comparable results.
+    pub results: SoakResults,
+    /// Total devices simulated.
+    pub devices: usize,
+    /// Total simulator events over all shards.
+    pub events: u64,
+    /// `events / devices`.
+    pub events_per_device: f64,
+    /// Largest event-queue high-water mark over the shards.
+    pub peak_queue: usize,
+    /// Epoch-exchange rounds the sharded engine ran.
+    pub epochs: u64,
+    /// Virtual seconds the soak spanned.
+    pub sim_secs: f64,
+    /// Merged observability digest (empty unless `observe`).
+    pub obs: ObsSummary,
+}
+
+/// One cell's auditor: heartbeats the coordinator on a timer and counts the
+/// acks. Interval is staggered per cell so no two cells beat in lockstep.
+struct Auditor {
+    coordinator: NodeId,
+    interval: SimDuration,
+    beats: u32,
+    sent: u32,
+    acks: u32,
+}
+
+impl Node for Auditor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.beats > 0 {
+            ctx.set_timer(self.interval, 0);
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        if msg.kind == "audit-ack" {
+            self.acks += 1;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        self.sent += 1;
+        ctx.send(self.coordinator, Message::new("audit", vec![0u8; 96]));
+        if self.sent < self.beats {
+            ctx.set_timer(self.interval, 0);
+        }
+    }
+}
+
+/// The fleet-wide coordinator: acks every heartbeat.
+struct Coordinator {
+    beats: u64,
+}
+
+impl Node for Coordinator {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        if msg.kind == "audit" {
+            self.beats += 1;
+            ctx.send(from, Message::new("audit-ack", vec![0u8; 16]));
+        }
+    }
+}
+
+/// Where each cell's inspectable nodes ended up.
+struct CellIds {
+    shard: usize,
+    gateway: NodeId,
+    auditor: NodeId,
+    devices: Vec<NodeId>,
+}
+
+/// Deterministic incompressible-ish padding (6 bits of entropy per byte, so
+/// the platform's PI compression cannot flatten it): xorshift64* over a
+/// base64 alphabet, seeded per device so every partitioning builds the same
+/// string.
+fn pad_text(len: usize, seed: u64) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut state = seed | 1;
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push(ALPHABET[(state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 58) as usize & 63] as char);
+    }
+    out
+}
+
+fn device_commands(spec: &SoakSpec, cell: usize, dev: usize) -> Vec<DeviceCommand> {
+    let txs: Vec<Transaction> = (0..spec.transactions)
+        .map(|i| {
+            let bank = if i % 2 == 0 { "bank-a" } else { "bank-b" };
+            Transaction::new(bank, "alice", "payee", 1_000 + i as i64)
+        })
+        .collect();
+    // Stagger sessions: devices within a cell key up ~2s apart, cells are
+    // offset a prime-ish 23ms from each other.
+    let stagger =
+        SimDuration::from_millis(2_000 * dev as u64) + SimDuration::from_millis(23 * cell as u64);
+    vec![
+        DeviceCommand::Wait(stagger),
+        DeviceCommand::Subscribe { service: "ebank".into() },
+        DeviceCommand::Deploy(DeployRequest::new(
+            "ebank",
+            vec![
+                transactions_param(&txs),
+                // The "personal information" bulk the user attaches: pure
+                // payload from the platform's perspective, it inflates the
+                // PI to the size regime the soak is about.
+                (
+                    "pi_pad".into(),
+                    Value::Str(pad_text(
+                        spec.pi_pad,
+                        spec.seed ^ (cell as u64) << 32 ^ dev as u64,
+                    )),
+                ),
+            ],
+            itinerary_for(&txs),
+        )),
+    ]
+}
+
+/// Build one cell inside `sim`, labelling every node from the plan.
+fn build_cell(
+    sim: &mut Simulator,
+    spec: &SoakSpec,
+    plan: &ShardPlan,
+    cell: usize,
+    shard: usize,
+    coordinator: NodeId,
+) -> CellIds {
+    let wireless = LinkSpec::wireless_gprs();
+    let wired = LinkSpec::wired_internet();
+
+    let central = sim.add_node(Box::new(CentralServer::new(Vec::new())));
+    let mut directory = SiteDirectory::new();
+    // Site ids are assigned right after the gateway below.
+    let gateway_id = central + 1;
+    directory.insert("bank-a".to_string(), gateway_id + 1);
+    directory.insert("bank-b".to_string(), gateway_id + 2);
+
+    let mut gw_cfg = GatewayConfig::new(format!("gw-{cell}"), 1000 + spec.seed);
+    // Tight cache bounds so the soak exercises replay/completed eviction:
+    // each device leaves ~3 replayable responses and one completed agent
+    // behind, so a ten-device cell overflows both caps deterministically.
+    gw_cfg.replay_max_entries = 16;
+    gw_cfg.completed_max_entries = 8;
+    let mut gw = GatewayNode::new(gw_cfg, directory.clone());
+    gw.publish("ebank".to_string(), ebank_program());
+    let gateway = sim.add_node(Box::new(gw));
+    assert_eq!(gateway, gateway_id);
+
+    let mut site_a = MasNode::new("bank-a".to_string(), directory.clone());
+    site_a.register_service(
+        "bank".to_string(),
+        Box::new(BankService::new("bank-a").with_account("alice", 10_000_000)),
+    );
+    let site_a = sim.add_node(Box::new(site_a));
+    let mut site_b = MasNode::new("bank-b".to_string(), directory.clone());
+    site_b.register_service(
+        "bank".to_string(),
+        Box::new(BankService::new("bank-b").with_account("alice", 10_000_000)),
+    );
+    let site_b = sim.add_node(Box::new(site_b));
+
+    let auditor = sim.add_node(Box::new(Auditor {
+        coordinator,
+        interval: SimDuration::from_millis(3_000 + 37 * cell as u64),
+        beats: spec.heartbeats,
+        sent: 0,
+        acks: 0,
+    }));
+
+    for (node, j) in [
+        (central, J_CENTRAL),
+        (gateway, J_GATEWAY),
+        (site_a, J_SITE_A),
+        (site_b, J_SITE_B),
+        (auditor, J_AUDITOR),
+    ] {
+        sim.set_label(node, plan.label(cell, j));
+    }
+
+    // Backbone: full mesh over central + gateway + sites, all wired.
+    let backbone = [central, gateway, site_a, site_b];
+    for (i, &a) in backbone.iter().enumerate() {
+        for &b in &backbone[i + 1..] {
+            sim.connect(a, b, wired.clone());
+        }
+    }
+    // Control plane: auditor ↔ coordinator over the WAN (possibly remote).
+    sim.connect(auditor, coordinator, LinkSpec::wan_backbone());
+
+    let gateway_entries = vec![GatewayEntry { name: format!("gw-{cell}"), node: gateway }];
+    let mut devices = Vec::with_capacity(spec.devices_per_cell);
+    for d in 0..spec.devices_per_cell {
+        let mut cfg = DeviceConfig::new(format!("pda-{cell}-{d}"));
+        cfg.central_server = Some(central);
+        cfg.gateways = gateway_entries.clone();
+        let dev = sim.add_node(Box::new(DeviceNode::new(cfg, device_commands(spec, cell, d))));
+        sim.set_label(dev, plan.label(cell, J_DEVICE0 + d));
+        sim.connect(dev, central, wireless.clone());
+        sim.connect(dev, gateway, wireless.clone());
+        devices.push(dev);
+    }
+
+    CellIds { shard, gateway, auditor, devices }
+}
+
+/// Run the soak. Builds `spec.shards` simulators (same seed, plan-assigned
+/// labels), runs them to idle on the sharded engine, and extracts the
+/// per-cell results.
+pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
+    let plan = ShardPlan::new(spec.cells, spec.shards);
+    let mut shards: Vec<Simulator> = Vec::with_capacity(plan.shards());
+    let mut cells: Vec<Option<CellIds>> = (0..spec.cells).map(|_| None).collect();
+    let mut coordinator_home: NodeId = 0;
+
+    for s in 0..plan.shards() {
+        let mut sim = Simulator::new(spec.seed);
+        sim.set_wire_mtu(spec.mtu);
+        sim.set_link_batching(spec.batch_links);
+        if spec.observe {
+            sim.enable_obs();
+        }
+        // The coordinator lives in shard 0; every other shard sees a
+        // placeholder under the same label.
+        let coordinator = if s == 0 {
+            let id = sim.add_node(Box::new(Coordinator { beats: 0 }));
+            sim.set_label(id, COORD_LABEL);
+            coordinator_home = id;
+            id
+        } else {
+            sim.add_remote(COORD_LABEL)
+        };
+        for cell in plan.cells_of(s) {
+            cells[cell] = Some(build_cell(&mut sim, spec, &plan, cell, s, coordinator));
+        }
+        if s == 0 {
+            // Shard 0 needs a placeholder (and a mirrored link) for every
+            // auditor it will hear from across the WAN.
+            for cell in 0..spec.cells {
+                if plan.shard_of(cell) != 0 {
+                    let ph = sim.add_remote(plan.label(cell, J_AUDITOR));
+                    sim.connect(coordinator, ph, LinkSpec::wan_backbone());
+                }
+            }
+        }
+        shards.push(sim);
+    }
+
+    let mut engine = ShardedSim::new(shards, LinkSpec::wan_backbone().base_latency);
+    engine.export(0, coordinator_home);
+    for cell in cells.iter().flatten() {
+        engine.export(cell.shard, cell.auditor);
+    }
+    engine.run_until_idle();
+
+    // Harvest per-cell aggregates: device vectors in device order, integer
+    // counters — deliberately no floating-point sums, so any partitioning
+    // (and either batching mode) yields the same bytes.
+    let mut out_cells = Vec::with_capacity(spec.cells);
+    for cell in cells.iter().flatten() {
+        let sim = engine.shard(cell.shard);
+        let mut completed = 0u32;
+        let mut completion_us = Vec::with_capacity(cell.devices.len());
+        let mut pi_bytes = Vec::with_capacity(cell.devices.len());
+        let mut wireless_bytes = 0u64;
+        for &dev in &cell.devices {
+            let node = sim.node_ref::<DeviceNode>(dev).expect("device node");
+            if let Some(t) = node.timings.first() {
+                completed += 1;
+                completion_us.push(t.completion.as_micros());
+                pi_bytes.push(t.pi_bytes as u64);
+            }
+            let m = sim.metrics(dev);
+            wireless_bytes += m.bytes_sent + m.bytes_received;
+        }
+        let gw = sim.metrics(cell.gateway);
+        out_cells.push(CellResult {
+            completed,
+            completion_us,
+            pi_bytes,
+            wireless_bytes,
+            auditor_acks: sim.node_ref::<Auditor>(cell.auditor).expect("auditor").acks,
+            gateway_replays: gw.counter("gateway.replays") as u64,
+            gateway_evictions: (gw.counter("gateway.replay_evictions")
+                + gw.counter("gateway.completed_evictions")) as u64,
+        });
+    }
+    let coordinator_beats =
+        engine.shard(0).node_ref::<Coordinator>(coordinator_home).expect("coordinator").beats;
+
+    let mut obs = ObsSummary::default();
+    let mut sim_secs = 0f64;
+    for s in 0..engine.shard_count() {
+        if let Some(shard_obs) = engine.shard(s).obs_summary() {
+            obs.merge(&shard_obs);
+        }
+        sim_secs = sim_secs.max(engine.shard(s).now().as_secs_f64());
+    }
+
+    let devices = spec.devices();
+    let events = engine.events_processed();
+    SoakOutcome {
+        results: SoakResults { cells: out_cells, coordinator_beats },
+        devices,
+        events,
+        events_per_device: events as f64 / devices as f64,
+        peak_queue: engine.peak_queue_depth(),
+        epochs: engine.epochs(),
+        sim_secs,
+        obs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> SoakSpec {
+        let mut spec = SoakSpec::new(seed, 3, 2);
+        spec.pi_pad = 4 * 1024; // keep debug-mode runtime low
+        spec
+    }
+
+    #[test]
+    fn soak_completes_every_device_and_heartbeat() {
+        let out = run_soak(&tiny(11));
+        assert_eq!(out.devices, 6);
+        for (i, cell) in out.results.cells.iter().enumerate() {
+            assert_eq!(cell.completed, 2, "cell {i} incomplete");
+            assert_eq!(cell.auditor_acks, 4, "cell {i} acks");
+            assert!(cell.wireless_bytes > 8 * 1024, "cell {i} moved too little");
+            assert!(cell.completion_us.iter().all(|&us| us > 0));
+        }
+        assert_eq!(out.results.coordinator_beats, 3 * 4);
+        assert!(out.events > 0 && out.peak_queue > 0);
+    }
+
+    #[test]
+    fn sharded_soak_is_byte_identical_to_single_shard() {
+        let mono = run_soak(&tiny(12));
+        for shards in [2, 3] {
+            let mut spec = tiny(12);
+            spec.shards = shards;
+            let split = run_soak(&spec);
+            assert_eq!(mono.results, split.results, "{shards} shards diverged");
+            assert_eq!(mono.events, split.events, "event totals diverged");
+            assert!(split.epochs > 1, "expected multiple epochs");
+        }
+    }
+
+    #[test]
+    fn batching_reduces_events_but_not_results() {
+        let batched = run_soak(&tiny(13));
+        let mut spec = tiny(13);
+        spec.batch_links = false;
+        let unbatched = run_soak(&spec);
+        assert_eq!(batched.results, unbatched.results);
+        assert!(
+            unbatched.events > batched.events,
+            "per-fragment mode must cost extra events ({} vs {})",
+            unbatched.events,
+            batched.events
+        );
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_soak() {
+        let plain = run_soak(&tiny(14));
+        let mut spec = tiny(14);
+        spec.observe = true;
+        let observed = run_soak(&spec);
+        assert_eq!(plain.results, observed.results);
+        assert_eq!(plain.events, observed.events);
+        assert!(observed.obs.traces >= 6, "one trace per deploy");
+    }
+}

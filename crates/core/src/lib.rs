@@ -32,6 +32,7 @@ pub mod dryrun;
 pub mod platform;
 pub mod rms;
 pub mod scenario;
+pub mod shard;
 pub mod ui;
 
 pub use db::{DeviceDb, Subscription};
@@ -42,6 +43,7 @@ pub use platform::{
 };
 pub use rms::{RecordStore, RmsError};
 pub use scenario::{Scenario, ScenarioSpec, SiteKind, SiteSpec};
+pub use shard::ShardPlan;
 
 // Re-export the management verbs so applications don't need pdagent-mas.
 pub use pdagent_mas::server::ControlOp;

@@ -80,6 +80,10 @@ pub enum DeviceCommand {
         /// Service whose MA code to delete.
         service: String,
     },
+    /// Pause before the next queued command ("the user thinks"). Soak
+    /// scenarios use this to stagger many devices' sessions so a thousand
+    /// radios don't key up at the same instant.
+    Wait(SimDuration),
 }
 
 /// Something the platform reports back to the application layer.
@@ -188,6 +192,12 @@ pub struct DeviceConfig {
     pub result_poll_initial: SimDuration,
     /// Re-poll interval while the result is not ready (409).
     pub result_poll_interval: SimDuration,
+    /// Extra upload-RTO allowance per KiB of PI envelope beyond the first
+    /// 4 KiB. Large PIs serialize for tens of seconds on the wireless link,
+    /// so a fixed RTO would retransmit (and eventually abandon) an upload
+    /// that is still trickling out; small PIs stay under the client's
+    /// default timeout and are unaffected.
+    pub upload_rto_per_kib: SimDuration,
     /// Compression for the PI payload.
     pub compression: Algorithm,
     /// Encrypt the PI (ablation switch; the paper always encrypts).
@@ -210,6 +220,7 @@ impl DeviceConfig {
             entry_time_per_param: SimDuration::from_secs(2),
             result_poll_initial: SimDuration::from_secs(2),
             result_poll_interval: SimDuration::from_secs(2),
+            upload_rto_per_kib: SimDuration::from_secs(1),
             compression: Algorithm::Auto,
             encrypt: true,
             entropy_seed: 1,
@@ -421,6 +432,10 @@ impl DeviceNode {
                 let existed = self.db.remove_subscription(&service);
                 self.events.push(DeviceEvent::Unsubscribed { service, existed });
                 self.next_command(ctx);
+            }
+            DeviceCommand::Wait(delay) => {
+                // Stay Idle offline; the TAG_NEXT timer resumes the queue.
+                ctx.set_timer(delay, TAG_NEXT);
             }
         }
     }
@@ -702,11 +717,18 @@ impl DeviceNode {
         // trace context so the gateway (and everything downstream) can hang
         // its spans off this journey's root.
         obs.upload = ctx.span_begin(obs.trace, obs.root, "http.upload");
-        let req_id = self.http.send(
+        // Scale the upload RTO with the envelope: beyond the small-PI regime
+        // the default timeout covers, every extra KiB buys serialization
+        // time on the wireless link.
+        let extra_kib = (pi_bytes.saturating_sub(4096) as u64).div_ceil(1024);
+        let upload_rto = self.http.timeout
+            + SimDuration(self.config.upload_rto_per_kib.as_micros() * extra_kib);
+        let req_id = self.http.send_with_timeout(
             ctx,
             gateway.node,
             HttpRequest::new("POST", PATH_DISPATCH, payload)
                 .traced(ObsContext { trace: obs.trace, span: obs.root }),
+            upload_rto,
         );
         self.phase = Phase::Uploading {
             gateway,

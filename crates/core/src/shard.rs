@@ -1,0 +1,119 @@
+//! Sharding plan: how a many-cell scenario splits across simulators.
+//!
+//! The production-scale picture behind the paper's single-device evaluation
+//! is an operator running many *cells* — each a serving gateway with its
+//! local MAS sites and the handhelds it serves — glued together by a thin
+//! WAN control plane. Cells barely talk to each other, which is exactly the
+//! partitioning a sharded simulation wants: [`ShardPlan`] maps cells onto
+//! shards (contiguous blocks, deterministic) and hands out the globally
+//! unique node *labels* that keep per-link RNG streams identical in every
+//! partitioning (see `pdagent-net`'s `Topology::set_label`).
+
+/// Assignment of `cells` scenario cells onto `shards` simulator shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    cells: usize,
+    shards: usize,
+}
+
+/// Label space reserved per cell; node `j` of cell `c` gets label
+/// `(c + 1) * CELL_LABEL_STRIDE + j`. Labels below one stride are global
+/// singletons (the soak coordinator).
+pub const CELL_LABEL_STRIDE: u64 = 10_000;
+
+impl ShardPlan {
+    /// Plan `cells` cells over `shards` shards. Shard count is clamped to
+    /// the cell count (an empty shard would just idle at every barrier).
+    pub fn new(cells: usize, shards: usize) -> ShardPlan {
+        assert!(cells > 0, "at least one cell");
+        assert!(shards > 0, "at least one shard");
+        ShardPlan { cells, shards: shards.min(cells) }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of shards (after clamping).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Which shard hosts `cell`. Cells are dealt into contiguous blocks,
+    /// remainder spread over the leading shards, so cell order — and with it
+    /// label order — is independent of the shard count.
+    pub fn shard_of(&self, cell: usize) -> usize {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        let base = self.cells / self.shards;
+        let extra = self.cells % self.shards;
+        // The first `extra` shards hold `base + 1` cells each.
+        let fat = extra * (base + 1);
+        if cell < fat {
+            cell / (base + 1)
+        } else {
+            extra + (cell - fat) / base
+        }
+    }
+
+    /// The cells hosted by `shard`, as a contiguous range.
+    pub fn cells_of(&self, shard: usize) -> std::ops::Range<usize> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let base = self.cells / self.shards;
+        let extra = self.cells % self.shards;
+        let start = shard * base + shard.min(extra);
+        let len = base + usize::from(shard < extra);
+        start..start + len
+    }
+
+    /// The globally unique label of node `j` within `cell`, stable across
+    /// partitionings.
+    pub fn label(&self, cell: usize, j: usize) -> u64 {
+        assert!(cell < self.cells, "cell {cell} out of range");
+        assert!((j as u64) < CELL_LABEL_STRIDE - 1, "cell node index {j} exceeds stride");
+        (cell as u64 + 1) * CELL_LABEL_STRIDE + j as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_partition_exactly_once() {
+        for (cells, shards) in [(1, 1), (7, 3), (8, 4), (25, 4), (10, 10), (5, 9)] {
+            let plan = ShardPlan::new(cells, shards);
+            // Every cell appears in exactly one shard's range, and shard_of
+            // agrees with cells_of.
+            let mut seen = vec![0u32; cells];
+            for s in 0..plan.shards() {
+                for c in plan.cells_of(s) {
+                    seen[c] += 1;
+                    assert_eq!(plan.shard_of(c), s, "cells {cells} shards {shards} cell {c}");
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_cells() {
+        let plan = ShardPlan::new(3, 16);
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.cells_of(0), 0..1);
+    }
+
+    #[test]
+    fn labels_are_unique_and_partition_independent() {
+        let a = ShardPlan::new(12, 1);
+        let b = ShardPlan::new(12, 4);
+        let mut all = std::collections::HashSet::new();
+        for c in 0..12 {
+            for j in 0..8 {
+                assert_eq!(a.label(c, j), b.label(c, j));
+                assert!(all.insert(a.label(c, j)), "duplicate label");
+                assert!(a.label(c, j) >= CELL_LABEL_STRIDE, "room for singletons below");
+            }
+        }
+    }
+}

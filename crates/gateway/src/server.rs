@@ -1,7 +1,7 @@
 //! [`GatewayNode`]: the Agent Dispatch Handler, Agent Creator, Document
 //! Creator and File Directory of the paper's Figure 4, as one protocol node.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -45,6 +45,22 @@ pub struct GatewayConfig {
     pub ack_timeout: SimDuration,
     /// Transfer attempts before skipping the first site.
     pub max_transfer_attempts: u32,
+    /// How long a replayable response is retained. A replay entry only
+    /// matters while its client could still retransmit the request, so this
+    /// must exceed the client's worst-case retransmission window —
+    /// `timeout × (max_retries + 1)`, stretched further by size-scaled
+    /// upload RTOs (`DeviceConfig::upload_rto_per_kib`). The default is a
+    /// generous multiple of the stock 15 s window.
+    pub replay_ttl: SimDuration,
+    /// Hard cap on replay-cache entries; the oldest are evicted first.
+    pub replay_max_entries: usize,
+    /// How long a *completed* agent — `dispatched` marked done plus its
+    /// stored result — is retained after the result lands. The device polls
+    /// for the result within seconds (`result_poll_interval`), so anything
+    /// this old is abandoned.
+    pub completed_ttl: SimDuration,
+    /// Hard cap on completed agents retained; the oldest are evicted first.
+    pub completed_max_entries: usize,
 }
 
 impl GatewayConfig {
@@ -59,6 +75,10 @@ impl GatewayConfig {
             operator_secret: "pdagent-operator".into(),
             ack_timeout: SimDuration::from_millis(500),
             max_transfer_attempts: 3,
+            replay_ttl: SimDuration::from_secs(300),
+            replay_max_entries: 8192,
+            completed_ttl: SimDuration::from_secs(600),
+            completed_max_entries: 8192,
         }
     }
 }
@@ -100,12 +120,22 @@ pub struct GatewayNode {
     tags: HashMap<u64, (String, TagKind)>,
     next_tag: u64,
     pending_manage: HashMap<(u8, String), ManagePending>,
-    /// Idempotency cache: completed responses keyed by `(client, req_id)`.
-    /// HTTP retransmissions (a slow link can delay a response past the
-    /// client's RTO) replay the original response instead of re-executing
-    /// the handler — without this, a retransmitted dispatch would create a
-    /// duplicate agent.
-    replay: HashMap<(NodeId, u64), (HttpStatus, Bytes)>,
+    /// Idempotency cache: completed responses keyed by `(client, req_id)`,
+    /// stamped with insertion time. HTTP retransmissions (a slow link can
+    /// delay a response past the client's RTO) replay the original response
+    /// instead of re-executing the handler — without this, a retransmitted
+    /// dispatch would create a duplicate agent. Bounded by
+    /// [`GatewayConfig::replay_ttl`] / [`GatewayConfig::replay_max_entries`];
+    /// eviction runs lazily on every inbound message.
+    replay: HashMap<(NodeId, u64), (HttpStatus, Bytes, SimTime)>,
+    /// Replay keys in insertion order, for TTL/cap eviction. An entry whose
+    /// stamp no longer matches the map's is stale (the key was refreshed)
+    /// and is skipped.
+    replay_queue: VecDeque<(SimTime, (NodeId, u64))>,
+    /// Completed agent ids in completion order — the "completed list" the
+    /// device-facing `dispatched`/`results` maps grow into. Evicted on the
+    /// same lazy sweep, after [`GatewayConfig::completed_ttl`].
+    completed_queue: VecDeque<(SimTime, String)>,
     /// Observability side table: journey context (trace id + journey root
     /// span, taken from the dispatch request) and the open `gateway.stage`
     /// span per agent. Kept outside [`MobileAgent`] so the agent wire format
@@ -138,6 +168,8 @@ impl GatewayNode {
             next_tag: 0,
             pending_manage: HashMap::new(),
             replay: HashMap::new(),
+            replay_queue: VecDeque::new(),
+            completed_queue: VecDeque::new(),
             obs: HashMap::new(),
             log: Vec::new(),
             files: FileDirectory::new(64 << 20), // 64 MiB gateway disk budget
@@ -156,9 +188,55 @@ impl GatewayNode {
         // The cache entry and the wire reply share one allocation; a later
         // replay clones the `Bytes` handle, not the payload.
         let body = body.into();
-        self.replay.insert((from, req.req_id), (status, body.clone()));
-        ctx.metrics().set_gauge("gateway.replay_entries", self.replay.len() as f64);
+        let now = ctx.now();
+        self.replay.insert((from, req.req_id), (status, body.clone(), now));
+        self.replay_queue.push_back((now, (from, req.req_id)));
+        // Enforce the cap immediately so the cache never sits above it
+        // waiting for the next inbound message.
+        self.evict(ctx);
         reply(ctx, from, req, status, body);
+    }
+
+    /// Lazy TTL/cap sweep over the replay cache and the completed list, run
+    /// on every inbound message before the replay lookup — an expired entry
+    /// is never served. Anything evicted here is past every client's
+    /// retransmission window (see [`GatewayConfig::replay_ttl`]), so a
+    /// subsequent request with the same id can only be a genuinely new one.
+    fn evict(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(&(stamp, key)) = self.replay_queue.front() {
+            let expired = stamp + self.config.replay_ttl <= now;
+            if !expired && self.replay.len() <= self.config.replay_max_entries {
+                break;
+            }
+            self.replay_queue.pop_front();
+            // Skip stale queue entries whose key was refreshed since.
+            if self.replay.get(&key).is_some_and(|&(_, _, s)| s == stamp) {
+                self.replay.remove(&key);
+                ctx.metrics().bump("gateway.replay_evictions", 1.0);
+            }
+        }
+        while let Some(&(stamp, _)) = self.completed_queue.front() {
+            let expired = stamp + self.config.completed_ttl <= now;
+            if !expired && self.completed_queue.len() <= self.config.completed_max_entries {
+                break;
+            }
+            let (_, id) = self.completed_queue.pop_front().expect("front checked");
+            // Only completed agents are evictable; a Dispose may have
+            // removed the entry already, and an in-flight re-dispatch under
+            // the same id (impossible today — ids are minted fresh) would
+            // not be Done.
+            if self.dispatched.get(&id) == Some(&DispatchState::Done) {
+                self.dispatched.remove(&id);
+                if self.results.remove(&id).is_some() {
+                    let _ = self.files.release(&format!("{id}/result.xml"));
+                }
+                ctx.metrics().bump("gateway.completed_evictions", 1.0);
+            }
+        }
+        ctx.metrics().set_gauge("gateway.replay_entries", self.replay.len() as f64);
+        ctx.metrics().set_gauge("gateway.results_entries", self.results.len() as f64);
+        ctx.metrics().set_gauge("gateway.dispatched_entries", self.dispatched.len() as f64);
     }
 
     /// The gateway's public key — devices obtain this at subscription time
@@ -216,7 +294,7 @@ impl GatewayNode {
         let program = self.catalog.get(&service).expect("checked").clone();
         let service = service.as_str();
         self.next_code += 1;
-        let id = UniqueId::mint(service, &format!("dev{from}"), self.next_code);
+        let id = UniqueId::mint(service, &format!("dev{}", ctx.label_of(from)), self.next_code);
         // Derive a per-code shared secret; the device receives it inside the
         // (trusted, §3.4) subscription download and uses it to compute the
         // authorization key at dispatch time.
@@ -500,6 +578,7 @@ impl GatewayNode {
         }
         self.dispatched.insert(agent.id.0.clone(), DispatchState::Done);
         self.results.insert(agent.id.0.clone(), doc);
+        self.completed_queue.push_back((ctx.now(), agent.id.0.clone()));
         ctx.metrics().set_gauge("gateway.results_entries", self.results.len() as f64);
         ctx.metrics().set_gauge("gateway.dispatched_entries", self.dispatched.len() as f64);
     }
@@ -522,6 +601,7 @@ fn op_byte(op: ControlOp) -> u8 {
 
 impl Node for GatewayNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        self.evict(ctx);
         match msg.kind.as_str() {
             KIND_PROBE => {
                 // 1-byte RTT probe (Figure 8): echo immediately.
@@ -549,7 +629,7 @@ impl Node for GatewayNode {
             _ => {
                 let Some(req) = HttpRequest::from_message(&msg) else { return };
                 // Retransmission of a request we already answered? Replay.
-                if let Some((status, body)) = self.replay.get(&(from, req.req_id)) {
+                if let Some((status, body, _)) = self.replay.get(&(from, req.req_id)) {
                     ctx.metrics().bump("gateway.replays", 1.0);
                     reply(ctx, from, &req, *status, body.clone());
                     return;
@@ -819,6 +899,47 @@ mod tests {
             );
         }
         assert!(gw.files.used() > 0);
+    }
+
+    #[test]
+    fn replay_and_completed_caches_evict_after_ttl() {
+        let (mut sim, gateway, device) = build(9);
+        {
+            let gw = sim.node_mut::<GatewayNode>(gateway).unwrap();
+            gw.config.replay_ttl = SimDuration::from_secs(60);
+            gw.config.completed_ttl = SimDuration::from_secs(120);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<GatewayNode>(gateway).unwrap().stored_results(), 1);
+        assert!(sim.metrics(gateway).gauge("gateway.replay_entries") >= 3.0);
+        // A probe far beyond every client's retransmission window triggers
+        // the lazy sweep: every replayable response and the completed agent
+        // (dispatched entry + stored result) are dropped.
+        let later = sim.now() + SimDuration::from_secs(130);
+        sim.inject_at(gateway, device, Message::new(KIND_PROBE, vec![1]), later);
+        sim.run_until_idle();
+        let m = sim.metrics(gateway);
+        assert!(
+            m.counter("gateway.replay_evictions") >= 3.0,
+            "subscribe/dispatch/collect responses should all expire"
+        );
+        assert_eq!(m.counter("gateway.completed_evictions"), 1.0);
+        assert_eq!(m.gauge("gateway.replay_entries"), 0.0);
+        assert_eq!(sim.node_ref::<GatewayNode>(gateway).unwrap().stored_results(), 0);
+    }
+
+    #[test]
+    fn replay_cache_is_bounded_by_max_entries() {
+        let (mut sim, gateway, _) = build(10);
+        sim.node_mut::<GatewayNode>(gateway).unwrap().config.replay_max_entries = 1;
+        sim.run_until_idle();
+        let m = sim.metrics(gateway);
+        assert!(m.counter("gateway.replay_evictions") >= 2.0, "cap must evict oldest");
+        assert!(m.gauge("gateway.replay_entries") <= 1.0);
+        // The exchange still completes: eviction only sheds entries whose
+        // clients already got their response.
+        let gw = sim.node_ref::<GatewayNode>(gateway).unwrap();
+        assert_eq!(gw.stored_results(), 1);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use pdagent_vm::Value;
 
 /// A stationary service agent at a site.
-pub trait Service {
+///
+/// `Send` because services live inside simulator nodes, and whole simulators
+/// migrate between the sharded engine's worker threads.
+pub trait Service: Send {
     /// Handle `op(args…)`, returning a value to the visiting agent or an
     /// error string (which traps the agent's VM and aborts its itinerary).
     fn invoke(&mut self, op: &str, args: &[Value]) -> Result<Value, String>;

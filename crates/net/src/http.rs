@@ -244,6 +244,9 @@ struct Pending {
     server: NodeId,
     attempts: u32,
     timer: TimerId,
+    /// This request's retransmission timeout (usually the client-wide RTO;
+    /// see [`HttpClient::send_with_timeout`]).
+    timeout: SimDuration,
 }
 
 /// Client-side request tracker with timeout/retransmit, embedded in a node.
@@ -287,14 +290,33 @@ impl HttpClient {
     }
 
     /// Send `request` to `server`. Returns the assigned request id.
-    pub fn send(&mut self, ctx: &mut Ctx<'_>, server: NodeId, mut request: HttpRequest) -> u64 {
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, server: NodeId, request: HttpRequest) -> u64 {
+        let timeout = self.timeout;
+        self.send_with_timeout(ctx, server, request, timeout)
+    }
+
+    /// [`HttpClient::send`] with a per-request retransmission timeout, for
+    /// requests whose response is gated on a long serialization delay (a
+    /// multi-KiB PI trickling over a wireless link) where the client-wide
+    /// RTO would fire while the upload is still on the wire. Retransmissions
+    /// of this request reuse the same timeout.
+    pub fn send_with_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: NodeId,
+        mut request: HttpRequest,
+        timeout: SimDuration,
+    ) -> u64 {
         self.next_id += 1;
         let req_id = self.next_id;
         request.req_id = req_id;
         let wire = request.to_message();
         ctx.send(server, wire.clone());
-        let timer = ctx.set_timer(self.timeout, HTTP_TIMER_BASE | req_id);
-        self.pending.insert(req_id, Pending { request, wire, server, attempts: 1, timer });
+        let timer = ctx.set_timer(timeout, HTTP_TIMER_BASE | req_id);
+        self.pending.insert(
+            req_id,
+            Pending { request, wire, server, attempts: 1, timer, timeout },
+        );
         req_id
     }
 
@@ -323,7 +345,7 @@ impl HttpClient {
         pending.attempts += 1;
         ctx.metrics().bump("http.retransmits", 1.0);
         ctx.send(pending.server, pending.wire.clone());
-        pending.timer = ctx.set_timer(self.timeout, HTTP_TIMER_BASE | req_id);
+        pending.timer = ctx.set_timer(pending.timeout, HTTP_TIMER_BASE | req_id);
         self.pending.insert(req_id, pending);
         TimerOutcome::Retried { req_id }
     }

@@ -90,6 +90,20 @@ impl LinkSpec {
         }
     }
 
+    /// A long-haul backbone path between operator regions (2004 WAN):
+    /// 50 ms one-way, mild jitter, 1 MB/s. The sharded soak uses this for
+    /// cross-shard control-plane links; its base latency is the epoch
+    /// lookahead bound, so keeping it well above the wired-LAN latencies
+    /// keeps the epoch count (and barrier overhead) low.
+    pub fn wan_backbone() -> LinkSpec {
+        LinkSpec {
+            base_latency: SimDuration::from_millis(50),
+            jitter: Jitter::Normal(SimDuration::from_millis(5)),
+            bandwidth_bps: 1_000_000,
+            loss: 0.0,
+        }
+    }
+
     /// Builder: override base latency.
     pub fn with_latency(mut self, latency: SimDuration) -> LinkSpec {
         self.base_latency = latency;
@@ -136,15 +150,47 @@ impl LinkSpec {
 /// The set of links between nodes. Links are bidirectional and symmetric
 /// (one spec serves both directions); per-direction asymmetry can be had by
 /// installing two directed entries.
+///
+/// Randomness is drawn from *per-direction streams*, one [`SimRng`] per
+/// `(from, to)` pair, seeded from the topology seed and the two endpoints'
+/// stable labels. A link's draw sequence therefore depends only on the
+/// traffic that link itself carries — never on what the rest of the topology
+/// does — which is what lets the sharded engine split a topology across
+/// several simulators and still reproduce a single-simulator run bit for bit
+/// (see `DESIGN.md`, "Sharded simulation engine").
 #[derive(Debug, Default)]
 pub struct Topology {
     links: HashMap<(NodeId, NodeId), LinkSpec>,
     down: HashMap<(NodeId, NodeId), bool>,
-    /// Per-link serialization occupancy: a message must wait for the link
-    /// to finish transmitting earlier messages (FIFO queueing). This is
+    /// Per-direction serialization occupancy: a message must wait for the
+    /// link to finish transmitting earlier messages (FIFO queueing). This is
     /// what turns "many concurrent requests" into the growing delays the
-    /// paper attributes to low-bandwidth wireless links.
+    /// paper attributes to low-bandwidth wireless links. Links are
+    /// full-duplex: the two directions occupy independent channels.
     busy_until: HashMap<(NodeId, NodeId), SimTime>,
+    /// Seed folded into every per-direction stream.
+    seed: u64,
+    /// Stable node labels (default: the node id). Labels exist so a node
+    /// keeps the same RNG streams no matter which simulator of a sharded
+    /// run hosts it; set them before any traffic flows.
+    labels: HashMap<NodeId, u64>,
+    /// Lazily created per-direction RNG streams, keyed by `(from label,
+    /// to label)`.
+    streams: HashMap<(u64, u64), SimRng>,
+}
+
+/// Avalanche mix of `(seed, from, to)` into a stream seed (splitmix64-style
+/// finalizer), so neighbouring labels get uncorrelated streams.
+fn stream_seed(seed: u64, from: u64, to: u64) -> u64 {
+    let mut x = seed
+        ^ from.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ to.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
 }
 
 impl Topology {
@@ -161,6 +207,34 @@ impl Topology {
         }
     }
 
+    /// Set the seed folded into every per-direction RNG stream. Call before
+    /// any traffic flows (streams are created lazily on first use).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Give `node` a stable label. Labels key the per-direction RNG
+    /// streams; the default label is the node id, which is fine for a
+    /// single-simulator run. Sharded runs assign globally unique labels so
+    /// the same logical link draws the same stream in every partitioning.
+    pub fn set_label(&mut self, node: NodeId, label: u64) {
+        self.labels.insert(node, label);
+    }
+
+    /// The stable label of `node` (defaults to the id).
+    pub fn label(&self, node: NodeId) -> u64 {
+        self.labels.get(&node).copied().unwrap_or(node as u64)
+    }
+
+    /// The RNG stream for the `from → to` direction.
+    fn stream(&mut self, from: NodeId, to: NodeId) -> &mut SimRng {
+        let key = (self.label(from), self.label(to));
+        let seed = self.seed;
+        self.streams
+            .entry(key)
+            .or_insert_with(|| SimRng::new(stream_seed(seed, key.0, key.1)))
+    }
+
     /// Install a (bidirectional) link.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
         self.links.insert(Self::key(a, b), spec);
@@ -170,7 +244,8 @@ impl Topology {
     pub fn disconnect(&mut self, a: NodeId, b: NodeId) {
         self.links.remove(&Self::key(a, b));
         self.down.remove(&Self::key(a, b));
-        self.busy_until.remove(&Self::key(a, b));
+        self.busy_until.remove(&(a, b));
+        self.busy_until.remove(&(b, a));
     }
 
     /// Administratively mark a link up or down (messages on a down link are
@@ -194,35 +269,89 @@ impl Topology {
     /// Decide the fate of a message sent at `now`: `None` = dropped,
     /// `Some(delay)` = delivered after `delay` (measured from `now`).
     ///
-    /// Serialization is FIFO per link: if the link is still transmitting an
-    /// earlier message, this one queues behind it before its own transfer
-    /// time, latency and jitter.
+    /// Serialization is FIFO per direction: if the link is still
+    /// transmitting an earlier message the same way, this one queues behind
+    /// it before its own transfer time, latency and jitter. Exactly two
+    /// draws are taken from the direction's stream (loss, then jitter).
     pub fn route(
         &mut self,
         from: NodeId,
         to: NodeId,
         msg: &Message,
         now: SimTime,
-        rng: &mut SimRng,
     ) -> Option<SimDuration> {
         if !self.is_up(from, to) {
             return None;
         }
-        let key = Self::key(from, to);
-        let spec = self.links.get(&key)?;
-        if rng.chance(spec.loss) {
+        let spec = self.links.get(&Self::key(from, to))?.clone();
+        let loss = spec.loss;
+        if self.stream(from, to).chance(loss) {
             return None;
         }
-        let start = self.busy_until.get(&key).copied().unwrap_or(SimTime::ZERO).max(now);
-        let transfer = spec.transfer_time(msg.wire_size());
-        let done_transmitting = start + transfer;
-        self.busy_until.insert(key, done_transmitting);
-        let jitter = match spec.jitter {
+        let dir = (from, to);
+        let start = self.busy_until.get(&dir).copied().unwrap_or(SimTime::ZERO).max(now);
+        let done_transmitting = start + spec.transfer_time(msg.wire_size());
+        self.busy_until.insert(dir, done_transmitting);
+        let jitter = Self::draw_jitter(&spec, self.stream(from, to));
+        Some(done_transmitting.since(now) + spec.base_latency + jitter)
+    }
+
+    /// Route one logical message of `wire_size` bytes as a *burst* of
+    /// `mtu`-byte link frames. Returns the arrival offset of every frame
+    /// (ascending; the last entry is when the message's final byte lands —
+    /// the delivery time of the message itself), or `None` if the link is
+    /// down or the loss draw killed the burst.
+    ///
+    /// The burst is one transfer: exactly one loss draw and one jitter draw
+    /// are taken, the same stream consumption as [`Topology::route`], so a
+    /// simulation's draw sequence is identical whether or not fragmentation
+    /// is modelled — and identical between batched (one heap event at the
+    /// tail) and per-fragment (one heap event per frame) scheduling.
+    pub fn route_burst(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        wire_size: usize,
+        mtu: usize,
+        now: SimTime,
+    ) -> Option<Vec<SimDuration>> {
+        assert!(mtu > 0, "mtu must be positive");
+        if !self.is_up(from, to) {
+            return None;
+        }
+        let spec = self.links.get(&Self::key(from, to))?.clone();
+        let loss = spec.loss;
+        if self.stream(from, to).chance(loss) {
+            return None;
+        }
+        let dir = (from, to);
+        let mut cursor =
+            self.busy_until.get(&dir).copied().unwrap_or(SimTime::ZERO).max(now);
+        let nfrags = wire_size.div_ceil(mtu).max(1);
+        let mut completions = Vec::with_capacity(nfrags);
+        let mut remaining = wire_size;
+        for _ in 0..nfrags {
+            let frag = remaining.min(mtu);
+            remaining -= frag;
+            cursor += spec.transfer_time(frag);
+            completions.push(cursor);
+        }
+        self.busy_until.insert(dir, cursor);
+        let jitter = Self::draw_jitter(&spec, self.stream(from, to));
+        Some(
+            completions
+                .into_iter()
+                .map(|done| done.since(now) + spec.base_latency + jitter)
+                .collect(),
+        )
+    }
+
+    fn draw_jitter(spec: &LinkSpec, rng: &mut SimRng) -> SimDuration {
+        match spec.jitter {
             Jitter::None => SimDuration::ZERO,
             Jitter::Exponential(mean) => rng.exp_duration(mean),
             Jitter::Normal(sigma) => rng.normal_duration(SimDuration::ZERO, sigma),
-        };
-        Some(done_transmitting.since(now) + spec.base_latency + jitter)
+        }
     }
 
     /// Number of installed links.
@@ -265,23 +394,21 @@ mod tests {
     #[test]
     fn topology_connect_and_route() {
         let mut topo = Topology::new();
-        let mut rng = SimRng::new(3);
         topo.connect(0, 1, LinkSpec::ideal());
         let msg = Message::signal("ping");
         let now = SimTime::ZERO;
-        assert!(topo.route(0, 1, &msg, now, &mut rng).is_some());
-        assert!(topo.route(1, 0, &msg, now, &mut rng).is_some()); // bidirectional
-        assert!(topo.route(0, 2, &msg, now, &mut rng).is_none()); // no link
+        assert!(topo.route(0, 1, &msg, now).is_some());
+        assert!(topo.route(1, 0, &msg, now).is_some()); // bidirectional
+        assert!(topo.route(0, 2, &msg, now).is_none()); // no link
     }
 
     #[test]
     fn down_link_drops() {
         let mut topo = Topology::new();
-        let mut rng = SimRng::new(4);
         topo.connect(0, 1, LinkSpec::ideal());
         topo.set_up(0, 1, false);
         assert!(!topo.is_up(0, 1));
-        assert!(topo.route(0, 1, &Message::signal("x"), SimTime::ZERO, &mut rng).is_none());
+        assert!(topo.route(0, 1, &Message::signal("x"), SimTime::ZERO).is_none());
         topo.set_up(1, 0, true); // symmetric key
         assert!(topo.is_up(0, 1));
     }
@@ -289,13 +416,107 @@ mod tests {
     #[test]
     fn lossy_link_drops_sometimes() {
         let mut topo = Topology::new();
-        let mut rng = SimRng::new(5);
+        topo.set_seed(5);
         topo.connect(0, 1, LinkSpec::ideal().with_loss(0.5));
         let msg = Message::signal("p");
         let delivered = (0..1000)
-            .filter(|_| topo.route(0, 1, &msg, SimTime::ZERO, &mut rng).is_some())
+            .filter(|_| topo.route(0, 1, &msg, SimTime::ZERO).is_some())
             .count();
         assert!((400..600).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn direction_streams_are_independent_of_other_traffic() {
+        // The draw sequence on 0→1 must not depend on what other links (or
+        // the reverse direction) do — the property the sharded engine's
+        // byte-identity rests on.
+        let drive = |extra_traffic: bool| -> Vec<Option<SimDuration>> {
+            let mut topo = Topology::new();
+            topo.set_seed(42);
+            let spec = LinkSpec::wireless_gprs();
+            topo.connect(0, 1, spec.clone());
+            topo.connect(2, 3, spec.clone());
+            let msg = Message::signal("p");
+            let mut out = Vec::new();
+            for i in 0..50u64 {
+                let now = SimTime(i * 1_000_000);
+                if extra_traffic {
+                    let _ = topo.route(1, 0, &msg, now); // reverse direction
+                    let _ = topo.route(2, 3, &msg, now); // unrelated link
+                }
+                out.push(topo.route(0, 1, &msg, now));
+            }
+            out
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn labels_key_the_streams_not_node_ids() {
+        // Two topologies whose node ids differ but whose labels match must
+        // produce identical draw sequences for the same logical link.
+        let drive = |from: NodeId, to: NodeId| -> Vec<Option<SimDuration>> {
+            let mut topo = Topology::new();
+            topo.set_seed(7);
+            topo.set_label(from, 100);
+            topo.set_label(to, 200);
+            topo.connect(from, to, LinkSpec::wireless_gprs());
+            let msg = Message::signal("p");
+            (0..50u64)
+                .map(|i| topo.route(from, to, &msg, SimTime(i * 1_000_000)))
+                .collect()
+        };
+        assert_eq!(drive(0, 1), drive(5, 9));
+    }
+
+    #[test]
+    fn links_are_full_duplex() {
+        // A long transfer one way must not delay traffic the other way.
+        let mut topo = Topology::new();
+        topo.connect(0, 1, LinkSpec::ideal().with_bandwidth(1000));
+        let big = Message::new("big", vec![0u8; 1000 - crate::message::FRAME_OVERHEAD - 3]);
+        let small = Message::signal("s");
+        let now = SimTime::ZERO;
+        let fwd = topo.route(0, 1, &big, now).unwrap();
+        assert_eq!(fwd, SimDuration::from_secs(1));
+        let rev = topo.route(1, 0, &small, now).unwrap();
+        assert!(rev < SimDuration::from_millis(100), "reverse queued: {rev}");
+    }
+
+    #[test]
+    fn burst_tail_matches_unfragmented_transfer() {
+        // On a jitter-free, lossless link the burst's last frame lands when
+        // a whole-message transfer would have (modulo per-frame microsecond
+        // rounding), and earlier frames land strictly earlier.
+        let mut topo = Topology::new();
+        topo.connect(0, 1, LinkSpec::ideal().with_bandwidth(1000));
+        let arrivals = topo.route_burst(0, 1, 1000, 100, SimTime::ZERO).unwrap();
+        assert_eq!(arrivals.len(), 10);
+        assert_eq!(*arrivals.last().unwrap(), SimDuration::from_secs(1));
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(arrivals[0], SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn burst_consumes_the_same_draws_as_route() {
+        // One loss + one jitter draw either way: after a burst, the next
+        // plain route sees the same stream state as after a plain route.
+        let spec = LinkSpec::wireless_gprs();
+        let msg = Message::signal("after");
+        let mut a = Topology::new();
+        a.set_seed(9);
+        a.connect(0, 1, spec.clone());
+        let mut b = Topology::new();
+        b.set_seed(9);
+        b.connect(0, 1, spec.clone());
+        let probe = Message::new("m", vec![0u8; 160]);
+        let _ = a.route(0, 1, &probe, SimTime::ZERO);
+        let _ = b.route_burst(0, 1, probe.wire_size(), 64, SimTime::ZERO);
+        // Compare at a quiet time so busy_until rounding cannot differ.
+        let later = SimTime(60_000_000);
+        assert_eq!(a.route(0, 1, &msg, later), b.route(0, 1, &msg, later));
     }
 
     #[test]
@@ -313,17 +534,16 @@ mod tests {
         // Two back-to-back 1000-byte sends at t=0 over a 1000 B/s link: the
         // second waits for the first's transfer before its own.
         let mut topo = Topology::new();
-        let mut rng = SimRng::new(9);
         topo.connect(0, 1, LinkSpec::ideal().with_bandwidth(1000));
         let msg = Message::new("big", vec![0u8; 1000 - crate::message::FRAME_OVERHEAD - 3]);
         let now = SimTime::ZERO;
-        let d1 = topo.route(0, 1, &msg, now, &mut rng).unwrap();
-        let d2 = topo.route(0, 1, &msg, now, &mut rng).unwrap();
+        let d1 = topo.route(0, 1, &msg, now).unwrap();
+        let d2 = topo.route(0, 1, &msg, now).unwrap();
         assert_eq!(d1, SimDuration::from_secs(1));
         assert_eq!(d2, SimDuration::from_secs(2)); // queued behind the first
         // After the link drains, no residual queueing.
         let later = SimTime(10_000_000);
-        let d3 = topo.route(0, 1, &msg, later, &mut rng).unwrap();
+        let d3 = topo.route(0, 1, &msg, later).unwrap();
         assert_eq!(d3, SimDuration::from_secs(1));
     }
 

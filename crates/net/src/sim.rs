@@ -12,7 +12,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use crate::link::{LinkSpec, Topology};
 use crate::message::Message;
@@ -50,7 +50,11 @@ impl<T: Any> AsAny for T {
 }
 
 /// A protocol state machine living at one network node.
-pub trait Node: AsAny {
+///
+/// `Send` is a supertrait so a whole [`Simulator`] can move between worker
+/// threads (the sharded engine parks each shard's simulator in a slot that
+/// any thread of the pool may step).
+pub trait Node: AsAny + Send {
     /// Called once at simulation start (time zero), in node-id order.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
@@ -66,6 +70,31 @@ enum EventKind {
     Start(NodeId),
     Deliver { to: NodeId, from: NodeId, msg: Message },
     Timer { node: NodeId, tag: u64, id: TimerId },
+    /// One link frame of a fragmented transfer finished serializing. Only
+    /// scheduled when link batching is *off* (see
+    /// [`Simulator::set_link_batching`]): it exists to measure the event-queue
+    /// pressure that per-fragment scheduling costs. Dispatch just bumps the
+    /// sender's `link.fragments` counter — no node code runs, no RNG draws —
+    /// so batched and per-fragment runs stay byte-identical in everything but
+    /// event count.
+    Fragment { from: NodeId },
+}
+
+/// A message bound for a node hosted by *another* shard's simulator, captured
+/// at send time. The sharded engine collects these each epoch (see
+/// [`Simulator::take_outbox`]) and injects them into the owning simulator with
+/// [`Simulator::inject_at`]. `at` is the absolute arrival time the topology
+/// already decided — the receiving simulator re-schedules, it does not re-draw.
+#[derive(Debug)]
+pub struct Outbound {
+    /// Absolute arrival time at the destination.
+    pub at: SimTime,
+    /// Stable label of the sending node.
+    pub from_label: u64,
+    /// Stable label of the destination node.
+    pub to_label: u64,
+    /// The message itself.
+    pub msg: Message,
 }
 
 #[derive(Debug)]
@@ -104,6 +133,10 @@ pub struct Ctx<'a> {
     rng: &'a mut SimRng,
     metrics: &'a mut MetricsRegistry,
     obs: &'a mut Option<Collector>,
+    remote_ids: &'a HashSet<NodeId>,
+    outbox: &'a mut Vec<Outbound>,
+    mtu: Option<usize>,
+    batch_links: bool,
 }
 
 impl Ctx<'_> {
@@ -115,6 +148,14 @@ impl Ctx<'_> {
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.self_id
+    }
+
+    /// The stable label of `node` (defaults to its id; sharded runs assign
+    /// globally unique labels). Anything a node persists about a peer —
+    /// minted ids, directory entries — should use the label, not the raw
+    /// [`NodeId`], so the artifact is identical under every partitioning.
+    pub fn label_of(&self, node: NodeId) -> u64 {
+        self.topology.label(node)
     }
 
     /// The simulation RNG.
@@ -130,15 +171,53 @@ impl Ctx<'_> {
     /// Send a message to another node over the topology. Returns `true` if
     /// the link accepted it (it may still take arbitrarily long); `false` if
     /// there is no usable link or the link dropped it.
+    ///
+    /// Messages larger than the wire MTU (when one is set, see
+    /// [`Simulator::set_wire_mtu`]) go as a fragment burst: the link decides
+    /// every frame's arrival in one [`Topology::route_burst`] call, and —
+    /// unless batching is disabled — only the *last* frame costs a heap
+    /// event. The message is delivered when its final byte lands either way.
+    ///
+    /// If `to` is a remote placeholder (a node hosted by another shard's
+    /// simulator, see [`Simulator::add_remote`]), the link model still runs
+    /// here — the full delay is decided by the sending side — but the
+    /// delivery is appended to the outbox instead of the local event queue.
     pub fn send(&mut self, to: NodeId, msg: Message) -> bool {
-        let size = msg.wire_size() as u64;
+        let size = msg.wire_size();
         let me = self.metrics.node_mut(self.self_id);
-        me.bytes_sent += size;
+        me.bytes_sent += size as u64;
         me.msgs_sent += 1;
-        match self.topology.route(self.self_id, to, &msg, self.now, self.rng) {
+        let delay = match self.mtu {
+            Some(mtu) if size > mtu => {
+                match self.topology.route_burst(self.self_id, to, size, mtu, self.now) {
+                    Some(arrivals) => {
+                        if !self.batch_links {
+                            for &frame in &arrivals[..arrivals.len() - 1] {
+                                let at = self.now + frame;
+                                let from = self.self_id;
+                                self.push(at, EventKind::Fragment { from });
+                            }
+                        }
+                        Some(*arrivals.last().expect("burst has at least one frame"))
+                    }
+                    None => None,
+                }
+            }
+            _ => self.topology.route(self.self_id, to, &msg, self.now),
+        };
+        match delay {
             Some(delay) => {
                 let at = self.now + delay;
-                self.push(at, EventKind::Deliver { to, from: self.self_id, msg });
+                if self.remote_ids.contains(&to) {
+                    self.outbox.push(Outbound {
+                        at,
+                        from_label: self.topology.label(self.self_id),
+                        to_label: self.topology.label(to),
+                        msg,
+                    });
+                } else {
+                    self.push(at, EventKind::Deliver { to, from: self.self_id, msg });
+                }
                 true
             }
             None => {
@@ -266,6 +345,18 @@ pub struct Simulator {
     events_processed: u64,
     trace: Option<Trace>,
     obs: Option<Collector>,
+    /// Placeholder slots standing in for nodes hosted by other shards'
+    /// simulators: `label → local placeholder id` and the reverse set.
+    remotes: HashMap<u64, NodeId>,
+    remote_ids: HashSet<NodeId>,
+    /// Cross-shard deliveries captured at send time, drained each epoch.
+    outbox: Vec<Outbound>,
+    /// When set, messages larger than this fragment into MTU-byte frames.
+    mtu: Option<usize>,
+    /// Batched (one event per burst, default) vs per-fragment scheduling.
+    batch_links: bool,
+    /// High-water mark of the event queue, sampled per dispatch.
+    peak_queue: usize,
     /// Safety valve against runaway protocols.
     pub max_events: u64,
 }
@@ -273,9 +364,11 @@ pub struct Simulator {
 impl Simulator {
     /// New simulator with the given RNG seed.
     pub fn new(seed: u64) -> Simulator {
+        let mut topology = Topology::new();
+        topology.set_seed(seed);
         Simulator {
             nodes: Vec::new(),
-            topology: Topology::new(),
+            topology,
             queue: BinaryHeap::new(),
             time: SimTime::ZERO,
             seq: 0,
@@ -287,6 +380,12 @@ impl Simulator {
             events_processed: 0,
             trace: None,
             obs: None,
+            remotes: HashMap::new(),
+            remote_ids: HashSet::new(),
+            outbox: Vec::new(),
+            mtu: None,
+            batch_links: true,
+            peak_queue: 0,
             max_events: 50_000_000,
         }
     }
@@ -346,6 +445,63 @@ impl Simulator {
         id
     }
 
+    /// Register a *placeholder* for a node that lives in another shard's
+    /// simulator. The slot gets no state machine and no `Start` event; local
+    /// nodes address it like any neighbour, and `Ctx::send` diverts the
+    /// delivery to the outbox (the link model still runs locally, so the
+    /// sending side decides the full delay). Replies come back addressed
+    /// *from* the placeholder via [`Simulator::inject_at`].
+    pub fn add_remote(&mut self, label: u64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(None);
+        self.metrics.ensure(self.nodes.len());
+        self.topology.set_label(id, label);
+        self.remote_ids.insert(id);
+        self.remotes.insert(label, id);
+        id
+    }
+
+    /// The local placeholder id for a remote label, if one was registered.
+    pub fn remote_id(&self, label: u64) -> Option<NodeId> {
+        self.remotes.get(&label).copied()
+    }
+
+    /// Give `node` a stable label (see [`Topology::set_label`]). Sharded
+    /// runs label every node globally-uniquely so per-link RNG streams are
+    /// partition-invariant; single-simulator runs can ignore labels.
+    pub fn set_label(&mut self, node: NodeId, label: u64) {
+        self.topology.set_label(node, label);
+    }
+
+    /// The stable label of `node` (defaults to its id).
+    pub fn label(&self, node: NodeId) -> u64 {
+        self.topology.label(node)
+    }
+
+    /// Fragment messages larger than `mtu` bytes into MTU-sized link frames
+    /// (`None` — the default — sends every message as one transfer).
+    pub fn set_wire_mtu(&mut self, mtu: Option<usize>) {
+        self.mtu = mtu;
+    }
+
+    /// Batched (default) vs per-fragment event scheduling for bursts. Both
+    /// modes produce byte-identical simulation results; per-fragment exists
+    /// to measure the event-queue pressure batching removes.
+    pub fn set_link_batching(&mut self, batch: bool) {
+        self.batch_links = batch;
+    }
+
+    /// Drain the cross-shard outbox (deliveries to remote placeholders
+    /// captured since the last call).
+    pub fn take_outbox(&mut self) -> Vec<Outbound> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Are there undrained cross-shard deliveries?
+    pub fn has_outbound(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
     /// Install a bidirectional link.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
         self.topology.connect(a, b, spec);
@@ -399,6 +555,12 @@ impl Simulator {
         }
         self.started = true;
         for id in 0..self.nodes.len() {
+            // Remote placeholders have no state machine: scheduling a Start
+            // for them would both waste a dispatch and make the event count
+            // differ from the single-simulator run.
+            if self.remote_ids.contains(&id) {
+                continue;
+            }
             self.seq += 1;
             self.queue.push(Reverse(Event {
                 time: self.time,
@@ -408,23 +570,57 @@ impl Simulator {
         }
     }
 
+    /// Schedule the `Start` events now (idempotent). The sharded engine
+    /// calls this before its first epoch so [`Simulator::next_event_time`]
+    /// sees the initial work.
+    pub fn ensure_started(&mut self) {
+        self.schedule_starts();
+    }
+
     /// Inject a message delivery from "outside" (tests, harnesses). Arrives
     /// at `delay` from now, bypassing the topology.
     pub fn inject(&mut self, to: NodeId, from: NodeId, msg: Message, delay: SimDuration) {
+        self.inject_at(to, from, msg, self.time + delay);
+    }
+
+    /// Inject a message delivery at an *absolute* time, bypassing the
+    /// topology. The sharded engine uses this to re-schedule cross-shard
+    /// [`Outbound`]s whose arrival time the sending shard already decided.
+    /// `at` must not be earlier than any event this simulator has already
+    /// processed (the epoch lookahead guarantees that for sharded runs).
+    pub fn inject_at(&mut self, to: NodeId, from: NodeId, msg: Message, at: SimTime) {
+        debug_assert!(at >= self.time, "injection at {at} is in this shard's past ({})", self.time);
         self.seq += 1;
         self.queue.push(Reverse(Event {
-            time: self.time + delay,
+            time: at,
             seq: self.seq,
             kind: EventKind::Deliver { to, from, msg },
         }));
     }
 
+    /// Timestamp of the earliest pending event, if any. Used by the sharded
+    /// engine to pick the next epoch deadline.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// High-water mark of the event queue so far (sampled per dispatch).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue
+    }
+
     fn dispatch(&mut self, event: Event) {
         self.time = event.time;
         self.events_processed += 1;
+        // +1: the event just popped was in the queue a moment ago.
+        self.peak_queue = self.peak_queue.max(self.queue.len() + 1);
         let (node_id, action): (NodeId, NodeAction) =
             match event.kind {
                 EventKind::Start(id) => (id, Box::new(|n, ctx| n.on_start(ctx))),
+                EventKind::Fragment { from } => {
+                    self.metrics.node_mut(from).bump("link.fragments", 1.0);
+                    return;
+                }
                 EventKind::Deliver { to, from, msg } => {
                     {
                         let m = self.metrics.node_mut(to);
@@ -467,6 +663,10 @@ impl Simulator {
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             obs: &mut self.obs,
+            remote_ids: &self.remote_ids,
+            outbox: &mut self.outbox,
+            mtu: self.mtu,
+            batch_links: self.batch_links,
         };
         action(node.as_mut(), &mut ctx);
         self.nodes[node_id] = Some(node);
@@ -827,6 +1027,118 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort();
         assert_ne!(*got, sorted, "expected at least one reordering");
+    }
+
+    /// Sends one large message at start; records the arrival time.
+    struct BulkSender {
+        peer: NodeId,
+        bytes: usize,
+    }
+    impl Node for BulkSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.peer, Message::new("bulk", vec![0u8; self.bytes]));
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+    }
+    struct ArrivalLog {
+        got: Vec<SimTime>,
+    }
+    impl Node for ArrivalLog {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _: NodeId, _: Message) {
+            self.got.push(ctx.now());
+        }
+    }
+
+    fn bulk_sim(seed: u64, mtu: Option<usize>, batch: bool) -> (SimTime, u64) {
+        let mut sim = Simulator::new(seed);
+        let sink = sim.add_node(Box::new(ArrivalLog { got: vec![] }));
+        let src = sim.add_node(Box::new(BulkSender { peer: sink, bytes: 8_000 }));
+        sim.connect(src, sink, LinkSpec::wireless_gprs());
+        sim.set_wire_mtu(mtu);
+        sim.set_link_batching(batch);
+        sim.run_until_idle();
+        let arrival = sim.node_ref::<ArrivalLog>(sink).unwrap().got[0];
+        (arrival, sim.events_processed())
+    }
+
+    #[test]
+    fn batched_and_per_fragment_bursts_deliver_identically() {
+        // Same seed, same MTU: identical arrival time whether fragments cost
+        // heap events or not — only the event count differs.
+        let (t_batched, e_batched) = bulk_sim(21, Some(256), true);
+        let (t_frag, e_frag) = bulk_sim(21, Some(256), false);
+        assert_eq!(t_batched, t_frag);
+        // 8000 bytes (+overhead) at 256 B/frame ≈ 32 fragments; all but the
+        // last are extra events in per-fragment mode.
+        assert!(e_frag >= e_batched + 30, "batched {e_batched}, frag {e_frag}");
+    }
+
+    #[test]
+    fn mtu_does_not_change_message_delivery_time() {
+        // Fragmenting a burst moves bytes in the same aggregate time (one
+        // loss + one jitter draw either way), so the message still lands
+        // within per-frame rounding (±1µs per fragment) of the unfragmented
+        // transfer.
+        let (t_whole, _) = bulk_sim(22, None, true);
+        let (t_burst, _) = bulk_sim(22, Some(256), true);
+        let skew = if t_whole >= t_burst {
+            t_whole.since(t_burst)
+        } else {
+            t_burst.since(t_whole)
+        };
+        assert!(skew <= SimDuration::from_micros(40), "skew {skew}");
+    }
+
+    #[test]
+    fn send_to_remote_lands_in_outbox_not_queue() {
+        let mut sim = Simulator::new(23);
+        let src = sim.add_node(Box::new(BulkSender { peer: 0, bytes: 100 }));
+        let far = sim.add_remote(7001);
+        sim.node_mut::<BulkSender>(src).unwrap().peer = far;
+        sim.set_label(src, 6001);
+        sim.connect(src, far, LinkSpec::wan_backbone());
+        sim.run_until_idle();
+        let out = sim.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].from_label, 6001);
+        assert_eq!(out[0].to_label, 7001);
+        // The link model ran on the sending side: arrival ≥ base latency.
+        assert!(out[0].at >= SimTime::ZERO + SimDuration::from_millis(50));
+        assert_eq!(sim.metrics(src).msgs_sent, 1);
+        assert!(!sim.has_outbound());
+    }
+
+    #[test]
+    fn remote_placeholder_gets_no_start_event() {
+        let mut sim = Simulator::new(24);
+        let a = sim.add_node(Box::new(ArrivalLog { got: vec![] }));
+        let _far = sim.add_remote(9001);
+        sim.run_until_idle();
+        // Exactly one Start (the real node), none for the placeholder.
+        assert_eq!(sim.events_processed(), 1);
+        assert_eq!(sim.remote_id(9001), Some(1));
+        assert_eq!(sim.label(a), 0);
+    }
+
+    #[test]
+    fn inject_at_delivers_at_absolute_time() {
+        let mut sim = Simulator::new(25);
+        let sink = sim.add_node(Box::new(ArrivalLog { got: vec![] }));
+        let from = sim.add_remote(5001);
+        sim.inject_at(sink, from, Message::signal("x"), SimTime(2_500_000));
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<ArrivalLog>(sink).unwrap().got, vec![SimTime(2_500_000)]);
+    }
+
+    #[test]
+    fn peak_queue_depth_is_tracked() {
+        let mut sim = Simulator::new(26);
+        let id = sim.add_node(Box::new(ArrivalLog { got: vec![] }));
+        for i in 0..10 {
+            sim.inject(id, id, Message::signal("x"), SimDuration::from_millis(i));
+        }
+        sim.run_until_idle();
+        assert!(sim.peak_queue_depth() >= 10, "peak {}", sim.peak_queue_depth());
     }
 
     #[test]

@@ -69,6 +69,43 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
   fi
   printf '%-28s wall %ss -> %ss (%+d%%)   events/s %s -> %s   %s\n' \
     "$name" "$old_wall" "$new_wall" "$wall_pct" "$old_eps" "$new_eps" "$verdict"
+
+  # fig13 carries a multi-core "speedup" field. On a single-core host the
+  # parallel harness degenerates to the sequential path, so any speedup
+  # delta is noise — record it, never flag it there.
+  old_speedup=$(field "$baseline" speedup)
+  new_speedup=$(field "$report" speedup)
+  if [[ "$old_speedup" != 0 && "$new_speedup" != 0 ]]; then
+    cores=$(nproc 2>/dev/null || echo 1)
+    if (( cores <= 1 )); then
+      printf '%-28s speedup %s -> %s   SKIP (nproc == 1: parallel path runs sequentially)\n' \
+        "$name" "$old_speedup" "$new_speedup"
+    else
+      sp_pct=$(pct_change "$old_speedup" "$new_speedup")
+      sp_verdict="ok"
+      if (( sp_pct < -threshold )); then
+        sp_verdict="SPEEDUP REGRESSION (${sp_pct}%)"
+        status=1
+      fi
+      printf '%-28s speedup %s -> %s (%+d%%)   %s\n' \
+        "$name" "$old_speedup" "$new_speedup" "$sp_pct" "$sp_verdict"
+    fi
+  fi
+
+  # The soak report carries the batched-delivery event reduction, which is
+  # deterministic (no wall clock involved), so hold it to the same bar.
+  old_red=$(field "$baseline" event_reduction)
+  new_red=$(field "$report" event_reduction)
+  if [[ "$old_red" != 0 && "$new_red" != 0 ]]; then
+    red_pct=$(pct_change "$old_red" "$new_red")
+    red_verdict="ok"
+    if (( red_pct < -threshold )); then
+      red_verdict="EVENT-REDUCTION REGRESSION (${red_pct}%)"
+      status=1
+    fi
+    printf '%-28s event reduction %sx -> %sx (%+d%%)   %s\n' \
+      "$name" "$old_red" "$new_red" "$red_pct" "$red_verdict"
+  fi
 done
 
 if (( checked == 0 )); then

@@ -6,7 +6,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+# Soak smoke: a small sharded soak (64 devices, 1 vs 2 shards) must stay
+# byte-identical across the partitionings and keep the batched-delivery
+# event reduction above 5x; the binary exits nonzero if either fails.
+cargo build --release -p pdagent-bench --bin soak
+./target/release/soak 64 1,2 > /dev/null
 
 echo "verify: OK"

@@ -184,7 +184,7 @@ fn dispose_discards_agent_and_results_stay_unavailable() {
 #[test]
 fn heavy_loss_still_completes_via_retransmission() {
     let txs = vec![Transaction::new("bank-a", "alice", "x", 100)];
-    let mut spec = ebank_spec(26, &txs);
+    let mut spec = ebank_spec(27, &txs);
     spec.wireless = LinkSpec::wireless_gprs().with_loss(0.45);
     let mut scenario = Scenario::build(spec);
     let device = scenario.run();

@@ -41,7 +41,7 @@ fn one_trace_id_survives_device_gateway_mas_result_under_loss() {
         Transaction::new("bank-a", "alice", "rent", 50_000),
         Transaction::new("bank-b", "alice", "food", 7_500),
     ];
-    let mut spec = traced_ebank_spec(26, &txs);
+    let mut spec = traced_ebank_spec(27, &txs);
     spec.wireless = LinkSpec::wireless_gprs().with_loss(0.45);
     let mut scenario = Scenario::build(spec);
     let device = scenario.run();

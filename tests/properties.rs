@@ -524,6 +524,98 @@ proptest! {
         }
     }
 
+    // --- link batching & sharding ------------------------------------------------
+
+    /// A fragment burst delivers its final byte when an unfragmented send of
+    /// the same message would: on a lossless, jitter-free link the burst's
+    /// tail arrival equals `route`'s delay to within per-fragment integer
+    /// rounding. This is the invariant that lets batched link delivery
+    /// replace per-message serialization without changing any result.
+    #[test]
+    fn burst_tail_matches_unfragmented_delivery_on_lossless_links(
+        size in 1usize..30_000,
+        mtu in 16usize..2048,
+        seed in 1u64..500,
+        kbps in 1u64..2_000,
+        latency_ms in 0u64..200,
+    ) {
+        use pdagent::net::link::{LinkSpec, Topology};
+        use pdagent::net::message::Message;
+        use pdagent::net::time::SimTime;
+
+        let spec = LinkSpec::ideal()
+            .with_latency(pdagent::net::time::SimDuration::from_millis(latency_ms))
+            .with_bandwidth(kbps * 1024);
+        let mut whole = Topology::new();
+        whole.set_seed(seed);
+        whole.connect(1, 2, spec.clone());
+        let mut burst = Topology::new();
+        burst.set_seed(seed);
+        burst.connect(1, 2, spec);
+
+        let msg = Message::new("m", vec![0u8; size]);
+        let wire = msg.wire_size();
+        let d = whole.route(1, 2, &msg, SimTime::ZERO).expect("lossless");
+        let arrivals = burst.route_burst(1, 2, wire, mtu, SimTime::ZERO).expect("lossless");
+        let nfrags = wire.div_ceil(mtu);
+        prop_assert_eq!(arrivals.len(), nfrags);
+        for pair in arrivals.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "arrivals must ascend");
+        }
+        let tail = arrivals.last().copied().unwrap();
+        let diff = tail.as_micros().abs_diff(d.as_micros());
+        prop_assert!(
+            diff <= nfrags as u64,
+            "burst tail {}us vs route {}us (allowed rounding {}us)",
+            tail.as_micros(), d.as_micros(), nfrags
+        );
+    }
+
+    /// Batched bursts consume exactly the draws `route` does — one loss, one
+    /// jitter — so on a lossy, jittery link the two modes make *identical*
+    /// drop decisions and land within rounding of each other, message after
+    /// message. "Statistically indistinguishable" is an understatement: the
+    /// sequences coincide draw for draw.
+    #[test]
+    fn burst_and_route_make_identical_loss_and_jitter_decisions(
+        sizes in pvec(1usize..8_000, 1..20),
+        mtu in 16usize..1024,
+        seed in 1u64..500,
+        loss_mil in 0u32..500,
+    ) {
+        use pdagent::net::link::{Jitter, LinkSpec, Topology};
+        use pdagent::net::message::Message;
+        use pdagent::net::time::{SimDuration, SimTime};
+
+        let spec = LinkSpec::wireless_gprs()
+            .with_loss(loss_mil as f64 / 1000.0)
+            .with_jitter(Jitter::Exponential(SimDuration::from_millis(40)));
+        let mut whole = Topology::new();
+        whole.set_seed(seed);
+        whole.connect(1, 2, spec.clone());
+        let mut burst = Topology::new();
+        burst.set_seed(seed);
+        burst.connect(1, 2, spec);
+
+        let mut slack = 0u64; // cumulative rounding allowance, in µs
+        for (i, &size) in sizes.iter().enumerate() {
+            let now = SimTime(i as u64 * 1_000);
+            let msg = Message::new("m", vec![0u8; size]);
+            let wire = msg.wire_size();
+            let d = whole.route(1, 2, &msg, now);
+            let a = burst.route_burst(1, 2, wire, mtu, now);
+            prop_assert_eq!(d.is_some(), a.is_some());
+            let (Some(d), Some(a)) = (d, a) else { continue };
+            slack += wire.div_ceil(mtu) as u64;
+            let tail = a.last().copied().unwrap();
+            prop_assert!(
+                tail.as_micros().abs_diff(d.as_micros()) <= slack,
+                "message {}: burst {}us vs route {}us (slack {}us)",
+                i, tail.as_micros(), d.as_micros(), slack
+            );
+        }
+    }
+
     /// Merging shard histograms is identical to recording everything into
     /// one, in either merge order — the guarantee the parallel benchmark
     /// fan-out relies on for deterministic obs sections.
@@ -551,5 +643,31 @@ proptest! {
         merged_ba.merge(&ha);
         prop_assert_eq!(&merged_ab, &whole);
         prop_assert_eq!(&merged_ba, &whole);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shard equivalence, end to end: the fleet soak run on one simulator
+    /// and partitioned over N simulators (same seed) produces an *identical*
+    /// results section — per-device completion times, PI sizes, wireless
+    /// byte counts, heartbeats — and the same total event count. Few cases,
+    /// because each one runs four full soaks; the per-link RNG streams and
+    /// the epoch exchange carry the real weight.
+    #[test]
+    fn sharded_soak_equals_single_shard_for_any_seed_and_shard_count(
+        seed in 1u64..10_000,
+        shards in 2usize..5,
+    ) {
+        use pdagent_bench::soak::{run_soak, SoakSpec};
+        let mut spec = SoakSpec::new(seed, 4, 1);
+        spec.pi_pad = 2 * 1024;
+        spec.heartbeats = 2;
+        let mono = run_soak(&spec);
+        spec.shards = shards;
+        let split = run_soak(&spec);
+        prop_assert_eq!(&mono.results, &split.results);
+        prop_assert_eq!(mono.events, split.events);
     }
 }
