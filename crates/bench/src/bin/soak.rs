@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use pdagent_bench::report::{write_bench_report_with_obs, Json};
+use pdagent_bench::report::{alerts_json, slo_json, write_bench_report_with_obs, Json};
 use pdagent_bench::soak::{run_soak, SoakOutcome, SoakSpec};
 use pdagent_bench::parallel;
 
@@ -51,7 +51,12 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 
     let cells = devices.div_ceil(DEVICES_PER_CELL).max(1);
-    let spec = SoakSpec::new(seed, cells, DEVICES_PER_CELL);
+    let mut spec = SoakSpec::new(seed, cells, DEVICES_PER_CELL);
+    // The operational plane rides along: one SLO monitor per cell scraping
+    // its gateway's /metrics + /healthz and evaluating the default rules.
+    // `SOAK_SLO=0` disables it — the telemetry-overhead ablation knob
+    // (EXPERIMENTS.md measures rules-on vs rules-off with it).
+    spec.slo = std::env::var("SOAK_SLO").map_or(true, |v| v != "0");
     let devices = spec.devices();
     println!(
         "soak: {devices} devices in {cells} cells, PI pad {} KB, seed {seed}, {} worker thread(s)",
@@ -111,6 +116,26 @@ fn main() {
         ]));
     }
 
+    let fired: u64 = base.slo.iter().map(|r| r.fired).sum();
+    let resolved: u64 = base.slo.iter().map(|r| r.resolved).sum();
+    println!(
+        "\nslo: {} rules, {} scrapes ok, {} probe failures; {fired} fired / {resolved} resolved, {} unresolved",
+        base.slo.len(),
+        base.scrapes_ok,
+        base.probe_failures,
+        base.unresolved_alerts
+    );
+    for r in &base.slo {
+        println!(
+            "  {:<20} limit {:>10}  evals {:>4}  last {:>12.1}  {}",
+            r.name,
+            r.limit,
+            r.evaluations,
+            r.last_value,
+            if r.breached { "BREACHED" } else { "ok" }
+        );
+    }
+
     let mut completion: Vec<u64> = base
         .results
         .cells
@@ -144,22 +169,69 @@ fn main() {
         ("unbatched_wall_secs", unbatched_wall.into()),
         ("peak_queue", base.peak_queue.into()),
         ("byte_identical", true.into()),
+        ("scrapes_ok", base.scrapes_ok.into()),
+        ("probe_failures", base.probe_failures.into()),
+        ("alerts_fired", fired.into()),
+        ("alerts_resolved", resolved.into()),
+        ("unresolved_alerts", base.unresolved_alerts.into()),
         ("scaling", Json::Arr(curve)),
+        ("slo", slo_json(&base.slo)),
+        ("alerts", alerts_json(&base.alerts)),
     ]);
     match write_bench_report_with_obs("soak", base_wall, base.events, results, &base.obs) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_soak.json: {e}"),
     }
 
-    // Shape checks (CI gate): everything finished, and batching pays for
-    // itself by at least the 5x the sharded-engine issue demands.
-    if completed != devices as u64 {
-        println!("\nshape check FAILED: {completed}/{devices} deploys completed");
+    // Shape checks (CI gate): everything finished, batching pays for itself
+    // by at least the 5x the sharded-engine issue demands, and the SLO plane
+    // actually evaluated with no alert left burning. Any failure dumps the
+    // captured flight recorders for the post-mortem.
+    let fail = |why: String, base: &SoakOutcome| -> ! {
+        println!("\nshape check FAILED: {why}");
+        dump_flight_recorders(base);
         std::process::exit(1);
+    };
+    if completed != devices as u64 {
+        fail(format!("{completed}/{devices} deploys completed"), &base);
     }
     if reduction < 5.0 {
-        println!("\nshape check FAILED: batching saved only {reduction:.1}x events (need ≥5x)");
-        std::process::exit(1);
+        fail(format!("batching saved only {reduction:.1}x events (need ≥5x)"), &base);
     }
-    println!("\nshape check: OK (all deploys done, byte-identical shards, {reduction:.1}x event cut)");
+    if spec.slo {
+        if base.slo.len() < 3 || base.slo.iter().any(|r| r.evaluations == 0) {
+            fail(format!("need ≥3 evaluated SLO rules, got {:?}", base.slo), &base);
+        }
+        if base.unresolved_alerts > 0 {
+            fail(
+                format!("{} SLO alert(s) fired and never resolved", base.unresolved_alerts),
+                &base,
+            );
+        }
+    }
+    println!(
+        "\nshape check: OK (all deploys done, byte-identical shards, {reduction:.1}x event cut, {} SLO rules clean)",
+        base.slo.len()
+    );
+}
+
+/// Persist whatever flight recorders the run captured to
+/// `target/flightrec/soak-<node>.jsonl` so a failed CI run leaves the
+/// around-the-incident span/alert timeline behind as an artifact.
+fn dump_flight_recorders(out: &SoakOutcome) {
+    if out.flight.is_empty() {
+        return;
+    }
+    let dir = std::path::Path::new("target/flightrec");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        return;
+    }
+    for (node, jsonl) in &out.flight {
+        let path = dir.join(format!("soak-{node}.jsonl"));
+        match std::fs::write(&path, jsonl) {
+            Ok(()) => println!("flight recorder: wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

@@ -4,7 +4,8 @@
 //! results without screen-scraping. Hand-rolled writer — the container has
 //! no serde, and the value space here is tiny.
 
-use pdagent_net::obs::ObsSummary;
+use pdagent_net::obs::{ObsEvent, ObsSummary};
+use pdagent_net::slo::SloReport;
 use std::fmt::Write as _;
 
 /// A JSON value. Construct with the `From` impls and [`Json::obj`]/[`Json::arr`].
@@ -186,6 +187,47 @@ pub fn obs_json(obs: &ObsSummary) -> Json {
     ])
 }
 
+/// Render aggregated [`SloReport`]s as a bench report's `slo` section:
+/// per-rule evaluation counts, fire/resolve totals and the worst last
+/// value, in rule order.
+pub fn slo_json(reports: &[SloReport]) -> Json {
+    let rules = reports
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("rule", r.name.as_str().into()),
+                ("limit", r.limit.into()),
+                ("evaluations", r.evaluations.into()),
+                ("fired", r.fired.into()),
+                ("resolved", r.resolved.into()),
+                ("breached", r.breached.into()),
+                ("last_value", r.last_value.into()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("rules_evaluated", reports.len().into()), ("rules", Json::Arr(rules))])
+}
+
+/// Render a merged alert timeline as a bench report's `alerts` section.
+pub fn alerts_json(events: &[ObsEvent]) -> Json {
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("event", if e.fired { "AlertFired" } else { "AlertResolved" }.into()),
+                    ("at_us", e.at.0.into()),
+                    ("rule", e.rule.as_str().into()),
+                    ("instance", e.instance.as_str().into()),
+                    ("value", e.value.into()),
+                    ("limit", e.limit.into()),
+                    ("trace", e.trace.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// [`bench_report`] with an `obs` section appended after `results`. The
 /// pre-existing envelope keys are untouched, so readers keyed on them see
 /// identical values with or without observability.
@@ -260,6 +302,38 @@ mod tests {
         let r = bench_report("fig_test", 2.0, 1000, Json::Null).render();
         assert!(r.contains("\"figure\":\"fig_test\""));
         assert!(r.contains("\"events_per_sec\":500"));
+    }
+
+    #[test]
+    fn slo_and_alert_sections_render() {
+        let reports = vec![SloReport {
+            name: "scrape-latency-p99".into(),
+            limit: 1_000_000.0,
+            evaluations: 18,
+            fired: 1,
+            resolved: 1,
+            breached: false,
+            last_value: 1234.0,
+        }];
+        let s = slo_json(&reports).render();
+        assert!(s.contains("\"rules_evaluated\":1"));
+        assert!(s.contains("\"rule\":\"scrape-latency-p99\""));
+        assert!(s.contains("\"fired\":1") && s.contains("\"breached\":false"));
+
+        let events = vec![ObsEvent {
+            at: pdagent_net::time::SimTime(12_000_000),
+            node_label: 7,
+            rule: "scrape-latency-p99".into(),
+            instance: "gw-0".into(),
+            fired: true,
+            value: 2_000_000.0,
+            limit: 1_000_000.0,
+            trace: 42,
+        }];
+        let a = alerts_json(&events).render();
+        assert!(a.contains("\"event\":\"AlertFired\""));
+        assert!(a.contains("\"at_us\":12000000"));
+        assert!(a.contains("\"instance\":\"gw-0\""));
     }
 
     #[test]

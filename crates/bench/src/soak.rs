@@ -25,10 +25,13 @@ use pdagent_gateway::central::{CentralServer, GatewayEntry};
 use pdagent_gateway::server::{GatewayConfig, GatewayNode};
 use pdagent_mas::server::SiteDirectory;
 use pdagent_mas::MasNode;
+
 use pdagent_net::link::LinkSpec;
 use pdagent_net::message::Message;
-use pdagent_net::obs::ObsSummary;
+use pdagent_net::obs::{ObsEvent, ObsSummary};
 use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
+use pdagent_net::slo::{LinkChaos, MonitorSpec, SloMonitor, SloReport, SloRule};
+use pdagent_net::telemetry::FlightRecorder;
 use pdagent_net::time::SimDuration;
 use pdagent_vm::Value;
 
@@ -44,6 +47,29 @@ const J_SITE_A: usize = 2;
 const J_SITE_B: usize = 3;
 const J_AUDITOR: usize = 4;
 const J_DEVICE0: usize = 5;
+
+/// The default SLO rule set every cell monitor evaluates against its
+/// gateway. Deliberately monitor-local or gateway-counter based: none of
+/// these signals depend on shard-global aggregation, so the same rules give
+/// the same verdicts at every shard count.
+pub fn default_slo_rules() -> Vec<SloRule> {
+    vec![
+        // Scrape round-trip p99 over the last cadence window, 1 s budget.
+        // Retransmitted scrapes count from first transmission, so injected
+        // link outages surface here as multi-second tails.
+        SloRule::p99("scrape-latency-p99", pdagent_net::slo::STAGE_SCRAPE_RTT, 1_000_000.0),
+        // Three consecutive health-probe failures means the gateway is down.
+        SloRule::gauge("probe-failures", pdagent_net::slo::KEY_PROBE_FAILURES, 2.0),
+        // Replay-cache occupancy: the soak gateways cap at 16 entries, so a
+        // reading above 64 would mean eviction is broken.
+        SloRule::gauge("replay-occupancy", "gateway.replay_entries", 64.0),
+        // Gateway-side request error ratio (gave-up HTTP exchanges / sends).
+        SloRule::error_ratio("gateway-error-ratio", "http.gave_up", "msgs_sent", 0.01),
+        // Two-window burn rate on dropped frames: fires only if >90% of the
+        // gateway's sends drop over both the 1- and 3-cadence windows.
+        SloRule::burn_rate("drop-burn-rate", "msgs_dropped", "msgs_sent", 1, 3, 0.9),
+    ]
+}
 
 /// Soak parameters.
 #[derive(Debug, Clone)]
@@ -71,6 +97,19 @@ pub struct SoakSpec {
     pub batch_links: bool,
     /// Attach the observability collector to every shard.
     pub observe: bool,
+    /// Run one [`SloMonitor`] per cell, scraping the cell gateway's
+    /// `GET /metrics` + `GET /healthz` on a sim-timer cadence and evaluating
+    /// [`default_slo_rules`]. Monitors are cell-local (their links get their
+    /// own RNG streams), so enabling them never perturbs the results section.
+    pub slo: bool,
+    /// Scrape rounds each monitor runs (bounded so the sim drains).
+    pub monitor_rounds: u32,
+    /// Cut each monitor↔gateway link over a fixed window (9.5 s – 11.9 s),
+    /// forcing the round-2 scrape to retransmit into a multi-second RTT —
+    /// the injected-latency scenario that makes the p99 rule fire and then
+    /// resolve. Implies nothing about device traffic: only monitor links are
+    /// touched.
+    pub chaos: bool,
 }
 
 impl SoakSpec {
@@ -88,6 +127,9 @@ impl SoakSpec {
             mtu: Some(256),
             batch_links: true,
             observe: false,
+            slo: false,
+            monitor_rounds: 6,
+            chaos: false,
         }
     }
 
@@ -148,6 +190,23 @@ pub struct SoakOutcome {
     pub sim_secs: f64,
     /// Merged observability digest (empty unless `observe`).
     pub obs: ObsSummary,
+    /// Per-rule SLO digests aggregated over every cell monitor, in rule
+    /// order (empty unless `slo`).
+    pub slo: Vec<SloReport>,
+    /// The merged alert timeline across all shards, sorted by
+    /// `(time, rule, instance)` so any partitioning yields the same order
+    /// (empty unless `slo && observe`).
+    pub alerts: Vec<ObsEvent>,
+    /// Successful `/metrics` scrapes across all monitors.
+    pub scrapes_ok: u64,
+    /// Health probes that gave up across all monitors.
+    pub probe_failures: u64,
+    /// Rules still breached when the sim drained (fired, never resolved).
+    pub unresolved_alerts: u64,
+    /// Flight-recorder dumps captured for cells that saw alerts:
+    /// `(node name, JSONL body)`, ready for [`pdagent_net::telemetry::dump_flight`]-style
+    /// persistence by the caller (empty unless `slo && observe`).
+    pub flight: Vec<(String, String)>,
 }
 
 /// One cell's auditor: heartbeats the coordinator on a timer and counts the
@@ -200,6 +259,7 @@ struct CellIds {
     gateway: NodeId,
     auditor: NodeId,
     devices: Vec<NodeId>,
+    monitor: Option<NodeId>,
 }
 
 /// Deterministic incompressible-ish padding (6 bits of entropy per byte, so
@@ -337,7 +397,45 @@ fn build_cell(
         devices.push(dev);
     }
 
-    CellIds { shard, gateway, auditor, devices }
+    // The operational plane: one cell-local monitor scraping the gateway.
+    // Its label sits just past the device range, so monitor links draw from
+    // their own RNG streams and never perturb device or backbone traffic.
+    let monitor = if spec.slo {
+        let mut mon_spec = MonitorSpec {
+            rounds: spec.monitor_rounds,
+            rules: default_slo_rules(),
+            ..MonitorSpec::default()
+        };
+        if !spec.chaos {
+            // Stagger cadences so cells don't scrape in lockstep; chaos runs
+            // keep the plain 5 s cadence so the round-2 scrape of every cell
+            // lands inside the outage window.
+            mon_spec.cadence = SimDuration::from_millis(5_000 + 41 * cell as u64);
+        }
+        let mon = sim.add_node(Box::new(SloMonitor::new(
+            mon_spec,
+            vec![(gateway, format!("gw-{cell}"))],
+        )));
+        sim.set_label(mon, plan.label(cell, J_DEVICE0 + spec.devices_per_cell));
+        sim.connect(mon, gateway, wired.clone());
+        if spec.chaos {
+            // Cut the monitor↔gateway link across the round-2 scrape: the
+            // request retransmits after the 2 s RTO and lands once the link
+            // is back, so the observed RTT blows through the 1 s p99 budget.
+            let chaos = sim.add_node(Box::new(LinkChaos {
+                a: mon,
+                b: gateway,
+                down_at: SimDuration::from_millis(9_500),
+                up_at: SimDuration::from_millis(11_900),
+            }));
+            sim.set_label(chaos, plan.label(cell, J_DEVICE0 + spec.devices_per_cell + 1));
+        }
+        Some(mon)
+    } else {
+        None
+    };
+
+    CellIds { shard, gateway, auditor, devices, monitor }
 }
 
 /// Run the soak. Builds `spec.shards` simulators (same seed, plan-assigned
@@ -433,6 +531,69 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         sim_secs = sim_secs.max(engine.shard(s).now().as_secs_f64());
     }
 
+    // SLO harvest: aggregate per-rule digests across every cell monitor
+    // (rule order is fixed by `default_slo_rules`, so summing in cell order
+    // is deterministic), and merge each shard's alert timeline into one
+    // sequence ordered by (time, rule, instance, edge).
+    let mut slo: Vec<SloReport> = Vec::new();
+    let mut scrapes_ok = 0u64;
+    let mut probe_failures = 0u64;
+    let mut unresolved_alerts = 0u64;
+    for cell in cells.iter().flatten() {
+        let Some(mon_id) = cell.monitor else { continue };
+        let mon =
+            engine.shard(cell.shard).node_ref::<SloMonitor>(mon_id).expect("monitor node");
+        scrapes_ok += mon.scrapes_ok;
+        probe_failures += mon.probe_failures;
+        unresolved_alerts += mon.breached() as u64;
+        for (_instance, reports) in mon.reports() {
+            if slo.is_empty() {
+                slo = reports;
+            } else {
+                for (agg, r) in slo.iter_mut().zip(reports) {
+                    debug_assert_eq!(agg.name, r.name);
+                    agg.evaluations += r.evaluations;
+                    agg.fired += r.fired;
+                    agg.resolved += r.resolved;
+                    agg.breached |= r.breached;
+                    agg.last_value = agg.last_value.max(r.last_value);
+                }
+            }
+        }
+    }
+    let mut alerts: Vec<ObsEvent> = Vec::new();
+    for s in 0..engine.shard_count() {
+        if let Some(collector) = engine.shard(s).obs() {
+            alerts.extend_from_slice(collector.events());
+        }
+    }
+    alerts.sort_by(|a, b| {
+        (a.at.0, &a.rule, &a.instance, a.fired).cmp(&(b.at.0, &b.rule, &b.instance, b.fired))
+    });
+
+    // Capture flight recorders for cells whose monitor saw an alert edge:
+    // the monitor's view (alert spans) and the gateway's (serving spans).
+    let mut flight: Vec<(String, String)> = Vec::new();
+    if !alerts.is_empty() {
+        for (i, cell) in cells.iter().flatten().enumerate() {
+            let Some(mon_id) = cell.monitor else { continue };
+            let instance = format!("gw-{i}");
+            if !alerts.iter().any(|e| e.instance == instance) {
+                continue;
+            }
+            if let Some(collector) = engine.shard(cell.shard).obs() {
+                for (name, node) in
+                    [(format!("mon-{i}"), mon_id), (instance.clone(), cell.gateway)]
+                {
+                    let rec = FlightRecorder::capture(collector, node, 256);
+                    if !rec.is_empty() {
+                        flight.push((name, rec.to_jsonl()));
+                    }
+                }
+            }
+        }
+    }
+
     let devices = spec.devices();
     let events = engine.events_processed();
     SoakOutcome {
@@ -444,6 +605,12 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         epochs: engine.epochs(),
         sim_secs,
         obs,
+        slo,
+        alerts,
+        scrapes_ok,
+        probe_failures,
+        unresolved_alerts,
+        flight,
     }
 }
 
@@ -508,5 +675,103 @@ mod tests {
         assert_eq!(plain.results, observed.results);
         assert_eq!(plain.events, observed.events);
         assert!(observed.obs.traces >= 6, "one trace per deploy");
+    }
+
+    #[test]
+    fn slo_monitoring_does_not_perturb_results() {
+        let plain = run_soak(&tiny(15));
+        let mut spec = tiny(15);
+        spec.slo = true;
+        let monitored = run_soak(&spec);
+        // Monitors ride their own labelled links, so device/auditor results
+        // must not move even though the event count grows with scrapes.
+        assert_eq!(plain.results, monitored.results);
+        assert!(monitored.events > plain.events, "scrapes must cost events");
+        assert_eq!(monitored.slo.len(), 5, "default rule set evaluated");
+        for r in &monitored.slo {
+            assert!(r.evaluations > 0, "rule {} never evaluated", r.name);
+            assert!(!r.breached, "rule {} breached in a healthy soak", r.name);
+            assert_eq!(r.fired, 0, "rule {} fired in a healthy soak", r.name);
+        }
+        assert_eq!(monitored.scrapes_ok, 3 * 6, "one scrape per cell per round");
+        assert_eq!(monitored.probe_failures, 0);
+        assert_eq!(monitored.unresolved_alerts, 0);
+    }
+
+    #[test]
+    fn slo_soak_is_byte_identical_across_shards() {
+        let mut base = tiny(16);
+        base.slo = true;
+        let mono = run_soak(&base);
+        for shards in [2, 3] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let split = run_soak(&spec);
+            assert_eq!(mono.results, split.results, "{shards} shards diverged");
+            assert_eq!(mono.events, split.events, "event totals diverged");
+            // Scrape bodies are built from cell-local counters, so even the
+            // per-rule digests (f64 values included) must match bit-for-bit.
+            assert_eq!(mono.slo, split.slo, "{shards}-shard SLO digests diverged");
+        }
+    }
+
+    #[test]
+    fn chaos_fires_and_resolves_latency_alert() {
+        let mut calm = tiny(17);
+        calm.slo = true;
+        calm.observe = true;
+        let mut stormy = calm.clone();
+        stormy.chaos = true;
+        let calm_out = run_soak(&calm);
+        let out = run_soak(&stormy);
+
+        // Chaos only cuts monitor links: the workload results are untouched,
+        // modulo the monitors seeing the injected outage.
+        assert_eq!(calm_out.results, out.results);
+        assert!(calm_out.alerts.is_empty(), "calm soak must stay silent");
+
+        // Every cell's round-2 scrape retransmitted into a >1 s RTT, so the
+        // latency rule fired — and resolved on the next healthy window.
+        let latency = out
+            .slo
+            .iter()
+            .find(|r| r.name == "scrape-latency-p99")
+            .expect("latency rule evaluated");
+        assert_eq!(latency.fired, 3, "one alert per cell");
+        assert_eq!(latency.resolved, 3, "every alert resolved");
+        assert!(!latency.breached);
+        assert_eq!(out.unresolved_alerts, 0);
+
+        // The merged timeline holds a fire+resolve edge pair per cell, in
+        // time order, each carrying a minted trace id.
+        assert_eq!(out.alerts.len(), 6);
+        assert!(out.alerts.windows(2).all(|w| w[0].at <= w[1].at));
+        for cell in 0..3 {
+            let instance = format!("gw-{cell}");
+            let edges: Vec<&ObsEvent> =
+                out.alerts.iter().filter(|e| e.instance == instance).collect();
+            assert_eq!(edges.len(), 2, "{instance} edge count");
+            assert!(edges[0].fired && !edges[1].fired, "{instance} fire then resolve");
+            assert!(edges[0].value > edges[0].limit);
+            assert!(edges[1].value <= edges[1].limit);
+            assert!(edges[0].trace != 0, "alert must mint a trace");
+            assert_eq!(edges[0].trace, edges[1].trace, "resolve shares the episode trace");
+        }
+
+        // Flight recorders were captured for every alerting cell: the
+        // monitor's view (with the slo.alert span) and the gateway's.
+        assert_eq!(out.flight.len(), 6);
+        let mon_dump = &out.flight.iter().find(|(n, _)| n == "mon-0").expect("mon-0 dump").1;
+        assert!(mon_dump.contains("\"record\":\"alert\""));
+        assert!(mon_dump.contains("slo.alert"));
+        assert!(mon_dump.contains("\"rule\":\"scrape-latency-p99\""));
+
+        // And the dump lands on disk where CI collects incident artifacts.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/flightrec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos-mon-0.jsonl");
+        std::fs::write(&path, mon_dump).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.lines().count() >= 2, "dump holds the fire+resolve edges");
     }
 }

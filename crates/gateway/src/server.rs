@@ -16,6 +16,7 @@ use pdagent_mas::server::{
 use pdagent_mas::{AgentId, Itinerary, MobileAgent, KIND_COMPLETE, KIND_CONTROL, KIND_CONTROL_RESP, KIND_TRANSFER, KIND_ACK};
 use pdagent_net::http::{reply, HttpRequest, HttpStatus};
 use pdagent_net::prelude::*;
+use pdagent_net::telemetry::serve_telemetry;
 use pdagent_vm::Program;
 use pdagent_xml::Element;
 
@@ -628,6 +629,12 @@ impl Node for GatewayNode {
             KIND_CONTROL_RESP => self.handle_control_resp(ctx, &msg.body),
             _ => {
                 let Some(req) = HttpRequest::from_message(&msg) else { return };
+                // Telemetry endpoints answer before the replay lookup and
+                // never enter the replay cache: a scrape must always observe
+                // fresh state, and cached expositions would poison windows.
+                if serve_telemetry(ctx, from, &req, &self.config.name) {
+                    return;
+                }
                 // Retransmission of a request we already answered? Replay.
                 if let Some((status, body, _)) = self.replay.get(&(from, req.req_id)) {
                     ctx.metrics().bump("gateway.replays", 1.0);
@@ -940,6 +947,58 @@ mod tests {
         // clients already got their response.
         let gw = sim.node_ref::<GatewayNode>(gateway).unwrap();
         assert_eq!(gw.stored_results(), 1);
+    }
+
+    #[test]
+    fn completed_cache_cap_pressure_evicts_and_updates_gauges() {
+        let (mut sim, gateway, device) = build(21);
+        sim.run_until_idle();
+        // The finished agent sits in the completed list (result retained for
+        // re-collection) until cap pressure arrives: shrink the cap to zero
+        // and poke the gateway so the lazy sweep runs.
+        let m = sim.metrics(gateway);
+        assert_eq!(m.counter("gateway.completed_evictions"), 0.0);
+        assert_eq!(m.gauge("gateway.results_entries"), 1.0);
+        assert_eq!(m.gauge("gateway.dispatched_entries"), 1.0);
+        sim.node_mut::<GatewayNode>(gateway).unwrap().config.completed_max_entries = 0;
+        let later = sim.now() + SimDuration::from_secs(1);
+        sim.inject_at(gateway, device, Message::new(KIND_PROBE, vec![1]), later);
+        sim.run_until_idle();
+        let m = sim.metrics(gateway);
+        assert_eq!(m.counter("gateway.completed_evictions"), 1.0);
+        assert_eq!(m.gauge("gateway.results_entries"), 0.0);
+        assert_eq!(m.gauge("gateway.dispatched_entries"), 0.0);
+        assert_eq!(sim.node_ref::<GatewayNode>(gateway).unwrap().stored_results(), 0);
+    }
+
+    #[test]
+    fn eviction_metrics_round_trip_through_prom_exposition() {
+        use pdagent_net::telemetry::{parse_prom, render_prom, TelemetrySnapshot};
+        let (mut sim, gateway, device) = build(22);
+        {
+            let gw = sim.node_mut::<GatewayNode>(gateway).unwrap();
+            gw.config.replay_ttl = SimDuration::from_secs(60);
+        }
+        sim.run_until_idle();
+        let later = sim.now() + SimDuration::from_secs(70);
+        sim.inject_at(gateway, device, Message::new(KIND_PROBE, vec![1]), later);
+        sim.run_until_idle();
+
+        // What an in-sim scraper would see: the eviction counters and the
+        // occupancy gauges exposed as Prometheus families, losslessly.
+        let snap = TelemetrySnapshot::capture(sim.metrics(gateway), &[]);
+        let text = render_prom("gw-1", &snap);
+        assert!(text.contains(
+            "pdagent_gateway_replay_evictions_total{instance=\"gw-1\",key=\"gateway.replay_evictions\"}"
+        ));
+        assert!(text.contains("# TYPE pdagent_gateway_replay_entries gauge"));
+        assert!(text.contains(
+            "pdagent_gateway_replay_entries{instance=\"gw-1\",key=\"gateway.replay_entries\"} 0"
+        ));
+        let parsed = parse_prom(&text);
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert!(parsed.counter("gateway.replay_evictions") >= 3.0);
     }
 
     #[test]

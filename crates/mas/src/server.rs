@@ -533,7 +533,15 @@ impl Node for MasNode {
                 }
             }
             KIND_CONTROL => self.handle_control(ctx, from, &msg.body),
-            _ => {}
+            _ => {
+                // Operational telemetry: MAS sites answer GET /metrics and
+                // GET /healthz like gateways do, so monitors can scrape the
+                // whole execution plane over the modeled links.
+                if let Some(req) = pdagent_net::http::HttpRequest::from_message(&msg) {
+                    let site = self.site_name.clone();
+                    pdagent_net::telemetry::serve_telemetry(ctx, from, &req, &site);
+                }
+            }
         }
     }
 

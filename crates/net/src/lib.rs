@@ -26,6 +26,12 @@
 //!   parent/child spans with sim-time bounds, log-bucket latency histograms
 //!   and deterministic timeline/JSONL exporters. Zero-cost unless a
 //!   collector is attached via [`sim::Simulator::enable_obs`].
+//! * [`telemetry`] — the operational plane: Prometheus-style text exposition
+//!   (`GET /metrics`), health probes (`GET /healthz`) and the bounded flight
+//!   recorder dumped when alerts fire.
+//! * [`slo`] — declarative service-level rules (windowed p99, error ratio,
+//!   gauge bounds, two-window burn rate), the alert engine, and the in-sim
+//!   scraping monitor node.
 //!
 //! Determinism: a simulation is a pure function of its seed and setup. All
 //! randomness flows from the seed; the event queue breaks time ties by
@@ -67,6 +73,8 @@ pub mod metrics;
 pub mod obs;
 pub mod rng;
 pub mod sim;
+pub mod slo;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -76,9 +84,13 @@ pub mod prelude {
     pub use crate::link::LinkSpec;
     pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;
-    pub use crate::obs::{Histogram, ObsContext, ObsSummary};
+    pub use crate::obs::{Histogram, ObsContext, ObsEvent, ObsSummary};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Ctx, Node, NodeId, Simulator};
+    pub use crate::slo::{MonitorSpec, SloEngine, SloMonitor, SloReport, SloRule, SloSignal};
+    pub use crate::telemetry::{
+        parse_prom, render_prom, FlightRecorder, TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }
 

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::message::Kind;
 use crate::time::{SimDuration, SimTime};
 
 /// Per-node measurement state.
@@ -28,12 +29,15 @@ pub struct Metrics {
     intervals: Vec<(SimTime, SimTime)>,
     /// Currently-open connection start, if any.
     open_since: Option<SimTime>,
-    /// Free-form named counters for protocol-specific accounting.
-    counters: HashMap<String, f64>,
+    /// Free-form named counters for protocol-specific accounting. Keys are
+    /// interned [`Kind`]s (the same table as message kinds): the few dozen
+    /// distinct telemetry names share one allocation process-wide, and the
+    /// `&str` lookup in [`Metrics::bump`] never allocates.
+    counters: HashMap<Kind, f64>,
     /// Named gauges (set-semantics: last write wins). Used for instantaneous
     /// sizes — cache entries, staged agents — where `bump` accumulation would
     /// be meaningless.
-    gauges: HashMap<String, f64>,
+    gauges: HashMap<Kind, f64>,
 }
 
 impl Metrics {
@@ -82,13 +86,14 @@ impl Metrics {
         &self.intervals
     }
 
-    /// Add `v` to a named counter. The key is only allocated the first time
-    /// it is seen; steady-state bumps are a pure hash lookup.
+    /// Add `v` to a named counter. The key is interned the first time any
+    /// node in the process sees it; steady-state bumps are a pure hash
+    /// lookup with zero allocation (`Kind: Borrow<str>`).
     pub fn bump(&mut self, key: &str, v: f64) {
         match self.counters.get_mut(key) {
             Some(c) => *c += v,
             None => {
-                self.counters.insert(key.to_owned(), v);
+                self.counters.insert(Kind::intern(key), v);
             }
         }
     }
@@ -108,12 +113,12 @@ impl Metrics {
     }
 
     /// Set a named gauge to `v` (last write wins). Like `bump`, the key is
-    /// only allocated the first time it is seen.
+    /// interned on first sight and looked up alloc-free afterwards.
     pub fn set_gauge(&mut self, key: &str, v: f64) {
         match self.gauges.get_mut(key) {
             Some(g) => *g = v,
             None => {
-                self.gauges.insert(key.to_owned(), v);
+                self.gauges.insert(Kind::intern(key), v);
             }
         }
     }
@@ -231,6 +236,19 @@ mod tests {
         let sorted = m.gauges_sorted();
         assert_eq!(sorted.len(), 2);
         assert_eq!(sorted[0].0, "gateway.replay_entries");
+    }
+
+    #[test]
+    fn counter_keys_are_interned() {
+        // Two Metrics instances bumping the same key share one allocation:
+        // the sorted snapshots borrow str slices with identical addresses.
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.bump("telemetry.shared_key", 1.0);
+        b.bump("telemetry.shared_key", 2.0);
+        let ka = a.counters_sorted()[0].0 as *const str;
+        let kb = b.counters_sorted()[0].0 as *const str;
+        assert_eq!(ka, kb, "interned keys must share one allocation");
     }
 
     #[test]

@@ -79,6 +79,11 @@ impl Span {
 
 const BUCKETS: usize = 65;
 
+/// Number of log buckets in a [`Histogram`] (bucket 0 = exact zeros, bucket
+/// `i > 0` = values of bit-length `i`). Public so exposition renderers can
+/// size their cumulative output.
+pub const HISTOGRAM_BUCKETS: usize = BUCKETS;
+
 /// Fixed log-bucket histogram over `u64` microsecond values.
 ///
 /// Bucket `i > 0` holds values with bit-length `i` (the range
@@ -188,6 +193,96 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
+
+    /// Raw per-bucket counts (length [`HISTOGRAM_BUCKETS`]), for exposition
+    /// renderers that need cumulative `le` families.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `i`: 0 for bucket 0, `2^i - 1` above.
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Rebuild a histogram from exported parts (exposition round-trip). The
+    /// count is recomputed from the buckets; `sum`/`max` are taken as given.
+    pub fn from_parts(buckets: &[u64], sum: u64, max: u64) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, &n) in buckets.iter().enumerate().take(BUCKETS) {
+            h.buckets[i] = n;
+            h.count += n;
+        }
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+
+    /// The delta since an `earlier` snapshot of the same cumulative series:
+    /// per-bucket/`count`/`sum` subtraction (saturating, so a reset snapshot
+    /// degrades to the full histogram instead of wrapping). `max` cannot be
+    /// windowed from cumulative data, so the cumulative max is kept — an
+    /// upper bound, consistent with `percentile`'s clamping contract.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            d.buckets[i] = a.saturating_sub(*b);
+        }
+        d.count = self.count.saturating_sub(earlier.count);
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d.max = self.max;
+        d
+    }
+}
+
+/// An SLO alert transition recorded into the [`Collector`] timeline:
+/// `fired == true` is `AlertFired`, `false` is `AlertResolved`.
+///
+/// Events identify nodes by their partition-stable *label* (not the
+/// shard-local `NodeId`), so alert timelines from different shardings of the
+/// same topology merge into identical sequences. Deliberately *not* part of
+/// [`ObsSummary`] — the f64 observation would break the summary's byte-equal
+/// `Eq` contract that the sharded soak asserts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// Sim-time of the transition.
+    pub at: SimTime,
+    /// Partition-stable label of the node that evaluated the rule.
+    pub node_label: u64,
+    /// Rule name, e.g. `p99.gateway.stage`.
+    pub rule: String,
+    /// Scrape target the rule was evaluated against, e.g. `gw-0`.
+    pub instance: String,
+    /// `true` = AlertFired, `false` = AlertResolved.
+    pub fired: bool,
+    /// The observed value at the transition.
+    pub value: f64,
+    /// The rule's limit.
+    pub limit: f64,
+    /// Trace id of the alert episode (minted at fire, reused at resolve).
+    pub trace: u64,
+}
+
+impl ObsEvent {
+    /// One-line JSON rendering (used by flight-recorder dumps).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"event\":\"{}\",\"at_us\":{},\"node_label\":{},\"rule\":\"{}\",\
+             \"instance\":\"{}\",\"value\":{},\"limit\":{},\"trace\":{}}}",
+            if self.fired { "AlertFired" } else { "AlertResolved" },
+            self.at.0,
+            self.node_label,
+            self.rule,
+            self.instance,
+            self.value,
+            self.limit,
+            self.trace
+        )
+    }
 }
 
 /// Aggregated per-stage latency distributions plus reliability counters —
@@ -226,6 +321,7 @@ impl ObsSummary {
 pub struct Collector {
     spans: Vec<Span>,
     stages: Vec<(&'static str, Histogram)>,
+    events: Vec<ObsEvent>,
     next_trace: u64,
 }
 
@@ -289,6 +385,16 @@ impl Collector {
     /// All spans, in creation order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// Record an alert transition into the timeline.
+    pub fn record_event(&mut self, event: ObsEvent) {
+        self.events.push(event);
+    }
+
+    /// Alert transitions, in recording order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
     }
 
     /// Spans belonging to one trace.

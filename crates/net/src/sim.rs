@@ -17,7 +17,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use crate::link::{LinkSpec, Topology};
 use crate::message::Message;
 use crate::metrics::{Metrics, MetricsRegistry};
-use crate::obs::{Collector, ObsSummary};
+use crate::obs::{Collector, ObsEvent, ObsSummary};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEntry};
@@ -322,6 +322,41 @@ impl Ctx<'_> {
         let now = self.now;
         if let Some(c) = self.obs {
             c.end_span(span, now);
+        }
+    }
+
+    /// Read-only view of the attached collector. Serving nodes use it to
+    /// render their `/metrics` exposition (stage histograms); `None` when
+    /// observability is disabled, in which case the exposition simply omits
+    /// the histogram families.
+    pub fn obs_collector(&self) -> Option<&Collector> {
+        self.obs.as_ref()
+    }
+
+    /// Record an SLO alert transition (`fired` = AlertFired, else
+    /// AlertResolved) into the collector timeline, stamped with this node's
+    /// partition-stable label. Branch-and-return no-op without a collector.
+    pub fn obs_alert(
+        &mut self,
+        rule: &str,
+        instance: &str,
+        fired: bool,
+        value: f64,
+        limit: f64,
+        trace: u64,
+    ) {
+        let (at, node_label) = (self.now, self.topology.label(self.self_id));
+        if let Some(c) = self.obs {
+            c.record_event(ObsEvent {
+                at,
+                node_label,
+                rule: rule.to_owned(),
+                instance: instance.to_owned(),
+                fired,
+                value,
+                limit,
+                trace,
+            });
         }
     }
 }

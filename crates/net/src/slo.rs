@@ -1,0 +1,639 @@
+//! SLO rules, the alert engine, and the in-sim monitor node.
+//!
+//! The paper's gateway must stay reachable while handhelds are away; this
+//! module is the layer that *interprets* the telemetry of
+//! [`crate::telemetry`] against declarative service-level objectives:
+//!
+//! * [`SloRule`] — upper-bound rules over scraped signals: windowed
+//!   `p99(stage)`, cumulative error ratios, instantaneous gauges, and a
+//!   two-window burn rate.
+//! * [`SloEngine`] — pure evaluation state machine: feed it snapshots on a
+//!   cadence, get [`AlertTransition`]s (fired/resolved edges) back. No sim
+//!   types, so it is unit-testable in isolation.
+//! * [`SloMonitor`] — a [`Node`] that scrapes its targets' `GET /metrics` +
+//!   `GET /healthz` over the modeled links on a sim-timer cadence, feeds the
+//!   engine, and emits `AlertFired`/`AlertResolved` events into the obs
+//!   [`Collector`](crate::obs::Collector) with a per-episode trace id. Each
+//!   alert episode is also a span (`slo.alert`), so time-to-resolve lands in
+//!   the stage histograms like any other latency.
+//!
+//! Monitors run a *bounded* number of rounds so `run_until_idle` still
+//! drains, and they are deliberately cell-local in sharded soaks: their
+//! links get their own RNG streams, so enabling monitoring never perturbs
+//! protocol traffic (the same argument as PR 2's zero-cost tracing).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::http::{HttpClient, HttpRequest, TimerOutcome};
+use crate::message::Message;
+use crate::obs::Histogram;
+use crate::sim::{Ctx, Node, NodeId};
+use crate::telemetry::{parse_prom, TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS};
+use crate::time::{SimDuration, SimTime};
+
+/// Synthetic gauge the monitor injects before evaluation: consecutive
+/// failed probes against the target (reset by any successful `/healthz`).
+pub const KEY_PROBE_FAILURES: &str = "monitor.consecutive_probe_failures";
+/// Synthetic stage the monitor injects: round-trip time of `/metrics`
+/// scrapes, measured from first transmission (retransmissions included —
+/// that *is* the tail a real scraper sees).
+pub const STAGE_SCRAPE_RTT: &str = "scrape.rtt";
+
+/// What a rule measures. All signals are compared as upper bounds: the rule
+/// is healthy while `value <= limit`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// p99 of a stage histogram over the window since the last evaluation
+    /// (cumulative scrapes are diffed; an empty window reads 0 — no
+    /// observations, no violation). Value is in microseconds.
+    StageP99 {
+        /// Stage name as it appears in the exposition, e.g. `scrape.rtt`.
+        stage: String,
+    },
+    /// Cumulative `errors / total` over two counters (0 while `total` is 0).
+    ErrorRatio {
+        /// Counter key of the failure count.
+        errors: String,
+        /// Counter key of the attempt count.
+        total: String,
+    },
+    /// The instantaneous value of a gauge.
+    Gauge {
+        /// Gauge key, e.g. `gateway.replay_entries`.
+        key: String,
+    },
+    /// Two-window burn rate over an error/total counter pair: the value is
+    /// `min(short-window ratio, long-window ratio)`, so the rule only fires
+    /// while *both* windows burn above the limit — the classic fast+slow
+    /// window pairing that ignores blips but catches sustained burn.
+    BurnRate {
+        /// Counter key of the failure count.
+        errors: String,
+        /// Counter key of the attempt count.
+        total: String,
+        /// Short window length, in evaluation cadences.
+        short: usize,
+        /// Long window length, in evaluation cadences (`>= short`).
+        long: usize,
+    },
+}
+
+/// A declarative upper-bound rule: healthy while `signal <= limit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name (used in events, reports and flight dumps).
+    pub name: String,
+    /// The measured signal.
+    pub signal: SloSignal,
+    /// Inclusive upper bound for the healthy state.
+    pub limit: f64,
+}
+
+impl SloRule {
+    /// `p99(stage) <= limit_us` over each evaluation window.
+    pub fn p99(name: &str, stage: &str, limit_us: f64) -> SloRule {
+        SloRule {
+            name: name.to_owned(),
+            signal: SloSignal::StageP99 { stage: stage.to_owned() },
+            limit: limit_us,
+        }
+    }
+
+    /// `errors/total <= limit` (cumulative).
+    pub fn error_ratio(name: &str, errors: &str, total: &str, limit: f64) -> SloRule {
+        SloRule {
+            name: name.to_owned(),
+            signal: SloSignal::ErrorRatio { errors: errors.to_owned(), total: total.to_owned() },
+            limit,
+        }
+    }
+
+    /// `gauge(key) <= limit`.
+    pub fn gauge(name: &str, key: &str, limit: f64) -> SloRule {
+        SloRule { name: name.to_owned(), signal: SloSignal::Gauge { key: key.to_owned() }, limit }
+    }
+
+    /// Two-window burn rate: fires while both the `short`- and
+    /// `long`-cadence windows burn `errors/total` above `limit`.
+    pub fn burn_rate(
+        name: &str,
+        errors: &str,
+        total: &str,
+        short: usize,
+        long: usize,
+        limit: f64,
+    ) -> SloRule {
+        SloRule {
+            name: name.to_owned(),
+            signal: SloSignal::BurnRate {
+                errors: errors.to_owned(),
+                total: total.to_owned(),
+                short: short.max(1),
+                long: long.max(short.max(1)),
+            },
+            limit,
+        }
+    }
+}
+
+/// A fired/resolved edge produced by [`SloEngine::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Rule name.
+    pub rule: String,
+    /// `true` = AlertFired, `false` = AlertResolved.
+    pub fired: bool,
+    /// The observed value at the transition.
+    pub value: f64,
+    /// The rule's limit.
+    pub limit: f64,
+}
+
+/// Per-rule evaluation state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    breached: bool,
+    evaluations: u64,
+    fired: u64,
+    resolved: u64,
+    last_value: f64,
+    /// Cumulative stage histogram at the previous evaluation (StageP99).
+    prev_stage: Histogram,
+    /// Recent cumulative `(errors, total)` samples, newest last (BurnRate).
+    samples: VecDeque<(f64, f64)>,
+}
+
+/// Aggregated per-rule outcome for reports (`slo` section of BENCH json).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Rule name.
+    pub name: String,
+    /// The rule's limit.
+    pub limit: f64,
+    /// Evaluations performed.
+    pub evaluations: u64,
+    /// Fired edges.
+    pub fired: u64,
+    /// Resolved edges.
+    pub resolved: u64,
+    /// Is the rule breached right now (fired and unresolved)?
+    pub breached: bool,
+    /// Last observed value.
+    pub last_value: f64,
+}
+
+/// The pure rule-evaluation state machine: rules in, snapshots in on a
+/// cadence, alert edges out.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    rules: Vec<(SloRule, RuleState)>,
+}
+
+impl SloEngine {
+    /// Engine over a fixed rule set.
+    pub fn new(rules: Vec<SloRule>) -> SloEngine {
+        SloEngine { rules: rules.into_iter().map(|r| (r, RuleState::default())).collect() }
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Evaluate every rule against a snapshot, returning the transitions
+    /// (edges only — a rule that stays breached or stays healthy is silent).
+    pub fn evaluate(&mut self, snap: &TelemetrySnapshot) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+        for (rule, state) in &mut self.rules {
+            let value = match &rule.signal {
+                SloSignal::StageP99 { stage } => match snap.stage(stage) {
+                    Some(cur) => {
+                        let window = cur.diff(&state.prev_stage);
+                        state.prev_stage = cur.clone();
+                        if window.count() == 0 {
+                            0.0
+                        } else {
+                            window.p99() as f64
+                        }
+                    }
+                    None => 0.0,
+                },
+                SloSignal::ErrorRatio { errors, total } => {
+                    let t = snap.counter(total);
+                    if t > 0.0 {
+                        snap.counter(errors) / t
+                    } else {
+                        0.0
+                    }
+                }
+                SloSignal::Gauge { key } => snap.gauge(key),
+                SloSignal::BurnRate { errors, total, short, long } => {
+                    state.samples.push_back((snap.counter(errors), snap.counter(total)));
+                    while state.samples.len() > long + 1 {
+                        state.samples.pop_front();
+                    }
+                    let rate = |window: usize, samples: &VecDeque<(f64, f64)>| -> f64 {
+                        let newest = samples.len() - 1;
+                        let base = newest.saturating_sub(window);
+                        let (e0, t0) = samples[base];
+                        let (e1, t1) = samples[newest];
+                        let dt = t1 - t0;
+                        if dt > 0.0 {
+                            (e1 - e0) / dt
+                        } else {
+                            0.0
+                        }
+                    };
+                    f64::min(rate(*short, &state.samples), rate(*long, &state.samples))
+                }
+            };
+            state.evaluations += 1;
+            state.last_value = value;
+            let breach = value > rule.limit;
+            if breach != state.breached {
+                state.breached = breach;
+                if breach {
+                    state.fired += 1;
+                } else {
+                    state.resolved += 1;
+                }
+                out.push(AlertTransition {
+                    rule: rule.name.clone(),
+                    fired: breach,
+                    value,
+                    limit: rule.limit,
+                });
+            }
+        }
+        out
+    }
+
+    /// Per-rule outcome digests, in rule order.
+    pub fn reports(&self) -> Vec<SloReport> {
+        self.rules
+            .iter()
+            .map(|(r, s)| SloReport {
+                name: r.name.clone(),
+                limit: r.limit,
+                evaluations: s.evaluations,
+                fired: s.fired,
+                resolved: s.resolved,
+                breached: s.breached,
+                last_value: s.last_value,
+            })
+            .collect()
+    }
+
+    /// Rules currently breached (fired and unresolved).
+    pub fn breached(&self) -> usize {
+        self.rules.iter().filter(|(_, s)| s.breached).count()
+    }
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorSpec {
+    /// Scrape interval.
+    pub cadence: SimDuration,
+    /// Total scrape rounds — bounded, so simulations always drain.
+    pub rounds: u32,
+    /// Per-request retransmission timeout for probes/scrapes.
+    pub rto: SimDuration,
+    /// Retransmissions before a probe counts as failed.
+    pub retries: u32,
+    /// The rule set every target is evaluated against.
+    pub rules: Vec<SloRule>,
+}
+
+impl Default for MonitorSpec {
+    fn default() -> MonitorSpec {
+        MonitorSpec {
+            cadence: SimDuration::from_secs(5),
+            rounds: 6,
+            rto: SimDuration::from_secs(2),
+            retries: 1,
+            rules: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Health,
+    Metrics,
+}
+
+#[derive(Debug)]
+struct TargetState {
+    node: NodeId,
+    instance: String,
+    engine: SloEngine,
+    /// Cumulative scrape-RTT histogram (the engine windows it by diffing).
+    rtt: Histogram,
+    consecutive_failures: f64,
+    last_snap: TelemetrySnapshot,
+    /// rule name → trace id of the open alert episode.
+    episodes: HashMap<String, u64>,
+    /// rule name → open `slo.alert` span id.
+    open_spans: HashMap<String, u32>,
+}
+
+/// Timer tag for the scrape cadence (below `HTTP_TIMER_BASE`).
+const TAG_SCRAPE: u64 = 1;
+
+/// The scraping monitor node. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SloMonitor {
+    spec: MonitorSpec,
+    targets: Vec<TargetState>,
+    http: HttpClient,
+    round: u32,
+    /// req_id → (target index, which probe, first-transmission time).
+    pending: HashMap<u64, (usize, Probe, SimTime)>,
+    /// Successful `/metrics` scrapes.
+    pub scrapes_ok: u64,
+    /// Probes that exhausted their retries.
+    pub probe_failures: u64,
+}
+
+impl SloMonitor {
+    /// Monitor over `(target node, instance name)` pairs.
+    pub fn new(spec: MonitorSpec, targets: Vec<(NodeId, String)>) -> SloMonitor {
+        let mut http = HttpClient::new();
+        http.timeout = spec.rto;
+        http.max_retries = spec.retries;
+        let targets = targets
+            .into_iter()
+            .map(|(node, instance)| TargetState {
+                node,
+                instance,
+                engine: SloEngine::new(spec.rules.clone()),
+                rtt: Histogram::new(),
+                consecutive_failures: 0.0,
+                last_snap: TelemetrySnapshot::default(),
+                episodes: HashMap::new(),
+                open_spans: HashMap::new(),
+            })
+            .collect();
+        SloMonitor { spec, targets, http, round: 0, pending: HashMap::new(), scrapes_ok: 0, probe_failures: 0 }
+    }
+
+    /// Per-target rule reports: `(instance, reports)` in target order.
+    pub fn reports(&self) -> Vec<(String, Vec<SloReport>)> {
+        self.targets.iter().map(|t| (t.instance.clone(), t.engine.reports())).collect()
+    }
+
+    /// Rules currently breached across all targets.
+    pub fn breached(&self) -> usize {
+        self.targets.iter().map(|t| t.engine.breached()).sum()
+    }
+
+    /// The engine's evaluation view for one target: last scraped snapshot
+    /// plus the synthetic probe-failure gauge and scrape-RTT stage.
+    fn observed(t: &TargetState) -> TelemetrySnapshot {
+        let mut snap = t.last_snap.clone();
+        snap.gauges.push((KEY_PROBE_FAILURES.to_owned(), t.consecutive_failures));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.stages.push((STAGE_SCRAPE_RTT.to_owned(), t.rtt.clone()));
+        snap.stages.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+
+    fn evaluate_target(&mut self, ctx: &mut Ctx<'_>, tidx: usize) {
+        let snap = Self::observed(&self.targets[tidx]);
+        let t = &mut self.targets[tidx];
+        let transitions = t.engine.evaluate(&snap);
+        ctx.metrics().bump("slo.evaluations", 1.0);
+        for tr in transitions {
+            if tr.fired {
+                let trace = ctx.obs_new_trace();
+                let span = ctx.span_begin(trace, 0, "slo.alert");
+                let t = &mut self.targets[tidx];
+                t.episodes.insert(tr.rule.clone(), trace);
+                t.open_spans.insert(tr.rule.clone(), span);
+                ctx.metrics().bump("slo.alerts_fired", 1.0);
+                let instance = self.targets[tidx].instance.clone();
+                ctx.obs_alert(&tr.rule, &instance, true, tr.value, tr.limit, trace);
+            } else {
+                let t = &mut self.targets[tidx];
+                let trace = t.episodes.remove(&tr.rule).unwrap_or(0);
+                let span = t.open_spans.remove(&tr.rule).unwrap_or(0);
+                ctx.span_end(span);
+                ctx.metrics().bump("slo.alerts_resolved", 1.0);
+                let instance = self.targets[tidx].instance.clone();
+                ctx.obs_alert(&tr.rule, &instance, false, tr.value, tr.limit, trace);
+            }
+        }
+    }
+
+    fn scrape_all(&mut self, ctx: &mut Ctx<'_>) {
+        for tidx in 0..self.targets.len() {
+            let node = self.targets[tidx].node;
+            let now = ctx.now();
+            let health = HttpRequest::new("GET", PATH_HEALTHZ, Vec::new());
+            let id = self.http.send(ctx, node, health);
+            self.pending.insert(id, (tidx, Probe::Health, now));
+            let metrics = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+            let id = self.http.send(ctx, node, metrics);
+            self.pending.insert(id, (tidx, Probe::Metrics, now));
+        }
+    }
+}
+
+impl Node for SloMonitor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.spec.rounds > 0 && !self.targets.is_empty() {
+            ctx.set_timer(self.spec.cadence, TAG_SCRAPE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        let Some(resp) = self.http.on_response(ctx, &msg) else { return };
+        let Some((tidx, probe, sent)) = self.pending.remove(&resp.req_id) else { return };
+        let rtt = ctx.now().since(sent);
+        match probe {
+            Probe::Health => {
+                if resp.status.is_success() {
+                    self.targets[tidx].consecutive_failures = 0.0;
+                }
+            }
+            Probe::Metrics => {
+                if resp.status.is_success() {
+                    if let Ok(text) = std::str::from_utf8(&resp.body) {
+                        self.targets[tidx].last_snap = parse_prom(text);
+                        self.scrapes_ok += 1;
+                        ctx.metrics().bump("slo.scrapes_ok", 1.0);
+                    }
+                }
+                self.targets[tidx].rtt.record(rtt.0);
+                self.evaluate_target(ctx, tidx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match self.http.on_timer(ctx, tag) {
+            TimerOutcome::Retried { .. } => return,
+            TimerOutcome::GaveUp { req_id, .. } => {
+                if let Some((tidx, _, _)) = self.pending.remove(&req_id) {
+                    self.targets[tidx].consecutive_failures += 1.0;
+                    self.probe_failures += 1;
+                    ctx.metrics().bump("slo.probe_failures", 1.0);
+                    self.evaluate_target(ctx, tidx);
+                }
+                return;
+            }
+            TimerOutcome::NotMine => {}
+        }
+        if tag == TAG_SCRAPE {
+            self.round += 1;
+            self.scrape_all(ctx);
+            if self.round < self.spec.rounds {
+                ctx.set_timer(self.spec.cadence, TAG_SCRAPE);
+            }
+        }
+    }
+}
+
+/// Failure injection: takes the `a`↔`b` link down at `down_at` and back up
+/// at `up_at` — the standard way to make latency/availability rules fire in
+/// tests and chaos soaks.
+#[derive(Debug)]
+pub struct LinkChaos {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// When to cut the link.
+    pub down_at: SimDuration,
+    /// When to restore it (must be after `down_at`).
+    pub up_at: SimDuration,
+}
+
+impl Node for LinkChaos {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.down_at, 0);
+        ctx.set_timer(self.up_at, 1);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        ctx.set_link_up(self.a, self.b, tag == 1);
+        ctx.metrics().bump(if tag == 1 { "chaos.link_up" } else { "chaos.link_down" }, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(
+        counters: &[(&str, f64)],
+        gauges: &[(&str, f64)],
+        stages: Vec<(String, Histogram)>,
+    ) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot {
+            counters: counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            gauges: gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            stages,
+        };
+        s.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        s.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        s.stages.sort_by(|a, b| a.0.cmp(&b.0));
+        s
+    }
+
+    #[test]
+    fn gauge_rule_fires_and_resolves_on_edges() {
+        let mut eng = SloEngine::new(vec![SloRule::gauge("replay-occupancy", "replay", 10.0)]);
+        assert!(eng.evaluate(&snap_with(&[], &[("replay", 5.0)], vec![])).is_empty());
+        let tr = eng.evaluate(&snap_with(&[], &[("replay", 11.0)], vec![]));
+        assert_eq!(tr.len(), 1);
+        assert!(tr[0].fired);
+        assert_eq!(tr[0].value, 11.0);
+        // Staying breached is silent.
+        assert!(eng.evaluate(&snap_with(&[], &[("replay", 12.0)], vec![])).is_empty());
+        let tr = eng.evaluate(&snap_with(&[], &[("replay", 3.0)], vec![]));
+        assert_eq!(tr.len(), 1);
+        assert!(!tr[0].fired);
+        let rep = &eng.reports()[0];
+        assert_eq!((rep.fired, rep.resolved, rep.breached), (1, 1, false));
+        assert_eq!(rep.evaluations, 4);
+    }
+
+    #[test]
+    fn error_ratio_is_cumulative_and_zero_safe() {
+        let mut eng = SloEngine::new(vec![SloRule::error_ratio("err", "fail", "all", 0.1)]);
+        // No attempts yet: healthy.
+        assert!(eng.evaluate(&snap_with(&[("all", 0.0), ("fail", 0.0)], &[], vec![])).is_empty());
+        let tr = eng.evaluate(&snap_with(&[("all", 10.0), ("fail", 5.0)], &[], vec![]));
+        assert!(tr[0].fired && tr[0].value == 0.5);
+    }
+
+    #[test]
+    fn stage_p99_windows_between_evaluations() {
+        let mut eng = SloEngine::new(vec![SloRule::p99("lat", "rtt", 1000.0)]);
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100); // all fast
+        }
+        assert!(eng.evaluate(&snap_with(&[], &[], vec![("rtt".to_owned(), h.clone())])).is_empty());
+        // One slow sample lands in the next window: windowed p99 sees only it.
+        h.record(1_000_000);
+        let tr = eng.evaluate(&snap_with(&[], &[], vec![("rtt".to_owned(), h.clone())]));
+        assert_eq!(tr.len(), 1, "windowed p99 must catch the regression the cumulative p99 hides");
+        assert!(tr[0].fired);
+        // An empty window resolves.
+        let tr = eng.evaluate(&snap_with(&[], &[], vec![("rtt".to_owned(), h.clone())]));
+        assert!(!tr[0].fired);
+    }
+
+    #[test]
+    fn burn_rate_needs_both_windows_hot() {
+        let mut eng = SloEngine::new(vec![SloRule::burn_rate("burn", "fail", "all", 1, 3, 0.5)]);
+        // Warm-up: no errors.
+        for i in 0..4 {
+            let t = 10.0 * (i + 1) as f64;
+            assert!(eng
+                .evaluate(&snap_with(&[("all", t), ("fail", 0.0)], &[], vec![]))
+                .is_empty());
+        }
+        // A single hot cadence: short window burns, long window still cold.
+        let tr = eng.evaluate(&snap_with(&[("all", 50.0), ("fail", 9.0)], &[], vec![]));
+        assert!(tr.is_empty(), "one bad cadence must not page");
+        // Sustained burn: both windows hot.
+        let tr = eng.evaluate(&snap_with(&[("all", 60.0), ("fail", 18.0)], &[], vec![]));
+        let tr2 = eng.evaluate(&snap_with(&[("all", 70.0), ("fail", 27.0)], &[], vec![]));
+        assert!(
+            tr.iter().chain(tr2.iter()).any(|t| t.fired),
+            "sustained burn must fire: {tr:?} {tr2:?}"
+        );
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let rules = || {
+            vec![
+                SloRule::gauge("g", "x", 1.0),
+                SloRule::error_ratio("e", "f", "t", 0.5),
+            ]
+        };
+        let feed = |eng: &mut SloEngine| {
+            let mut edges = Vec::new();
+            for i in 0..10 {
+                let v = (i % 3) as f64;
+                edges.extend(eng.evaluate(&snap_with(
+                    &[("f", v), ("t", 2.0 * (i + 1) as f64)],
+                    &[("x", v)],
+                    vec![],
+                )));
+            }
+            edges
+        };
+        let mut a = SloEngine::new(rules());
+        let mut b = SloEngine::new(rules());
+        assert_eq!(feed(&mut a), feed(&mut b));
+        assert_eq!(a.reports(), b.reports());
+    }
+}

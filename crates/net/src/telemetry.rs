@@ -1,0 +1,641 @@
+//! Operational telemetry: Prometheus-style exposition, health probes and the
+//! flight recorder.
+//!
+//! PRs 1–3 gave every node raw counters ([`crate::metrics`]) and causal
+//! latency histograms ([`crate::obs`]); this module turns them into signals
+//! another *node in the simulation* can consume. Gateways and MAS servers
+//! answer `GET /metrics` with the text exposition produced by
+//! [`render_prom`], and `GET /healthz` with a liveness document — served over
+//! the same modeled links as protocol traffic, so a monitor sees exactly the
+//! staleness and loss a real scraper would. [`parse_prom`] is the inverse,
+//! used by the in-sim monitor ([`crate::slo`]) and by round-trip tests.
+//!
+//! The [`FlightRecorder`] is the post-mortem half: a bounded ring of recent
+//! span/alert lines for one node, dumped to
+//! `target/flightrec/<scenario>-<node>.jsonl` when an alert fires or a soak
+//! invariant fails, so a red CI run ships its own diagnosis.
+//!
+//! Everything here is deterministic: snapshots sort by name, exposition
+//! output is byte-stable across runs and shard counts, and nothing consults
+//! the wall clock.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::http::{reply, HttpRequest, HttpStatus};
+use crate::metrics::Metrics;
+use crate::obs::{Collector, Histogram};
+use crate::sim::{Ctx, NodeId};
+use crate::time::SimTime;
+
+/// Scrape endpoint path served by gateway and MAS nodes.
+pub const PATH_METRICS: &str = "/metrics";
+/// Liveness endpoint path served by gateway and MAS nodes.
+pub const PATH_HEALTHZ: &str = "/healthz";
+
+/// Shared histogram family for per-stage latencies (one family, a `stage`
+/// label per series — the idiomatic Prometheus shape for homogeneous units).
+pub const STAGE_FAMILY: &str = "pdagent_stage_duration_us";
+
+/// A deterministic point-in-time copy of one node's telemetry: named
+/// counters (including the built-in byte/message counters), gauges, and the
+/// per-stage latency histograms. Everything is sorted by name, so two
+/// captures of identical state render identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// `(key, value)` counters, sorted by key.
+    pub counters: Vec<(String, f64)>,
+    /// `(key, value)` gauges, sorted by key.
+    pub gauges: Vec<(String, f64)>,
+    /// `(stage, histogram)`, sorted by stage name.
+    pub stages: Vec<(String, Histogram)>,
+}
+
+impl TelemetrySnapshot {
+    /// Capture from a node's [`Metrics`] plus stage histograms (typically
+    /// the simulation collector's; pass `&[]` when observability is off —
+    /// the exposition simply omits the histogram families).
+    pub fn capture(metrics: &Metrics, stages: &[(String, Histogram)]) -> TelemetrySnapshot {
+        let mut counters: Vec<(String, f64)> = vec![
+            ("bytes_received".to_owned(), metrics.bytes_received as f64),
+            ("bytes_sent".to_owned(), metrics.bytes_sent as f64),
+            ("msgs_dropped".to_owned(), metrics.msgs_dropped as f64),
+            ("msgs_received".to_owned(), metrics.msgs_received as f64),
+            ("msgs_sent".to_owned(), metrics.msgs_sent as f64),
+        ];
+        counters.extend(metrics.counters_sorted().into_iter().map(|(k, v)| (k.to_owned(), v)));
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let gauges: Vec<(String, f64)> =
+            metrics.gauges_sorted().into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let mut stages: Vec<(String, Histogram)> = stages.to_vec();
+        stages.sort_by(|a, b| a.0.cmp(&b.0));
+        TelemetrySnapshot { counters, gauges, stages }
+    }
+
+    /// Read a counter by its original key (0 if absent).
+    pub fn counter(&self, key: &str) -> f64 {
+        match self.counters.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.counters[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Read a gauge by its original key (0 if absent).
+    pub fn gauge(&self, key: &str) -> f64 {
+        match self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.gauges[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The latency histogram for one stage, if present.
+    pub fn stage(&self, name: &str) -> Option<&Histogram> {
+        match self.stages.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => Some(&self.stages[i].1),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Map a free-form telemetry key to an exposition metric-name fragment:
+/// anything outside `[a-zA-Z0-9_]` becomes `_` (`gateway.replays` →
+/// `gateway_replays`). The original spelling still rides in the `key` label,
+/// so parsing is lossless.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Exposition-format label-value escaping: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Render a float the way the exposition format expects: integers without a
+/// trailing `.0` (counters are conceptually integral), everything else via
+/// the shortest round-trip `Display`.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition.
+///
+/// Families are `pdagent_<sanitized-key>_total` (counters) and
+/// `pdagent_<sanitized-key>` (gauges), each sample labeled with the serving
+/// `instance` and its original `key` spelling; stage histograms share the
+/// [`STAGE_FAMILY`] family (`_bucket`/`_sum`/`_count` plus a `_max` gauge so
+/// the exact observed maximum survives the round trip). Output is sorted and
+/// byte-stable: identical state renders identically on every run and under
+/// every shard count.
+pub fn render_prom(instance: &str, snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let inst = escape_label(instance);
+
+    // Counters and gauges: group samples by sanitized family name (distinct
+    // keys can collide post-sanitization; they become one family with two
+    // `key`-labeled series).
+    let render_scalars = |out: &mut String, items: &[(String, f64)], kind: &str, total: bool| {
+        let mut rows: Vec<(String, &str, f64)> = items
+            .iter()
+            .map(|(k, v)| {
+                let mut fam = format!("pdagent_{}", sanitize(k));
+                if total {
+                    fam.push_str("_total");
+                }
+                (fam, k.as_str(), *v)
+            })
+            .collect();
+        rows.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        let mut last_fam = "";
+        for (fam, key, v) in &rows {
+            if fam != last_fam {
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+                last_fam = fam;
+            }
+            let _ = writeln!(
+                out,
+                "{fam}{{instance=\"{inst}\",key=\"{}\"}} {}",
+                escape_label(key),
+                fmt_value(*v)
+            );
+        }
+    };
+    render_scalars(&mut out, &snap.counters, "counter", true);
+    render_scalars(&mut out, &snap.gauges, "gauge", false);
+
+    if snap.stages.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "# TYPE {STAGE_FAMILY} histogram");
+    for (stage, h) in &snap.stages {
+        let labels = format!("instance=\"{inst}\",stage=\"{}\"", escape_label(stage));
+        let counts = h.bucket_counts();
+        let hi = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &n) in counts.iter().enumerate().take(hi + 1) {
+            cum += n;
+            let _ = writeln!(
+                out,
+                "{STAGE_FAMILY}_bucket{{{labels},le=\"{}\"}} {cum}",
+                Histogram::bucket_upper(i)
+            );
+        }
+        let _ = writeln!(out, "{STAGE_FAMILY}_bucket{{{labels},le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{STAGE_FAMILY}_sum{{{labels}}} {}", h.sum());
+        let _ = writeln!(out, "{STAGE_FAMILY}_count{{{labels}}} {}", h.count());
+    }
+    let _ = writeln!(out, "# TYPE {STAGE_FAMILY}_max gauge");
+    for (stage, h) in &snap.stages {
+        let _ = writeln!(
+            out,
+            "{STAGE_FAMILY}_max{{instance=\"{inst}\",stage=\"{}\"}} {}",
+            escape_label(stage),
+            h.max()
+        );
+    }
+    out
+}
+
+/// A parsed sample's `(label, value)` pairs, in line order.
+type Labels = Vec<(String, String)>;
+
+/// One parsed exposition sample: name, labels, value.
+fn parse_sample(line: &str) -> Option<(&str, Labels, f64)> {
+    let brace = line.find('{')?;
+    let name = &line[..brace];
+    let rest = &line[brace + 1..];
+    let mut labels = Vec::new();
+    let mut chars = rest.char_indices();
+    let mut key_start = 0;
+    loop {
+        // Label key up to '='.
+        let eq = loop {
+            match chars.next() {
+                Some((i, '=')) => break i,
+                Some((i, '}')) => {
+                    // Empty label set or trailing comma; value follows.
+                    let value: f64 = rest[i + 1..].trim().parse().ok()?;
+                    return Some((name, labels, value));
+                }
+                Some(_) => continue,
+                None => return None,
+            }
+        };
+        let key = rest[key_start..eq].trim_start_matches(',').to_owned();
+        // Opening quote.
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        // Value until the unescaped closing quote.
+        let mut raw = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => {
+                    raw.push('\\');
+                    if let Some((_, c)) = chars.next() {
+                        raw.push(c);
+                    }
+                }
+                Some((_, '"')) => break,
+                Some((_, c)) => raw.push(c),
+                None => return None,
+            }
+        }
+        labels.push((key, unescape_label(&raw)));
+        // After a label value: ',' continues, '}' ends.
+        match chars.next() {
+            Some((i, ',')) => key_start = i + 1,
+            Some((i, '}')) => {
+                let value: f64 = rest[i + 1..].trim().parse().ok()?;
+                return Some((name, labels, value));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn label<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Parse text exposition produced by [`render_prom`] back into a
+/// [`TelemetrySnapshot`]. Counter/gauge keys come from the `key` label (so
+/// sanitization is lossless); stage histograms are rebuilt from the
+/// cumulative `_bucket` series plus `_sum` and `_max`. Unknown lines are
+/// ignored, making the parser tolerant of future families.
+pub fn parse_prom(text: &str) -> TelemetrySnapshot {
+    let mut snap = TelemetrySnapshot::default();
+    let bucket_name = format!("{STAGE_FAMILY}_bucket");
+    let sum_name = format!("{STAGE_FAMILY}_sum");
+    let count_name = format!("{STAGE_FAMILY}_count");
+    let max_name = format!("{STAGE_FAMILY}_max");
+    // stage → (upper bound → cumulative count), plus sum/max per stage.
+    let mut cums: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    let mut maxes: BTreeMap<String, u64> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, labels, value)) = parse_sample(line) else { continue };
+        if name == bucket_name {
+            let (Some(stage), Some(le)) = (label(&labels, "stage"), label(&labels, "le")) else {
+                continue;
+            };
+            if le == "+Inf" {
+                continue; // same as the _count series
+            }
+            if let Ok(upper) = le.parse::<u64>() {
+                cums.entry(stage.to_owned()).or_default().insert(upper, value as u64);
+            }
+        } else if name == sum_name {
+            if let Some(stage) = label(&labels, "stage") {
+                sums.insert(stage.to_owned(), value as u64);
+            }
+        } else if name == max_name {
+            if let Some(stage) = label(&labels, "stage") {
+                maxes.insert(stage.to_owned(), value as u64);
+            }
+        } else if name == count_name {
+            // Redundant with the bucket series; nothing to record.
+        } else if let Some(key) = label(&labels, "key") {
+            if name.ends_with("_total") {
+                snap.counters.push((key.to_owned(), value));
+            } else {
+                snap.gauges.push((key.to_owned(), value));
+            }
+        }
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    for (stage, by_upper) in cums {
+        let mut buckets = [0u64; crate::obs::HISTOGRAM_BUCKETS];
+        let mut prev = 0u64;
+        for (upper, cum) in by_upper {
+            let idx = if upper == 0 { 0 } else { (upper + 1).trailing_zeros() as usize };
+            if idx < buckets.len() {
+                buckets[idx] = cum.saturating_sub(prev);
+            }
+            prev = cum;
+        }
+        let sum = sums.get(&stage).copied().unwrap_or(0);
+        let max = maxes.get(&stage).copied().unwrap_or(0);
+        snap.stages.push((stage, Histogram::from_parts(&buckets, sum, max)));
+    }
+    snap
+}
+
+/// Render the `/healthz` document: a one-line JSON liveness statement. The
+/// probe's value is *reaching* the node over the modeled link — the body
+/// stays minimal and deterministic.
+pub fn render_health(instance: &str, now: SimTime) -> String {
+    format!("{{\"status\":\"ok\",\"instance\":\"{}\",\"now_us\":{}}}", escape_label(instance), now.0)
+}
+
+/// Server-side handler: if `req` is a `GET` for [`PATH_METRICS`] or
+/// [`PATH_HEALTHZ`], answer it (uncached — scrapes must never enter replay
+/// caches) and return `true`; otherwise leave the request for the caller's
+/// protocol dispatch. Zero-cost when unused: nothing is rendered until a
+/// scrape actually arrives, and without a collector the exposition carries
+/// no histogram families.
+pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, instance: &str) -> bool {
+    if req.method != "GET" {
+        return false;
+    }
+    match req.path.as_str() {
+        PATH_METRICS => {
+            let stages: Vec<(String, Histogram)> = ctx
+                .obs_collector()
+                .map(|c| {
+                    c.stages().iter().map(|(n, h)| ((*n).to_owned(), (*h).clone())).collect()
+                })
+                .unwrap_or_default();
+            let snap = TelemetrySnapshot::capture(ctx.metrics(), &stages);
+            let body = render_prom(instance, &snap);
+            ctx.metrics().bump("telemetry.scrapes", 1.0);
+            reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
+            true
+        }
+        PATH_HEALTHZ => {
+            let body = render_health(instance, ctx.now());
+            ctx.metrics().bump("telemetry.probes", 1.0);
+            reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A bounded ring of recent JSONL lines for one node — the in-memory half
+/// of the flight recorder. Pushing beyond the capacity evicts the oldest
+/// line, so a dump always holds the *most recent* history.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    lines: VecDeque<String>,
+}
+
+impl FlightRecorder {
+    /// Recorder keeping at most `cap` lines.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder { cap: cap.max(1), lines: VecDeque::new() }
+    }
+
+    /// Append a line, evicting the oldest when full.
+    pub fn push(&mut self, line: String) {
+        if self.lines.len() == self.cap {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(line);
+    }
+
+    /// Number of retained lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The retained lines, oldest first, newline-terminated.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Build a recorder from a [`Collector`]: the spans recorded *on*
+    /// `node` (by local id) plus every alert event, merged in time order,
+    /// keeping the most recent `cap` lines.
+    pub fn capture(collector: &Collector, node: NodeId, cap: usize) -> FlightRecorder {
+        let mut timed: Vec<(u64, String)> = Vec::new();
+        for s in collector.spans().iter().filter(|s| s.node == node) {
+            let mut line = format!(
+                "{{\"record\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\"",
+                s.trace, s.id, s.parent, s.name
+            );
+            if let Some(i) = s.index {
+                let _ = write!(line, ",\"index\":{i}");
+            }
+            let _ = write!(line, ",\"node\":{},\"begin_us\":{}", s.node, s.begin.0);
+            if let Some(e) = s.end {
+                let _ = write!(line, ",\"end_us\":{}", e.0);
+            }
+            line.push('}');
+            timed.push((s.begin.0, line));
+        }
+        for e in collector.events() {
+            timed.push((e.at.0, format!("{{\"record\":\"alert\",{}", &e.to_json()[1..])));
+        }
+        timed.sort_by_key(|t| t.0);
+        let mut rec = FlightRecorder::new(cap);
+        for (_, line) in timed {
+            rec.push(line);
+        }
+        rec
+    }
+}
+
+/// Write a recorder to `<dir>/<scenario>-<node>.jsonl`, creating the
+/// directory as needed. Returns the written path.
+pub fn dump_flight(
+    dir: &Path,
+    scenario: &str,
+    node: &str,
+    rec: &FlightRecorder,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{scenario}-{node}.jsonl"));
+    std::fs::write(&path, rec.to_jsonl())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::ObsEvent;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut m = Metrics::new();
+        m.bytes_sent = 1000;
+        m.msgs_sent = 10;
+        m.bump("gateway.replays", 3.0);
+        m.bump("http.gave_up", 1.0);
+        m.set_gauge("gateway.replay_entries", 7.0);
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 70, 900, 900, 16000] {
+            h.record(v);
+        }
+        TelemetrySnapshot::capture(&m, &[("gateway.stage".to_owned(), h)])
+    }
+
+    #[test]
+    fn exposition_renders_sorted_and_typed() {
+        let text = render_prom("gw-0", &sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        // TYPE precedes its samples; counters end in _total.
+        let ty = lines.iter().position(|l| *l == "# TYPE pdagent_gateway_replays_total counter");
+        let sample = lines
+            .iter()
+            .position(|l| l.starts_with("pdagent_gateway_replays_total{instance=\"gw-0\""));
+        assert!(ty.unwrap() < sample.unwrap(), "{text}");
+        assert!(text.contains("key=\"gateway.replays\"} 3"), "{text}");
+        assert!(text.contains("# TYPE pdagent_gateway_replay_entries gauge"), "{text}");
+        // Samples sorted by family name.
+        let samples: Vec<&&str> =
+            lines.iter().filter(|l| !l.starts_with('#') && l.contains("_total")).collect();
+        let mut sorted = samples.clone();
+        sorted.sort();
+        assert_eq!(samples, sorted, "counter samples must be sorted");
+    }
+
+    #[test]
+    fn exposition_histogram_buckets_are_cumulative_and_monotone() {
+        let text = render_prom("gw-0", &sample_snapshot());
+        let mut cums = Vec::new();
+        for line in text.lines() {
+            if line.starts_with("pdagent_stage_duration_us_bucket{") {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                cums.push(v);
+            }
+        }
+        assert!(cums.len() >= 2);
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "buckets not monotone: {cums:?}");
+        assert_eq!(*cums.last().unwrap(), 6, "+Inf bucket must equal the count");
+        assert!(text.contains("pdagent_stage_duration_us_sum{"), "{text}");
+        assert!(text.contains("pdagent_stage_duration_us_max{"), "{text}");
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let weird = "gw\"0\\path\nend";
+        let esc = escape_label(weird);
+        assert!(!esc.contains('\n'), "newline must be escaped: {esc}");
+        assert_eq!(unescape_label(&esc), weird);
+        // And through a full render/parse cycle via the instance label.
+        let text = render_prom(weird, &sample_snapshot());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, labels, _) = parse_sample(line).expect(line);
+            assert_eq!(label(&labels, "instance"), Some(weird));
+        }
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let snap = sample_snapshot();
+        let back = parse_prom(&render_prom("gw-0", &snap));
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.stages.len(), 1);
+        let (name, h) = &back.stages[0];
+        assert_eq!(name, "gateway.stage");
+        let (_, orig) = &snap.stages[0];
+        assert_eq!(h, orig, "histogram must survive the round trip exactly");
+        assert_eq!(back.stage("gateway.stage").unwrap().p99(), orig.p99());
+    }
+
+    #[test]
+    fn render_is_stable_across_runs() {
+        let a = render_prom("gw-0", &sample_snapshot());
+        let b = render_prom("gw-0", &sample_snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_reads_by_key() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter("gateway.replays"), 3.0);
+        assert_eq!(snap.counter("bytes_sent"), 1000.0);
+        assert_eq!(snap.counter("nope"), 0.0);
+        assert_eq!(snap.gauge("gateway.replay_entries"), 7.0);
+        assert!(snap.stage("gateway.stage").is_some());
+        assert!(snap.stage("nope").is_none());
+    }
+
+    #[test]
+    fn health_document_is_deterministic() {
+        let h = render_health("mas-1", SimTime(42));
+        assert_eq!(h, "{\"status\":\"ok\",\"instance\":\"mas-1\",\"now_us\":42}");
+    }
+
+    #[test]
+    fn flight_recorder_ring_keeps_most_recent() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.push(format!("{{\"i\":{i}}}"));
+        }
+        assert_eq!(rec.len(), 3);
+        let dump = rec.to_jsonl();
+        assert!(dump.contains("\"i\":9") && dump.contains("\"i\":7"));
+        assert!(!dump.contains("\"i\":6"));
+    }
+
+    #[test]
+    fn flight_capture_merges_spans_and_alerts_in_time_order() {
+        let mut c = Collector::new();
+        let t = c.new_trace();
+        let s1 = c.begin_span(t, 0, "gateway.stage", None, 5, SimTime(100));
+        c.end_span(s1, SimTime(200));
+        let s2 = c.begin_span(t, 0, "mas.exec", None, 9, SimTime(150)); // other node
+        c.end_span(s2, SimTime(160));
+        c.record_event(ObsEvent {
+            at: SimTime(150),
+            node_label: 77,
+            rule: "p99.scrape.rtt".to_owned(),
+            instance: "gw-0".to_owned(),
+            fired: true,
+            value: 9.0,
+            limit: 5.0,
+            trace: t,
+        });
+        let rec = FlightRecorder::capture(&c, 5, 16);
+        let dump = rec.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2, "span on node 9 excluded: {dump}");
+        assert!(lines[0].contains("\"record\":\"span\""));
+        assert!(lines[1].contains("\"record\":\"alert\""));
+        assert!(lines[1].contains("\"event\":\"AlertFired\""));
+    }
+}

@@ -106,6 +106,20 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
     printf '%-28s event reduction %sx -> %sx (%+d%%)   %s\n' \
       "$name" "$old_red" "$new_red" "$red_pct" "$red_verdict"
   fi
+
+  # The soak report carries the SLO alert ledger. A rule that fired and
+  # never resolved means the telemetry plane caught something the shape
+  # checks missed — always fail, and point at the flight-recorder dumps
+  # the soak binary wrote for the post-mortem.
+  unresolved=$(field "$report" unresolved_alerts)
+  if [[ "$unresolved" != 0 && "$unresolved" != "" ]]; then
+    printf '%-28s %s SLO alert(s) fired and never resolved   ALERTS UNRESOLVED\n' \
+      "$name" "$unresolved"
+    if compgen -G "target/flightrec/*.jsonl" > /dev/null; then
+      ls target/flightrec/*.jsonl | sed 's/^/  flight recorder: /'
+    fi
+    status=1
+  fi
 done
 
 if (( checked == 0 )); then
