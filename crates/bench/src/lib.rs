@@ -25,8 +25,11 @@
 //!   `PDAGENT_BENCH_THREADS` pins the worker count.
 //! * [`report`] — the `BENCH_<figure>.json` machine-readable reports the
 //!   `src/bin/*` binaries emit (wall time, events/sec, per-point results).
+//! * [`event_queue`] — timer-wheel vs. binary-heap scheduler head-to-head
+//!   on the soak's event mix (`BENCH_event_queue.json`).
 
 pub mod ablations;
+pub mod event_queue;
 pub mod fig12;
 pub mod fig13;
 pub mod footprint;

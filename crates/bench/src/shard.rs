@@ -147,6 +147,11 @@ impl ShardedSim {
                     });
                     dest.inject_at(to, from, o.msg, o.at);
                 }
+                // `next_event_time` takes `&mut self` since the timer wheel
+                // settles (advances cursors, cascades buckets, discards
+                // tombstones) to find its true head; the temporary
+                // MutexGuard auto-refs mutably, and settling never changes
+                // which event fires next, so the epoch horizon is unchanged.
                 let next = slots
                     .iter()
                     .filter_map(|s| s.lock().unwrap().next_event_time())

@@ -29,6 +29,7 @@ use pdagent_mas::MasNode;
 use pdagent_net::link::LinkSpec;
 use pdagent_net::message::Message;
 use pdagent_net::obs::{ObsEvent, ObsSummary};
+use pdagent_net::queue::Scheduler;
 use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
 use pdagent_net::slo::{LinkChaos, MonitorSpec, SloMonitor, SloReport, SloRule};
 use pdagent_net::telemetry::FlightRecorder;
@@ -48,10 +49,12 @@ const J_SITE_B: usize = 3;
 const J_AUDITOR: usize = 4;
 const J_DEVICE0: usize = 5;
 
-/// The default SLO rule set every cell monitor evaluates against its
-/// gateway. Deliberately monitor-local or gateway-counter based: none of
-/// these signals depend on shard-global aggregation, so the same rules give
-/// the same verdicts at every shard count.
+/// The default SLO rule set every cell monitor evaluates against each of
+/// its targets — the cell gateway *and* the two bank MAS sites. Deliberately
+/// monitor-local or target-counter based: none of these signals depend on
+/// shard-global aggregation, so the same rules give the same verdicts at
+/// every shard count. Rules keyed to counters a target never emits (e.g.
+/// `mas.*` on the gateway) read zero there and stay quiet.
 pub fn default_slo_rules() -> Vec<SloRule> {
     vec![
         // Scrape round-trip p99 over the last cadence window, 1 s budget.
@@ -68,6 +71,13 @@ pub fn default_slo_rules() -> Vec<SloRule> {
         // Two-window burn rate on dropped frames: fires only if >90% of the
         // gateway's sends drop over both the 1- and 3-cadence windows.
         SloRule::burn_rate("drop-burn-rate", "msgs_dropped", "msgs_sent", 1, 3, 0.9),
+        // MAS occupancy: resident agents parked at a bank site. The soak's
+        // itineraries visit, execute, and leave — more than 8 agents resident
+        // at a scrape means transfers are wedging instead of completing.
+        SloRule::gauge("mas-occupancy", "mas.resident_agents", 8.0),
+        // MAS transfer error ratio: failed agent-transfer sends per message
+        // sent by the site. Reads zero on the gateway target.
+        SloRule::error_ratio("mas-error-ratio", "mas.transfer_send_failed", "msgs_sent", 0.01),
     ]
 }
 
@@ -110,6 +120,10 @@ pub struct SoakSpec {
     /// resolve. Implies nothing about device traffic: only monitor links are
     /// touched.
     pub chaos: bool,
+    /// Event scheduler every shard runs on. The timer wheel is the
+    /// production default; the heap is kept as the reference implementation
+    /// the equivalence tests compare against.
+    pub scheduler: Scheduler,
 }
 
 impl SoakSpec {
@@ -130,6 +144,7 @@ impl SoakSpec {
             slo: false,
             monitor_rounds: 6,
             chaos: false,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -397,7 +412,8 @@ fn build_cell(
         devices.push(dev);
     }
 
-    // The operational plane: one cell-local monitor scraping the gateway.
+    // The operational plane: one cell-local monitor scraping the gateway
+    // and both bank MAS sites (resident-agent occupancy, transfer errors).
     // Its label sits just past the device range, so monitor links draw from
     // their own RNG streams and never perturb device or backbone traffic.
     let monitor = if spec.slo {
@@ -414,10 +430,16 @@ fn build_cell(
         }
         let mon = sim.add_node(Box::new(SloMonitor::new(
             mon_spec,
-            vec![(gateway, format!("gw-{cell}"))],
+            vec![
+                (gateway, format!("gw-{cell}")),
+                (site_a, format!("mas-a-{cell}")),
+                (site_b, format!("mas-b-{cell}")),
+            ],
         )));
         sim.set_label(mon, plan.label(cell, J_DEVICE0 + spec.devices_per_cell));
         sim.connect(mon, gateway, wired.clone());
+        sim.connect(mon, site_a, wired.clone());
+        sim.connect(mon, site_b, wired.clone());
         if spec.chaos {
             // Cut the monitor↔gateway link across the round-2 scrape: the
             // request retransmits after the 2 s RTO and lands once the link
@@ -449,6 +471,7 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
 
     for s in 0..plan.shards() {
         let mut sim = Simulator::new(spec.seed);
+        sim.set_scheduler(spec.scheduler);
         sim.set_wire_mtu(spec.mtu);
         sim.set_link_batching(spec.batch_links);
         if spec.observe {
@@ -687,13 +710,17 @@ mod tests {
         // must not move even though the event count grows with scrapes.
         assert_eq!(plain.results, monitored.results);
         assert!(monitored.events > plain.events, "scrapes must cost events");
-        assert_eq!(monitored.slo.len(), 5, "default rule set evaluated");
+        assert_eq!(monitored.slo.len(), 7, "default rule set evaluated");
         for r in &monitored.slo {
             assert!(r.evaluations > 0, "rule {} never evaluated", r.name);
             assert!(!r.breached, "rule {} breached in a healthy soak", r.name);
             assert_eq!(r.fired, 0, "rule {} fired in a healthy soak", r.name);
         }
-        assert_eq!(monitored.scrapes_ok, 3 * 6, "one scrape per cell per round");
+        assert_eq!(
+            monitored.scrapes_ok,
+            3 * 6 * 3,
+            "one scrape per target (gateway + 2 MAS sites) per cell per round"
+        );
         assert_eq!(monitored.probe_failures, 0);
         assert_eq!(monitored.unresolved_alerts, 0);
     }
@@ -773,5 +800,37 @@ mod tests {
         std::fs::write(&path, mon_dump).unwrap();
         let written = std::fs::read_to_string(&path).unwrap();
         assert!(written.lines().count() >= 2, "dump holds the fire+resolve edges");
+    }
+
+    /// The tentpole's soak-level digest check: swapping the timer wheel for
+    /// the reference heap must change *nothing observable* — results section,
+    /// event totals, peak queue depth, epochs, SLO digests, scrape counts,
+    /// alert timeline, and the rendered obs report all stay byte-identical.
+    #[test]
+    fn scheduler_swap_keeps_soak_digests_identical() {
+        let mut base = tiny(18);
+        base.slo = true;
+        base.observe = true;
+        base.shards = 2;
+        assert_eq!(base.scheduler, Scheduler::Wheel, "wheel is the production default");
+        let wheel = run_soak(&base);
+        let mut heap_spec = base.clone();
+        heap_spec.scheduler = Scheduler::Heap;
+        let heap = run_soak(&heap_spec);
+
+        assert_eq!(wheel.results, heap.results, "results diverged across schedulers");
+        assert_eq!(wheel.events, heap.events, "event totals diverged");
+        assert_eq!(wheel.peak_queue, heap.peak_queue, "queue high-water marks diverged");
+        assert_eq!(wheel.epochs, heap.epochs, "epoch counts diverged");
+        assert_eq!(wheel.slo, heap.slo, "SLO digests diverged");
+        assert_eq!(wheel.scrapes_ok, heap.scrapes_ok);
+        assert_eq!(wheel.probe_failures, heap.probe_failures);
+        assert_eq!(wheel.alerts, heap.alerts, "alert timelines diverged");
+        assert_eq!(wheel.unresolved_alerts, 0);
+        assert_eq!(
+            crate::report::obs_json(&wheel.obs).render(),
+            crate::report::obs_json(&heap.obs).render(),
+            "rendered obs digests diverged"
+        );
     }
 }

@@ -16,6 +16,9 @@
 //!   insistence on XML wire encoding for interoperability.
 //! * [`link`] — link specifications (latency, jitter, bandwidth, loss,
 //!   up/down) and the topology.
+//! * [`queue`] — the event-loop schedulers: the hierarchical timer wheel +
+//!   slab event arena the simulator runs on, and the reference binary heap
+//!   it is proven byte-equivalent to.
 //! * [`sim`] — the event loop: [`sim::Simulator`], the [`sim::Node`] trait
 //!   protocol state machines implement, and the per-event [`sim::Ctx`].
 //! * [`http`] — an HTTP-like request/response layer with timeouts and
@@ -71,6 +74,7 @@ pub mod link;
 pub mod message;
 pub mod metrics;
 pub mod obs;
+pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod slo;
@@ -85,6 +89,7 @@ pub mod prelude {
     pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;
     pub use crate::obs::{Histogram, ObsContext, ObsEvent, ObsSummary};
+    pub use crate::queue::Scheduler;
     pub use crate::rng::SimRng;
     pub use crate::sim::{Ctx, Node, NodeId, Simulator};
     pub use crate::slo::{MonitorSpec, SloEngine, SloMonitor, SloReport, SloRule, SloSignal};

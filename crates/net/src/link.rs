@@ -315,35 +315,58 @@ impl Topology {
         mtu: usize,
         now: SimTime,
     ) -> Option<Vec<SimDuration>> {
+        let mut out = Vec::new();
+        self.route_burst_into(from, to, wire_size, mtu, now, &mut out).then_some(out)
+    }
+
+    /// [`Topology::route_burst`] without the per-burst allocation: fills the
+    /// caller's `out` buffer (cleared first) with the frame arrival offsets
+    /// and returns `true`, or returns `false` — with `out` left empty — when
+    /// the link is down, absent, or the loss draw killed the burst. The RNG
+    /// draw sequence is identical to `route_burst` in every case.
+    pub fn route_burst_into(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        wire_size: usize,
+        mtu: usize,
+        now: SimTime,
+        out: &mut Vec<SimDuration>,
+    ) -> bool {
         assert!(mtu > 0, "mtu must be positive");
+        out.clear();
         if !self.is_up(from, to) {
-            return None;
+            return false;
         }
-        let spec = self.links.get(&Self::key(from, to))?.clone();
+        let Some(spec) = self.links.get(&Self::key(from, to)).cloned() else {
+            return false;
+        };
         let loss = spec.loss;
         if self.stream(from, to).chance(loss) {
-            return None;
+            return false;
         }
         let dir = (from, to);
         let mut cursor =
             self.busy_until.get(&dir).copied().unwrap_or(SimTime::ZERO).max(now);
         let nfrags = wire_size.div_ceil(mtu).max(1);
-        let mut completions = Vec::with_capacity(nfrags);
+        out.reserve(nfrags);
         let mut remaining = wire_size;
         for _ in 0..nfrags {
             let frag = remaining.min(mtu);
             remaining -= frag;
             cursor += spec.transfer_time(frag);
-            completions.push(cursor);
+            // Serialization offset only; latency + jitter are added below,
+            // once the jitter draw has happened (draw order must match
+            // `route`: loss first, jitter after busy_until settles).
+            out.push(cursor.since(now));
         }
         self.busy_until.insert(dir, cursor);
         let jitter = Self::draw_jitter(&spec, self.stream(from, to));
-        Some(
-            completions
-                .into_iter()
-                .map(|done| done.since(now) + spec.base_latency + jitter)
-                .collect(),
-        )
+        let tail = spec.base_latency + jitter;
+        for offset in out.iter_mut() {
+            *offset += tail;
+        }
+        true
     }
 
     fn draw_jitter(spec: &LinkSpec, rng: &mut SimRng) -> SimDuration {

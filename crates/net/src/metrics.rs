@@ -11,6 +11,12 @@ use std::collections::HashMap;
 use crate::message::Kind;
 use crate::time::{SimDuration, SimTime};
 
+/// Gauge key under which a serving node's `/metrics` exposition publishes
+/// the hosting simulator's current event-queue depth (pending events,
+/// tombstoned timers included). Sampled at scrape time from the queue's
+/// O(1) occupancy counter — nothing on the dispatch hot path.
+pub const KEY_QUEUE_DEPTH: &str = "sim.queue_depth";
+
 /// Per-node measurement state.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {

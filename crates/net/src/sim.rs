@@ -8,16 +8,18 @@
 //!
 //! Determinism: events are ordered by `(time, insertion sequence)`, so equal
 //! timestamps resolve in a stable order and a run is a pure function of the
-//! seed and setup.
+//! seed and setup. The ordering is implemented by the hierarchical timer
+//! wheel in [`crate::queue`] (with the reference binary heap selectable via
+//! [`Simulator::set_scheduler`]); both yield byte-identical runs.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 use crate::link::{LinkSpec, Topology};
 use crate::message::Message;
 use crate::metrics::{Metrics, MetricsRegistry};
 use crate::obs::{Collector, ObsEvent, ObsSummary};
+use crate::queue::{EventQueue, Scheduler, TimerSlab, TimerToken};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEntry};
@@ -28,9 +30,11 @@ pub type NodeId = usize;
 /// Boxed handler invoked on a node during event dispatch.
 type NodeAction = Box<dyn FnOnce(&mut dyn Node, &mut Ctx<'_>)>;
 
-/// Identifier of a pending timer (for cancellation).
+/// Identifier of a pending timer (for cancellation). Internally a
+/// generation-stamped slab token (see [`crate::queue::TimerSlab`]), so
+/// cancelling is an array probe, never a hash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId(TimerToken);
 
 /// Upcast helper so `dyn Node` can be downcast to concrete types after a run.
 pub trait AsAny {
@@ -97,44 +101,20 @@ pub struct Outbound {
     pub msg: Message,
 }
 
-#[derive(Debug)]
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The per-event view a node gets of the simulation.
 pub struct Ctx<'a> {
     now: SimTime,
     self_id: NodeId,
-    queue: &'a mut BinaryHeap<Reverse<Event>>,
+    queue: &'a mut EventQueue<EventKind>,
     seq: &'a mut u64,
-    next_timer: &'a mut u64,
-    armed: &'a mut HashSet<TimerId>,
+    timers: &'a mut TimerSlab,
     topology: &'a mut Topology,
     rng: &'a mut SimRng,
     metrics: &'a mut MetricsRegistry,
     obs: &'a mut Option<Collector>,
     remote_ids: &'a HashSet<NodeId>,
     outbox: &'a mut Vec<Outbound>,
+    burst_scratch: &'a mut Vec<SimDuration>,
     mtu: Option<usize>,
     batch_links: bool,
 }
@@ -165,7 +145,7 @@ impl Ctx<'_> {
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
         *self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq: *self.seq, kind }));
+        self.queue.push(time.0, *self.seq, kind);
     }
 
     /// Send a message to another node over the topology. Returns `true` if
@@ -174,7 +154,7 @@ impl Ctx<'_> {
     ///
     /// Messages larger than the wire MTU (when one is set, see
     /// [`Simulator::set_wire_mtu`]) go as a fragment burst: the link decides
-    /// every frame's arrival in one [`Topology::route_burst`] call, and —
+    /// every frame's arrival in one [`Topology::route_burst_into`] call, and —
     /// unless batching is disabled — only the *last* frame costs a heap
     /// event. The message is delivered when its final byte lands either way.
     ///
@@ -189,18 +169,27 @@ impl Ctx<'_> {
         me.msgs_sent += 1;
         let delay = match self.mtu {
             Some(mtu) if size > mtu => {
-                match self.topology.route_burst(self.self_id, to, size, mtu, self.now) {
-                    Some(arrivals) => {
-                        if !self.batch_links {
-                            for &frame in &arrivals[..arrivals.len() - 1] {
-                                let at = self.now + frame;
-                                let from = self.self_id;
-                                self.push(at, EventKind::Fragment { from });
-                            }
+                // Alloc-free burst: the link fills the simulator-owned
+                // scratch buffer instead of returning a fresh Vec per send.
+                if self.topology.route_burst_into(
+                    self.self_id,
+                    to,
+                    size,
+                    mtu,
+                    self.now,
+                    self.burst_scratch,
+                ) {
+                    if !self.batch_links {
+                        for i in 0..self.burst_scratch.len() - 1 {
+                            let frame = self.burst_scratch[i];
+                            let at = self.now + frame;
+                            let from = self.self_id;
+                            self.push(at, EventKind::Fragment { from });
                         }
-                        Some(*arrivals.last().expect("burst has at least one frame"))
                     }
-                    None => None,
+                    Some(*self.burst_scratch.last().expect("burst has at least one frame"))
+                } else {
+                    None
                 }
             }
             _ => self.topology.route(self.self_id, to, &msg, self.now),
@@ -230,17 +219,23 @@ impl Ctx<'_> {
     /// Arm a one-shot timer after `delay`, carrying `tag` back to
     /// [`Node::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        *self.next_timer += 1;
-        let id = TimerId(*self.next_timer);
+        let id = TimerId(self.timers.arm());
         let at = self.now + delay;
-        self.armed.insert(id);
         self.push(at, EventKind::Timer { node: self.self_id, tag, id });
         id
     }
 
-    /// Cancel a pending timer. Harmless if it already fired.
+    /// Cancel a pending timer. Harmless if it already fired: the slab
+    /// generation no longer matches, so the call is a dead no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.armed.remove(&id);
+        self.timers.disarm(id.0);
+    }
+
+    /// Current event-queue depth of the hosting simulator (pending events,
+    /// including tombstoned timers). Serving nodes publish this as the
+    /// `sim.queue_depth` gauge in their `/metrics` exposition.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// This node's metrics.
@@ -365,15 +360,14 @@ impl Ctx<'_> {
 pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     topology: Topology,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue<EventKind>,
     time: SimTime,
     seq: u64,
-    next_timer: u64,
-    /// Timers set but not yet fired or cancelled. An entry is removed either
-    /// by `cancel_timer` or when its event pops, so the set is bounded by the
-    /// number of *outstanding* timers — cancelling after the fire (or never
-    /// cancelling at all) leaves nothing behind.
-    armed: HashSet<TimerId>,
+    /// Timer arm/cancel/fire bookkeeping: generation-stamped slab slots. A
+    /// slot is retired either by `cancel_timer` or when its event pops, so
+    /// the armed count is bounded by *outstanding* timers — cancelling after
+    /// the fire (or never cancelling at all) leaves nothing behind.
+    timers: TimerSlab,
     rng: SimRng,
     metrics: MetricsRegistry,
     started: bool,
@@ -390,7 +384,11 @@ pub struct Simulator {
     mtu: Option<usize>,
     /// Batched (one event per burst, default) vs per-fragment scheduling.
     batch_links: bool,
-    /// High-water mark of the event queue, sampled per dispatch.
+    /// Reusable arrival-offset buffer for fragment bursts (see
+    /// [`Topology::route_burst_into`]); avoids a Vec per oversized send.
+    burst_scratch: Vec<SimDuration>,
+    /// High-water mark of the event queue, sampled per dispatch from the
+    /// queue's O(1) occupancy counter.
     peak_queue: usize,
     /// Safety valve against runaway protocols.
     pub max_events: u64,
@@ -404,11 +402,10 @@ impl Simulator {
         Simulator {
             nodes: Vec::new(),
             topology,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(Scheduler::default()),
             time: SimTime::ZERO,
             seq: 0,
-            next_timer: 0,
-            armed: HashSet::new(),
+            timers: TimerSlab::new(),
             rng: SimRng::new(seed),
             metrics: MetricsRegistry::new(),
             started: false,
@@ -420,9 +417,27 @@ impl Simulator {
             outbox: Vec::new(),
             mtu: None,
             batch_links: true,
+            burst_scratch: Vec::new(),
             peak_queue: 0,
             max_events: 50_000_000,
         }
+    }
+
+    /// Select the event-queue implementation (default: the timer wheel).
+    /// Both schedulers produce byte-identical results — the heap stays
+    /// selectable for equivalence tests and before/after benchmarks. Must be
+    /// called before anything is scheduled.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        assert!(
+            !self.started && self.queue.is_empty(),
+            "set_scheduler must run before any event is scheduled"
+        );
+        self.queue = EventQueue::new(scheduler);
+    }
+
+    /// Which event-queue implementation this simulator runs on.
+    pub fn scheduler(&self) -> Scheduler {
+        self.queue.scheduler()
     }
 
     /// Start recording every delivered message (see [`crate::trace`]).
@@ -561,7 +576,7 @@ impl Simulator {
     /// live protocol state; a steadily growing value indicates a node leaking
     /// timers.
     pub fn outstanding_timers(&self) -> usize {
-        self.armed.len()
+        self.timers.armed()
     }
 
     /// Immutable metrics for a node.
@@ -597,11 +612,7 @@ impl Simulator {
                 continue;
             }
             self.seq += 1;
-            self.queue.push(Reverse(Event {
-                time: self.time,
-                seq: self.seq,
-                kind: EventKind::Start(id),
-            }));
+            self.queue.push(self.time.0, self.seq, EventKind::Start(id));
         }
     }
 
@@ -626,17 +637,15 @@ impl Simulator {
     pub fn inject_at(&mut self, to: NodeId, from: NodeId, msg: Message, at: SimTime) {
         debug_assert!(at >= self.time, "injection at {at} is in this shard's past ({})", self.time);
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time: at,
-            seq: self.seq,
-            kind: EventKind::Deliver { to, from, msg },
-        }));
+        self.queue.push(at.0, self.seq, EventKind::Deliver { to, from, msg });
     }
 
     /// Timestamp of the earliest pending event, if any. Used by the sharded
-    /// engine to pick the next epoch deadline.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(e)| e.time)
+    /// engine to pick the next epoch deadline. Takes `&mut self`: an exact
+    /// answer settles the timer wheel (the queue's internal cursor advances;
+    /// simulation state is untouched).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time().map(SimTime)
     }
 
     /// High-water mark of the event queue so far (sampled per dispatch).
@@ -644,13 +653,15 @@ impl Simulator {
         self.peak_queue
     }
 
-    fn dispatch(&mut self, event: Event) {
-        self.time = event.time;
+    fn dispatch(&mut self, time: SimTime, kind: EventKind) {
+        self.time = time;
         self.events_processed += 1;
-        // +1: the event just popped was in the queue a moment ago.
+        // +1: the event just popped was in the queue a moment ago. The
+        // queue's len() is an O(1) occupancy counter on both schedulers and
+        // counts tombstoned timers, so the sample is scheduler-invariant.
         self.peak_queue = self.peak_queue.max(self.queue.len() + 1);
         let (node_id, action): (NodeId, NodeAction) =
-            match event.kind {
+            match kind {
                 EventKind::Start(id) => (id, Box::new(|n, ctx| n.on_start(ctx))),
                 EventKind::Fragment { from } => {
                     self.metrics.node_mut(from).bump("link.fragments", 1.0);
@@ -664,7 +675,7 @@ impl Simulator {
                     }
                     if let Some(trace) = &mut self.trace {
                         trace.record(TraceEntry {
-                            at: event.time,
+                            at: time,
                             from,
                             to,
                             kind: msg.kind.clone(),
@@ -675,10 +686,10 @@ impl Simulator {
                     (to, Box::new(move |n, ctx| n.on_message(ctx, from, msg)))
                 }
                 EventKind::Timer { node, tag, id } => {
-                    // Fires only if still armed; popping always purges the
-                    // entry, so cancelled-timer bookkeeping cannot grow
+                    // Fires only if still armed; popping always retires the
+                    // slab slot, so cancelled-timer bookkeeping cannot grow
                     // without bound.
-                    if !self.armed.remove(&id) {
+                    if !self.timers.disarm(id.0) {
                         return;
                     }
                     (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
@@ -692,14 +703,14 @@ impl Simulator {
             self_id: node_id,
             queue: &mut self.queue,
             seq: &mut self.seq,
-            next_timer: &mut self.next_timer,
-            armed: &mut self.armed,
+            timers: &mut self.timers,
             topology: &mut self.topology,
             rng: &mut self.rng,
             metrics: &mut self.metrics,
             obs: &mut self.obs,
             remote_ids: &self.remote_ids,
             outbox: &mut self.outbox,
+            burst_scratch: &mut self.burst_scratch,
             mtu: self.mtu,
             batch_links: self.batch_links,
         };
@@ -713,13 +724,13 @@ impl Simulator {
     /// Panics if `max_events` is exceeded (protocol livelock guard).
     pub fn run_until_idle(&mut self) -> SimTime {
         self.schedule_starts();
-        while let Some(Reverse(event)) = self.queue.pop() {
+        while let Some((time, _seq, kind)) = self.queue.pop() {
             assert!(
                 self.events_processed < self.max_events,
                 "simulation exceeded {} events — livelock?",
                 self.max_events
             );
-            self.dispatch(event);
+            self.dispatch(SimTime(time), kind);
         }
         self.time
     }
@@ -728,8 +739,8 @@ impl Simulator {
     /// `deadline` are processed) or the queue drains, whichever is first.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.schedule_starts();
-        while let Some(Reverse(event)) = self.queue.peek() {
-            if event.time > deadline {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline.0 {
                 break;
             }
             assert!(
@@ -737,8 +748,8 @@ impl Simulator {
                 "simulation exceeded {} events — livelock?",
                 self.max_events
             );
-            let Reverse(event) = self.queue.pop().unwrap();
-            self.dispatch(event);
+            let (time, _seq, kind) = self.queue.pop().expect("peeked");
+            self.dispatch(SimTime(time), kind);
         }
         if self.time < deadline {
             self.time = deadline;
@@ -1188,6 +1199,99 @@ mod tests {
         for (i, t) in pongs.iter().enumerate() {
             let floor = SimTime(i as u64 * 1_000_000 + 100_000);
             assert!(*t > floor, "pong {i} at {t} vs floor {floor}");
+        }
+    }
+
+    /// A timer-churn node driven by a generated op script. One drive timer
+    /// steps through the script; each step arms near/far payload timers or
+    /// cancels a live / an already-fired handle, covering every arm/cancel/
+    /// fire interleaving class the scheduler swap must preserve.
+    struct ScriptedChurn {
+        script: Vec<(u8, u64)>,
+        step: usize,
+        live: std::collections::VecDeque<TimerId>,
+        dead: Vec<TimerId>,
+        fired: Vec<(SimTime, u64)>,
+    }
+
+    const DRIVE: u64 = u64::MAX;
+
+    impl Node for ScriptedChurn {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, DRIVE);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            if tag != DRIVE {
+                self.fired.push((ctx.now(), tag));
+                return;
+            }
+            let Some(&(op, arg)) = self.script.get(self.step) else {
+                return;
+            };
+            let step = self.step as u64;
+            self.step += 1;
+            match op % 4 {
+                // Near timer: within the wheel levels.
+                0 => {
+                    let id = ctx.set_timer(SimDuration(arg % 5_000_000), step);
+                    self.live.push_back(id);
+                }
+                // Far timer: past the wheel horizon → overflow promotion.
+                1 => {
+                    let delay = crate::queue::WHEEL_HORIZON + arg % 2_000_000;
+                    let id = ctx.set_timer(SimDuration(delay), step);
+                    self.live.push_back(id);
+                }
+                // Cancel the oldest live timer (tombstones its queued event).
+                2 => {
+                    if let Some(id) = self.live.pop_front() {
+                        ctx.cancel_timer(id);
+                        self.dead.push(id);
+                    }
+                }
+                // Cancel an already-cancelled/fired handle: must be a no-op.
+                _ => {
+                    if let Some(&id) = self.dead.get(arg as usize % self.dead.len().max(1)) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+            }
+            // Uneven drive cadence so steps land on varied wheel ticks.
+            ctx.set_timer(SimDuration(1 + (arg % 97) * 1_013), DRIVE);
+        }
+    }
+
+    fn churn_run(scheduler: Scheduler, script: &[(u8, u64)]) -> (Vec<(SimTime, u64)>, u64, usize) {
+        let mut sim = Simulator::new(99);
+        sim.set_scheduler(scheduler);
+        let id = sim.add_node(Box::new(ScriptedChurn {
+            script: script.to_vec(),
+            step: 0,
+            live: Default::default(),
+            dead: Vec::new(),
+            fired: Vec::new(),
+        }));
+        sim.run_until_idle();
+        let node = sim.node_ref::<ScriptedChurn>(id).unwrap();
+        (node.fired.clone(), sim.events_processed(), sim.peak_queue_depth())
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(32))]
+        /// The tentpole's equivalence property at the simulator level: any
+        /// arm/cancel/fire interleaving — including cancels of already-fired
+        /// timers and far-future timers that ride the overflow heap — fires
+        /// the same timers at the same times in the same order, processes the
+        /// same number of events, and peaks at the same queue depth under the
+        /// timer wheel as under the reference binary heap.
+        #[test]
+        fn wheel_and_heap_schedulers_are_byte_equivalent(
+            script in proptest::collection::vec((0u8..4, 0u64..u64::MAX / 2), 0..120),
+        ) {
+            let wheel = churn_run(Scheduler::Wheel, &script);
+            let heap = churn_run(Scheduler::Heap, &script);
+            proptest::prop_assert_eq!(wheel, heap);
         }
     }
 }

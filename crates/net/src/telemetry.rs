@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use crate::http::{reply, HttpRequest, HttpStatus};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, KEY_QUEUE_DEPTH};
 use crate::obs::{Collector, Histogram};
 use crate::sim::{Ctx, NodeId};
 use crate::time::SimTime;
@@ -388,7 +388,21 @@ pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, insta
                 })
                 .unwrap_or_default();
             let snap = TelemetrySnapshot::capture(ctx.metrics(), &stages);
-            let body = render_prom(instance, &snap);
+            let mut body = render_prom(instance, &snap);
+            // Engine-level gauge: the hosting simulator's event-queue depth,
+            // read off the scheduler's O(1) occupancy counter. Zero-padded to
+            // a fixed width because the value is partition-*dependent* (each
+            // shard has its own queue) while scrape bodies must cost the same
+            // bytes on the wire under every shard count — otherwise transfer
+            // times, and with them the monitor-plane SLO digests, would
+            // diverge between partitionings.
+            let _ = writeln!(body, "# TYPE pdagent_sim_queue_depth gauge");
+            let _ = writeln!(
+                body,
+                "pdagent_sim_queue_depth{{instance=\"{}\",key=\"{KEY_QUEUE_DEPTH}\"}} {:012}",
+                escape_label(instance),
+                ctx.queue_depth()
+            );
             ctx.metrics().bump("telemetry.scrapes", 1.0);
             reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
             true

@@ -15,6 +15,13 @@ impl SimTime {
     /// The simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// Instant at `us` microseconds since epoch. The microsecond is also the
+    /// event scheduler's wheel tick (see [`crate::queue`]): one `SimTime`
+    /// unit == one level-0 timer-wheel slot.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
     /// Microseconds since epoch.
     pub fn as_micros(self) -> u64 {
         self.0

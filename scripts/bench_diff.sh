@@ -92,6 +92,28 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
     fi
   fi
 
+  # The event-queue report carries the wheel-vs-heap speedup. The ratio is
+  # wall-clock based but both sides run in the same process on the same
+  # host, so it is far more stable than raw wall times: hold it to the
+  # regression threshold against the baseline, and to the hard 2.0x floor
+  # the scheduler swap promised regardless of baseline.
+  old_qsp=$(field "$baseline" queue_speedup)
+  new_qsp=$(field "$report" queue_speedup)
+  if [[ "$old_qsp" != 0 && "$new_qsp" != 0 ]]; then
+    qsp_pct=$(pct_change "$old_qsp" "$new_qsp")
+    qsp_verdict="ok"
+    if (( qsp_pct < -threshold )); then
+      qsp_verdict="QUEUE-SPEEDUP REGRESSION (${qsp_pct}%)"
+      status=1
+    fi
+    if awk -v s="$new_qsp" 'BEGIN { exit !(s < 2.0) }'; then
+      qsp_verdict="QUEUE SPEEDUP BELOW 2.0x FLOOR"
+      status=1
+    fi
+    printf '%-28s queue speedup %sx -> %sx (%+d%%)   %s\n' \
+      "$name" "$old_qsp" "$new_qsp" "$qsp_pct" "$qsp_verdict"
+  fi
+
   # The soak report carries the batched-delivery event reduction, which is
   # deterministic (no wall clock involved), so hold it to the same bar.
   old_red=$(field "$baseline" event_reduction)

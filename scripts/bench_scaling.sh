@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Multi-core scaling sweep: run the sharded soak at 1/2/4/…/nproc shards and
+# record the wall-clock scaling curve into EXPERIMENTS.md (between the
+# bench_scaling markers). The curve only means anything when shards can run
+# on distinct cores, so on a single-core host this is a clean no-op — the
+# committed EXPERIMENTS.md keeps the single-core caveat text instead.
+#
+#   scripts/bench_scaling.sh [devices] [seed]
+#
+# Defaults: 1000 devices, seed 42. The soak binary itself asserts the
+# byte-identity of every partitioning, so a recorded curve is always a
+# *valid* curve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "${CORES}" -le 1 ]; then
+    echo "bench_scaling: single core (nproc=${CORES}); skipping — wall times would only measure time-slicing"
+    exit 0
+fi
+
+DEVICES="${1:-1000}"
+SEED="${2:-42}"
+
+# Shard counts: powers of two up to nproc, plus nproc itself.
+SHARDS="1"
+n=2
+while [ "${n}" -lt "${CORES}" ]; do
+    SHARDS="${SHARDS},${n}"
+    n=$((n * 2))
+done
+SHARDS="${SHARDS},${CORES}"
+
+cargo build --release -p pdagent-bench --bin soak
+echo "bench_scaling: ${DEVICES} devices at ${SHARDS} shards on ${CORES} cores (seed ${SEED})"
+out=$(./target/release/soak "${DEVICES}" "${SHARDS}" "${SEED}")
+
+# The scaling table is the block from the header line to the next blank line.
+table=$(printf '%s\n' "${out}" | sed -n '/^ *shards *wall_s/,/^$/p' | sed '/^$/d')
+if [ -z "${table}" ]; then
+    echo "bench_scaling: soak output had no scaling table" >&2
+    exit 1
+fi
+
+BEGIN='<!-- bench_scaling:begin -->'
+END='<!-- bench_scaling:end -->'
+if ! grep -qF "${BEGIN}" EXPERIMENTS.md; then
+    echo "bench_scaling: EXPERIMENTS.md is missing the ${BEGIN} marker" >&2
+    exit 1
+fi
+
+block=$(mktemp)
+trap 'rm -f "${block}"' EXIT
+{
+    echo "${BEGIN}"
+    echo "Recorded by \`scripts/bench_scaling.sh\`: ${DEVICES} devices, seed ${SEED},"
+    echo "shards ${SHARDS} on a ${CORES}-core host (results byte-identical at"
+    echo "every shard count, asserted by the soak binary):"
+    echo
+    echo '```'
+    printf '%s\n' "${table}"
+    echo '```'
+    echo "${END}"
+} > "${block}"
+
+awk -v bfile="${block}" '
+    index($0, "<!-- bench_scaling:begin -->") {
+        skip = 1
+        while ((getline line < bfile) > 0) print line
+        next
+    }
+    index($0, "<!-- bench_scaling:end -->") { skip = 0; next }
+    !skip { print }
+' EXPERIMENTS.md > EXPERIMENTS.md.tmp
+mv EXPERIMENTS.md.tmp EXPERIMENTS.md
+echo "bench_scaling: recorded scaling curve into EXPERIMENTS.md"

@@ -15,4 +15,11 @@ cargo clippy --workspace -- -D warnings
 cargo build --release -p pdagent-bench --bin soak
 ./target/release/soak 64 1,2 > /dev/null
 
+# Event-scheduler smoke: the wheel-vs-heap replay must pop byte-identical
+# (time, seq) streams (the binary exits nonzero on divergence), and the
+# criterion event-loop benches must run clean.
+cargo build --release -p pdagent-bench --bin event_queue
+./target/release/event_queue 200000 5000 42 > /dev/null
+cargo bench -p pdagent-bench --bench event_queue -- arm_cancel_fire > /dev/null
+
 echo "verify: OK"
