@@ -16,9 +16,12 @@
 
 use std::time::Instant;
 
-use pdagent_bench::report::{alerts_json, slo_json, write_bench_report_with_obs, Json};
+use pdagent_bench::report::{
+    alerts_json, federation_json, paging_json, slo_json, write_bench_report_with_obs, Json,
+};
 use pdagent_bench::soak::{run_soak, SoakOutcome, SoakSpec};
 use pdagent_bench::parallel;
+use pdagent_net::time::SimDuration;
 
 /// Devices per cell: ten handhelds behind each serving gateway.
 const DEVICES_PER_CELL: usize = 10;
@@ -57,6 +60,25 @@ fn main() {
     // `SOAK_SLO=0` disables it — the telemetry-overhead ablation knob
     // (EXPERIMENTS.md measures rules-on vs rules-off with it).
     spec.slo = std::env::var("SOAK_SLO").map_or(true, |v| v != "0");
+    // The fleet plane rides along too: a federation scraper rolling every
+    // cell monitor up over the WAN, plus the paging gateway its fleet rules
+    // (and the cell monitors) page. `SOAK_FED=0` is the ablation knob — it
+    // must leave the results section byte-identical. `SOAK_FED_CADENCE_MS`
+    // overrides the scrape cadence for the staleness/cadence sweep
+    // (`scripts/fed_cadence.sh`).
+    spec.federation = std::env::var("SOAK_FED").map_or(true, |v| v != "0");
+    let cadence_ms = std::env::var("SOAK_FED_CADENCE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0);
+    if let Some(ms) = cadence_ms {
+        spec.fed_cadence = SimDuration::from_millis(ms);
+        // Hold the federated horizon fixed (~60 s of scrape coverage) so the
+        // sweep compares like with like: a faster cadence buys freshness by
+        // spending rounds — and therefore events — not by ending sooner.
+        spec.fed_rounds = (60_000 / ms).max(1) as u32;
+    }
+    let cadence_ms = cadence_ms.unwrap_or(spec.fed_cadence.as_micros() / 1_000);
     let devices = spec.devices();
     println!(
         "soak: {devices} devices in {cells} cells, PI pad {} KB, seed {seed}, {} worker thread(s)",
@@ -136,6 +158,50 @@ fn main() {
         );
     }
 
+    if let Some(fed) = &base.federation {
+        println!(
+            "\nfederation: {} cells x {} rounds @ {cadence_ms} ms cadence; {} scrapes ok, {} failed, {} series dropped; staleness p50 {} us p99 {} us; {} fleet rules, {} unresolved",
+            fed.cells,
+            fed.rounds,
+            fed.scrapes_ok,
+            fed.scrape_failures,
+            fed.dropped_series,
+            fed.staleness.p50(),
+            fed.staleness.p99(),
+            fed.slo.len(),
+            fed.breached
+        );
+    }
+
+    // Paging drill: a small chaos soak with an on-call who never acks and a
+    // 500 ms escalation tick, so the whole notification path — fire, deliver,
+    // escalate, ack by the secondary — is exercised and timed inside the
+    // ~3 s window before the alert resolves and closes the page. Runs only
+    // when the fleet plane is on; the drill shares the seed but not the
+    // fleet-size knobs (3 cells is enough to fire one page per cell).
+    let drill = spec.federation.then(|| {
+        let mut d = SoakSpec::new(seed, 3, 2);
+        d.pi_pad = 4 * 1024;
+        d.slo = true;
+        d.observe = true;
+        d.chaos = true;
+        d.federation = true;
+        d.oncall_ack = None;
+        d.escalation_tick = SimDuration::from_millis(500);
+        let out = run_soak(&d);
+        let p = out.paging.clone().expect("drill paging report");
+        println!(
+            "paging drill: {} fired, {} delivered, {} escalated, {} dropped; delivery p50 {} us p99 {} us",
+            p.fired,
+            p.delivered,
+            p.escalated,
+            p.dropped,
+            p.delivery.p50(),
+            p.delivery.p99()
+        );
+        p
+    });
+
     let mut completion: Vec<u64> = base
         .results
         .cells
@@ -178,6 +244,17 @@ fn main() {
         ("slo", slo_json(&base.slo)),
         ("alerts", alerts_json(&base.alerts)),
     ]);
+    // With `SOAK_FED=0` both sections are absent, which `bench_diff.sh`
+    // treats as "gate not applicable" rather than a regression.
+    let results = match (&base.federation, &drill) {
+        (Some(fed), Some(paging)) => {
+            let Json::Obj(mut pairs) = results else { unreachable!("results is an object") };
+            pairs.push(("federation".to_owned(), federation_json(fed, cadence_ms)));
+            pairs.push(("paging".to_owned(), paging_json(paging)));
+            Json::Obj(pairs)
+        }
+        _ => results,
+    };
     match write_bench_report_with_obs("soak", base_wall, base.events, results, &base.obs) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_soak.json: {e}"),
@@ -205,6 +282,43 @@ fn main() {
         if base.unresolved_alerts > 0 {
             fail(
                 format!("{} SLO alert(s) fired and never resolved", base.unresolved_alerts),
+                &base,
+            );
+        }
+    }
+    if let Some(fed) = &base.federation {
+        if fed.scrape_failures > 0 || fed.dropped_series > 0 {
+            fail(
+                format!(
+                    "federation degraded: {} scrape failures, {} series dropped",
+                    fed.scrape_failures, fed.dropped_series
+                ),
+                &base,
+            );
+        }
+        if fed.slo.is_empty() || fed.breached > 0 {
+            fail(format!("fleet rules unhealthy: {:?}", fed.slo), &base);
+        }
+    }
+    if let Some(paging) = &drill {
+        // The drill's on-call never acks, so every page must both escalate
+        // and still land (the secondary acks); a dropped page means the
+        // notification path lost an alert outright.
+        if paging.fired == 0 || paging.dropped > 0 {
+            fail(
+                format!(
+                    "paging drill broken: {} fired, {} dropped",
+                    paging.fired, paging.dropped
+                ),
+                &base,
+            );
+        }
+        if paging.escalated == 0 || paging.delivered < paging.fired {
+            fail(
+                format!(
+                    "paging drill must escalate and deliver every page: {} fired, {} delivered, {} escalated",
+                    paging.fired, paging.delivered, paging.escalated
+                ),
                 &base,
             );
         }

@@ -4,7 +4,9 @@
 //! results without screen-scraping. Hand-rolled writer — the container has
 //! no serde, and the value space here is tiny.
 
+use pdagent_net::federation::FederationReport;
 use pdagent_net::obs::{ObsEvent, ObsSummary};
+use pdagent_net::paging::PagingReport;
 use pdagent_net::slo::SloReport;
 use std::fmt::Write as _;
 
@@ -206,6 +208,44 @@ pub fn slo_json(reports: &[SloReport]) -> Json {
         })
         .collect();
     Json::obj(vec![("rules_evaluated", reports.len().into()), ("rules", Json::Arr(rules))])
+}
+
+/// Render the federation scraper's digest as a bench report's `federation`
+/// section. Keys are prefixed/unique across the whole report because
+/// `bench_diff.sh` extracts fields by first occurrence anywhere in the file.
+pub fn federation_json(fed: &FederationReport, cadence_ms: u64) -> Json {
+    Json::obj(vec![
+        ("fed_cells", fed.cells.into()),
+        ("fed_rounds", fed.rounds.into()),
+        ("fed_scrapes_ok", fed.scrapes_ok.into()),
+        ("fed_scrape_failures", fed.scrape_failures.into()),
+        ("fed_dropped_series", fed.dropped_series.into()),
+        ("fed_peak_inflight", fed.peak_inflight.into()),
+        ("fed_cadence_ms", cadence_ms.into()),
+        ("staleness_p50_us", fed.staleness.p50().into()),
+        ("staleness_p99_us", fed.staleness.p99().into()),
+        ("staleness_max_us", fed.staleness.max().into()),
+        ("fed_rtt_p50_us", fed.rtt.p50().into()),
+        ("fed_rtt_p99_us", fed.rtt.p99().into()),
+        ("fed_unresolved", fed.breached.into()),
+        ("fleet_rules", slo_json(&fed.slo)),
+    ])
+}
+
+/// Render the paging gateway's delivery ledger as a bench report's `paging`
+/// section. Same unique-key rule as [`federation_json`].
+pub fn paging_json(paging: &PagingReport) -> Json {
+    Json::obj(vec![
+        ("fired_pages", paging.fired.into()),
+        ("delivered_pages", paging.delivered.into()),
+        ("escalated_pages", paging.escalated.into()),
+        ("deduped_pages", paging.deduped.into()),
+        ("resolved_pages", paging.resolved.into()),
+        ("dropped_pages", paging.dropped.into()),
+        ("page_delivery_p50_us", paging.delivery.p50().into()),
+        ("page_delivery_p99_us", paging.delivery.p99().into()),
+        ("page_delivery_max_us", paging.delivery.max().into()),
+    ])
 }
 
 /// Render a merged alert timeline as a bench report's `alerts` section.

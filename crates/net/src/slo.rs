@@ -24,16 +24,23 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::http::{HttpClient, HttpRequest, TimerOutcome};
+use crate::federation::merge_snapshot;
+use crate::http::{self, HttpClient, HttpRequest, HttpStatus, TimerOutcome};
 use crate::message::Message;
+use crate::metrics::KEY_QUEUE_DEPTH;
 use crate::obs::Histogram;
+use crate::paging::{page_fire, page_resolve};
 use crate::sim::{Ctx, Node, NodeId};
-use crate::telemetry::{parse_prom, TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS};
+use crate::telemetry::{parse_prom, render_prom, TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS};
 use crate::time::{SimDuration, SimTime};
 
 /// Synthetic gauge the monitor injects before evaluation: consecutive
 /// failed probes against the target (reset by any successful `/healthz`).
 pub const KEY_PROBE_FAILURES: &str = "monitor.consecutive_probe_failures";
+/// Synthetic gauge the monitor injects: microseconds since the target's last
+/// successful `/metrics` scrape (sim time itself until the first one lands).
+/// The federation plane is SLO-guarded through this signal.
+pub const KEY_SCRAPE_STALENESS: &str = "scrape.staleness_max";
 /// Synthetic stage the monitor injects: round-trip time of `/metrics`
 /// scrapes, measured from first transmission (retransmissions included —
 /// that *is* the tail a real scraper sees).
@@ -87,6 +94,11 @@ pub struct SloRule {
     pub signal: SloSignal,
     /// Inclusive upper bound for the healthy state.
     pub limit: f64,
+    /// Resolve threshold: a breached rule only resolves once the value
+    /// drops back to `resolve_limit` or below. Equal to `limit` by default
+    /// (no hysteresis); set lower via [`SloRule::with_resolve`] so noisy
+    /// gauges hovering at the limit don't flap fire/resolve every cadence.
+    pub resolve_limit: f64,
 }
 
 impl SloRule {
@@ -96,6 +108,7 @@ impl SloRule {
             name: name.to_owned(),
             signal: SloSignal::StageP99 { stage: stage.to_owned() },
             limit: limit_us,
+            resolve_limit: limit_us,
         }
     }
 
@@ -105,12 +118,18 @@ impl SloRule {
             name: name.to_owned(),
             signal: SloSignal::ErrorRatio { errors: errors.to_owned(), total: total.to_owned() },
             limit,
+            resolve_limit: limit,
         }
     }
 
     /// `gauge(key) <= limit`.
     pub fn gauge(name: &str, key: &str, limit: f64) -> SloRule {
-        SloRule { name: name.to_owned(), signal: SloSignal::Gauge { key: key.to_owned() }, limit }
+        SloRule {
+            name: name.to_owned(),
+            signal: SloSignal::Gauge { key: key.to_owned() },
+            limit,
+            resolve_limit: limit,
+        }
     }
 
     /// Two-window burn rate: fires while both the `short`- and
@@ -132,7 +151,15 @@ impl SloRule {
                 long: long.max(short.max(1)),
             },
             limit,
+            resolve_limit: limit,
         }
+    }
+
+    /// Resolve hysteresis (builder-style): once breached, the rule stays
+    /// breached until the value falls to `resolve_limit` or below.
+    pub fn with_resolve(mut self, resolve_limit: f64) -> SloRule {
+        self.resolve_limit = resolve_limit.min(self.limit);
+        self
     }
 }
 
@@ -249,7 +276,12 @@ impl SloEngine {
             };
             state.evaluations += 1;
             state.last_value = value;
-            let breach = value > rule.limit;
+            // Hysteresis: an open breach only resolves below resolve_limit.
+            let breach = if state.breached {
+                value > rule.resolve_limit
+            } else {
+                value > rule.limit
+            };
             if breach != state.breached {
                 state.breached = breach;
                 if breach {
@@ -331,6 +363,8 @@ struct TargetState {
     /// Cumulative scrape-RTT histogram (the engine windows it by diffing).
     rtt: Histogram,
     consecutive_failures: f64,
+    /// When the last successful `/metrics` scrape of this target landed.
+    last_ok: Option<SimTime>,
     last_snap: TelemetrySnapshot,
     /// rule name → trace id of the open alert episode.
     episodes: HashMap<String, u64>,
@@ -342,9 +376,19 @@ struct TargetState {
 const TAG_SCRAPE: u64 = 1;
 
 /// The scraping monitor node. See the module docs for the protocol.
+///
+/// Besides scraping, a monitor *serves* `GET /metrics` itself: its cell view
+/// is its own metrics merged with every target's last snapshot (plus the
+/// synthetic probe/staleness/RTT signals), so a fleet-level
+/// [`FederationScraper`](crate::federation::FederationScraper) can federate
+/// cells through their monitors with one WAN fan-in link per cell.
 #[derive(Debug)]
 pub struct SloMonitor {
     spec: MonitorSpec,
+    /// Instance label of this monitor's own exposition (cell view).
+    instance: String,
+    /// Paging gateway the monitor notifies on alert edges, if any.
+    pager: Option<NodeId>,
     targets: Vec<TargetState>,
     http: HttpClient,
     round: u32,
@@ -370,12 +414,36 @@ impl SloMonitor {
                 engine: SloEngine::new(spec.rules.clone()),
                 rtt: Histogram::new(),
                 consecutive_failures: 0.0,
+                last_ok: None,
                 last_snap: TelemetrySnapshot::default(),
                 episodes: HashMap::new(),
                 open_spans: HashMap::new(),
             })
             .collect();
-        SloMonitor { spec, targets, http, round: 0, pending: HashMap::new(), scrapes_ok: 0, probe_failures: 0 }
+        SloMonitor {
+            spec,
+            instance: "monitor".to_owned(),
+            pager: None,
+            targets,
+            http,
+            round: 0,
+            pending: HashMap::new(),
+            scrapes_ok: 0,
+            probe_failures: 0,
+        }
+    }
+
+    /// Set the instance label of the monitor's own cell-view exposition.
+    pub fn with_instance(mut self, instance: impl Into<String>) -> SloMonitor {
+        self.instance = instance.into();
+        self
+    }
+
+    /// Notify a [`PagingGateway`](crate::paging::PagingGateway) on every
+    /// alert edge.
+    pub fn with_pager(mut self, pager: NodeId) -> SloMonitor {
+        self.pager = Some(pager);
+        self
     }
 
     /// Per-target rule reports: `(instance, reports)` in target order.
@@ -388,23 +456,54 @@ impl SloMonitor {
         self.targets.iter().map(|t| t.engine.breached()).sum()
     }
 
+    /// Staleness of one target at `now`: microseconds since its last
+    /// successful scrape, or sim time itself before the first one lands.
+    fn staleness(t: &TargetState, now: SimTime) -> f64 {
+        t.last_ok.map_or(now.0, |ok| now.since(ok).0) as f64
+    }
+
     /// The engine's evaluation view for one target: last scraped snapshot
-    /// plus the synthetic probe-failure gauge and scrape-RTT stage.
-    fn observed(t: &TargetState) -> TelemetrySnapshot {
+    /// plus the synthetic probe-failure/staleness gauges and scrape-RTT
+    /// stage.
+    fn observed(t: &TargetState, now: SimTime) -> TelemetrySnapshot {
         let mut snap = t.last_snap.clone();
         snap.gauges.push((KEY_PROBE_FAILURES.to_owned(), t.consecutive_failures));
+        snap.gauges.push((KEY_SCRAPE_STALENESS.to_owned(), Self::staleness(t, now)));
         snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         snap.stages.push((STAGE_SCRAPE_RTT.to_owned(), t.rtt.clone()));
         snap.stages.sort_by(|a, b| a.0.cmp(&b.0));
         snap
     }
 
+    /// The cell view the monitor serves at `GET /metrics`: its own metrics
+    /// merged with every target's observed snapshot, in target order. The
+    /// `sim.queue_depth` gauge is stripped — it reads a *shard's* event
+    /// queue, which depends on how the fleet is partitioned, and federated
+    /// rollups must be byte-identical across shard counts. The staleness
+    /// gauge is fixed up to the max across targets (merge sums gauges).
+    fn cell_view(&self, ctx: &mut Ctx<'_>) -> TelemetrySnapshot {
+        let now = ctx.now();
+        let mut view = TelemetrySnapshot::capture(ctx.metrics(), &[]);
+        for t in &self.targets {
+            let mut snap = Self::observed(t, now);
+            snap.gauges.retain(|(k, _)| k != KEY_QUEUE_DEPTH);
+            merge_snapshot(&mut view, &snap);
+        }
+        let max_staleness =
+            self.targets.iter().map(|t| Self::staleness(t, now)).fold(0.0, f64::max);
+        if let Some(g) = view.gauges.iter_mut().find(|(k, _)| k == KEY_SCRAPE_STALENESS) {
+            g.1 = max_staleness;
+        }
+        view
+    }
+
     fn evaluate_target(&mut self, ctx: &mut Ctx<'_>, tidx: usize) {
-        let snap = Self::observed(&self.targets[tidx]);
+        let snap = Self::observed(&self.targets[tidx], ctx.now());
         let t = &mut self.targets[tidx];
         let transitions = t.engine.evaluate(&snap);
         ctx.metrics().bump("slo.evaluations", 1.0);
         for tr in transitions {
+            let instance = self.targets[tidx].instance.clone();
             if tr.fired {
                 let trace = ctx.obs_new_trace();
                 let span = ctx.span_begin(trace, 0, "slo.alert");
@@ -412,16 +511,20 @@ impl SloMonitor {
                 t.episodes.insert(tr.rule.clone(), trace);
                 t.open_spans.insert(tr.rule.clone(), span);
                 ctx.metrics().bump("slo.alerts_fired", 1.0);
-                let instance = self.targets[tidx].instance.clone();
                 ctx.obs_alert(&tr.rule, &instance, true, tr.value, tr.limit, trace);
+                if let Some(pager) = self.pager {
+                    ctx.send(pager, page_fire(&tr.rule, &instance, tr.value, tr.limit, trace));
+                }
             } else {
                 let t = &mut self.targets[tidx];
                 let trace = t.episodes.remove(&tr.rule).unwrap_or(0);
                 let span = t.open_spans.remove(&tr.rule).unwrap_or(0);
                 ctx.span_end(span);
                 ctx.metrics().bump("slo.alerts_resolved", 1.0);
-                let instance = self.targets[tidx].instance.clone();
                 ctx.obs_alert(&tr.rule, &instance, false, tr.value, tr.limit, trace);
+                if let Some(pager) = self.pager {
+                    ctx.send(pager, page_resolve(&tr.rule, &instance));
+                }
             }
         }
     }
@@ -447,7 +550,22 @@ impl Node for SloMonitor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        // Serve the cell view: the monitor is itself a federation target.
+        if let Some(req) = HttpRequest::from_message(&msg) {
+            if req.method == "GET" && req.path == PATH_METRICS {
+                ctx.metrics().bump("telemetry.scrapes", 1.0);
+                let view = self.cell_view(ctx);
+                let body = render_prom(&self.instance, &view).into_bytes();
+                http::reply(ctx, from, &req, HttpStatus::Ok, body);
+            } else if req.method == "GET" && req.path == PATH_HEALTHZ {
+                ctx.metrics().bump("telemetry.probes", 1.0);
+                http::reply(ctx, from, &req, HttpStatus::Ok, b"ok".to_vec());
+            } else {
+                http::reply(ctx, from, &req, HttpStatus::NotFound, Vec::new());
+            }
+            return;
+        }
         let Some(resp) = self.http.on_response(ctx, &msg) else { return };
         let Some((tidx, probe, sent)) = self.pending.remove(&resp.req_id) else { return };
         let rtt = ctx.now().since(sent);
@@ -461,6 +579,7 @@ impl Node for SloMonitor {
                 if resp.status.is_success() {
                     if let Ok(text) = std::str::from_utf8(&resp.body) {
                         self.targets[tidx].last_snap = parse_prom(text);
+                        self.targets[tidx].last_ok = Some(ctx.now());
                         self.scrapes_ok += 1;
                         ctx.metrics().bump("slo.scrapes_ok", 1.0);
                     }

@@ -309,9 +309,19 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
     let mut cums: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut sums: BTreeMap<String, u64> = BTreeMap::new();
     let mut maxes: BTreeMap<String, u64> = BTreeMap::new();
+    // family → declared kind from `# TYPE` lines. Classifying by declared
+    // type (not the `_total` suffix) keeps a *gauge* whose key sanitizes to
+    // `..._total` (e.g. `queue.total`) a gauge through the round trip.
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            if let Some(decl) = line.strip_prefix("# TYPE ") {
+                let mut parts = decl.split_whitespace();
+                if let (Some(fam), Some(kind)) = (parts.next(), parts.next()) {
+                    types.insert(fam.to_owned(), kind.to_owned());
+                }
+            }
             continue;
         }
         let Some((name, labels, value)) = parse_sample(line) else { continue };
@@ -336,7 +346,14 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
         } else if name == count_name {
             // Redundant with the bucket series; nothing to record.
         } else if let Some(key) = label(&labels, "key") {
-            if name.ends_with("_total") {
+            // Prefer the declared `# TYPE`; fall back to the suffix
+            // heuristic for expositions from other producers.
+            let is_counter = match types.get(name).map(String::as_str) {
+                Some("counter") => true,
+                Some(_) => false,
+                None => name.ends_with("_total"),
+            };
+            if is_counter {
                 snap.counters.push((key.to_owned(), value));
             } else {
                 snap.gauges.push((key.to_owned(), value));
@@ -588,6 +605,41 @@ mod tests {
         let (_, orig) = &snap.stages[0];
         assert_eq!(h, orig, "histogram must survive the round trip exactly");
         assert_eq!(back.stage("gateway.stage").unwrap().p99(), orig.p99());
+    }
+
+    #[test]
+    fn gauge_with_total_suffix_stays_a_gauge_through_round_trip() {
+        // `queue.total` sanitizes to the family `pdagent_queue_total` — the
+        // same shape as a counter family. The declared `# TYPE` line must
+        // win over the suffix heuristic, or federation re-exposure would
+        // silently migrate the series between sections.
+        let mut m = Metrics::new();
+        m.set_gauge("queue.total", 5.0);
+        m.bump("requests.total", 9.0);
+        let snap = TelemetrySnapshot::capture(&m, &[]);
+        let back = parse_prom(&render_prom("gw-0", &snap));
+        assert_eq!(back.gauge("queue.total"), 5.0, "gauge misfiled as counter");
+        assert_eq!(back.counter("queue.total"), 0.0);
+        assert_eq!(back.counter("requests.total"), 9.0);
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+    }
+
+    #[test]
+    fn federation_re_exposure_round_trips_weird_labels_byte_identically() {
+        // The federation path re-renders what it parsed: keys with embedded
+        // quotes and newlines must survive render → parse → render with the
+        // second rendering byte-identical to the first.
+        let mut m = Metrics::new();
+        m.bump("weird\"key\nwith\\slash", 4.0);
+        m.set_gauge("gauge\n\"quoted\"", 2.5);
+        let snap = TelemetrySnapshot::capture(&m, &[]);
+        let first = render_prom("cell\"0\nx", &snap);
+        let back = parse_prom(&first);
+        assert_eq!(back.counter("weird\"key\nwith\\slash"), 4.0);
+        assert_eq!(back.gauge("gauge\n\"quoted\""), 2.5);
+        let second = render_prom("cell\"0\nx", &back);
+        assert_eq!(first, second, "re-exposure must be byte-identical");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! Any change to family naming, label escaping, sample ordering or the
 //! histogram layout shows up as a readable diff against the fixture.
 
+use pdagent_net::federation::FederationRollup;
 use pdagent_net::metrics::Metrics;
 use pdagent_net::obs::Histogram;
 use pdagent_net::telemetry::{parse_prom, render_prom, TelemetrySnapshot};
+use pdagent_net::time::SimTime;
 
 /// A snapshot exercising every corner the format has: counter and gauge
 /// families, keys that sanitize to the same family name, label values that
@@ -83,6 +85,55 @@ fn exposition_is_stable_across_insertion_orders() {
         &[("gw.dispatch".to_string(), h), ("http.upload".to_string(), upload)],
     );
     assert_eq!(render_prom("gw-0", &reordered), render_prom("gw-0", &fixture_snapshot()));
+}
+
+/// A fleet rollup federated from two cells: cell snapshots built from
+/// distinct metrics (overlapping and disjoint keys, shared stage family),
+/// merged through [`FederationRollup`] exactly as the scraper does.
+fn federation_fixture() -> TelemetrySnapshot {
+    let mut rollup = FederationRollup::new();
+    for (cell, base) in [("cell-0", 10u64), ("cell-1", 40u64)] {
+        let mut m = Metrics::new();
+        m.msgs_sent = base;
+        m.msgs_received = base - 1;
+        m.bump("slo.scrapes_ok", base as f64);
+        m.bump("http.gave_up", if base == 10 { 1.0 } else { 0.0 });
+        // Disjoint key: only cell-1 reports it; the rollup keeps it.
+        if base == 40 {
+            m.bump("gateway.replays", 5.0);
+        }
+        m.set_gauge("scrape.staleness_max", 1_000.0 * base as f64);
+        let mut rtt = Histogram::new();
+        rtt.record(base * 100);
+        rtt.record(base * 200);
+        let snap = TelemetrySnapshot::capture(&m, &[("scrape.rtt".to_string(), rtt)]);
+        rollup.upsert(cell, SimTime(base * 1_000), snap);
+    }
+    rollup.merged()
+}
+
+#[test]
+fn federated_rollup_matches_golden_file() {
+    let text = render_prom("fleet", &federation_fixture());
+    // Regenerate after an intentional change with:
+    //   REGEN_GOLDEN=1 cargo test -p pdagent-net --test prom_golden
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/federation.prom");
+        std::fs::write(path, &text).unwrap();
+    }
+    let golden = include_str!("golden/federation.prom");
+    assert_eq!(
+        text, golden,
+        "federated rollup exposition drifted from tests/golden/federation.prom — \
+         if the change is intentional, regenerate the fixture from this test's output"
+    );
+    // The rollup itself re-parses losslessly: counters summed across cells,
+    // gauges accumulated, the shared stage merged.
+    let back = parse_prom(&text);
+    assert_eq!(back.counter("slo.scrapes_ok"), 50.0);
+    assert_eq!(back.counter("gateway.replays"), 5.0);
+    assert_eq!(back.counter("msgs_sent"), 50.0);
+    assert_eq!(back.stage("scrape.rtt").map(Histogram::count), Some(4));
 }
 
 #[test]

@@ -129,6 +129,32 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
       "$name" "$old_red" "$new_red" "$red_pct" "$red_verdict"
   fi
 
+  # The soak report's federation section (absent under SOAK_FED=0, in which
+  # case both sides read 0 and the gates stay quiet). Staleness is sim-time,
+  # fully deterministic, so a p99 past the threshold vs baseline means the
+  # scrape plane genuinely got slower — not host noise.
+  old_stale=$(field "$baseline" staleness_p99_us)
+  new_stale=$(field "$report" staleness_p99_us)
+  if [[ "$old_stale" != 0 && "$new_stale" != 0 ]]; then
+    stale_pct=$(pct_change "$new_stale" "$old_stale")
+    stale_verdict="ok"
+    if (( stale_pct > threshold )); then
+      stale_verdict="FEDERATION STALENESS REGRESSION (+${stale_pct}%)"
+      status=1
+    fi
+    printf '%-28s staleness p99 %sus -> %sus (%+d%%)   %s\n' \
+      "$name" "$old_stale" "$new_stale" "$stale_pct" "$stale_verdict"
+  fi
+
+  # The paging drill: a dropped page means the notification path lost an
+  # alert outright — always a hard failure, no threshold.
+  dropped_pages=$(field "$report" dropped_pages)
+  if [[ "$dropped_pages" != 0 && "$dropped_pages" != "" ]]; then
+    printf '%-28s %s page(s) dropped by the paging gateway   PAGES DROPPED\n' \
+      "$name" "$dropped_pages"
+    status=1
+  fi
+
   # The soak report carries the SLO alert ledger. A rule that fired and
   # never resolved means the telemetry plane caught something the shape
   # checks missed — always fail, and point at the flight-recorder dumps

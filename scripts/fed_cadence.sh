@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Federation cadence sweep: run the soak at a range of scrape cadences and
+# record the staleness-vs-traffic trade-off into EXPERIMENTS.md (between the
+# fed_cadence markers). Staleness here is sim-time — fully deterministic for
+# a given seed — so the recorded table is reproducible anywhere, unlike the
+# wall-clock scaling curve.
+#
+#   scripts/fed_cadence.sh [devices] [seed] [cadence_ms_list]
+#
+# Defaults: 64 devices, seed 42, cadences 2000,5000,10000,20000 ms. Each run
+# goes through the soak binary's full shape checks (zero dropped pages, zero
+# unresolved alerts), so a recorded row is always a *passing* row.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEVICES="${1:-64}"
+SEED="${2:-42}"
+CADENCES="${3:-2000,5000,10000,20000}"
+
+cargo build --release -p pdagent-bench --bin soak
+echo "fed_cadence: ${DEVICES} devices, seed ${SEED}, cadences ${CADENCES} ms"
+
+table=$(printf '%-12s %-12s %-12s %-12s %-12s %-14s\n' \
+    "cadence_ms" "scrapes_ok" "stale_p50_us" "stale_p99_us" "stale_max_us" "events_total")
+for ms in ${CADENCES//,/ }; do
+    out=$(SOAK_FED_CADENCE_MS="${ms}" ./target/release/soak "${DEVICES}" 1 "${SEED}")
+    # One line like: "federation: N cells x R rounds @ C ms cadence; ..."
+    if ! printf '%s\n' "${out}" | grep -q '^federation:'; then
+        echo "fed_cadence: soak output had no federation line (SOAK_FED=0?)" >&2
+        exit 1
+    fi
+    json=BENCH_soak.json
+    jfield() { sed -n "s/.*\"$1\": *\([0-9.eE+-]*\).*/\1/p" "${json}" | head -1; }
+    row=$(printf '%-12s %-12s %-12s %-12s %-12s %-14s\n' \
+        "${ms}" "$(jfield fed_scrapes_ok)" "$(jfield staleness_p50_us)" \
+        "$(jfield staleness_p99_us)" "$(jfield staleness_max_us)" \
+        "$(jfield events_batched)")
+    table="${table}
+${row}"
+    echo "${row}"
+done
+
+BEGIN='<!-- fed_cadence:begin -->'
+END='<!-- fed_cadence:end -->'
+if ! grep -qF "${BEGIN}" EXPERIMENTS.md; then
+    echo "fed_cadence: EXPERIMENTS.md is missing the ${BEGIN} marker" >&2
+    exit 1
+fi
+
+block=$(mktemp)
+trap 'rm -f "${block}"' EXIT
+{
+    echo "${BEGIN}"
+    echo "Recorded by \`scripts/fed_cadence.sh\`: ${DEVICES} devices, seed ${SEED},"
+    echo "single shard. Staleness percentiles are the age of each cell's snapshot"
+    echo "at fleet-rule evaluation (sim-time, deterministic); events_total is the"
+    echo "whole soak's event count — the scrape-traffic cost of going fresher:"
+    echo
+    echo '```'
+    printf '%s\n' "${table}"
+    echo '```'
+    echo "${END}"
+} > "${block}"
+
+awk -v bfile="${block}" '
+    index($0, "<!-- fed_cadence:begin -->") {
+        skip = 1
+        while ((getline line < bfile) > 0) print line
+        next
+    }
+    index($0, "<!-- fed_cadence:end -->") { skip = 0; next }
+    !skip { print }
+' EXPERIMENTS.md > EXPERIMENTS.md.tmp
+mv EXPERIMENTS.md.tmp EXPERIMENTS.md
+echo "fed_cadence: recorded cadence sweep into EXPERIMENTS.md"

@@ -9,10 +9,18 @@ cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 
+# Federation ablation smoke: with the fleet plane off, the soak must still
+# pass every shape check (results are asserted byte-identical to the
+# federated run by the crate's unit tests; here we guard the knob itself).
+# Runs first so the BENCH_soak.json left on disk is the full federated one.
+cargo build --release -p pdagent-bench --bin soak
+SOAK_FED=0 ./target/release/soak 64 1,2 > /dev/null
+
 # Soak smoke: a small sharded soak (64 devices, 1 vs 2 shards) must stay
 # byte-identical across the partitionings and keep the batched-delivery
-# event reduction above 5x; the binary exits nonzero if either fails.
-cargo build --release -p pdagent-bench --bin soak
+# event reduction above 5x; the binary exits nonzero if either fails. The
+# default run also exercises the fleet plane — federation scrapes, fleet
+# rules and the paging drill — via its own shape checks.
 ./target/release/soak 64 1,2 > /dev/null
 
 # Event-scheduler smoke: the wheel-vs-heap replay must pop byte-identical
