@@ -71,6 +71,15 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&ms| ms > 0);
+    // Congestion-sweep knobs: fan-in window / batch size, plus the delta
+    // ablation (`SOAK_FED_DELTA=0` forces full snapshots every round).
+    if let Some(n) = std::env::var("SOAK_FED_INFLIGHT").ok().and_then(|v| v.parse().ok()) {
+        spec.fed_max_inflight = n;
+    }
+    if let Some(n) = std::env::var("SOAK_FED_BATCH").ok().and_then(|v| v.parse().ok()) {
+        spec.fed_batch = n;
+    }
+    spec.fed_delta = std::env::var("SOAK_FED_DELTA").map_or(true, |v| v != "0");
     if let Some(ms) = cadence_ms {
         spec.fed_cadence = SimDuration::from_millis(ms);
         // Hold the federated horizon fixed (~60 s of scrape coverage) so the

@@ -222,6 +222,11 @@ pub fn federation_json(fed: &FederationReport, cadence_ms: u64) -> Json {
         ("fed_dropped_series", fed.dropped_series.into()),
         ("fed_peak_inflight", fed.peak_inflight.into()),
         ("fed_cadence_ms", cadence_ms.into()),
+        ("fed_resyncs", fed.resyncs.into()),
+        ("fed_delta_scrapes", fed.delta_scrapes.into()),
+        ("fed_full_scrapes", fed.full_scrapes.into()),
+        ("fed_scraped_bytes", fed.scraped_bytes.into()),
+        ("fed_ingest_ms", (fed.ingest_nanos as f64 / 1e6).into()),
         ("staleness_p50_us", fed.staleness.p50().into()),
         ("staleness_p99_us", fed.staleness.p99().into()),
         ("staleness_max_us", fed.staleness.max().into()),

@@ -153,6 +153,19 @@ pub struct SoakSpec {
     pub fed_cadence: SimDuration,
     /// Federation scrape rounds (bounded so the sim drains).
     pub fed_rounds: u32,
+    /// Federation delta scrapes (`?since=<epoch>`); `false` forces a full
+    /// snapshot every round.
+    pub fed_delta: bool,
+    /// Federation bounded in-flight scrape window.
+    pub fed_max_inflight: usize,
+    /// Federation targets dispatched per fan-in batch tick.
+    pub fed_batch: usize,
+    /// Delay between federation fan-in batch ticks.
+    pub fed_batch_spacing: SimDuration,
+    /// Cell snapshots older than this are dropped from fleet rollups.
+    pub fed_stale_after: SimDuration,
+    /// Every Nth federation round is a full-snapshot resync.
+    pub fed_resync_every: u32,
     /// Primary on-call pickup time (`None` never acks, forcing escalation —
     /// the paging-drill configuration).
     pub oncall_ack: Option<SimDuration>,
@@ -185,6 +198,12 @@ impl SoakSpec {
             federation: false,
             fed_cadence: SimDuration::from_secs(10),
             fed_rounds: 3,
+            fed_delta: true,
+            fed_max_inflight: 8,
+            fed_batch: 16,
+            fed_batch_spacing: SimDuration::from_millis(200),
+            fed_stale_after: SimDuration::from_secs(30),
+            fed_resync_every: 8,
             oncall_ack: Some(SimDuration::from_secs(2)),
             escalation_tick: SimDuration::from_secs(60),
             scheduler: Scheduler::default(),
@@ -607,6 +626,12 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                 let fed_spec = FederationSpec {
                     cadence: spec.fed_cadence,
                     rounds: spec.fed_rounds,
+                    delta: spec.fed_delta,
+                    max_inflight: spec.fed_max_inflight,
+                    batch: spec.fed_batch,
+                    batch_spacing: spec.fed_batch_spacing,
+                    stale_after: spec.fed_stale_after,
+                    resync_every: spec.fed_resync_every,
                     rules: default_federation_rules(),
                     pager: Some(pager.expect("pager built with federation")),
                     ..FederationSpec::default()
@@ -1079,6 +1104,109 @@ mod tests {
             assert_eq!(mono_fed.rtt, fed.rtt, "{shards}-shard scrape RTTs diverged");
             assert_eq!(mono_fed.slo, fed.slo, "{shards}-shard fleet SLO digests diverged");
         }
+    }
+
+    #[test]
+    fn full_snapshot_mode_is_byte_identical_across_shards() {
+        // The delta-default variant is covered above; this pins the
+        // `fed_delta = false` ablation to the same shard invariance.
+        let mut base = tiny(22);
+        base.slo = true;
+        base.federation = true;
+        base.fed_delta = false;
+        let mono = run_soak(&base);
+        let mono_fed = mono.federation.as_ref().expect("federation report");
+        assert_eq!(mono_fed.delta_scrapes, 0, "full mode must never ask for deltas");
+        assert_eq!(mono_fed.full_scrapes, mono_fed.scrapes_ok);
+        assert_eq!(mono_fed.resyncs, 0);
+        for shards in [2, 3] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let split = run_soak(&spec);
+            let fed = split.federation.as_ref().expect("federation report");
+            assert_eq!(mono.results, split.results, "{shards} shards diverged");
+            assert_eq!(mono.events, split.events, "event totals diverged");
+            assert_eq!(mono_fed.scraped_bytes, fed.scraped_bytes, "{shards}-shard scrape bytes");
+            assert_eq!(mono_fed.staleness, fed.staleness, "{shards}-shard staleness diverged");
+            assert_eq!(mono_fed.slo, fed.slo, "{shards}-shard fleet SLO digests diverged");
+        }
+    }
+
+    #[test]
+    fn delta_mode_shrinks_scrape_bytes_without_touching_verdicts() {
+        let mut full = tiny(24);
+        full.slo = true;
+        full.federation = true;
+        full.fed_delta = false;
+        full.fed_rounds = 6;
+        let mut delta = full.clone();
+        delta.fed_delta = true;
+        let f = run_soak(&full);
+        let d = run_soak(&delta);
+
+        // The scrape encoding must be invisible to everything below it: the
+        // workload results and the cell-level SLO digests are derived from
+        // device/gateway traffic the fleet plane never touches.
+        assert_eq!(f.results, d.results, "scrape encoding perturbed the workload");
+        assert_eq!(f.slo, d.slo, "cell SLO digests moved with scrape encoding");
+
+        let fr = f.federation.as_ref().expect("federation report");
+        let dr = d.federation.as_ref().expect("federation report");
+        assert_eq!(fr.scrape_failures, 0);
+        assert_eq!(dr.scrape_failures, 0);
+        assert_eq!(dr.resyncs, 0, "healthy cells must never force a resync");
+        assert!(dr.delta_scrapes > 0, "delta mode never used a delta");
+        assert_eq!(
+            dr.delta_scrapes + dr.full_scrapes,
+            dr.scrapes_ok,
+            "every ok scrape is either delta or full"
+        );
+        assert!(
+            dr.scraped_bytes < fr.scraped_bytes,
+            "delta mode must shrink scrape bytes: {} vs {}",
+            dr.scraped_bytes,
+            fr.scraped_bytes
+        );
+        assert_eq!(fr.breached, 0);
+        assert_eq!(dr.breached, 0);
+        for (a, b) in fr.slo.iter().zip(&dr.slo) {
+            assert_eq!(a.fired, b.fired, "rule {} verdicts diverged across modes", a.name);
+        }
+    }
+
+    #[test]
+    fn undersized_fan_in_window_breaches_staleness_not_drops() {
+        // Deliberately starve the fan-in: one scrape in flight at a time,
+        // one target per 8 s batch tick, 6 cells — a round takes ~40 s to
+        // dispatch while the cadence asks for one every 5 s. Congestion has
+        // to surface as *staleness rule breaches*, never as silent drops.
+        let mut spec = SoakSpec::new(23, 6, 2);
+        spec.pi_pad = 4 * 1024;
+        spec.slo = true;
+        spec.federation = true;
+        spec.fed_max_inflight = 1;
+        spec.fed_batch = 1;
+        spec.fed_batch_spacing = SimDuration::from_secs(8);
+        spec.fed_cadence = SimDuration::from_secs(5);
+        spec.fed_rounds = 4;
+        spec.fed_stale_after = SimDuration::from_secs(600);
+        let out = run_soak(&spec);
+        let fed = out.federation.as_ref().expect("federation report");
+        assert_eq!(fed.scrape_failures, 0, "congestion must not fail scrapes");
+        assert_eq!(fed.dropped_series, 0, "congestion must not drop series");
+        assert_eq!(fed.peak_inflight, 1, "window must be respected");
+        let fired: u64 = fed
+            .slo
+            .iter()
+            .filter(|r| r.name.starts_with("fed-staleness"))
+            .map(|r| r.fired)
+            .sum();
+        assert!(fired >= 1, "undersized window must breach a staleness rule: {:?}", fed.slo);
+        assert!(
+            fed.staleness.max() > 30_000_000,
+            "per-cell ages must exceed the 30 s bound: {}",
+            fed.staleness.max()
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use pdagent_mas::server::{
 use pdagent_mas::{AgentId, Itinerary, MobileAgent, KIND_COMPLETE, KIND_CONTROL, KIND_CONTROL_RESP, KIND_TRANSFER, KIND_ACK};
 use pdagent_net::http::{reply, HttpRequest, HttpStatus};
 use pdagent_net::prelude::*;
-use pdagent_net::telemetry::serve_telemetry;
+use pdagent_net::telemetry::TelemetryServer;
 use pdagent_vm::Program;
 use pdagent_xml::Element;
 
@@ -148,6 +148,9 @@ pub struct GatewayNode {
     /// The File Directory (Figure 6): staged agent classes, parameter docs
     /// and result documents, under a disk quota.
     pub files: FileDirectory,
+    /// Delta-encoded `/metrics` + `/healthz` server: interned series, dirty
+    /// epochs, pooled render buffer.
+    telemetry: TelemetryServer,
 }
 
 impl GatewayNode {
@@ -174,6 +177,7 @@ impl GatewayNode {
             obs: HashMap::new(),
             log: Vec::new(),
             files: FileDirectory::new(64 << 20), // 64 MiB gateway disk budget
+            telemetry: TelemetryServer::new(),
         }
     }
 
@@ -632,7 +636,7 @@ impl Node for GatewayNode {
                 // Telemetry endpoints answer before the replay lookup and
                 // never enter the replay cache: a scrape must always observe
                 // fresh state, and cached expositions would poison windows.
-                if serve_telemetry(ctx, from, &req, &self.config.name) {
+                if self.telemetry.serve(ctx, from, &req, &self.config.name) {
                     return;
                 }
                 // Retransmission of a request we already answered? Replay.

@@ -221,6 +221,9 @@ pub struct MasNode {
     pub max_transfer_attempts: u32,
     /// Human-readable event log (tests and demos inspect this).
     pub log: Vec<String>,
+    /// Delta-encoded `/metrics` + `/healthz` server: interned series, dirty
+    /// epochs, pooled render buffer.
+    telemetry: pdagent_net::telemetry::TelemetryServer,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +248,7 @@ impl MasNode {
             ack_timeout: SimDuration::from_millis(500),
             max_transfer_attempts: 3,
             log: Vec::new(),
+            telemetry: pdagent_net::telemetry::TelemetryServer::new(),
         }
     }
 
@@ -538,8 +542,8 @@ impl Node for MasNode {
                 // GET /healthz like gateways do, so monitors can scrape the
                 // whole execution plane over the modeled links.
                 if let Some(req) = pdagent_net::http::HttpRequest::from_message(&msg) {
-                    let site = self.site_name.clone();
-                    pdagent_net::telemetry::serve_telemetry(ctx, from, &req, &site);
+                    let MasNode { telemetry, site_name, .. } = self;
+                    telemetry.serve(ctx, from, &req, site_name);
                 }
             }
         }

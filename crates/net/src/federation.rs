@@ -22,6 +22,16 @@
 //! * `federation.dropped_series` — counter of series excluded from a rollup
 //!   because their cell's snapshot aged past `stale_after`.
 //!
+//! With `delta: true` (the default) the scraper rides the exposition layer's
+//! epoch protocol: after a first full snapshot per cell it asks
+//! `GET /metrics?since=<epoch>` and receives only the series that changed,
+//! applying them in O(changed) via [`FederationRollup::apply_delta`]. Every
+//! `resync_every`-th round is a full-snapshot resync, and an epoch gap in
+//! either direction (server fell back to full, or a delta arrives against a
+//! base the scraper no longer holds) degrades safely to a full refetch —
+//! counted in `federation.resyncs`, never dropped. The merged rollup is
+//! byte-identical to full-snapshot mode at equal scrape counts.
+//!
 //! Determinism: the scraper's links carry their own per-link RNG streams
 //! (keyed by node labels, like every link), its timers and HTTP req-ids are
 //! node-local, and cell monitors serve their federated view from cell-local
@@ -36,7 +46,7 @@ use crate::obs::Histogram;
 use crate::paging::{page_fire, page_resolve};
 use crate::sim::{Ctx, Node, NodeId};
 use crate::slo::{SloEngine, SloReport, SloRule};
-use crate::telemetry::{parse_prom, TelemetrySnapshot, PATH_METRICS};
+use crate::telemetry::{parse_epoch_header, parse_prom, TelemetrySnapshot, PATH_METRICS};
 use crate::time::{SimDuration, SimTime};
 
 /// Synthetic gauge the scraper injects before fleet evaluation: the largest
@@ -150,6 +160,22 @@ impl FederationRollup {
     pub fn merged(&self) -> TelemetrySnapshot {
         self.merged_fresh(SimTime(u64::MAX), SimDuration::from_micros(u64::MAX)).0
     }
+
+    /// Apply a delta body to cell `instance`'s held snapshot in O(changed
+    /// series): each delta series replaces (or inserts) its slot by key,
+    /// untouched series keep their previous values. Returns `false` — and
+    /// leaves the cell untouched — when no base snapshot is held, in which
+    /// case the caller must fall back to a full scrape.
+    pub fn apply_delta(&mut self, instance: &str, at: SimTime, delta: &TelemetrySnapshot) -> bool {
+        match self.cells.get_mut(instance) {
+            Some((held_at, snap)) => {
+                snap.apply_delta(delta);
+                *held_at = at;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Federation scraper configuration.
@@ -172,6 +198,12 @@ pub struct FederationSpec {
     /// Snapshots older than this are excluded from rollups (their series
     /// count toward `federation.dropped_series`).
     pub stale_after: SimDuration,
+    /// Scrape cells with `?since=<epoch>` delta requests once a base
+    /// snapshot is held; `false` forces a full snapshot every round.
+    pub delta: bool,
+    /// In delta mode, every Nth round is a full-snapshot resync round
+    /// (round 0 is always full).
+    pub resync_every: u32,
     /// Fleet rule set evaluated against each round's rollup.
     pub rules: Vec<SloRule>,
     /// Paging gateway to notify on fleet alert edges, if any.
@@ -189,6 +221,8 @@ impl Default for FederationSpec {
             batch_spacing: SimDuration::from_millis(200),
             max_inflight: 8,
             stale_after: SimDuration::from_secs(30),
+            delta: true,
+            resync_every: 8,
             rules: Vec::new(),
             pager: None,
         }
@@ -210,6 +244,18 @@ pub struct FederationReport {
     pub peak_inflight: usize,
     /// Cells that reported at least once.
     pub cells: usize,
+    /// Delta scrapes answered with a full body (epoch gap) plus defensive
+    /// base-mismatch refetches.
+    pub resyncs: u64,
+    /// Scrapes served as deltas (epoch header with a `base=`).
+    pub delta_scrapes: u64,
+    /// Scrapes served as full snapshots.
+    pub full_scrapes: u64,
+    /// Total scrape body bytes received.
+    pub scraped_bytes: u64,
+    /// Wall-clock nanoseconds spent parsing and applying scrape bodies
+    /// (report-only: never feeds back into simulation state).
+    pub ingest_nanos: u64,
     /// Per-cell snapshot age at each round's evaluation.
     pub staleness: Histogram,
     /// Scrape round-trip times (from first transmission).
@@ -233,9 +279,13 @@ pub struct FederationScraper {
     targets: Vec<(NodeId, String)>,
     /// Last successful scrape per target (for staleness accounting).
     last_ok: Vec<Option<SimTime>>,
+    /// Last epoch seen per target (the `since=` base for delta scrapes).
+    last_epoch: Vec<Option<u64>>,
+    /// True while the current round scrapes full snapshots.
+    full_round: bool,
     http: HttpClient,
-    /// req_id → (target index, first-transmission time).
-    pending: HashMap<u64, (usize, SimTime)>,
+    /// req_id → (target index, first-transmission time, asked-for-delta).
+    pending: HashMap<u64, (usize, SimTime, bool)>,
     rollup: FederationRollup,
     engine: SloEngine,
     /// Targets not yet dispatched this round.
@@ -263,6 +313,16 @@ pub struct FederationScraper {
     pub dropped_series: u64,
     /// In-flight high-water mark.
     pub peak_inflight: usize,
+    /// Delta asks answered full (epoch gap) plus base-mismatch refetches.
+    pub resyncs: u64,
+    /// Scrapes served as deltas.
+    pub delta_scrapes: u64,
+    /// Scrapes served as full snapshots.
+    pub full_scrapes: u64,
+    /// Total scrape body bytes received.
+    pub scraped_bytes: u64,
+    /// Wall-clock nanos spent parsing/applying bodies (report-only).
+    pub ingest_nanos: u64,
 }
 
 impl FederationScraper {
@@ -273,10 +333,13 @@ impl FederationScraper {
         http.max_retries = spec.retries;
         let engine = SloEngine::new(spec.rules.clone());
         let last_ok = vec![None; targets.len()];
+        let last_epoch = vec![None; targets.len()];
         FederationScraper {
             spec,
             targets,
             last_ok,
+            last_epoch,
+            full_round: true,
             http,
             pending: HashMap::new(),
             rollup: FederationRollup::new(),
@@ -295,6 +358,11 @@ impl FederationScraper {
             scrape_failures: 0,
             dropped_series: 0,
             peak_inflight: 0,
+            resyncs: 0,
+            delta_scrapes: 0,
+            full_scrapes: 0,
+            scraped_bytes: 0,
+            ingest_nanos: 0,
         }
     }
 
@@ -306,6 +374,11 @@ impl FederationScraper {
             scrape_failures: self.scrape_failures,
             dropped_series: self.dropped_series,
             peak_inflight: self.peak_inflight,
+            resyncs: self.resyncs,
+            delta_scrapes: self.delta_scrapes,
+            full_scrapes: self.full_scrapes,
+            scraped_bytes: self.scraped_bytes,
+            ingest_nanos: self.ingest_nanos,
             cells: self.rollup.len(),
             staleness: self.staleness.clone(),
             rtt: self.rtt.clone(),
@@ -324,6 +397,8 @@ impl FederationScraper {
     }
 
     fn start_round(&mut self, ctx: &mut Ctx<'_>) {
+        self.full_round = !self.spec.delta
+            || self.rounds_done.is_multiple_of(u64::from(self.spec.resync_every.max(1)));
         self.queue = (0..self.targets.len()).collect();
         self.budget = self.spec.batch.max(1).min(self.targets.len());
         self.issued = 0;
@@ -342,9 +417,13 @@ impl FederationScraper {
         {
             let tidx = self.queue.pop_front().expect("non-empty queue");
             let node = self.targets[tidx].0;
-            let req = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+            let since = if self.full_round { None } else { self.last_epoch[tidx] };
+            let req = match since {
+                Some(e) => HttpRequest::new("GET", format!("{PATH_METRICS}?since={e}"), Vec::new()),
+                None => HttpRequest::new("GET", PATH_METRICS, Vec::new()),
+            };
             let id = self.http.send(ctx, node, req);
-            self.pending.insert(id, (tidx, ctx.now()));
+            self.pending.insert(id, (tidx, ctx.now(), since.is_some()));
             self.issued += 1;
             self.inflight += 1;
             self.peak_inflight = self.peak_inflight.max(self.inflight);
@@ -423,26 +502,69 @@ impl Node for FederationScraper {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
         let Some(resp) = self.http.on_response(ctx, &msg) else { return };
-        let Some((tidx, sent)) = self.pending.remove(&resp.req_id) else { return };
-        let rtt = ctx.now().since(sent);
-        self.rtt.record(rtt.0);
-        let parsed = if resp.status.is_success() {
-            std::str::from_utf8(&resp.body).ok().map(parse_prom)
+        let Some((tidx, sent, asked_delta)) = self.pending.remove(&resp.req_id) else { return };
+        self.scraped_bytes += resp.body.len() as u64;
+        let body = if resp.status.is_success() {
+            std::str::from_utf8(&resp.body).ok()
         } else {
             None
         };
-        match parsed {
-            Some(snap) => {
+        // Parse + apply under a wall clock: this is the merge cost the delta
+        // path exists to shrink. The measurement is report-only and never
+        // feeds back into simulated time or digests.
+        let ingest_started = std::time::Instant::now();
+        let mut ok = false;
+        if let Some(text) = body {
+            let header = parse_epoch_header(text);
+            let is_delta = matches!(header, Some(h) if h.base.is_some());
+            if is_delta {
+                let h = header.expect("checked above");
                 let instance = self.targets[tidx].1.clone();
-                self.rollup.upsert(&instance, ctx.now(), snap);
-                self.last_ok[tidx] = Some(ctx.now());
-                self.scrapes_ok += 1;
-                ctx.metrics().bump("federation.scrapes_ok", 1.0);
+                let applied = h.base == self.last_epoch[tidx]
+                    && self.rollup.apply_delta(&instance, ctx.now(), &parse_prom(text));
+                if applied {
+                    self.last_epoch[tidx] = Some(h.epoch);
+                    self.delta_scrapes += 1;
+                    ok = true;
+                } else {
+                    // Base mismatch (or no held snapshot): the delta is
+                    // unusable. Discard it and refetch the full snapshot
+                    // under the same window slot — the round stays open and
+                    // the RTT clock keeps running from the first send.
+                    self.ingest_nanos += ingest_started.elapsed().as_nanos() as u64;
+                    self.resyncs += 1;
+                    ctx.metrics().bump("federation.resyncs", 1.0);
+                    let node = self.targets[tidx].0;
+                    let refetch = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+                    let id = self.http.send(ctx, node, refetch);
+                    self.pending.insert(id, (tidx, sent, false));
+                    return;
+                }
+            } else {
+                // Full snapshot (epoch header present or legacy headerless).
+                let instance = self.targets[tidx].1.clone();
+                self.rollup.upsert(&instance, ctx.now(), parse_prom(text));
+                self.last_epoch[tidx] = header.map(|h| h.epoch);
+                self.full_scrapes += 1;
+                if asked_delta {
+                    // We asked for a delta; the server couldn't serve one
+                    // (epoch gap on its side). Count the forced resync.
+                    self.resyncs += 1;
+                    ctx.metrics().bump("federation.resyncs", 1.0);
+                }
+                ok = true;
             }
-            None => {
-                self.scrape_failures += 1;
-                ctx.metrics().bump("federation.scrape_failures", 1.0);
-            }
+        }
+        self.ingest_nanos += ingest_started.elapsed().as_nanos() as u64;
+        let rtt = ctx.now().since(sent);
+        self.rtt.record(rtt.0);
+        if ok {
+            self.last_ok[tidx] = Some(ctx.now());
+            self.scrapes_ok += 1;
+            ctx.metrics().bump("federation.scrapes_ok", 1.0);
+        } else {
+            self.scrape_failures += 1;
+            ctx.metrics().bump("federation.scrape_failures", 1.0);
         }
         self.complete(ctx);
     }
@@ -542,6 +664,61 @@ mod tests {
         assert_eq!(dropped, 6 + 1 + 1);
         assert_eq!(merged.counter("x"), 10.0);
         assert!(merged.stage("scrape.rtt").is_none());
+    }
+
+    // Delta ingest vs full ingest: scraping a cell as full-then-deltas must
+    // leave the rollup — and therefore the merged fleet view the rules see —
+    // byte-identical to scraping full snapshots every round.
+    #[test]
+    fn delta_ingest_matches_full_ingest() {
+        use crate::telemetry::{render_prom, DeltaState};
+        let mut m = Metrics::new();
+        m.bump("slo.scrapes_ok", 3.0);
+        m.set_gauge("q.depth", 5.0);
+        let mut cell = DeltaState::new();
+        let mut delta_rollup = FederationRollup::new();
+        let mut full_rollup = FederationRollup::new();
+        let mut last_epoch = None;
+        for round in 0..6u64 {
+            m.bump("slo.scrapes_ok", round as f64);
+            if round == 3 {
+                m.bump("slo.probe_failures", 1.0); // new series mid-stream
+            }
+            m.set_gauge("q.depth", (round * 7 % 11) as f64);
+            cell.observe(&TelemetrySnapshot::capture(&m, &[]));
+            // Full-mode scraper.
+            let mut body = String::new();
+            cell.render_into("cell-0", None, &mut body);
+            full_rollup.upsert("cell-0", SimTime(round), parse_prom(&body));
+            // Delta-mode scraper (round 0 is the full base).
+            let since = last_epoch.filter(|&e| cell.can_delta(e));
+            let mut dbody = String::new();
+            cell.render_into("cell-0", since, &mut dbody);
+            let h = parse_epoch_header(&dbody).expect("epoch header");
+            if h.base.is_some() {
+                assert!(delta_rollup.apply_delta("cell-0", SimTime(round), &parse_prom(&dbody)));
+            } else {
+                delta_rollup.upsert("cell-0", SimTime(round), parse_prom(&dbody));
+            }
+            last_epoch = Some(h.epoch);
+            assert!(dbody.len() <= body.len(), "delta body larger than full");
+            assert_eq!(
+                render_prom("fleet", &delta_rollup.merged()),
+                render_prom("fleet", &full_rollup.merged()),
+                "modes diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_without_a_base_demands_a_full_scrape() {
+        let mut r = FederationRollup::new();
+        let d = snap(&[("x", 1.0)], &[], &[]);
+        assert!(!r.apply_delta("cell-0", SimTime(5), &d), "no base: caller must refetch");
+        assert!(r.is_empty());
+        r.upsert("cell-0", SimTime(1), snap(&[("x", 1.0)], &[], &[]));
+        assert!(r.apply_delta("cell-0", SimTime(5), &d));
+        assert_eq!(r.staleness("cell-0", SimTime(7)), Some(SimDuration(2)));
     }
 
     // Order-insensitivity and idempotence of the federation merge: any

@@ -243,6 +243,14 @@ impl Ctx<'_> {
         self.metrics.node_mut(self.self_id)
     }
 
+    /// This node's metrics together with the obs collector (if tracing is
+    /// on) — for handlers that read stage histograms while holding their own
+    /// counters, without cloning either (the delta telemetry server's
+    /// observe path).
+    pub fn metrics_and_obs(&mut self) -> (&mut Metrics, Option<&Collector>) {
+        (self.metrics.node_mut(self.self_id), self.obs.as_ref())
+    }
+
     /// The global scoreboard.
     pub fn global_metrics(&mut self) -> &mut Metrics {
         &mut self.metrics.global

@@ -23,6 +23,9 @@
 //! protocol traffic (the same argument as PR 2's zero-cost tracing).
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use bytes::Bytes;
 
 use crate::federation::merge_snapshot;
 use crate::http::{self, HttpClient, HttpRequest, HttpStatus, TimerOutcome};
@@ -31,7 +34,10 @@ use crate::metrics::KEY_QUEUE_DEPTH;
 use crate::obs::Histogram;
 use crate::paging::{page_fire, page_resolve};
 use crate::sim::{Ctx, Node, NodeId};
-use crate::telemetry::{parse_prom, render_prom, TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS};
+use crate::telemetry::{
+    escape_label, parse_epoch_header, parse_prom, parse_since, write_value, DeltaState,
+    TelemetrySnapshot, PATH_HEALTHZ, PATH_METRICS,
+};
 use crate::time::{SimDuration, SimTime};
 
 /// Synthetic gauge the monitor injects before evaluation: consecutive
@@ -335,6 +341,13 @@ pub struct MonitorSpec {
     pub retries: u32,
     /// The rule set every target is evaluated against.
     pub rules: Vec<SloRule>,
+    /// Conditional scrapes: ask each target for `?since=<last epoch>` so
+    /// steady-state scrapes carry only changed series. Off = every scrape
+    /// ships the full exposition.
+    pub delta: bool,
+    /// With `delta` on, every Nth round (and the first) is a full-snapshot
+    /// resync round, bounding how long a lost update could go unnoticed.
+    pub resync_every: u32,
 }
 
 impl Default for MonitorSpec {
@@ -345,6 +358,8 @@ impl Default for MonitorSpec {
             rto: SimDuration::from_secs(2),
             retries: 1,
             rules: Vec::new(),
+            delta: true,
+            resync_every: 8,
         }
     }
 }
@@ -366,6 +381,9 @@ struct TargetState {
     /// When the last successful `/metrics` scrape of this target landed.
     last_ok: Option<SimTime>,
     last_snap: TelemetrySnapshot,
+    /// The target's snapshot epoch `last_snap` corresponds to (`None` until
+    /// a delta-aware full snapshot lands — the next scrape must be full).
+    last_epoch: Option<u64>,
     /// rule name → trace id of the open alert episode.
     episodes: HashMap<String, u64>,
     /// rule name → open `slo.alert` span id.
@@ -394,10 +412,29 @@ pub struct SloMonitor {
     round: u32,
     /// req_id → (target index, which probe, first-transmission time).
     pending: HashMap<u64, (usize, Probe, SimTime)>,
+    /// Monotonic version of the served cell view: bumped whenever target
+    /// state changes, so the serve path re-renders only when the view could
+    /// actually differ (the cache-invalidation signal).
+    view_version: u64,
+    /// `view_version` the delta state last observed.
+    observed_version: u64,
+    /// Delta state over the served cell view (minus the volatile staleness
+    /// gauge, which is a function of `now` and rides outside the cache).
+    serve_delta: DeltaState,
+    /// Pooled render buffer for served scrapes.
+    body: String,
+    /// Length of the cached (epoch-stable) prefix of `body`; the staleness
+    /// gauge is re-appended past it on every reply.
+    body_core: usize,
+    /// `(epoch, since)` the buffer's cached prefix holds.
+    cached: Option<(u64, Option<u64>)>,
     /// Successful `/metrics` scrapes.
     pub scrapes_ok: u64,
     /// Probes that exhausted their retries.
     pub probe_failures: u64,
+    /// Epoch-gap resyncs: deltas discarded for a base we no longer hold,
+    /// answered by an immediate full refetch.
+    pub resyncs: u64,
 }
 
 impl SloMonitor {
@@ -416,6 +453,7 @@ impl SloMonitor {
                 consecutive_failures: 0.0,
                 last_ok: None,
                 last_snap: TelemetrySnapshot::default(),
+                last_epoch: None,
                 episodes: HashMap::new(),
                 open_spans: HashMap::new(),
             })
@@ -428,8 +466,15 @@ impl SloMonitor {
             http,
             round: 0,
             pending: HashMap::new(),
+            view_version: 1,
+            observed_version: 0,
+            serve_delta: DeltaState::new(),
+            body: String::new(),
+            body_core: 0,
+            cached: None,
             scrapes_ok: 0,
             probe_failures: 0,
+            resyncs: 0,
         }
     }
 
@@ -530,13 +575,21 @@ impl SloMonitor {
     }
 
     fn scrape_all(&mut self, ctx: &mut Ctx<'_>) {
+        // Every `resync_every`-th round (and the first) scrapes full
+        // snapshots even in delta mode, bounding resync debt.
+        let full_round =
+            !self.spec.delta || (self.round - 1).is_multiple_of(self.spec.resync_every.max(1));
         for tidx in 0..self.targets.len() {
             let node = self.targets[tidx].node;
             let now = ctx.now();
             let health = HttpRequest::new("GET", PATH_HEALTHZ, Vec::new());
             let id = self.http.send(ctx, node, health);
             self.pending.insert(id, (tidx, Probe::Health, now));
-            let metrics = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+            let since = if full_round { None } else { self.targets[tidx].last_epoch };
+            let metrics = match since {
+                Some(e) => HttpRequest::new("GET", format!("{PATH_METRICS}?since={e}"), Vec::new()),
+                None => HttpRequest::new("GET", PATH_METRICS, Vec::new()),
+            };
             let id = self.http.send(ctx, node, metrics);
             self.pending.insert(id, (tidx, Probe::Metrics, now));
         }
@@ -553,12 +606,50 @@ impl Node for SloMonitor {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         // Serve the cell view: the monitor is itself a federation target.
         if let Some(req) = HttpRequest::from_message(&msg) {
-            if req.method == "GET" && req.path == PATH_METRICS {
+            let (path, since) = parse_since(&req.path);
+            if req.method == "GET" && path == PATH_METRICS {
+                // The rendered view is cached until target state actually
+                // changes (`view_version`); re-scrapes of an unchanged cell
+                // reuse the buffer byte-for-byte. The staleness gauge is a
+                // function of `now`, not of target state, so it rides
+                // *outside* the cached prefix and is re-appended fresh to
+                // every reply.
+                if self.observed_version != self.view_version {
+                    let mut view = self.cell_view(ctx);
+                    view.gauges.retain(|(k, _)| k != KEY_SCRAPE_STALENESS);
+                    self.serve_delta.observe(&view);
+                    self.observed_version = self.view_version;
+                }
+                let epoch = self.serve_delta.epoch();
+                let since = since.filter(|&s| self.serve_delta.can_delta(s));
+                if self.cached == Some((epoch, since)) {
+                    ctx.metrics().bump("telemetry.render_cache_hits", 1.0);
+                } else {
+                    self.serve_delta.render_into(&self.instance, since, &mut self.body);
+                    self.body_core = self.body.len();
+                    self.cached = Some((epoch, since));
+                }
+                self.body.truncate(self.body_core);
+                let now = ctx.now();
+                let max_staleness =
+                    self.targets.iter().map(|t| Self::staleness(t, now)).fold(0.0, f64::max);
+                let _ = writeln!(self.body, "# TYPE pdagent_scrape_staleness_max gauge");
+                let _ = write!(
+                    self.body,
+                    "pdagent_scrape_staleness_max{{instance=\"{}\",key=\"{KEY_SCRAPE_STALENESS}\"}} ",
+                    escape_label(&self.instance)
+                );
+                write_value(&mut self.body, max_staleness);
+                self.body.push('\n');
                 ctx.metrics().bump("telemetry.scrapes", 1.0);
-                let view = self.cell_view(ctx);
-                let body = render_prom(&self.instance, &view).into_bytes();
-                http::reply(ctx, from, &req, HttpStatus::Ok, body);
-            } else if req.method == "GET" && req.path == PATH_HEALTHZ {
+                http::reply(
+                    ctx,
+                    from,
+                    &req,
+                    HttpStatus::Ok,
+                    Bytes::copy_from_slice(self.body.as_bytes()),
+                );
+            } else if req.method == "GET" && path == PATH_HEALTHZ {
                 ctx.metrics().bump("telemetry.probes", 1.0);
                 http::reply(ctx, from, &req, HttpStatus::Ok, b"ok".to_vec());
             } else {
@@ -573,18 +664,50 @@ impl Node for SloMonitor {
             Probe::Health => {
                 if resp.status.is_success() {
                     self.targets[tidx].consecutive_failures = 0.0;
+                    self.view_version += 1;
                 }
             }
             Probe::Metrics => {
                 if resp.status.is_success() {
                     if let Ok(text) = std::str::from_utf8(&resp.body) {
-                        self.targets[tidx].last_snap = parse_prom(text);
-                        self.targets[tidx].last_ok = Some(ctx.now());
+                        let header = parse_epoch_header(text);
+                        let gap = matches!(header, Some(h)
+                            if h.base.is_some() && h.base != self.targets[tidx].last_epoch);
+                        if gap {
+                            // Epoch gap: a delta against a base we no longer
+                            // hold. Discard it, count the resync, and refetch
+                            // the full snapshot under the same probe slot.
+                            self.resyncs += 1;
+                            ctx.metrics().bump("slo.resyncs", 1.0);
+                            let node = self.targets[tidx].node;
+                            let refetch = HttpRequest::new("GET", PATH_METRICS, Vec::new());
+                            let id = self.http.send(ctx, node, refetch);
+                            self.pending.insert(id, (tidx, Probe::Metrics, sent));
+                            return;
+                        }
+                        let t = &mut self.targets[tidx];
+                        match header {
+                            Some(h) if h.base.is_some() => {
+                                t.last_snap.apply_delta(&parse_prom(text));
+                                t.last_epoch = Some(h.epoch);
+                            }
+                            Some(h) => {
+                                t.last_snap = parse_prom(text);
+                                t.last_epoch = Some(h.epoch);
+                            }
+                            None => {
+                                // Legacy full body without an epoch header.
+                                t.last_snap = parse_prom(text);
+                                t.last_epoch = None;
+                            }
+                        }
+                        t.last_ok = Some(ctx.now());
                         self.scrapes_ok += 1;
                         ctx.metrics().bump("slo.scrapes_ok", 1.0);
                     }
                 }
                 self.targets[tidx].rtt.record(rtt.0);
+                self.view_version += 1;
                 self.evaluate_target(ctx, tidx);
             }
         }
@@ -598,6 +721,7 @@ impl Node for SloMonitor {
                     self.targets[tidx].consecutive_failures += 1.0;
                     self.probe_failures += 1;
                     ctx.metrics().bump("slo.probe_failures", 1.0);
+                    self.view_version += 1;
                     self.evaluate_target(ctx, tidx);
                 }
                 return;

@@ -15,13 +15,23 @@
 //! `target/flightrec/<scenario>-<node>.jsonl` when an alert fires or a soak
 //! invariant fails, so a red CI run ships its own diagnosis.
 //!
+//! Scrapes are *delta-encoded* end to end (see [`DeltaState`]): series
+//! identities are interned once into [`SeriesId`]s, every observation stamps
+//! the series that actually changed with a dirty epoch, and a scraper that
+//! sends `GET /metrics?since=<epoch>` gets back only the changed series
+//! under a `# EPOCH` header. Monitoring traffic then scales with *churn*,
+//! not with series count — the property that lets the federation plane hold
+//! hundreds of cells on one WAN ingress.
+//!
 //! Everything here is deterministic: snapshots sort by name, exposition
 //! output is byte-stable across runs and shard counts, and nothing consults
 //! the wall clock.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
 
 use crate::http::{reply, HttpRequest, HttpStatus};
 use crate::metrics::{Metrics, KEY_QUEUE_DEPTH};
@@ -96,6 +106,33 @@ impl TelemetrySnapshot {
             Err(_) => None,
         }
     }
+
+    /// Apply a delta body (the changed series of a `# EPOCH .. base=..`
+    /// exposition, parsed by [`parse_prom`]): every series in `delta`
+    /// *replaces* its slot here, new series are inserted in key order.
+    /// O(changed · log total) — the inverse of [`merge_snapshot`]'s additive
+    /// fold, which stays untouched so rollups remain byte-identical to
+    /// full-snapshot mode.
+    ///
+    /// [`merge_snapshot`]: crate::federation::merge_snapshot
+    pub fn apply_delta(&mut self, delta: &TelemetrySnapshot) {
+        fn upsert(dst: &mut Vec<(String, f64)>, src: &[(String, f64)]) {
+            for (k, v) in src {
+                match dst.binary_search_by(|(dk, _)| dk.as_str().cmp(k)) {
+                    Ok(i) => dst[i].1 = *v,
+                    Err(i) => dst.insert(i, (k.clone(), *v)),
+                }
+            }
+        }
+        upsert(&mut self.counters, &delta.counters);
+        upsert(&mut self.gauges, &delta.gauges);
+        for (name, h) in &delta.stages {
+            match self.stages.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.stages[i].1.clone_from(h),
+                Err(i) => self.stages.insert(i, (name.clone(), h.clone())),
+            }
+        }
+    }
 }
 
 /// Map a free-form telemetry key to an exposition metric-name fragment:
@@ -110,7 +147,7 @@ fn sanitize(name: &str) -> String {
 
 /// Exposition-format label-value escaping: `\` → `\\`, `"` → `\"`,
 /// newline → `\n`.
-fn escape_label(v: &str) -> String {
+pub(crate) fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -150,6 +187,16 @@ fn fmt_value(v: f64) -> String {
         format!("{}", v as i64)
     } else {
         format!("{v}")
+    }
+}
+
+/// [`fmt_value`] straight into a reused buffer — the pooled render paths use
+/// this so a scrape never allocates a per-sample `String`.
+pub(crate) fn write_value(out: &mut String, v: f64) {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
     }
 }
 
@@ -386,17 +433,572 @@ pub fn render_health(instance: &str, now: SimTime) -> String {
     format!("{{\"status\":\"ok\",\"instance\":\"{}\",\"now_us\":{}}}", escape_label(instance), now.0)
 }
 
+/// Which section a series lives in — part of its interned identity, since a
+/// counter and a gauge may share a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeriesKind {
+    /// A monotonically increasing counter (`pdagent_<key>_total`).
+    Counter,
+    /// An instantaneous gauge (`pdagent_<key>`).
+    Gauge,
+    /// A stage latency histogram (all share [`STAGE_FAMILY`]).
+    Stage,
+}
+
+/// A stable, interned series identity: `(kind, key)` hashed once, rendered
+/// fragments cached forever. Ids never change across observations, so dirty
+/// epochs can be tracked per id without re-deriving family names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesId(u32);
+
+/// The intern table: `(kind, key)` → [`SeriesId`], plus the pre-rendered
+/// exposition fragments every render would otherwise recompute — the family
+/// name (`pdagent_<sanitized>[_total]`; stage series keep [`STAGE_FAMILY`])
+/// and the escaped `key`/`stage` label value.
+#[derive(Debug, Default)]
+pub struct SeriesInterner {
+    ids: HashMap<(SeriesKind, String), SeriesId>,
+    families: Vec<String>,
+    escaped: Vec<String>,
+}
+
+impl SeriesInterner {
+    fn intern(&mut self, kind: SeriesKind, key: &str) -> SeriesId {
+        if let Some(&id) = self.ids.get(&(kind, key.to_owned())) {
+            return id;
+        }
+        let id = SeriesId(self.families.len() as u32);
+        let family = match kind {
+            SeriesKind::Counter => format!("pdagent_{}_total", sanitize(key)),
+            SeriesKind::Gauge => format!("pdagent_{}", sanitize(key)),
+            SeriesKind::Stage => STAGE_FAMILY.to_owned(),
+        };
+        self.families.push(family);
+        self.escaped.push(escape_label(key));
+        self.ids.insert((kind, key.to_owned()), id);
+        id
+    }
+
+    fn family(&self, id: SeriesId) -> &str {
+        &self.families[id.0 as usize]
+    }
+
+    fn escaped(&self, id: SeriesId) -> &str {
+        &self.escaped[id.0 as usize]
+    }
+}
+
+/// Outcome of diffing one section against its previous observation.
+struct SectionDiff {
+    /// Any series value changed (including inserted/removed series).
+    changed: bool,
+    /// The key *set* changed — render orders must be recomputed.
+    reshaped: bool,
+    /// A series vanished. Deltas cannot express removal, so this resets the
+    /// servable-epoch floor and forces scrapers back to a full snapshot.
+    removed: bool,
+}
+
+/// The versioned server-side snapshot behind delta scraping.
+///
+/// `observe*` diffs the node's current telemetry against the last
+/// observation, stamping every changed series with a fresh epoch (the epoch
+/// only advances when something actually changed, so an idle node's scrape
+/// is a header and nothing else). [`DeltaState::render_into`] then emits
+/// either the full exposition or only the series changed since a scraper's
+/// last-seen epoch, under a first-line header:
+///
+/// ```text
+/// # EPOCH 42 full          (full snapshot; scraper replaces its copy)
+/// # EPOCH 42 base=37       (delta; scraper applies over its epoch-37 copy)
+/// ```
+///
+/// The full rendering is byte-identical to [`render_prom`] (pinned by test),
+/// so delta-aware and legacy scrapers can coexist against one server.
+#[derive(Debug, Default)]
+pub struct DeltaState {
+    epoch: u64,
+    /// Floor of servable base epochs: bumped past everything when a series
+    /// is removed (a delta cannot say "delete"), forcing full resync.
+    reset_epoch: u64,
+    /// The last observed state — also the render source.
+    prev: TelemetrySnapshot,
+    interner: SeriesInterner,
+    counter_ids: Vec<SeriesId>,
+    gauge_ids: Vec<SeriesId>,
+    stage_ids: Vec<SeriesId>,
+    /// Per-series last-changed epoch, aligned with `prev`'s sections.
+    counter_epochs: Vec<u64>,
+    gauge_epochs: Vec<u64>,
+    stage_epochs: Vec<u64>,
+    /// Render permutations: section indices sorted by `(family, key)` — the
+    /// exposition order [`render_prom`] sorts per call, precomputed here and
+    /// rebuilt only when the key set changes.
+    counter_order: Vec<u32>,
+    gauge_order: Vec<u32>,
+}
+
+impl DeltaState {
+    /// Fresh state: epoch 0, nothing observed.
+    pub fn new() -> DeltaState {
+        DeltaState::default()
+    }
+
+    /// The current snapshot epoch (0 until the first observation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Can a delta be served against base epoch `since`? True while `since`
+    /// is not in the future and no series has been removed after it.
+    pub fn can_delta(&self, since: u64) -> bool {
+        since <= self.epoch && since >= self.reset_epoch
+    }
+
+    /// Diff one scalar section in place. Fast path: identical key set →
+    /// value-only compare, zero allocation. Slow path (keys appeared or
+    /// vanished): realign by merge walk, reusing every surviving key's
+    /// `String` and [`SeriesId`].
+    fn diff_scalars(
+        prev: &mut Vec<(String, f64)>,
+        ids: &mut Vec<SeriesId>,
+        epochs: &mut Vec<u64>,
+        next: &[(&str, f64)],
+        new_epoch: u64,
+        interner: &mut SeriesInterner,
+        kind: SeriesKind,
+    ) -> SectionDiff {
+        if prev.len() == next.len() && prev.iter().zip(next).all(|((pk, _), (nk, _))| pk == nk) {
+            let mut changed = false;
+            for (i, ((_, pv), &(_, nv))) in prev.iter_mut().zip(next).enumerate() {
+                if *pv != nv {
+                    *pv = nv;
+                    epochs[i] = new_epoch;
+                    changed = true;
+                }
+            }
+            return SectionDiff { changed, reshaped: false, removed: false };
+        }
+        let mut out = Vec::with_capacity(next.len());
+        let mut out_ids = Vec::with_capacity(next.len());
+        let mut out_epochs = Vec::with_capacity(next.len());
+        let mut removed = false;
+        let mut i = 0;
+        for &(nk, nv) in next {
+            while i < prev.len() && prev[i].0.as_str() < nk {
+                removed = true;
+                i += 1;
+            }
+            if i < prev.len() && prev[i].0 == nk {
+                let unchanged = prev[i].1 == nv;
+                out.push((std::mem::take(&mut prev[i].0), nv));
+                out_ids.push(ids[i]);
+                out_epochs.push(if unchanged { epochs[i] } else { new_epoch });
+                i += 1;
+            } else {
+                out.push((nk.to_owned(), nv));
+                out_ids.push(interner.intern(kind, nk));
+                out_epochs.push(new_epoch);
+            }
+        }
+        removed |= i < prev.len();
+        *prev = out;
+        *ids = out_ids;
+        *epochs = out_epochs;
+        SectionDiff { changed: true, reshaped: true, removed }
+    }
+
+    /// [`DeltaState::diff_scalars`] for the stage-histogram section.
+    fn diff_stages(
+        prev: &mut Vec<(String, Histogram)>,
+        ids: &mut Vec<SeriesId>,
+        epochs: &mut Vec<u64>,
+        next: &[(&str, &Histogram)],
+        new_epoch: u64,
+        interner: &mut SeriesInterner,
+    ) -> SectionDiff {
+        if prev.len() == next.len() && prev.iter().zip(next).all(|((pk, _), (nk, _))| pk == nk) {
+            let mut changed = false;
+            for (i, ((_, ph), &(_, nh))) in prev.iter_mut().zip(next).enumerate() {
+                if ph != nh {
+                    ph.clone_from(nh);
+                    epochs[i] = new_epoch;
+                    changed = true;
+                }
+            }
+            return SectionDiff { changed, reshaped: false, removed: false };
+        }
+        let mut out = Vec::with_capacity(next.len());
+        let mut out_ids = Vec::with_capacity(next.len());
+        let mut out_epochs = Vec::with_capacity(next.len());
+        let mut removed = false;
+        let mut i = 0;
+        for &(nk, nh) in next {
+            while i < prev.len() && prev[i].0.as_str() < nk {
+                removed = true;
+                i += 1;
+            }
+            if i < prev.len() && prev[i].0 == nk {
+                let unchanged = prev[i].1 == *nh;
+                let (key, mut hist) = std::mem::take(&mut prev[i]);
+                if !unchanged {
+                    hist.clone_from(nh);
+                }
+                out.push((key, hist));
+                out_ids.push(ids[i]);
+                out_epochs.push(if unchanged { epochs[i] } else { new_epoch });
+                i += 1;
+            } else {
+                out.push((nk.to_owned(), nh.clone()));
+                out_ids.push(interner.intern(SeriesKind::Stage, nk));
+                out_epochs.push(new_epoch);
+            }
+        }
+        removed |= i < prev.len();
+        *prev = out;
+        *ids = out_ids;
+        *epochs = out_epochs;
+        SectionDiff { changed: true, reshaped: true, removed }
+    }
+
+    fn sort_order<V>(
+        section: &[(String, V)],
+        ids: &[SeriesId],
+        interner: &SeriesInterner,
+    ) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..section.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let ka = (interner.family(ids[a as usize]), section[a as usize].0.as_str());
+            let kb = (interner.family(ids[b as usize]), section[b as usize].0.as_str());
+            ka.cmp(&kb)
+        });
+        order
+    }
+
+    fn observe_views(
+        &mut self,
+        counters: &[(&str, f64)],
+        gauges: &[(&str, f64)],
+        stages: &[(&str, &Histogram)],
+    ) -> u64 {
+        let new_epoch = self.epoch + 1;
+        let dc = Self::diff_scalars(
+            &mut self.prev.counters,
+            &mut self.counter_ids,
+            &mut self.counter_epochs,
+            counters,
+            new_epoch,
+            &mut self.interner,
+            SeriesKind::Counter,
+        );
+        let dg = Self::diff_scalars(
+            &mut self.prev.gauges,
+            &mut self.gauge_ids,
+            &mut self.gauge_epochs,
+            gauges,
+            new_epoch,
+            &mut self.interner,
+            SeriesKind::Gauge,
+        );
+        let ds = Self::diff_stages(
+            &mut self.prev.stages,
+            &mut self.stage_ids,
+            &mut self.stage_epochs,
+            stages,
+            new_epoch,
+            &mut self.interner,
+        );
+        if dc.reshaped {
+            self.counter_order = Self::sort_order(&self.prev.counters, &self.counter_ids, &self.interner);
+        }
+        if dg.reshaped {
+            self.gauge_order = Self::sort_order(&self.prev.gauges, &self.gauge_ids, &self.interner);
+        }
+        if dc.changed || dg.changed || ds.changed {
+            self.epoch = new_epoch;
+        }
+        if dc.removed || dg.removed || ds.removed {
+            self.reset_epoch = new_epoch;
+        }
+        self.epoch
+    }
+
+    /// Observe a prepared snapshot (the monitor's cell view, tests). Returns
+    /// the epoch after the observation.
+    pub fn observe(&mut self, snap: &TelemetrySnapshot) -> u64 {
+        let counters: Vec<(&str, f64)> =
+            snap.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let gauges: Vec<(&str, f64)> = snap.gauges.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let stages: Vec<(&str, &Histogram)> =
+            snap.stages.iter().map(|(k, h)| (k.as_str(), h)).collect();
+        self.observe_views(&counters, &gauges, &stages)
+    }
+
+    /// Observe a node's live telemetry without materializing a
+    /// [`TelemetrySnapshot`]: the built-in transport counters are merge-
+    /// walked into the dynamic counters (same order [`TelemetrySnapshot::capture`]
+    /// produces) and stage histograms are borrowed straight from the
+    /// collector — no `String` or `Histogram` clones on the unchanged path.
+    pub fn observe_node(&mut self, metrics: &Metrics, stages: &[(&str, &Histogram)]) -> u64 {
+        let builtin = [
+            ("bytes_received", metrics.bytes_received as f64),
+            ("bytes_sent", metrics.bytes_sent as f64),
+            ("msgs_dropped", metrics.msgs_dropped as f64),
+            ("msgs_received", metrics.msgs_received as f64),
+            ("msgs_sent", metrics.msgs_sent as f64),
+        ];
+        let dynamic = metrics.counters_sorted();
+        let mut counters: Vec<(&str, f64)> = Vec::with_capacity(builtin.len() + dynamic.len());
+        let (mut i, mut j) = (0, 0);
+        while i < builtin.len() || j < dynamic.len() {
+            let take_builtin = match (builtin.get(i), dynamic.get(j)) {
+                (Some(b), Some(d)) => b.0 <= d.0,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_builtin {
+                counters.push(builtin[i]);
+                i += 1;
+            } else {
+                counters.push(dynamic[j]);
+                j += 1;
+            }
+        }
+        let gauges = metrics.gauges_sorted();
+        self.observe_views(&counters, &gauges, stages)
+    }
+
+    /// The last observed state (what a full render would expose).
+    pub fn snapshot(&self) -> &TelemetrySnapshot {
+        &self.prev
+    }
+
+    /// Render into a pooled buffer (cleared first). `since: None` renders
+    /// the full exposition — byte-identical to [`render_prom`] after the
+    /// header line. `since: Some(e)` renders only the series whose
+    /// last-changed epoch is beyond `e` (the caller must have checked
+    /// [`DeltaState::can_delta`]). Either way the first line is the
+    /// `# EPOCH` header the scraper resynchronizes on.
+    pub fn render_into(&self, instance: &str, since: Option<u64>, out: &mut String) {
+        out.clear();
+        match since {
+            Some(s) => {
+                let _ = writeln!(out, "# EPOCH {} base={s}", self.epoch);
+            }
+            None => {
+                let _ = writeln!(out, "# EPOCH {} full", self.epoch);
+            }
+        }
+        let since = since.unwrap_or(0);
+        let inst = escape_label(instance);
+        let scalars = |out: &mut String,
+                       section: &[(String, f64)],
+                       ids: &[SeriesId],
+                       epochs: &[u64],
+                       order: &[u32],
+                       kind: &str| {
+            let mut last_fam = "";
+            for &oi in order {
+                let i = oi as usize;
+                if epochs[i] <= since {
+                    continue;
+                }
+                let fam = self.interner.family(ids[i]);
+                if fam != last_fam {
+                    let _ = writeln!(out, "# TYPE {fam} {kind}");
+                    last_fam = fam;
+                }
+                let _ = write!(
+                    out,
+                    "{fam}{{instance=\"{inst}\",key=\"{}\"}} ",
+                    self.interner.escaped(ids[i])
+                );
+                write_value(out, section[i].1);
+                out.push('\n');
+            }
+        };
+        scalars(out, &self.prev.counters, &self.counter_ids, &self.counter_epochs, &self.counter_order, "counter");
+        scalars(out, &self.prev.gauges, &self.gauge_ids, &self.gauge_epochs, &self.gauge_order, "gauge");
+
+        if !self.stage_epochs.iter().any(|&e| e > since) {
+            return;
+        }
+        let _ = writeln!(out, "# TYPE {STAGE_FAMILY} histogram");
+        for (i, (_, h)) in self.prev.stages.iter().enumerate() {
+            if self.stage_epochs[i] <= since {
+                continue;
+            }
+            let stage = self.interner.escaped(self.stage_ids[i]);
+            let counts = h.bucket_counts();
+            let hi = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for (b, &n) in counts.iter().enumerate().take(hi + 1) {
+                cum += n;
+                let _ = writeln!(
+                    out,
+                    "{STAGE_FAMILY}_bucket{{instance=\"{inst}\",stage=\"{stage}\",le=\"{}\"}} {cum}",
+                    Histogram::bucket_upper(b)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{STAGE_FAMILY}_bucket{{instance=\"{inst}\",stage=\"{stage}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(out, "{STAGE_FAMILY}_sum{{instance=\"{inst}\",stage=\"{stage}\"}} {}", h.sum());
+            let _ = writeln!(out, "{STAGE_FAMILY}_count{{instance=\"{inst}\",stage=\"{stage}\"}} {}", h.count());
+        }
+        let _ = writeln!(out, "# TYPE {STAGE_FAMILY}_max gauge");
+        for (i, (_, h)) in self.prev.stages.iter().enumerate() {
+            if self.stage_epochs[i] <= since {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{STAGE_FAMILY}_max{{instance=\"{inst}\",stage=\"{}\"}} {}",
+                self.interner.escaped(self.stage_ids[i]),
+                h.max()
+            );
+        }
+    }
+}
+
+/// The parsed `# EPOCH` first line of a delta-aware exposition body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochHeader {
+    /// The snapshot epoch this body brings the scraper up to.
+    pub epoch: u64,
+    /// `None` for a full snapshot (replace); `Some(base)` for a delta to
+    /// apply over the scraper's copy of epoch `base`.
+    pub base: Option<u64>,
+}
+
+/// Parse the `# EPOCH <epoch> full|base=<n>` header off an exposition body.
+/// Returns `None` for legacy bodies without one (treat as a full snapshot).
+pub fn parse_epoch_header(text: &str) -> Option<EpochHeader> {
+    let rest = text.lines().next()?.strip_prefix("# EPOCH ")?;
+    let mut parts = rest.split_whitespace();
+    let epoch = parts.next()?.parse().ok()?;
+    match parts.next() {
+        Some("full") | None => Some(EpochHeader { epoch, base: None }),
+        Some(b) => Some(EpochHeader { epoch, base: Some(b.strip_prefix("base=")?.parse().ok()?) }),
+    }
+}
+
+/// Split a request path into `(path, since)`: the conditional-scrape query
+/// `GET /metrics?since=<epoch>` carries the scraper's last-seen epoch.
+/// Unknown query parameters are ignored.
+pub fn parse_since(path: &str) -> (&str, Option<u64>) {
+    match path.split_once('?') {
+        Some((base, query)) => {
+            let since =
+                query.split('&').find_map(|kv| kv.strip_prefix("since=")).and_then(|v| v.parse().ok());
+            (base, since)
+        }
+        None => (path, None),
+    }
+}
+
+/// The stateful, pooled scrape server every telemetry-exposing node embeds:
+/// a [`DeltaState`] over the node's live metrics plus one reusable render
+/// buffer, so steady-state scrapes allocate no per-scrape `String`s and a
+/// conditional scrape (`?since=<epoch>`) costs only the changed series.
+///
+/// A single-slot render cache short-circuits duplicate scrapes (same epoch,
+/// same base, same queue depth — e.g. a retransmitted request whose first
+/// copy already answered): the buffer is served as-is and
+/// `telemetry.render_cache_hits` counts the skip.
+#[derive(Debug, Default)]
+pub struct TelemetryServer {
+    delta: DeltaState,
+    /// Pooled render buffer, reused across scrapes.
+    body: String,
+    /// `(epoch, since, queue_depth)` the buffer currently holds.
+    cached: Option<(u64, Option<u64>, usize)>,
+}
+
+impl TelemetryServer {
+    /// Fresh server; nothing is observed or rendered until a scrape lands.
+    pub fn new() -> TelemetryServer {
+        TelemetryServer::default()
+    }
+
+    /// The delta state (epoch inspection in tests).
+    pub fn delta(&self) -> &DeltaState {
+        &self.delta
+    }
+
+    /// Handle `GET /metrics[?since=..]` and `GET /healthz`; returns `false`
+    /// to leave any other request for the caller's protocol dispatch. Same
+    /// contract as [`serve_telemetry`], plus delta encoding: when the
+    /// scraper's `since` epoch is still servable the reply carries only the
+    /// series changed past it, under the `# EPOCH` header; otherwise (gap,
+    /// removal, legacy scraper) a full snapshot goes out.
+    pub fn serve(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, instance: &str) -> bool {
+        if req.method != "GET" {
+            return false;
+        }
+        let (path, since) = parse_since(&req.path);
+        match path {
+            PATH_METRICS => {
+                let queue_depth = ctx.queue_depth();
+                let (metrics, obs) = ctx.metrics_and_obs();
+                let stages = obs.map(|c| c.stages()).unwrap_or_default();
+                let epoch = self.delta.observe_node(metrics, &stages);
+                let since = since.filter(|&s| self.delta.can_delta(s));
+                let key = (epoch, since, queue_depth);
+                if self.cached == Some(key) {
+                    ctx.metrics().bump("telemetry.render_cache_hits", 1.0);
+                } else {
+                    self.delta.render_into(instance, since, &mut self.body);
+                    // Engine-level gauge: the hosting simulator's event-queue
+                    // depth, read off the scheduler's O(1) occupancy counter.
+                    // Zero-padded to a fixed width because the value is
+                    // partition-*dependent* (each shard has its own queue)
+                    // while scrape bodies must cost the same bytes on the
+                    // wire under every shard count — otherwise transfer
+                    // times, and with them the monitor-plane SLO digests,
+                    // would diverge between partitionings. Emitted in every
+                    // body, full or delta, like any other live gauge.
+                    let _ = writeln!(self.body, "# TYPE pdagent_sim_queue_depth gauge");
+                    let _ = writeln!(
+                        self.body,
+                        "pdagent_sim_queue_depth{{instance=\"{}\",key=\"{KEY_QUEUE_DEPTH}\"}} {queue_depth:012}",
+                        escape_label(instance)
+                    );
+                    self.cached = Some(key);
+                }
+                ctx.metrics().bump("telemetry.scrapes", 1.0);
+                reply(ctx, from, req, HttpStatus::Ok, Bytes::copy_from_slice(self.body.as_bytes()));
+                true
+            }
+            PATH_HEALTHZ => {
+                let body = render_health(instance, ctx.now());
+                ctx.metrics().bump("telemetry.probes", 1.0);
+                reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// Server-side handler: if `req` is a `GET` for [`PATH_METRICS`] or
 /// [`PATH_HEALTHZ`], answer it (uncached — scrapes must never enter replay
 /// caches) and return `true`; otherwise leave the request for the caller's
 /// protocol dispatch. Zero-cost when unused: nothing is rendered until a
 /// scrape actually arrives, and without a collector the exposition carries
 /// no histogram families.
+///
+/// This is the stateless legacy path: it re-renders the full exposition per
+/// scrape and never emits an `# EPOCH` header. A `?since=` query is accepted
+/// but ignored (the scraper sees a legacy full body and replaces its copy).
+/// Long-lived servers should hold a [`TelemetryServer`] instead.
 pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, instance: &str) -> bool {
     if req.method != "GET" {
         return false;
     }
-    match req.path.as_str() {
+    match parse_since(&req.path).0 {
         PATH_METRICS => {
             let stages: Vec<(String, Histogram)> = ctx
                 .obs_collector()
@@ -406,13 +1008,7 @@ pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, insta
                 .unwrap_or_default();
             let snap = TelemetrySnapshot::capture(ctx.metrics(), &stages);
             let mut body = render_prom(instance, &snap);
-            // Engine-level gauge: the hosting simulator's event-queue depth,
-            // read off the scheduler's O(1) occupancy counter. Zero-padded to
-            // a fixed width because the value is partition-*dependent* (each
-            // shard has its own queue) while scrape bodies must cost the same
-            // bytes on the wire under every shard count — otherwise transfer
-            // times, and with them the monitor-plane SLO digests, would
-            // diverge between partitionings.
+            // See TelemetryServer::serve for why this is zero-padded.
             let _ = writeln!(body, "# TYPE pdagent_sim_queue_depth gauge");
             let _ = writeln!(
                 body,
@@ -703,5 +1299,173 @@ mod tests {
         assert!(lines[0].contains("\"record\":\"span\""));
         assert!(lines[1].contains("\"record\":\"alert\""));
         assert!(lines[1].contains("\"event\":\"AlertFired\""));
+    }
+
+    /// Render a [`DeltaState`] body, returning `(header, payload)`.
+    fn render_split(ds: &DeltaState, since: Option<u64>) -> (String, String) {
+        let mut out = String::new();
+        ds.render_into("gw-0", since, &mut out);
+        let (header, rest) = out.split_once('\n').expect("header line");
+        (header.to_owned(), rest.to_owned())
+    }
+
+    #[test]
+    fn delta_full_render_matches_render_prom_byte_for_byte() {
+        let snap = sample_snapshot();
+        let mut ds = DeltaState::new();
+        let epoch = ds.observe(&snap);
+        let (header, payload) = render_split(&ds, None);
+        assert_eq!(header, format!("# EPOCH {epoch} full"));
+        assert_eq!(payload, render_prom("gw-0", &snap), "full render must not drift");
+    }
+
+    #[test]
+    fn delta_emits_only_changed_series() {
+        let mut m = Metrics::new();
+        m.bump("gateway.replays", 3.0);
+        m.bump("http.gave_up", 1.0);
+        m.set_gauge("gateway.replay_entries", 7.0);
+        let mut ds = DeltaState::new();
+        let e1 = ds.observe(&TelemetrySnapshot::capture(&m, &[]));
+        m.bump("gateway.replays", 2.0);
+        let e2 = ds.observe(&TelemetrySnapshot::capture(&m, &[]));
+        assert!(e2 > e1);
+        let (header, payload) = render_split(&ds, Some(e1));
+        assert_eq!(header, format!("# EPOCH {e2} base={e1}"));
+        assert!(payload.contains("key=\"gateway.replays\"} 5"), "{payload}");
+        assert!(!payload.contains("http.gave_up"), "unchanged series leaked: {payload}");
+        assert!(!payload.contains("replay_entries"), "unchanged gauge leaked: {payload}");
+    }
+
+    #[test]
+    fn applying_deltas_reconstructs_the_full_snapshot() {
+        let mut m = Metrics::new();
+        m.bump("a.count", 1.0);
+        m.set_gauge("g.depth", 4.0);
+        let mut h = Histogram::new();
+        h.record(10);
+        let mut ds = DeltaState::new();
+        let e1 = ds.observe(&TelemetrySnapshot::capture(&m, &[("s.rtt".to_owned(), h.clone())]));
+        // Scraper state: parse the full body.
+        let (_, full) = render_split(&ds, None);
+        let mut held = parse_prom(&full);
+        // Mutate: counter bump, new counter, histogram record.
+        m.bump("a.count", 2.0);
+        m.bump("b.new", 9.0);
+        h.record(50_000);
+        ds.observe(&TelemetrySnapshot::capture(&m, &[("s.rtt".to_owned(), h)]));
+        let (_, delta) = render_split(&ds, Some(e1));
+        held.apply_delta(&parse_prom(&delta));
+        assert_eq!(
+            render_prom("gw-0", &held),
+            render_prom("gw-0", ds.snapshot()),
+            "delta-applied snapshot must equal the live one byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn epoch_stays_put_when_nothing_changed() {
+        let snap = sample_snapshot();
+        let mut ds = DeltaState::new();
+        let e1 = ds.observe(&snap);
+        let e2 = ds.observe(&snap);
+        assert_eq!(e1, e2, "identical observation must not bump the epoch");
+        let (header, payload) = render_split(&ds, Some(e1));
+        assert_eq!(header, format!("# EPOCH {e1} base={e1}"));
+        assert_eq!(payload, "", "no-change delta must be header-only");
+    }
+
+    #[test]
+    fn series_removal_forces_a_full_resync() {
+        let mut m = Metrics::new();
+        m.bump("a.count", 1.0);
+        m.bump("b.count", 2.0);
+        let mut ds = DeltaState::new();
+        let e1 = ds.observe(&TelemetrySnapshot::capture(&m, &[]));
+        assert!(ds.can_delta(e1));
+        // A snapshot *without* b.count: deltas cannot express deletion.
+        let mut m2 = Metrics::new();
+        m2.bump("a.count", 1.0);
+        ds.observe(&TelemetrySnapshot::capture(&m2, &[]));
+        assert!(!ds.can_delta(e1), "removal must invalidate older bases");
+        assert!(ds.can_delta(ds.epoch()), "the new epoch itself stays delta-able");
+    }
+
+    #[test]
+    fn epoch_header_parses_and_parse_prom_ignores_it() {
+        let snap = sample_snapshot();
+        let mut ds = DeltaState::new();
+        let epoch = ds.observe(&snap);
+        let mut body = String::new();
+        ds.render_into("gw-0", None, &mut body);
+        let h = parse_epoch_header(&body).expect("header");
+        assert_eq!(h.epoch, epoch);
+        assert_eq!(h.base, None);
+        let back = parse_prom(&body);
+        assert_eq!(back, parse_prom(&render_prom("gw-0", &snap)), "header must be transparent");
+
+        let mut delta_body = String::new();
+        ds.render_into("gw-0", Some(epoch), &mut delta_body);
+        let hd = parse_epoch_header(&delta_body).expect("header");
+        assert_eq!(hd.base, Some(epoch));
+        assert_eq!(parse_epoch_header("pdagent_x_total{} 1\n"), None);
+    }
+
+    #[test]
+    fn since_query_parses_from_scrape_paths() {
+        assert_eq!(parse_since("/metrics"), ("/metrics", None));
+        assert_eq!(parse_since("/metrics?since=42"), ("/metrics", Some(42)));
+        assert_eq!(parse_since("/metrics?x=1&since=7"), ("/metrics", Some(7)));
+        assert_eq!(parse_since("/metrics?since=bogus"), ("/metrics", None));
+        assert_eq!(parse_since("/healthz"), ("/healthz", None));
+    }
+
+    // The delta protocol's contract, pinned adversarially: any interleaving
+    // of counter bumps, gauge moves, new-series inserts, and histogram
+    // records — scraped as deltas with one random full resync thrown in —
+    // reconstructs a snapshot byte-identical (via render_prom) to scraping
+    // full bodies every time.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+        #[test]
+        fn delta_scrape_stream_reconstructs_full_state(
+            ops in proptest::collection::vec((0u8..4, 0usize..6, 1u64..1_000), 1..24),
+            resync_at in 0usize..24,
+        ) {
+            let mut m = Metrics::new();
+            let mut h = Histogram::new();
+            let mut ds = DeltaState::new();
+            // Scraper-side state.
+            let mut held = TelemetrySnapshot::default();
+            let mut last_epoch: Option<u64> = None;
+            for (step, (op, slot, val)) in ops.iter().enumerate() {
+                match op {
+                    0 => m.bump(&format!("c.counter_{slot}"), *val as f64),
+                    1 => m.set_gauge(&format!("g.gauge_{slot}"), *val as f64),
+                    2 => h.record(*val),
+                    _ => m.bump("c.hot", *val as f64),
+                }
+                let stages = vec![("s.rtt".to_owned(), h.clone())];
+                ds.observe(&TelemetrySnapshot::capture(&m, &stages));
+                let since = if step == resync_at { None } else { last_epoch };
+                let since = since.filter(|&s| ds.can_delta(s));
+                let mut body = String::new();
+                ds.render_into("gw-0", since, &mut body);
+                let hd = parse_epoch_header(&body).expect("header");
+                if hd.base.is_some() {
+                    proptest::prop_assert_eq!(hd.base, last_epoch);
+                    held.apply_delta(&parse_prom(&body));
+                } else {
+                    held = parse_prom(&body);
+                }
+                last_epoch = Some(hd.epoch);
+                // Byte-identity with the live view at every step.
+                let _ = step;
+                proptest::prop_assert_eq!(
+                    render_prom("gw-0", &held),
+                    render_prom("gw-0", ds.snapshot())
+                );
+            }
+        }
     }
 }

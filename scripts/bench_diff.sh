@@ -144,6 +144,35 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
     fi
     printf '%-28s staleness p99 %sus -> %sus (%+d%%)   %s\n' \
       "$name" "$old_stale" "$new_stale" "$stale_pct" "$stale_verdict"
+  elif [[ "$new_stale" != 0 ]]; then
+    # Fresh report has a federation section but the baseline predates it:
+    # say so instead of silently passing, so a missing gate is visible.
+    printf '%-28s staleness p99 %sus   SKIP (no federation section in baseline)\n' \
+      "$name" "$new_stale"
+  elif [[ "$old_stale" != 0 ]]; then
+    printf '%-28s staleness p99 baseline %sus   SKIP (no federation section in report: SOAK_FED=0?)\n' \
+      "$name" "$old_stale"
+  fi
+
+  # The federation bench: bytes moved per delta round is sim-deterministic,
+  # so hold it to the threshold; a cross-mode rollup checksum mismatch means
+  # the delta path changed observable state — always a hard failure.
+  old_bpr=$(field "$baseline" bytes_per_round)
+  new_bpr=$(field "$report" bytes_per_round)
+  if [[ "$old_bpr" != 0 && "$new_bpr" != 0 ]]; then
+    bpr_pct=$(pct_change "$new_bpr" "$old_bpr")
+    bpr_verdict="ok"
+    if (( bpr_pct > threshold )); then
+      bpr_verdict="SCRAPE BYTES/ROUND REGRESSION (+${bpr_pct}%)"
+      status=1
+    fi
+    printf '%-28s bytes/round %s -> %s (%+d%%)   %s\n' \
+      "$name" "$old_bpr" "$new_bpr" "$bpr_pct" "$bpr_verdict"
+  fi
+  checksum=$(sed -n 's/.*"checksum_match": *\(true\|false\).*/\1/p' "$report" | head -1)
+  if [[ "$checksum" == "false" ]]; then
+    printf '%-28s delta/full merged rollups DIVERGED   CHECKSUM MISMATCH\n' "$name"
+    status=1
   fi
 
   # The paging drill: a dropped page means the notification path lost an

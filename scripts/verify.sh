@@ -23,6 +23,12 @@ SOAK_FED=0 ./target/release/soak 64 1,2 > /dev/null
 # rules and the paging drill — via its own shape checks.
 ./target/release/soak 64 1,2 > /dev/null
 
+# Federation delta-plane smoke: the 300-cell A/B must keep the merged
+# rollup byte-identical between delta and full scrape modes while moving at
+# least 3x fewer bytes per round (the binary exits nonzero on either gate).
+cargo build --release -p pdagent-bench --bin fed_bench
+./target/release/fed_bench 300 12 42 > /dev/null
+
 # Event-scheduler smoke: the wheel-vs-heap replay must pop byte-identical
 # (time, seq) streams (the binary exits nonzero on divergence), and the
 # criterion event-loop benches must run clean.
