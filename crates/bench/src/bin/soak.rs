@@ -101,9 +101,19 @@ fn main() {
     unbatched_spec.batch_links = false;
     let (unbatched, unbatched_wall) = timed(&unbatched_spec);
 
-    // 2. Canonical batched single-shard run, observability on.
+    // 2. Canonical batched single-shard run, observability on. Tail sampling
+    //    rides this run by default; `SOAK_SAMPLE=0` is the ablation knob —
+    //    with no scrape plane attached the sampler may not change a single
+    //    byte of the results or obs digest, only the reservoir accounting.
+    let sample = std::env::var("SOAK_SAMPLE").map_or(true, |v| v != "0");
     let mut observed_spec = spec.clone();
     observed_spec.observe = true;
+    observed_spec.sample = sample;
+    // `SOAK_SAMPLE_EVERY` overrides the 1-in-N head-sample rate for the
+    // retained-bytes sweep (`scripts/sampler_sweep.sh`).
+    if let Some(n) = std::env::var("SOAK_SAMPLE_EVERY").ok().and_then(|v| v.parse().ok()) {
+        observed_spec.sampler_cfg.head_every = n;
+    }
     let (base, base_wall) = timed(&observed_spec);
     assert_eq!(
         base.results, unbatched.results,
@@ -167,6 +177,18 @@ fn main() {
         );
     }
 
+    if let Some(s) = &base.sampler {
+        println!(
+            "sampler: {} traces / {} spans retained in {} of {} budget bytes; {} spans dropped, {} exemplar slots",
+            s.retained_traces,
+            s.retained_spans,
+            s.sampler_bytes,
+            s.budget_bytes,
+            s.dropped_spans,
+            s.exemplars
+        );
+    }
+
     if let Some(fed) = &base.federation {
         println!(
             "\nfederation: {} cells x {} rounds @ {cadence_ms} ms cadence; {} scrapes ok, {} failed, {} series dropped; staleness p50 {} us p99 {} us; {} fleet rules, {} unresolved",
@@ -211,6 +233,47 @@ fn main() {
         p
     });
 
+    // Paging-path chaos drill: a LinkChaos cut across the pager↔on-call
+    // links swallows each page's first delivery attempt, so the retry path,
+    // the `page.deliver` SLO rule on the notification path, and the exemplar
+    // plumbing (breach edge → page → /traces) are all exercised end to end.
+    // The 2 s backoff retries once the cut lifts; the 500 ms ack beats the
+    // cell alerts' resolve edge that would otherwise close the pages.
+    let page_drill = spec.federation.then(|| {
+        let mut d = SoakSpec::new(seed, 3, 2);
+        d.pi_pad = 4 * 1024;
+        d.slo = true;
+        d.observe = true;
+        d.chaos = true;
+        d.federation = true;
+        d.sample = true;
+        d.page_chaos = true;
+        d.page_backoff = SimDuration::from_secs(2);
+        d.oncall_ack = Some(SimDuration::from_millis(500));
+        let out = run_soak(&d);
+        let p = out.paging.as_ref().expect("page drill paging report");
+        println!(
+            "page-chaos drill: {} fired, {} delivered through the cut ({} dropped); delivery max {} us; {} exemplar page(s)",
+            p.fired,
+            p.delivered,
+            p.dropped,
+            p.delivery.max(),
+            out.exemplar_pages
+        );
+        for r in &out.page_slo {
+            println!(
+                "  {:<20} limit {:>10}  evals {:>4}  fired {}  resolved {}  {}",
+                r.name,
+                r.limit,
+                r.evaluations,
+                r.fired,
+                r.resolved,
+                if r.breached { "BREACHED" } else { "ok" }
+            );
+        }
+        out
+    });
+
     let mut completion: Vec<u64> = base
         .results
         .cells
@@ -249,6 +312,42 @@ fn main() {
         ("alerts_fired", fired.into()),
         ("alerts_resolved", resolved.into()),
         ("unresolved_alerts", base.unresolved_alerts.into()),
+        ("sampler_enabled", u64::from(sample).into()),
+        ("sampler_budget_bytes", base.sampler.as_ref().map_or(0, |s| s.budget_bytes).into()),
+        ("sampler_bytes", base.sampler.as_ref().map_or(0, |s| s.sampler_bytes).into()),
+        (
+            "sampler_retained_traces",
+            base.sampler.as_ref().map_or(0, |s| s.retained_traces).into(),
+        ),
+        (
+            "sampler_retained_spans",
+            base.sampler.as_ref().map_or(0, |s| s.retained_spans).into(),
+        ),
+        ("sampler_dropped_spans", base.sampler.as_ref().map_or(0, |s| s.dropped_spans).into()),
+        ("sampler_exemplars", base.sampler.as_ref().map_or(0, |s| s.exemplars).into()),
+        (
+            "trace_probe_ok",
+            u64::from(!sample || base.trace_probe.starts_with("traces ")).into(),
+        ),
+        (
+            "page_drill_fired",
+            page_drill.as_ref().map_or(0, |d| d.page_slo.iter().map(|r| r.fired).sum()).into(),
+        ),
+        (
+            "page_drill_resolved",
+            page_drill
+                .as_ref()
+                .map_or(0, |d| d.page_slo.iter().map(|r| r.resolved).sum())
+                .into(),
+        ),
+        ("exemplar_pages", page_drill.as_ref().map_or(0, |d| d.exemplar_pages).into()),
+        (
+            "exemplar_probe_ok",
+            u64::from(page_drill.as_ref().is_none_or(|d| {
+                d.exemplar_probe.as_ref().is_some_and(|(_, body)| !body.contains("not retained"))
+            }))
+            .into(),
+        ),
         ("scaling", Json::Arr(curve)),
         ("slo", slo_json(&base.slo)),
         ("alerts", alerts_json(&base.alerts)),
@@ -309,6 +408,25 @@ fn main() {
             fail(format!("fleet rules unhealthy: {:?}", fed.slo), &base);
         }
     }
+    if sample {
+        let s = base.sampler.as_ref().unwrap_or_else(|| {
+            fail("sampling on but no sampler stats harvested".into(), &base)
+        });
+        if s.sampler_bytes > s.budget_bytes {
+            fail(
+                format!("reservoir over budget: {} of {} bytes", s.sampler_bytes, s.budget_bytes),
+                &base,
+            );
+        }
+        if s.pending_traces > 0 {
+            fail(format!("{} trace(s) still buffering after drain", s.pending_traces), &base);
+        }
+        if !base.trace_probe.starts_with("traces ") {
+            fail(format!("/traces probe returned {:?}", base.trace_probe), &base);
+        }
+    } else if base.sampler.is_some() {
+        fail("SOAK_SAMPLE=0 but sampler stats present".into(), &base);
+    }
     if let Some(paging) = &drill {
         // The drill's on-call never acks, so every page must both escalate
         // and still land (the secondary acks); a dropped page means the
@@ -330,6 +448,35 @@ fn main() {
                 ),
                 &base,
             );
+        }
+    }
+    if let Some(d) = &page_drill {
+        let p = d.paging.as_ref().expect("page drill paging report");
+        if p.dropped > 0 || p.delivered < p.fired {
+            fail(
+                format!(
+                    "page-chaos drill lost pages: {} fired, {} delivered, {} dropped",
+                    p.fired, p.delivered, p.dropped
+                ),
+                d,
+            );
+        }
+        let rule = d.page_slo.iter().find(|r| r.name == "page-delivery-p99");
+        match rule {
+            Some(r) if r.fired >= 1 && r.resolved == r.fired => {}
+            other => fail(format!("page-delivery SLO did not breach+resolve: {other:?}"), d),
+        }
+        if d.exemplar_pages == 0 {
+            fail("no page carried an exemplar trace id".into(), d);
+        }
+        match &d.exemplar_probe {
+            Some((trace, body)) if !body.contains("not retained") => {
+                println!("exemplar trace {trace:012} resolves via /traces");
+            }
+            other => fail(
+                format!("breach exemplar did not resolve to a retained trace: {other:?}"),
+                d,
+            ),
         }
     }
     println!(

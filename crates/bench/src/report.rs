@@ -267,6 +267,7 @@ pub fn alerts_json(events: &[ObsEvent]) -> Json {
                     ("value", e.value.into()),
                     ("limit", e.limit.into()),
                     ("trace", e.trace.into()),
+                    ("exemplar", e.exemplar.into()),
                 ])
             })
             .collect(),
@@ -374,6 +375,7 @@ mod tests {
             value: 2_000_000.0,
             limit: 1_000_000.0,
             trace: 42,
+            exemplar: 42,
         }];
         let a = alerts_json(&events).render();
         assert!(a.contains("\"event\":\"AlertFired\""));

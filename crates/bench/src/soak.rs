@@ -32,12 +32,12 @@ use pdagent_net::federation::{
 use pdagent_net::link::LinkSpec;
 use pdagent_net::message::Message;
 use pdagent_net::metrics::KEY_QUEUE_DEPTH;
-use pdagent_net::obs::{ObsEvent, ObsSummary};
+use pdagent_net::obs::{ObsEvent, ObsSummary, SampleClass, SamplerConfig, SamplerStats};
 use pdagent_net::paging::{PageReceiver, PagingGateway, PagingReport, Route, RoutePolicy, Severity};
 use pdagent_net::queue::Scheduler;
 use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
 use pdagent_net::slo::{LinkChaos, MonitorSpec, SloMonitor, SloReport, SloRule};
-use pdagent_net::telemetry::FlightRecorder;
+use pdagent_net::telemetry::{render_traces_body, FlightRecorder};
 use pdagent_net::time::SimDuration;
 use pdagent_vm::Value;
 
@@ -53,6 +53,10 @@ const PAGER_LABEL: u64 = 3;
 const ONCALL_LABEL: u64 = 4;
 /// Label of the escalation page receiver (shard 0).
 const ONCALL_ESC_LABEL: u64 = 5;
+/// Label of the notification-path monitor (page-chaos drill, shard 0).
+const PAGER_MON_LABEL: u64 = 6;
+/// Label of the drill's pager↔on-call link chaos injector (shard 0).
+const PAGER_CHAOS_LABEL: u64 = 7;
 
 /// Node index of each role within a cell's label space.
 const J_CENTRAL: usize = 0;
@@ -171,6 +175,24 @@ pub struct SoakSpec {
     pub oncall_ack: Option<SimDuration>,
     /// Paging escalation tick: a page unacked for two ticks escalates.
     pub escalation_tick: SimDuration,
+    /// Page delivery retry backoff (doubles per attempt). The production-ish
+    /// 30 s default never retries inside a drill window; the page-chaos
+    /// drill shortens it so a retry lands after the injected outage lifts.
+    pub page_backoff: SimDuration,
+    /// Tail-sample every shard collector (needs `observe`): spans buffer
+    /// per-trace and only alert-touched, slow, or head-sampled traces are
+    /// retained. `false` keeps the store-everything collector whose scrape
+    /// bodies are byte-identical to the pre-sampler plane.
+    pub sample: bool,
+    /// Sampler knobs used when `sample` is set. `new()` seeds the
+    /// head-sample stream from the trial seed.
+    pub sampler_cfg: SamplerConfig,
+    /// The notification-path chaos drill (needs `slo && federation`): cut
+    /// the pager↔on-call link across the window where cell alerts page, and
+    /// run a dedicated monitor scraping the paging gateway's own `/metrics`
+    /// with a `page.deliver` p99 rule — paging the pager about its own
+    /// degraded delivery path, exemplar attached.
+    pub page_chaos: bool,
     /// Event scheduler every shard runs on. The timer wheel is the
     /// production default; the heap is kept as the reference implementation
     /// the equivalence tests compare against.
@@ -206,6 +228,10 @@ impl SoakSpec {
             fed_resync_every: 8,
             oncall_ack: Some(SimDuration::from_secs(2)),
             escalation_tick: SimDuration::from_secs(60),
+            page_backoff: SimDuration::from_secs(30),
+            sample: false,
+            sampler_cfg: SamplerConfig { seed, ..SamplerConfig::default() },
+            page_chaos: false,
             scheduler: Scheduler::default(),
         }
     }
@@ -289,6 +315,25 @@ pub struct SoakOutcome {
     /// `(node name, JSONL body)`, ready for [`pdagent_net::telemetry::dump_flight`]-style
     /// persistence by the caller (empty unless `slo && observe`).
     pub flight: Vec<(String, String)>,
+    /// Tail-sampler accounting summed over every shard collector (`None`
+    /// unless `observe && sample`).
+    pub sampler: Option<SamplerStats>,
+    /// Retained traces classified `Alert` across all shards (0 unless
+    /// sampling) — every fired episode should leave at least one behind.
+    pub alert_traces_retained: u64,
+    /// Deliveries the on-call receivers got that carried a nonzero exemplar
+    /// trace id (0 unless `slo && federation`).
+    pub exemplar_pages: u64,
+    /// `/traces?limit=3` body rendered from shard 0's collector (empty
+    /// unless sampling) — the query-plane smoke the soak binary shape-checks.
+    pub trace_probe: String,
+    /// The first fired alert exemplar resolved through the query plane:
+    /// `(exemplar trace id, its /traces?trace= body)` from the collector
+    /// that recorded the edge (`None` when no fired edge carried one).
+    pub exemplar_probe: Option<(u64, String)>,
+    /// The notification-path monitor's per-rule digests (empty unless
+    /// `page_chaos`).
+    pub page_slo: Vec<SloReport>,
 }
 
 /// One cell's auditor: heartbeats the coordinator on a timer and counts the
@@ -548,8 +593,12 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     let mut coordinator_home: NodeId = 0;
     // The fleet plane needs cell monitors to federate and page from.
     let federation = spec.federation && spec.slo;
+    let page_chaos = spec.page_chaos && federation;
     let mut fed_home: NodeId = 0;
     let mut pager_home: NodeId = 0;
+    let mut oncall_home: NodeId = 0;
+    let mut esc_home: NodeId = 0;
+    let mut pager_mon_home: Option<NodeId> = None;
 
     for s in 0..plan.shards() {
         let mut sim = Simulator::new(spec.seed);
@@ -558,6 +607,11 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         sim.set_link_batching(spec.batch_links);
         if spec.observe {
             sim.enable_obs();
+            if spec.sample {
+                sim.obs_mut()
+                    .expect("collector attached")
+                    .enable_sampling(spec.sampler_cfg.clone());
+            }
         }
         // The coordinator lives in shard 0; every other shard sees a
         // placeholder under the same label.
@@ -579,15 +633,51 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                 let esc =
                     sim.add_node(Box::new(PageReceiver::new(Some(SimDuration::from_secs(1)))));
                 sim.set_label(esc, ONCALL_ESC_LABEL);
-                let mut policy = RoutePolicy::new(vec![
-                    Route::new(Severity::Critical, oncall).with_escalation(esc)
-                ]);
+                let mut route = Route::new(Severity::Critical, oncall).with_escalation(esc);
+                route.backoff = spec.page_backoff;
+                let mut policy = RoutePolicy::new(vec![route]);
                 policy.tick = spec.escalation_tick;
                 let pg = sim.add_node(Box::new(PagingGateway::new(policy)));
                 sim.set_label(pg, PAGER_LABEL);
                 sim.connect(pg, oncall, LinkSpec::wired_internet());
                 sim.connect(pg, esc, LinkSpec::wired_internet());
+                oncall_home = oncall;
+                esc_home = esc;
                 pager_home = pg;
+                if page_chaos {
+                    // The notification-path drill: a dedicated monitor
+                    // scrapes the paging gateway's own `/metrics` and holds
+                    // its delivery latency to a 2 s p99 — paging the pager
+                    // (exemplar attached) when the drilled outage below
+                    // stretches fire→ack past the budget.
+                    let mon_spec = MonitorSpec {
+                        rounds: spec.monitor_rounds,
+                        rules: vec![SloRule::p99(
+                            "page-delivery-p99",
+                            "page.deliver",
+                            2_000_000.0,
+                        )],
+                        ..MonitorSpec::default()
+                    };
+                    let pmon = sim.add_node(Box::new(
+                        SloMonitor::new(mon_spec, vec![(pg, "pager".to_owned())])
+                            .with_instance("pager-mon".to_owned())
+                            .with_pager(pg),
+                    ));
+                    sim.set_label(pmon, PAGER_MON_LABEL);
+                    sim.connect(pmon, pg, LinkSpec::wired_internet());
+                    pager_mon_home = Some(pmon);
+                    // Cut the pager↔on-call link across the window where the
+                    // cell alerts page (~12.1 s): the first delivery is
+                    // lost, and only a post-restore retry can land it.
+                    let chaos = sim.add_node(Box::new(LinkChaos {
+                        a: pg,
+                        b: oncall,
+                        down_at: SimDuration::from_millis(11_500),
+                        up_at: SimDuration::from_millis(12_500),
+                    }));
+                    sim.set_label(chaos, PAGER_CHAOS_LABEL);
+                }
                 pg
             } else {
                 sim.add_remote(PAGER_LABEL)
@@ -777,6 +867,71 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     let paging_report = federation.then(|| {
         engine.shard(0).node_ref::<PagingGateway>(pager_home).expect("paging gateway").report()
     });
+    let exemplar_pages = if federation {
+        [oncall_home, esc_home]
+            .iter()
+            .map(|&id| {
+                engine.shard(0).node_ref::<PageReceiver>(id).expect("receiver").exemplar_pages
+            })
+            .sum()
+    } else {
+        0
+    };
+
+    // The notification-path monitor's digests (page-chaos drill only); its
+    // breaches feed the same unresolved gate as the cell and fleet rules.
+    let mut page_slo: Vec<SloReport> = Vec::new();
+    if let Some(pmon) = pager_mon_home {
+        let mon = engine.shard(0).node_ref::<SloMonitor>(pmon).expect("pager monitor");
+        unresolved_alerts += mon.breached() as u64;
+        if let Some((_instance, reports)) = mon.reports().into_iter().next() {
+            page_slo = reports;
+        }
+    }
+
+    // Tail-sampler accounting: per-shard stats sum field-wise (budgets
+    // included, so the "bytes within budget" gate holds for the fleet).
+    let mut sampler: Option<SamplerStats> = None;
+    let mut alert_traces_retained = 0u64;
+    for s in 0..engine.shard_count() {
+        let Some(collector) = engine.shard(s).obs() else { continue };
+        if let Some(stats) = collector.sampler_stats() {
+            let agg = sampler.get_or_insert_with(SamplerStats::default);
+            agg.retained_traces += stats.retained_traces;
+            agg.retained_spans += stats.retained_spans;
+            agg.dropped_spans += stats.dropped_spans;
+            agg.sampler_bytes += stats.sampler_bytes;
+            agg.budget_bytes += stats.budget_bytes;
+            agg.exemplars += stats.exemplars;
+            agg.pending_traces += stats.pending_traces;
+            alert_traces_retained += collector
+                .retained()
+                .iter()
+                .filter(|r| r.class == SampleClass::Alert)
+                .count() as u64;
+        }
+    }
+    let trace_probe = engine
+        .shard(0)
+        .obs()
+        .filter(|c| c.sampling_enabled())
+        .map(|c| render_traces_body(c, "/traces?limit=3"))
+        .unwrap_or_default();
+    // Resolve the first fired alert edge that carried an exemplar through
+    // the query plane of the collector that recorded it — the acceptance
+    // path: breached histogram → exemplar trace id → renderable timeline.
+    let mut exemplar_probe: Option<(u64, String)> = None;
+    'shards: for s in 0..engine.shard_count() {
+        let Some(collector) = engine.shard(s).obs() else { continue };
+        for e in collector.events() {
+            if e.fired && e.exemplar != 0 {
+                let body =
+                    render_traces_body(collector, &format!("/traces?trace={}", e.exemplar));
+                exemplar_probe = Some((e.exemplar, body));
+                break 'shards;
+            }
+        }
+    }
 
     let mut alerts: Vec<ObsEvent> = Vec::new();
     for s in 0..engine.shard_count() {
@@ -840,6 +995,12 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         federation: federation_report,
         paging: paging_report,
         flight,
+        sampler,
+        alert_traces_retained,
+        exemplar_pages,
+        trace_probe,
+        exemplar_probe,
+        page_slo,
     }
 }
 
@@ -1236,6 +1397,147 @@ mod tests {
         assert!(out.flight.iter().any(|(n, _)| n == "pager"), "pager flight dump captured");
         let dump = &out.flight.iter().find(|(n, _)| n == "pager").unwrap().1;
         assert!(dump.contains("page.deliver"), "delivery spans recorded");
+    }
+
+    #[test]
+    fn tail_sampling_is_invisible_outside_the_reservoir() {
+        // With no scrape plane the sampler cannot even change message sizes:
+        // the whole run — results, event count, obs digest — must be
+        // byte-identical, while almost every trace is dropped.
+        let mut off = tiny(26);
+        off.observe = true;
+        let mut on = off.clone();
+        on.sample = true;
+        let plain = run_soak(&off);
+        let sampled = run_soak(&on);
+        assert_eq!(plain.results, sampled.results);
+        assert_eq!(plain.events, sampled.events, "sampling changed the event count");
+        assert_eq!(plain.obs, sampled.obs, "sampling changed the obs digest");
+        assert!(plain.sampler.is_none());
+        let stats = sampled.sampler.expect("sampler stats harvested");
+        assert!(stats.sampler_bytes <= stats.budget_bytes, "{stats:?}");
+        assert!(stats.dropped_spans > 0, "default 1-in-64 head rate must drop spans");
+        assert_eq!(stats.pending_traces, 0, "drained sim left traces buffering");
+        assert!(sampled.trace_probe.starts_with("traces "), "{}", sampled.trace_probe);
+    }
+
+    #[test]
+    fn sampled_soak_is_byte_identical_across_shards() {
+        let mut base = tiny(27);
+        base.observe = true;
+        base.slo = true;
+        base.sample = true;
+        let mono = run_soak(&base);
+        for shards in [2, 3] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let split = run_soak(&spec);
+            assert_eq!(mono.results, split.results, "{shards} shards diverged");
+            // The obs digest (stage histograms record whether or not spans
+            // are retained) merges to the same bytes at any partitioning.
+            assert_eq!(mono.obs, split.obs, "{shards}-shard obs digests diverged");
+            let stats = split.sampler.expect("sampler stats");
+            assert!(stats.sampler_bytes <= stats.budget_bytes);
+            assert_eq!(stats.pending_traces, 0);
+        }
+    }
+
+    #[test]
+    fn chaos_with_sampling_retains_every_alert_episode() {
+        let mut spec = tiny(28);
+        spec.slo = true;
+        spec.observe = true;
+        spec.chaos = true;
+        spec.sample = true;
+        let out = run_soak(&spec);
+        // The chaos soak fires one latency alert per cell; each episode's
+        // trace is alert-pinned and must survive in the reservoir.
+        let fired: u64 = out.slo.iter().map(|r| r.fired).sum();
+        assert_eq!(fired, 3);
+        assert!(
+            out.alert_traces_retained >= fired,
+            "only {} alert traces retained for {} fired episodes",
+            out.alert_traces_retained,
+            fired
+        );
+        let stats = out.sampler.expect("sampler stats");
+        assert!(stats.retained_traces >= out.alert_traces_retained);
+        assert!(stats.exemplars > 0, "retained traces must populate exemplar slots");
+    }
+
+    #[test]
+    fn page_chaos_drill_breaches_delivery_slo_with_exemplar() {
+        let mut spec = tiny(29);
+        spec.slo = true;
+        spec.observe = true;
+        spec.chaos = true;
+        spec.federation = true;
+        spec.sample = true;
+        spec.page_chaos = true;
+        // A retry two seconds after the lost first delivery lands once the
+        // injected outage lifts — and the on-call picks up fast enough to
+        // beat the cell alerts' resolve edge closing the pages.
+        spec.page_backoff = SimDuration::from_secs(2);
+        spec.oncall_ack = Some(SimDuration::from_millis(500));
+        let out = run_soak(&spec);
+
+        // The cut link delayed but did not lose the pages.
+        let paging = out.paging.as_ref().expect("paging report");
+        assert_eq!(paging.dropped, 0, "drill must not lose pages");
+        assert!(paging.delivered >= 3, "post-restore retries must land: {paging:?}");
+        assert!(
+            paging.delivery.max() >= 2_000_000,
+            "fire→ack must show the outage: {} us",
+            paging.delivery.max()
+        );
+
+        // The notification-path rule saw the stretched deliveries, fired,
+        // and resolved once the path drained.
+        let rule = out.page_slo.iter().find(|r| r.name == "page-delivery-p99");
+        let rule = rule.expect("page-delivery rule evaluated");
+        assert!(rule.evaluations > 0);
+        assert_eq!(rule.fired, 1, "drill must breach the delivery SLO: {rule:?}");
+        assert_eq!(rule.resolved, 1, "breach must resolve after the path drains");
+        assert!(!rule.breached);
+        assert_eq!(out.unresolved_alerts, 0);
+
+        // The breach edge carried the worst retained delivery trace as its
+        // exemplar, the page to the on-call carried it onward, and the id
+        // resolves through /traces to a renderable timeline.
+        let edge = out
+            .alerts
+            .iter()
+            .find(|e| e.rule == "page-delivery-p99" && e.fired)
+            .expect("delivery breach in the merged timeline");
+        assert_ne!(edge.exemplar, 0, "breach edge must carry an exemplar");
+        assert!(out.exemplar_pages >= 1, "exemplar must ride the page wire");
+        let (trace, body) = out.exemplar_probe.as_ref().expect("exemplar probe resolved");
+        assert_eq!(*trace, edge.exemplar);
+        assert!(
+            !body.contains("not retained"),
+            "exemplar trace must be retained: {body}"
+        );
+        assert!(body.contains("page.deliver"), "timeline must show the delivery span: {body}");
+    }
+
+    #[test]
+    fn page_chaos_drill_leaves_results_untouched() {
+        let mut base = tiny(30);
+        base.slo = true;
+        base.observe = true;
+        base.chaos = true;
+        base.federation = true;
+        let mut drill = base.clone();
+        drill.page_chaos = true;
+        drill.page_backoff = SimDuration::from_secs(2);
+        drill.oncall_ack = Some(SimDuration::from_millis(500));
+        let plain = run_soak(&base);
+        let drilled = run_soak(&drill);
+        // The drill only touches pager links and adds its own monitor: the
+        // workload results and the cell SLO digests must not move.
+        assert_eq!(plain.results, drilled.results);
+        assert_eq!(plain.slo, drilled.slo, "cell SLO digests moved under the drill");
+        assert!(plain.page_slo.is_empty());
     }
 }
 

@@ -98,6 +98,29 @@ pub fn merge_snapshot(into: &mut TelemetrySnapshot, from: &TelemetrySnapshot) {
             Err(i) => into.stages.insert(i, (name.clone(), h.clone())),
         }
     }
+    // Exemplars merge per (stage, bucket): the newest timestamp wins, with
+    // the larger trace id as the deterministic tie-break — order-insensitive
+    // like the scalar fold above.
+    for (name, rows) in &from.exemplars {
+        let slot = match into.exemplars.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => &mut into.exemplars[i].1,
+            Err(i) => {
+                into.exemplars.insert(i, (name.clone(), Vec::new()));
+                &mut into.exemplars[i].1
+            }
+        };
+        for &(bucket, e) in rows {
+            match slot.binary_search_by(|(b, _)| b.cmp(&bucket)) {
+                Ok(i) => {
+                    let cur = &mut slot[i].1;
+                    if (e.ts_us, e.trace) > (cur.ts_us, cur.trace) {
+                        *cur = e;
+                    }
+                }
+                Err(i) => slot.insert(i, (bucket, e)),
+            }
+        }
+    }
 }
 
 /// The fleet rollup: the latest accepted snapshot per cell instance, keyed
@@ -476,15 +499,18 @@ impl FederationScraper {
                 let span = ctx.span_begin(trace, 0, "slo.alert");
                 self.episodes.insert(tr.rule.clone(), (trace, span));
                 ctx.metrics().bump("federation.alerts_fired", 1.0);
-                ctx.obs_alert(&tr.rule, "fleet", true, tr.value, tr.limit, trace);
+                ctx.obs_alert(&tr.rule, "fleet", true, tr.value, tr.limit, trace, tr.exemplar);
                 if let Some(pager) = self.spec.pager {
-                    ctx.send(pager, page_fire(&tr.rule, "fleet", tr.value, tr.limit, trace));
+                    ctx.send(
+                        pager,
+                        page_fire(&tr.rule, "fleet", tr.value, tr.limit, trace, tr.exemplar),
+                    );
                 }
             } else {
                 let (trace, span) = self.episodes.remove(&tr.rule).unwrap_or((0, 0));
                 ctx.span_end(span);
                 ctx.metrics().bump("federation.alerts_resolved", 1.0);
-                ctx.obs_alert(&tr.rule, "fleet", false, tr.value, tr.limit, trace);
+                ctx.obs_alert(&tr.rule, "fleet", false, tr.value, tr.limit, trace, 0);
                 if let Some(pager) = self.spec.pager {
                     ctx.send(pager, page_resolve(&tr.rule, "fleet"));
                 }

@@ -21,9 +21,24 @@
 //! simulator. When no collector is attached the instrumentation hooks on
 //! [`crate::sim::Ctx`] are branch-and-return no-ops: no allocation, no
 //! recording, no behavioural difference (asserted by test).
+//!
+//! **Tail sampling** (PR 9): retaining every span of every trace cannot
+//! survive the ROADMAP's million-device north star. With
+//! [`Collector::enable_sampling`] the collector buffers spans per trace
+//! until the trace's root span closes, classifies the completed trace
+//! (alert-touched > slow-beyond-tracked-p99 > deterministic 1-in-N head
+//! sample) and either moves it into a byte-budgeted reservoir or drops it.
+//! Stage histograms keep recording *unconditionally* on span close, so
+//! [`ObsSummary`] digests — and every result derived from them — are
+//! byte-identical whether sampling is on, off, or re-budgeted. Retained
+//! traces feed per-bucket [`Exemplar`]s into the exposition layer and are
+//! queryable by stage/duration through [`Collector::query_traces`] (the
+//! `/traces` plane in [`crate::telemetry`]).
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Write as _;
 
+use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// Observability metadata carried by every message (in the modeled frame
@@ -111,7 +126,10 @@ impl Histogram {
         Histogram::default()
     }
 
-    fn bucket_of(value: u64) -> usize {
+    /// Index of the bucket holding `value` (0 for exact zeros, else the
+    /// value's bit-length). Public so exemplars can be pinned to the bucket
+    /// their trace's latency landed in.
+    pub fn bucket_of(value: u64) -> usize {
         (u64::BITS - value.leading_zeros()) as usize
     }
 
@@ -239,6 +257,418 @@ impl Histogram {
     }
 }
 
+/// One exemplar: the concrete retained trace behind a histogram bucket.
+/// `value_us` is the span latency that landed in the bucket, `ts_us` the
+/// sim-time the span closed — "latest wins" on overwrite, ties broken by the
+/// larger trace id, so merges are deterministic and order-insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Retained trace id the bucket points back to.
+    pub trace: u64,
+    /// The recorded latency (µs) that fell into the bucket.
+    pub value_us: u64,
+    /// Sim-time (µs) the span closed.
+    pub ts_us: u64,
+}
+
+/// Why a completed trace was retained. Variant order is eviction priority:
+/// under byte pressure `Head` samples go first, `Alert` traces last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleClass {
+    /// Deterministic 1-in-N head sample (the unconditional baseline).
+    Head,
+    /// Root latency beyond the tracked p99 of its root stage.
+    Slow,
+    /// The trace was touched by an SLO alert episode.
+    Alert,
+}
+
+impl SampleClass {
+    /// Stable lower-case name (`head` / `slow` / `alert`), used by the
+    /// `/traces` exposition.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SampleClass::Head => "head",
+            SampleClass::Slow => "slow",
+            SampleClass::Alert => "alert",
+        }
+    }
+}
+
+/// Tail-sampler configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Reservoir byte budget: retained span storage never exceeds this
+    /// (lowest-priority, oldest traces are evicted first).
+    pub budget_bytes: usize,
+    /// Head-sample rate: 1-in-N completed traces are retained regardless of
+    /// latency or alerts. `1` retains every completed trace.
+    pub head_every: u64,
+    /// Observations a root stage must accumulate before "slow" (beyond its
+    /// tracked p99) classification arms — avoids retaining the warm-up.
+    pub slow_min_count: u64,
+    /// Seed for the deterministic head-sample decision stream.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig { budget_bytes: 512 << 10, head_every: 64, slow_min_count: 32, seed: 0 }
+    }
+}
+
+/// Point-in-time sampler accounting, exposed as `obs.*` gauges by the
+/// telemetry servers and harvested into bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerStats {
+    /// Traces currently held in the reservoir.
+    pub retained_traces: u64,
+    /// Spans currently held in the reservoir.
+    pub retained_spans: u64,
+    /// Spans dropped so far (unretained classifications plus evictions).
+    pub dropped_spans: u64,
+    /// Reservoir bytes currently accounted.
+    pub sampler_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+    /// Exemplar slots currently populated across all stages.
+    pub exemplars: u64,
+    /// Traces still buffering (root span not yet closed).
+    pub pending_traces: u64,
+}
+
+/// A retained trace in the reservoir.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// Trace id.
+    pub trace: u64,
+    /// Stage name of the root span that triggered classification.
+    pub root: &'static str,
+    /// Begin of the classifying root span.
+    pub begin: SimTime,
+    /// Latest root close seen.
+    pub end: SimTime,
+    /// Root duration (µs) at classification (max across multi-root traces).
+    pub duration_us: u64,
+    /// Why the trace was kept.
+    pub class: SampleClass,
+    /// Insertion sequence (eviction tie-break: oldest first within a class).
+    pub seq: u64,
+    /// The trace's spans, in creation order.
+    pub spans: Vec<Span>,
+}
+
+/// One `/traces` query result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHit {
+    /// Trace id.
+    pub trace: u64,
+    /// Root stage name.
+    pub root: &'static str,
+    /// Root duration in µs.
+    pub duration_us: u64,
+    /// Retention class (`None` when sampling is off — everything is kept).
+    pub class: Option<SampleClass>,
+    /// Spans stored for the trace.
+    pub spans: usize,
+    /// Begin time of the root span.
+    pub begin: SimTime,
+}
+
+/// FNV-1a over a stage name — the partition-stable half of the head-sample
+/// key (the other half is the root span's begin time, which shard
+/// partitioning provably does not perturb).
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Record `value` into the histogram for `name`, creating the series on
+/// first sight (shared by the collector's stage table and the sampler's
+/// root-stage p99 tracker).
+fn record_into(stages: &mut Vec<(&'static str, Histogram)>, name: &'static str, value: u64) {
+    match stages.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, h)) => h.record(value),
+        None => {
+            let mut h = Histogram::new();
+            h.record(value);
+            stages.push((name, h));
+        }
+    }
+}
+
+/// Open-span bookkeeping the sampler keeps outside span storage, so closing
+/// a span records its stage histogram even after its storage was evicted —
+/// the invariant that keeps [`ObsSummary`] independent of sampling.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    trace: u64,
+    parent: u32,
+    name: &'static str,
+    begin: SimTime,
+}
+
+/// Span buffer of one not-yet-classified (or classified-dropped) trace.
+#[derive(Debug, Default)]
+struct TraceBuf {
+    spans: Vec<Span>,
+    /// Spans begun and not yet closed.
+    open: u32,
+    /// The trace classified as "drop": closed spans are discarded, open
+    /// stragglers are discarded as they close.
+    dropped: bool,
+}
+
+/// The tail-sampling engine: per-trace buffers, a classified byte-budgeted
+/// reservoir, the per-bucket exemplar table and the `/traces` stage index.
+#[derive(Debug)]
+pub struct TailSampler {
+    cfg: SamplerConfig,
+    /// trace id → buffered spans (incomplete or classified-dropped traces).
+    pending: HashMap<u64, TraceBuf>,
+    /// span id → out-of-storage close bookkeeping for every open span.
+    open: HashMap<u32, OpenSpan>,
+    retained: Vec<RetainedTrace>,
+    /// trace id → index into `retained`.
+    retained_index: HashMap<u64, usize>,
+    /// root stage → `(duration_us, trace)` rows — the `/traces` index.
+    index: BTreeMap<&'static str, Vec<(u64, u64)>>,
+    /// Traces touched by an alert episode (classification pins them).
+    alert_traces: HashSet<u64>,
+    /// Per-root-stage duration histograms tracking the "slow" threshold.
+    root_stats: Vec<(&'static str, Histogram)>,
+    /// stage → (bucket, exemplar), inner vec sorted by bucket.
+    exemplars: BTreeMap<&'static str, Vec<(u8, Exemplar)>>,
+    seq: u64,
+    bytes: usize,
+    dropped_spans: u64,
+}
+
+impl TailSampler {
+    fn new(cfg: SamplerConfig) -> TailSampler {
+        TailSampler {
+            cfg,
+            pending: HashMap::new(),
+            open: HashMap::new(),
+            retained: Vec::new(),
+            retained_index: HashMap::new(),
+            index: BTreeMap::new(),
+            alert_traces: HashSet::new(),
+            root_stats: Vec::new(),
+            exemplars: BTreeMap::new(),
+            seq: 0,
+            bytes: 0,
+            dropped_spans: 0,
+        }
+    }
+
+    /// Accounted storage cost of a retained trace with `spans` spans.
+    fn cost(spans: usize) -> usize {
+        spans * std::mem::size_of::<Span>() + std::mem::size_of::<RetainedTrace>()
+    }
+
+    fn begin(&mut self, span: Span) {
+        self.open.insert(
+            span.id,
+            OpenSpan { trace: span.trace, parent: span.parent, name: span.name, begin: span.begin },
+        );
+        if let Some(&slot) = self.retained_index.get(&span.trace) {
+            // Late root on an already-retained trace (e.g. `page.deliver`
+            // joining an alert episode): append straight to the reservoir.
+            self.retained[slot].spans.push(span);
+            self.bytes += std::mem::size_of::<Span>();
+            self.evict_to_budget();
+            return;
+        }
+        let buf = self.pending.entry(span.trace).or_default();
+        buf.open += 1;
+        buf.spans.push(span);
+    }
+
+    fn set_exemplar(&mut self, stage: &'static str, value_us: u64, trace: u64, ts_us: u64) {
+        let bucket = Histogram::bucket_of(value_us) as u8;
+        let slots = self.exemplars.entry(stage).or_default();
+        let fresh = Exemplar { trace, value_us, ts_us };
+        match slots.binary_search_by_key(&bucket, |(b, _)| *b) {
+            Ok(i) => {
+                let cur = &mut slots[i].1;
+                if ts_us > cur.ts_us || (ts_us == cur.ts_us && trace > cur.trace) {
+                    *cur = fresh;
+                }
+            }
+            Err(i) => slots.insert(i, (bucket, fresh)),
+        }
+    }
+
+    /// Classify a completed trace at its first root close. `None` = drop.
+    fn classify(
+        &mut self,
+        trace: u64,
+        root: &'static str,
+        begin: SimTime,
+        micros: u64,
+    ) -> Option<SampleClass> {
+        let alert = self.alert_traces.contains(&trace);
+        let slow = match self.root_stats.iter().find(|(n, _)| *n == root) {
+            Some((_, h)) => h.count() >= self.cfg.slow_min_count && micros > h.p99(),
+            None => false,
+        };
+        // Track the threshold *after* classifying, so a trace never competes
+        // against its own latency.
+        record_into(&mut self.root_stats, root, micros);
+        if alert {
+            return Some(SampleClass::Alert);
+        }
+        if slow {
+            return Some(SampleClass::Slow);
+        }
+        let n = self.cfg.head_every.max(1);
+        if n == 1 {
+            return Some(SampleClass::Head);
+        }
+        // Deterministic and partition-stable: keyed by (root stage, begin
+        // time), both invariant under resharding, through the seeded stream.
+        let key = fnv64(root) ^ begin.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = SimRng::new(self.cfg.seed ^ key);
+        rng.chance(1.0 / n as f64).then_some(SampleClass::Head)
+    }
+
+    /// Close span `id` at `at` (`micros` = its latency, already recorded
+    /// into the collector's stage table by the caller).
+    fn close(&mut self, id: u32, open: OpenSpan, at: SimTime, micros: u64) {
+        if let Some(&slot) = self.retained_index.get(&open.trace) {
+            let entry = &mut self.retained[slot];
+            if let Some(s) = entry.spans.iter_mut().find(|s| s.id == id) {
+                s.end = Some(at);
+            }
+            if open.parent == 0 {
+                entry.end = entry.end.max(at);
+                entry.duration_us = entry.duration_us.max(micros);
+            }
+            self.set_exemplar(open.name, micros, open.trace, at.0);
+            return;
+        }
+        let Some(buf) = self.pending.get_mut(&open.trace) else {
+            // Storage evicted after retention: the histogram record above is
+            // the only thing left to do for this span.
+            self.dropped_spans += 1;
+            return;
+        };
+        buf.open = buf.open.saturating_sub(1);
+        if buf.dropped {
+            if let Some(i) = buf.spans.iter().position(|s| s.id == id) {
+                buf.spans.remove(i);
+            }
+            self.dropped_spans += 1;
+            if buf.open == 0 && buf.spans.is_empty() {
+                self.pending.remove(&open.trace);
+            }
+            return;
+        }
+        if let Some(s) = buf.spans.iter_mut().find(|s| s.id == id) {
+            s.end = Some(at);
+        }
+        if open.parent != 0 {
+            return;
+        }
+        // First root close: the trace is complete — classify it.
+        let verdict = self.classify(open.trace, open.name, open.begin, micros);
+        match verdict {
+            Some(class) => {
+                let buf = self.pending.remove(&open.trace).expect("trace buffered");
+                let entry = RetainedTrace {
+                    trace: open.trace,
+                    root: open.name,
+                    begin: open.begin,
+                    end: at,
+                    duration_us: micros,
+                    class,
+                    seq: self.seq,
+                    spans: buf.spans,
+                };
+                self.seq += 1;
+                let exemplars: Vec<(&'static str, u64, u64)> = entry
+                    .spans
+                    .iter()
+                    .filter_map(|s| {
+                        s.end.map(|e| (s.name, e.0.saturating_sub(s.begin.0), e.0))
+                    })
+                    .collect();
+                for (name, value, ts) in exemplars {
+                    self.set_exemplar(name, value, open.trace, ts);
+                }
+                self.bytes += Self::cost(entry.spans.len());
+                self.retained_index.insert(open.trace, self.retained.len());
+                self.index.entry(open.name).or_default().push((micros, open.trace));
+                self.retained.push(entry);
+                self.evict_to_budget();
+            }
+            None => {
+                let buf = self.pending.get_mut(&open.trace).expect("trace buffered");
+                let closed = buf.spans.iter().filter(|s| s.end.is_some()).count() as u64;
+                buf.spans.retain(|s| s.end.is_none());
+                buf.dropped = true;
+                let gone = buf.open == 0 && buf.spans.is_empty();
+                self.dropped_spans += closed;
+                if gone {
+                    self.pending.remove(&open.trace);
+                }
+            }
+        }
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.cfg.budget_bytes && !self.retained.is_empty() {
+            let victim = self
+                .retained
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.class, r.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty reservoir");
+            self.evict(victim);
+        }
+    }
+
+    fn evict(&mut self, i: usize) {
+        let victim = self.retained.swap_remove(i);
+        self.retained_index.remove(&victim.trace);
+        if i < self.retained.len() {
+            self.retained_index.insert(self.retained[i].trace, i);
+        }
+        self.bytes = self.bytes.saturating_sub(Self::cost(victim.spans.len()));
+        // Open spans of the evicted trace still close correctly (histogram
+        // via the open map); they are counted dropped at their own close.
+        self.dropped_spans += victim.spans.iter().filter(|s| s.end.is_some()).count() as u64;
+        let empty = match self.index.get_mut(victim.root) {
+            Some(rows) => {
+                rows.retain(|&(_, t)| t != victim.trace);
+                rows.is_empty()
+            }
+            None => false,
+        };
+        if empty {
+            self.index.remove(victim.root);
+        }
+    }
+
+    fn stats(&self) -> SamplerStats {
+        SamplerStats {
+            retained_traces: self.retained.len() as u64,
+            retained_spans: self.retained.iter().map(|r| r.spans.len() as u64).sum(),
+            dropped_spans: self.dropped_spans,
+            sampler_bytes: self.bytes as u64,
+            budget_bytes: self.cfg.budget_bytes as u64,
+            exemplars: self.exemplars.values().map(|v| v.len() as u64).sum(),
+            pending_traces: self.pending.len() as u64,
+        }
+    }
+}
+
 /// An SLO alert transition recorded into the [`Collector`] timeline:
 /// `fired == true` is `AlertFired`, `false` is `AlertResolved`.
 ///
@@ -265,23 +695,48 @@ pub struct ObsEvent {
     pub limit: f64,
     /// Trace id of the alert episode (minted at fire, reused at resolve).
     pub trace: u64,
+    /// Exemplar trace id behind the breached signal (0 = none): for stage
+    /// rules, the retained trace whose latency sits in the breached
+    /// histogram's worst populated bucket.
+    pub exemplar: u64,
+}
+
+/// Append `s` to `out` as JSON string *content* (no surrounding quotes),
+/// escaping quotes, backslashes and control characters — rule names and
+/// instance labels are operator input and must never corrupt a JSONL line.
+pub fn write_json_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 impl ObsEvent {
-    /// One-line JSON rendering (used by flight-recorder dumps).
+    /// One-line JSON rendering (used by flight-recorder dumps). Labels are
+    /// escaped, so hostile rule/instance names round-trip as valid JSON.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"event\":\"{}\",\"at_us\":{},\"node_label\":{},\"rule\":\"{}\",\
-             \"instance\":\"{}\",\"value\":{},\"limit\":{},\"trace\":{}}}",
-            if self.fired { "AlertFired" } else { "AlertResolved" },
-            self.at.0,
-            self.node_label,
-            self.rule,
-            self.instance,
-            self.value,
-            self.limit,
-            self.trace
-        )
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":\"");
+        out.push_str(if self.fired { "AlertFired" } else { "AlertResolved" });
+        let _ = write!(out, "\",\"at_us\":{},\"node_label\":{},\"rule\":\"", self.at.0, self.node_label);
+        write_json_escaped(&mut out, &self.rule);
+        out.push_str("\",\"instance\":\"");
+        write_json_escaped(&mut out, &self.instance);
+        let _ = write!(
+            out,
+            "\",\"value\":{},\"limit\":{},\"trace\":{},\"exemplar\":{}}}",
+            self.value, self.limit, self.trace, self.exemplar
+        );
+        out
     }
 }
 
@@ -323,12 +778,48 @@ pub struct Collector {
     stages: Vec<(&'static str, Histogram)>,
     events: Vec<ObsEvent>,
     next_trace: u64,
+    /// Monotone span-id counter (always equals `spans.len()` while sampling
+    /// is off, so ids are identical to the historical scheme).
+    next_span: u32,
+    sampler: Option<TailSampler>,
 }
 
 impl Collector {
     /// An empty collector.
     pub fn new() -> Collector {
         Collector::default()
+    }
+
+    /// Switch the collector into tail-sampling mode. Must be called before
+    /// any span is recorded (sampling a half-recorded run is undefined, so
+    /// this panics instead).
+    pub fn enable_sampling(&mut self, cfg: SamplerConfig) {
+        assert!(
+            self.next_span == 0,
+            "enable_sampling must run before any span is recorded"
+        );
+        self.sampler = Some(TailSampler::new(cfg));
+    }
+
+    /// Is tail sampling active?
+    pub fn sampling_enabled(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// Sampler accounting (`None` while sampling is off).
+    pub fn sampler_stats(&self) -> Option<SamplerStats> {
+        self.sampler.as_ref().map(|s| s.stats())
+    }
+
+    /// Per-stage exemplars: `(stage, (bucket, exemplar) rows sorted by
+    /// bucket)`, sorted by stage name. Empty while sampling is off — the
+    /// exposition layer emits exemplar suffixes only when this is non-empty,
+    /// which is what keeps sampling-off scrape bodies byte-identical.
+    pub fn exemplars(&self) -> Vec<(&'static str, &[(u8, Exemplar)])> {
+        match &self.sampler {
+            Some(s) => s.exemplars.iter().map(|(k, v)| (*k, v.as_slice())).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Mint the next trace id (1-based; deterministic — a plain counter).
@@ -352,17 +843,32 @@ impl Collector {
         node: usize,
         at: SimTime,
     ) -> u32 {
-        let id = self.spans.len() as u32 + 1;
-        self.spans.push(Span { id, parent, trace, name, index, node, begin: at, end: None });
+        self.next_span += 1;
+        let id = self.next_span;
+        let span = Span { id, parent, trace, name, index, node, begin: at, end: None };
+        match &mut self.sampler {
+            None => self.spans.push(span),
+            Some(sampler) => sampler.begin(span),
+        }
         id
     }
 
     /// Close a span, recording its latency into the stage histogram.
     /// Idempotent: closing a closed (or null) span is a no-op, so e.g. both
     /// the transfer-ack and the result-arrival paths may try to end
-    /// `gateway.stage`.
+    /// `gateway.stage`. Stage histograms record whether or not the span's
+    /// trace ends up retained — sampling never changes [`ObsSummary`].
     pub fn end_span(&mut self, span: u32, at: SimTime) {
         if span == 0 {
+            return;
+        }
+        if let Some(sampler) = &mut self.sampler {
+            let Some(open) = sampler.open.remove(&span) else {
+                return;
+            };
+            let micros = at.0.saturating_sub(open.begin.0);
+            record_into(&mut self.stages, open.name, micros);
+            sampler.close(span, open, at, micros);
             return;
         }
         let Some(s) = self.spans.get_mut(span as usize - 1) else { return };
@@ -371,24 +877,37 @@ impl Collector {
         }
         s.end = Some(at);
         let micros = at.0.saturating_sub(s.begin.0);
-        let name = s.name;
-        match self.stages.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, h)) => h.record(micros),
-            None => {
-                let mut h = Histogram::new();
-                h.record(micros);
-                self.stages.push((name, h));
+        record_into(&mut self.stages, s.name, micros);
+    }
+
+    /// All stored spans sorted by id (= creation order). With sampling off
+    /// this is every span ever begun; with sampling on it is the reservoir
+    /// plus still-buffering traces.
+    pub fn spans_snapshot(&self) -> Vec<&Span> {
+        match &self.sampler {
+            None => self.spans.iter().collect(),
+            Some(sampler) => {
+                let mut v: Vec<&Span> = sampler
+                    .pending
+                    .values()
+                    .flat_map(|b| b.spans.iter())
+                    .chain(sampler.retained.iter().flat_map(|r| r.spans.iter()))
+                    .collect();
+                v.sort_by_key(|s| s.id);
+                v
             }
         }
     }
 
-    /// All spans, in creation order.
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
-    }
-
-    /// Record an alert transition into the timeline.
+    /// Record an alert transition into the timeline. With sampling on, the
+    /// episode's trace is pinned: its classification becomes `Alert`, the
+    /// last class to be evicted under byte pressure.
     pub fn record_event(&mut self, event: ObsEvent) {
+        if let Some(sampler) = &mut self.sampler {
+            if event.trace != 0 {
+                sampler.alert_traces.insert(event.trace);
+            }
+        }
         self.events.push(event);
     }
 
@@ -397,9 +916,99 @@ impl Collector {
         &self.events
     }
 
-    /// Spans belonging to one trace.
+    /// Spans belonging to one trace (still stored — a dropped trace
+    /// yields nothing).
     pub fn spans_for(&self, trace: u64) -> impl Iterator<Item = &Span> {
-        self.spans.iter().filter(move |s| s.trace == trace)
+        let slice: &[Span] = match &self.sampler {
+            None => &self.spans,
+            Some(sampler) => match sampler.retained_index.get(&trace) {
+                Some(&i) => &sampler.retained[i].spans,
+                None => sampler.pending.get(&trace).map(|b| b.spans.as_slice()).unwrap_or(&[]),
+            },
+        };
+        slice.iter().filter(move |s| s.trace == trace)
+    }
+
+    /// Retained traces currently in the reservoir (empty while sampling is
+    /// off).
+    pub fn retained(&self) -> &[RetainedTrace] {
+        self.sampler.as_ref().map(|s| s.retained.as_slice()).unwrap_or(&[])
+    }
+
+    /// The `/traces` query engine: retained traces filtered by root stage
+    /// and minimum root duration, sorted by duration (longest first, trace
+    /// id as tie-break), truncated to `limit`. With sampling off this scans
+    /// closed root spans instead, so the query plane works either way.
+    pub fn query_traces(&self, stage: Option<&str>, min_us: u64, limit: usize) -> Vec<TraceHit> {
+        let mut hits: Vec<TraceHit> = Vec::new();
+        match &self.sampler {
+            Some(sampler) => {
+                let mut push = |dur: u64, trace: u64| {
+                    if dur < min_us {
+                        return;
+                    }
+                    if let Some(&i) = sampler.retained_index.get(&trace) {
+                        let r = &sampler.retained[i];
+                        hits.push(TraceHit {
+                            trace,
+                            root: r.root,
+                            duration_us: r.duration_us,
+                            class: Some(r.class),
+                            spans: r.spans.len(),
+                            begin: r.begin,
+                        });
+                    }
+                };
+                match stage {
+                    Some(st) => {
+                        if let Some(rows) = sampler.index.get(st) {
+                            for &(d, t) in rows {
+                                push(d, t);
+                            }
+                        }
+                    }
+                    None => {
+                        for rows in sampler.index.values() {
+                            for &(d, t) in rows {
+                                push(d, t);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for sp in &self.spans {
+                    if sp.parent != 0 {
+                        continue;
+                    }
+                    let Some(e) = sp.end else { continue };
+                    if let Some(st) = stage {
+                        if st != sp.name {
+                            continue;
+                        }
+                    }
+                    let dur = e.0.saturating_sub(sp.begin.0);
+                    if dur < min_us {
+                        continue;
+                    }
+                    let spans = self.spans.iter().filter(|x| x.trace == sp.trace).count();
+                    hits.push(TraceHit {
+                        trace: sp.trace,
+                        root: sp.name,
+                        duration_us: dur,
+                        class: None,
+                        spans,
+                        begin: sp.begin,
+                    });
+                }
+            }
+        }
+        hits.sort_by(|a, b| {
+            b.duration_us.cmp(&a.duration_us).then(a.trace.cmp(&b.trace))
+        });
+        hits.dedup_by_key(|h| h.trace);
+        hits.truncate(limit);
+        hits
     }
 
     /// Per-stage latency histograms, sorted by stage name.
@@ -464,15 +1073,15 @@ impl Collector {
         }
     }
 
-    /// JSONL export: one JSON object per span, in creation order.
+    /// JSONL export: one JSON object per span, in creation order. Span
+    /// names are JSON-escaped so labels with quotes, backslashes, or
+    /// control characters can never corrupt the export.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for s in &self.spans {
-            let _ = write!(
-                out,
-                "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\"",
-                s.trace, s.id, s.parent, s.name
-            );
+        for s in self.spans_snapshot() {
+            let _ = write!(out, "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"", s.trace, s.id, s.parent);
+            write_json_escaped(&mut out, s.name);
+            out.push('"');
             if let Some(i) = s.index {
                 let _ = write!(out, ",\"index\":{i}");
             }
@@ -608,5 +1217,266 @@ mod tests {
         let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn json_escaping_neutralizes_hostile_labels() {
+        let mut out = String::new();
+        write_json_escaped(&mut out, "a\"b\\c\nd\re\tf\u{1}g");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\re\\tf\\u0001g");
+        let event = ObsEvent {
+            at: SimTime(9),
+            node_label: 2,
+            rule: "p99.\"weird\"\nrule".into(),
+            instance: "gw\\0".into(),
+            fired: true,
+            value: 1.5,
+            limit: 1.0,
+            trace: 7,
+            exemplar: 3,
+        };
+        let json = event.to_json();
+        // Raw quote/backslash/newline never appear unescaped inside the
+        // string values — count the structural quotes to prove it.
+        assert!(!json.contains('\n'));
+        assert!(json.contains("p99.\\\"weird\\\"\\nrule"));
+        assert!(json.contains("gw\\\\0"));
+        assert!(json.contains("\"exemplar\":3"));
+        assert!(json.ends_with('}'));
+    }
+
+    /// Run one two-span journey (root `name` + one child) through `c`,
+    /// returning the trace id. Root spans `[at, at + dur_us]`.
+    fn journey(c: &mut Collector, name: &'static str, at: u64, dur_us: u64) -> u64 {
+        let t = c.new_trace();
+        let root = c.begin_span(t, 0, name, None, 0, SimTime(at));
+        let child = c.begin_span(t, root, "child.step", None, 1, SimTime(at + 1));
+        c.end_span(child, SimTime(at + 1 + dur_us / 2));
+        c.end_span(root, SimTime(at + dur_us));
+        t
+    }
+
+    #[test]
+    fn sampling_never_changes_the_summary() {
+        let run = |sample: bool| {
+            let mut c = Collector::new();
+            if sample {
+                // Drop almost everything: summary must not notice.
+                c.enable_sampling(SamplerConfig {
+                    head_every: 1_000_000_000,
+                    ..SamplerConfig::default()
+                });
+            }
+            for i in 0..50u64 {
+                journey(&mut c, "journey", i * 1_000, 400 + i);
+            }
+            c.summary()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn head_every_one_retains_every_trace() {
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig { head_every: 1, ..SamplerConfig::default() });
+        for i in 0..8u64 {
+            journey(&mut c, "journey", i * 1_000, 300);
+        }
+        let stats = c.sampler_stats().unwrap();
+        assert_eq!(stats.retained_traces, 8);
+        assert_eq!(stats.retained_spans, 16);
+        assert_eq!(stats.dropped_spans, 0);
+        assert_eq!(stats.pending_traces, 0);
+        assert!(stats.sampler_bytes > 0 && stats.sampler_bytes <= stats.budget_bytes);
+        assert!(c.retained().iter().all(|r| r.class == SampleClass::Head));
+    }
+
+    #[test]
+    fn unretained_traces_free_their_buffers() {
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig {
+            head_every: 1_000_000_000,
+            ..SamplerConfig::default()
+        });
+        let t = journey(&mut c, "journey", 0, 300);
+        let stats = c.sampler_stats().unwrap();
+        assert_eq!(stats.retained_traces, 0);
+        assert_eq!(stats.pending_traces, 0, "dropped trace still buffered");
+        assert_eq!(stats.dropped_spans, 2);
+        assert_eq!(c.spans_for(t).count(), 0);
+        assert_eq!(c.spans_snapshot().len(), 0);
+        // The stage histograms recorded anyway.
+        assert_eq!(c.stages().iter().map(|(_, h)| h.count()).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn alert_touched_trace_is_pinned() {
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig {
+            head_every: 1_000_000_000,
+            ..SamplerConfig::default()
+        });
+        let t = c.new_trace();
+        let root = c.begin_span(t, 0, "slo.alert", None, 0, SimTime(10));
+        c.record_event(ObsEvent {
+            at: SimTime(20),
+            node_label: 1,
+            rule: "p99.x".into(),
+            instance: "gw-0".into(),
+            fired: true,
+            value: 2.0,
+            limit: 1.0,
+            trace: t,
+            exemplar: 0,
+        });
+        c.end_span(root, SimTime(5_000_000));
+        let retained = c.retained();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].trace, t);
+        assert_eq!(retained[0].class, SampleClass::Alert);
+        assert_eq!(c.spans_for(t).count(), 1);
+    }
+
+    #[test]
+    fn slow_outlier_is_retained_after_warmup() {
+        let cfg = SamplerConfig {
+            head_every: 1_000_000_000,
+            slow_min_count: 8,
+            ..SamplerConfig::default()
+        };
+        let mut c = Collector::new();
+        c.enable_sampling(cfg);
+        for i in 0..8u64 {
+            journey(&mut c, "journey", i * 10_000, 100);
+        }
+        assert_eq!(c.retained().len(), 0, "warm-up must not classify slow");
+        let slow = journey(&mut c, "journey", 900_000, 2_000_000);
+        let retained = c.retained();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].trace, slow);
+        assert_eq!(retained[0].class, SampleClass::Slow);
+        assert_eq!(retained[0].duration_us, 2_000_000);
+    }
+
+    #[test]
+    fn head_sampling_is_order_independent() {
+        // The head decision is keyed by (root stage, begin time), so two
+        // collectors seeing the same journeys in opposite order retain the
+        // same set — the property that keeps resharded runs byte-identical.
+        let begins: Vec<u64> = (0..64u64).map(|i| i * 7_919).collect();
+        let run = |order: Vec<u64>| {
+            let mut c = Collector::new();
+            c.enable_sampling(SamplerConfig {
+                head_every: 4,
+                seed: 42,
+                ..SamplerConfig::default()
+            });
+            for at in order {
+                journey(&mut c, "journey", at, 500);
+            }
+            let mut kept: Vec<u64> = c.retained().iter().map(|r| r.begin.0).collect();
+            kept.sort_unstable();
+            kept
+        };
+        let fwd = run(begins.clone());
+        let rev = run(begins.iter().rev().copied().collect());
+        assert_eq!(fwd, rev);
+        assert!(!fwd.is_empty() && fwd.len() < begins.len(), "kept {}", fwd.len());
+    }
+
+    #[test]
+    fn byte_budget_evicts_heads_before_alerts() {
+        let trace_cost = 2 * std::mem::size_of::<Span>()
+            + std::mem::size_of::<RetainedTrace>();
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig {
+            budget_bytes: 3 * trace_cost,
+            head_every: 1,
+            ..SamplerConfig::default()
+        });
+        // An alert-pinned trace first, then enough head samples to overflow.
+        let pinned = c.new_trace();
+        let root = c.begin_span(pinned, 0, "journey", None, 0, SimTime(1));
+        let kid = c.begin_span(pinned, root, "child.step", None, 0, SimTime(2));
+        c.record_event(ObsEvent {
+            at: SimTime(3),
+            node_label: 1,
+            rule: "r".into(),
+            instance: "i".into(),
+            fired: true,
+            value: 2.0,
+            limit: 1.0,
+            trace: pinned,
+            exemplar: 0,
+        });
+        c.end_span(kid, SimTime(50));
+        c.end_span(root, SimTime(100));
+        for i in 0..6u64 {
+            journey(&mut c, "journey", 1_000 + i * 1_000, 400);
+        }
+        let stats = c.sampler_stats().unwrap();
+        assert!(stats.sampler_bytes <= stats.budget_bytes, "{stats:?}");
+        assert!(stats.retained_traces <= 3);
+        assert!(stats.dropped_spans > 0);
+        let retained = c.retained();
+        assert!(
+            retained.iter().any(|r| r.trace == pinned && r.class == SampleClass::Alert),
+            "alert trace evicted before heads: {retained:?}"
+        );
+    }
+
+    #[test]
+    fn retained_traces_carry_exemplars_latest_wins() {
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig { head_every: 1, ..SamplerConfig::default() });
+        let a = journey(&mut c, "journey", 0, 1_000);
+        let b = journey(&mut c, "journey", 10_000, 1_000);
+        let rows = c.exemplars();
+        let journey_rows = rows
+            .iter()
+            .find(|(n, _)| *n == "journey")
+            .map(|(_, r)| *r)
+            .expect("journey exemplars");
+        // Both journeys land in the same bucket; the later close wins.
+        assert_eq!(journey_rows.len(), 1);
+        assert_eq!(journey_rows[0].0, Histogram::bucket_of(1_000) as u8);
+        assert_eq!(journey_rows[0].1, Exemplar { trace: b, value_us: 1_000, ts_us: 11_000 });
+        assert!(b > a);
+        assert_eq!(c.sampler_stats().unwrap().exemplars as usize, rows.iter().map(|(_, r)| r.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn query_traces_filters_sorts_and_limits() {
+        // Off mode: scans closed roots.
+        let mut c = Collector::new();
+        let slow = journey(&mut c, "journey", 0, 9_000);
+        let fast = journey(&mut c, "journey", 20_000, 100);
+        let other = journey(&mut c, "batch", 40_000, 5_000);
+        let hits = c.query_traces(None, 0, 10);
+        assert_eq!(
+            hits.iter().map(|h| h.trace).collect::<Vec<_>>(),
+            vec![slow, other, fast],
+            "longest first"
+        );
+        assert!(hits.iter().all(|h| h.class.is_none()));
+        let hits = c.query_traces(Some("journey"), 1_000, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].trace, slow);
+        assert_eq!(hits[0].root, "journey");
+        assert_eq!(hits[0].spans, 2);
+        assert_eq!(c.query_traces(None, 0, 1).len(), 1);
+        assert_eq!(c.query_traces(Some("nope"), 0, 10).len(), 0);
+
+        // Sampled mode: served from the reservoir index.
+        let mut c = Collector::new();
+        c.enable_sampling(SamplerConfig { head_every: 1, ..SamplerConfig::default() });
+        let slow = journey(&mut c, "journey", 0, 9_000);
+        journey(&mut c, "journey", 20_000, 100);
+        let hits = c.query_traces(Some("journey"), 1_000, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].trace, slow);
+        assert_eq!(hits[0].class, Some(SampleClass::Head));
+        // The hit renders to a timeline.
+        assert!(c.render_trace(slow).contains("journey"));
     }
 }

@@ -28,9 +28,11 @@ use std::collections::HashMap;
 
 use pdagent_codec::varint;
 
+use crate::http::HttpRequest;
 use crate::message::Message;
 use crate::obs::Histogram;
 use crate::sim::{Ctx, Node, NodeId};
+use crate::telemetry::TelemetryServer;
 use crate::time::{SimDuration, SimTime};
 
 /// Message kind of an alert-edge notification (source → gateway).
@@ -150,13 +152,23 @@ fn read_str(input: &[u8], pos: &mut usize) -> Option<String> {
 
 /// Build the alert-fired notification an SLO engine host sends its pager.
 /// Floats travel as raw bits, so the page carries the exact observed value.
-pub fn page_fire(rule: &str, instance: &str, value: f64, limit: f64, trace: u64) -> Message {
-    let mut body = Vec::with_capacity(rule.len() + instance.len() + 32);
+/// `exemplar` is the offending trace id behind the breached signal (0 =
+/// none) — it rides the page all the way to the on-call's hand.
+pub fn page_fire(
+    rule: &str,
+    instance: &str,
+    value: f64,
+    limit: f64,
+    trace: u64,
+    exemplar: u64,
+) -> Message {
+    let mut body = Vec::with_capacity(rule.len() + instance.len() + 40);
     write_str(&mut body, rule);
     write_str(&mut body, instance);
     varint::write_u64(&mut body, value.to_bits());
     varint::write_u64(&mut body, limit.to_bits());
     varint::write_u64(&mut body, trace);
+    varint::write_u64(&mut body, exemplar);
     Message::new(KIND_PAGE_FIRE, body)
 }
 
@@ -179,6 +191,9 @@ pub struct PageDelivery {
     pub rule: String,
     /// Instance the rule fired for.
     pub instance: String,
+    /// Exemplar trace id behind the breached signal (0 = none) — resolvable
+    /// against the cell's `/traces` query plane.
+    pub exemplar: u64,
 }
 
 /// Decode a `page.deliver` message (receiver side).
@@ -191,7 +206,8 @@ pub fn parse_delivery(msg: &Message) -> Option<PageDelivery> {
     let escalated = varint::read_u64(&msg.body, &mut pos).ok()? != 0;
     let rule = read_str(&msg.body, &mut pos)?;
     let instance = read_str(&msg.body, &mut pos)?;
-    Some(PageDelivery { id, escalated, rule, instance })
+    let exemplar = varint::read_u64(&msg.body, &mut pos).unwrap_or(0);
+    Some(PageDelivery { id, escalated, rule, instance, exemplar })
 }
 
 /// Build the acknowledgement for a delivered page.
@@ -201,14 +217,15 @@ pub fn page_ack(id: u64) -> Message {
     Message::new(KIND_PAGE_ACK, body)
 }
 
-fn parse_fire(msg: &Message) -> Option<(String, String, f64, f64, u64)> {
+fn parse_fire(msg: &Message) -> Option<(String, String, f64, f64, u64, u64)> {
     let mut pos = 0;
     let rule = read_str(&msg.body, &mut pos)?;
     let instance = read_str(&msg.body, &mut pos)?;
     let value = f64::from_bits(varint::read_u64(&msg.body, &mut pos).ok()?);
     let limit = f64::from_bits(varint::read_u64(&msg.body, &mut pos).ok()?);
     let trace = varint::read_u64(&msg.body, &mut pos).ok()?;
-    Some((rule, instance, value, limit, trace))
+    let exemplar = varint::read_u64(&msg.body, &mut pos).unwrap_or(0);
+    Some((rule, instance, value, limit, trace, exemplar))
 }
 
 fn parse_resolve(msg: &Message) -> Option<(String, String)> {
@@ -223,6 +240,7 @@ struct PageState {
     rule: String,
     instance: String,
     trace: u64,
+    exemplar: u64,
     fired_at: SimTime,
     /// Attempts against the *current* receiver (reset on escalation).
     attempts: u32,
@@ -274,6 +292,12 @@ pub struct PagingGateway {
     pub resolved: u64,
     /// Fire→ack latency (µs).
     pub delivery: Histogram,
+    /// Delta-capable `/metrics` server — the gateway is a scrape target like
+    /// any other node, so the notification path's own delivery SLO
+    /// (`page.deliver` stage latency, `page.*` counters) can be monitored.
+    telemetry: TelemetryServer,
+    /// Instance label for the served exposition.
+    instance: String,
 }
 
 fn dedup_key(rule: &str, instance: &str) -> String {
@@ -295,7 +319,16 @@ impl PagingGateway {
             deduped: 0,
             resolved: 0,
             delivery: Histogram::new(),
+            telemetry: TelemetryServer::new(),
+            instance: "pager".to_owned(),
         }
+    }
+
+    /// Instance label for the served `/metrics` exposition (builder-style;
+    /// defaults to `"pager"`).
+    pub fn with_instance(mut self, instance: &str) -> PagingGateway {
+        self.instance = instance.to_owned();
+        self
     }
 
     /// Aggregate outcome for reports.
@@ -323,11 +356,12 @@ impl PagingGateway {
         } else {
             route.target
         };
-        let mut body = Vec::with_capacity(page.rule.len() + page.instance.len() + 16);
+        let mut body = Vec::with_capacity(page.rule.len() + page.instance.len() + 24);
         varint::write_u64(&mut body, page.id);
         varint::write_u64(&mut body, u64::from(page.escalated));
         write_str(&mut body, &page.rule);
         write_str(&mut body, &page.instance);
+        varint::write_u64(&mut body, page.exemplar);
         ctx.send(to, Message::new(KIND_PAGE_DELIVER, body));
         ctx.metrics().bump("page.sent", 1.0);
     }
@@ -339,7 +373,9 @@ impl PagingGateway {
     }
 
     fn on_fire(&mut self, ctx: &mut Ctx<'_>, msg: &Message) {
-        let Some((rule, instance, _value, _limit, trace)) = parse_fire(msg) else { return };
+        let Some((rule, instance, _value, _limit, trace, exemplar)) = parse_fire(msg) else {
+            return;
+        };
         let key = dedup_key(&rule, &instance);
         if self.open.contains_key(&key) {
             self.deduped += 1;
@@ -362,6 +398,7 @@ impl PagingGateway {
             rule,
             instance,
             trace,
+            exemplar,
             fired_at: ctx.now(),
             attempts: 1,
             unacked_ticks: 0,
@@ -412,6 +449,7 @@ impl PagingGateway {
         if page.attempts >= route.max_attempts {
             if !page.escalated && route.escalation.is_some() {
                 // Primary exhausted; hold the page for the escalation tick.
+                ctx.metrics().bump("page.exhausted", 1.0);
                 return;
             }
             ctx.span_end(page.span);
@@ -463,7 +501,15 @@ impl PagingGateway {
 }
 
 impl Node for PagingGateway {
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        // The gateway is a scrape target: a monitor probing the notification
+        // path's own delivery SLO hits `/metrics`/`/healthz` here.
+        if let Some(req) = HttpRequest::from_message(&msg) {
+            let instance = std::mem::take(&mut self.instance);
+            self.telemetry.serve(ctx, from, &req, &instance);
+            self.instance = instance;
+            return;
+        }
         if msg.kind == KIND_PAGE_FIRE {
             self.on_fire(ctx, &msg);
         } else if msg.kind == KIND_PAGE_RESOLVE {
@@ -494,6 +540,9 @@ pub struct PageReceiver {
     pub received: u64,
     /// Escalated deliveries received.
     pub received_escalated: u64,
+    /// Deliveries that carried a nonzero exemplar trace id — the on-call's
+    /// jump-off point into the `/traces` query plane.
+    pub exemplar_pages: u64,
     /// page id → paging gateway awaiting the ack.
     pending: HashMap<u64, NodeId>,
 }
@@ -501,7 +550,13 @@ pub struct PageReceiver {
 impl PageReceiver {
     /// Receiver acking after `ack_delay` (`None` = never).
     pub fn new(ack_delay: Option<SimDuration>) -> PageReceiver {
-        PageReceiver { ack_delay, received: 0, received_escalated: 0, pending: HashMap::new() }
+        PageReceiver {
+            ack_delay,
+            received: 0,
+            received_escalated: 0,
+            exemplar_pages: 0,
+            pending: HashMap::new(),
+        }
     }
 }
 
@@ -511,6 +566,9 @@ impl Node for PageReceiver {
         self.received += 1;
         if page.escalated {
             self.received_escalated += 1;
+        }
+        if page.exemplar != 0 {
+            self.exemplar_pages += 1;
         }
         ctx.metrics().bump("pager.received", 1.0);
         if let Some(delay) = self.ack_delay {
@@ -538,8 +596,8 @@ mod tests {
 
     #[test]
     fn page_codec_round_trips() {
-        let fire = page_fire("burn", "gw-0", 1.5, 0.5, 42);
-        assert_eq!(parse_fire(&fire), Some(("burn".into(), "gw-0".into(), 1.5, 0.5, 42)));
+        let fire = page_fire("burn", "gw-0", 1.5, 0.5, 42, 17);
+        assert_eq!(parse_fire(&fire), Some(("burn".into(), "gw-0".into(), 1.5, 0.5, 42, 17)));
         let resolve = page_resolve("burn", "gw-0");
         assert_eq!(parse_resolve(&resolve), Some(("burn".into(), "gw-0".into())));
     }
@@ -573,9 +631,9 @@ mod tests {
         fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
             if tag == 0 {
-                ctx.send(self.gateway, page_fire("drop-burn", "gw-0", 2.0, 1.0, 7));
+                ctx.send(self.gateway, page_fire("drop-burn", "gw-0", 2.0, 1.0, 7, 0));
                 // A duplicate fire right behind the first must dedup.
-                ctx.send(self.gateway, page_fire("drop-burn", "gw-0", 2.0, 1.0, 7));
+                ctx.send(self.gateway, page_fire("drop-burn", "gw-0", 2.0, 1.0, 7, 0));
             } else {
                 ctx.send(self.gateway, page_resolve("drop-burn", "gw-0"));
             }

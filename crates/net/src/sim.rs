@@ -339,6 +339,7 @@ impl Ctx<'_> {
     /// Record an SLO alert transition (`fired` = AlertFired, else
     /// AlertResolved) into the collector timeline, stamped with this node's
     /// partition-stable label. Branch-and-return no-op without a collector.
+    #[allow(clippy::too_many_arguments)]
     pub fn obs_alert(
         &mut self,
         rule: &str,
@@ -347,6 +348,7 @@ impl Ctx<'_> {
         value: f64,
         limit: f64,
         trace: u64,
+        exemplar: u64,
     ) {
         let (at, node_label) = (self.now, self.topology.label(self.self_id));
         if let Some(c) = self.obs {
@@ -359,6 +361,7 @@ impl Ctx<'_> {
                 value,
                 limit,
                 trace,
+                exemplar,
             });
         }
     }

@@ -180,6 +180,11 @@ pub struct AlertTransition {
     pub value: f64,
     /// The rule's limit.
     pub limit: f64,
+    /// Exemplar trace id behind the breached signal (0 = none). For
+    /// `StageP99` fires this is the highest-bucket exemplar the snapshot
+    /// carries for the stage — the concrete trace whose latency sits in the
+    /// breached tail.
+    pub exemplar: u64,
 }
 
 /// Per-rule evaluation state.
@@ -238,9 +243,11 @@ impl SloEngine {
     pub fn evaluate(&mut self, snap: &TelemetrySnapshot) -> Vec<AlertTransition> {
         let mut out = Vec::new();
         for (rule, state) in &mut self.rules {
+            let mut exemplar = 0u64;
             let value = match &rule.signal {
                 SloSignal::StageP99 { stage } => match snap.stage(stage) {
                     Some(cur) => {
+                        exemplar = snap.exemplar_for(stage);
                         let window = cur.diff(&state.prev_stage);
                         state.prev_stage = cur.clone();
                         if window.count() == 0 {
@@ -300,6 +307,7 @@ impl SloEngine {
                     fired: breach,
                     value,
                     limit: rule.limit,
+                    exemplar: if breach { exemplar } else { 0 },
                 });
             }
         }
@@ -556,9 +564,12 @@ impl SloMonitor {
                 t.episodes.insert(tr.rule.clone(), trace);
                 t.open_spans.insert(tr.rule.clone(), span);
                 ctx.metrics().bump("slo.alerts_fired", 1.0);
-                ctx.obs_alert(&tr.rule, &instance, true, tr.value, tr.limit, trace);
+                ctx.obs_alert(&tr.rule, &instance, true, tr.value, tr.limit, trace, tr.exemplar);
                 if let Some(pager) = self.pager {
-                    ctx.send(pager, page_fire(&tr.rule, &instance, tr.value, tr.limit, trace));
+                    ctx.send(
+                        pager,
+                        page_fire(&tr.rule, &instance, tr.value, tr.limit, trace, tr.exemplar),
+                    );
                 }
             } else {
                 let t = &mut self.targets[tidx];
@@ -566,7 +577,7 @@ impl SloMonitor {
                 let span = t.open_spans.remove(&tr.rule).unwrap_or(0);
                 ctx.span_end(span);
                 ctx.metrics().bump("slo.alerts_resolved", 1.0);
-                ctx.obs_alert(&tr.rule, &instance, false, tr.value, tr.limit, trace);
+                ctx.obs_alert(&tr.rule, &instance, false, tr.value, tr.limit, trace, 0);
                 if let Some(pager) = self.pager {
                     ctx.send(pager, page_resolve(&tr.rule, &instance));
                 }
@@ -780,6 +791,7 @@ mod tests {
             counters: counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
             gauges: gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
             stages,
+            exemplars: Vec::new(),
         };
         s.counters.sort_by(|a, b| a.0.cmp(&b.0));
         s.gauges.sort_by(|a, b| a.0.cmp(&b.0));

@@ -35,7 +35,7 @@ use bytes::Bytes;
 
 use crate::http::{reply, HttpRequest, HttpStatus};
 use crate::metrics::{Metrics, KEY_QUEUE_DEPTH};
-use crate::obs::{Collector, Histogram};
+use crate::obs::{Collector, Exemplar, Histogram};
 use crate::sim::{Ctx, NodeId};
 use crate::time::SimTime;
 
@@ -43,6 +43,9 @@ use crate::time::SimTime;
 pub const PATH_METRICS: &str = "/metrics";
 /// Liveness endpoint path served by gateway and MAS nodes.
 pub const PATH_HEALTHZ: &str = "/healthz";
+/// Trace query endpoint path (`/traces?stage=&min_us=&limit=&trace=`),
+/// served wherever `/metrics` is.
+pub const PATH_TRACES: &str = "/traces";
 
 /// Shared histogram family for per-stage latencies (one family, a `stage`
 /// label per series — the idiomatic Prometheus shape for homogeneous units).
@@ -60,6 +63,12 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(stage, histogram)`, sorted by stage name.
     pub stages: Vec<(String, Histogram)>,
+    /// Per-stage bucket exemplars from the tail sampler, `(stage, rows)`
+    /// sorted by stage name, each row's `(bucket, exemplar)` sorted by
+    /// bucket. Empty unless the producing node runs with sampling on — an
+    /// empty section renders nothing, keeping sampling-off expositions
+    /// byte-identical to the pre-exemplar format.
+    pub exemplars: Vec<(String, Vec<(u8, Exemplar)>)>,
 }
 
 impl TelemetrySnapshot {
@@ -80,7 +89,7 @@ impl TelemetrySnapshot {
             metrics.gauges_sorted().into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
         let mut stages: Vec<(String, Histogram)> = stages.to_vec();
         stages.sort_by(|a, b| a.0.cmp(&b.0));
-        TelemetrySnapshot { counters, gauges, stages }
+        TelemetrySnapshot { counters, gauges, stages, exemplars: Vec::new() }
     }
 
     /// Read a counter by its original key (0 if absent).
@@ -107,6 +116,25 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// One stage's exemplar rows (`(bucket, exemplar)` sorted by bucket), if
+    /// the snapshot carries any.
+    pub fn exemplar_rows(&self, stage: &str) -> Option<&[(u8, Exemplar)]> {
+        match self.exemplars.binary_search_by(|(n, _)| n.as_str().cmp(stage)) {
+            Ok(i) => Some(&self.exemplars[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The highest-bucket exemplar trace id for `stage` (0 when the
+    /// snapshot has none) — the concrete trace sitting furthest out in the
+    /// stage's latency tail, which is what an alert edge wants to point at.
+    pub fn exemplar_for(&self, stage: &str) -> u64 {
+        self.exemplar_rows(stage)
+            .and_then(|rows| rows.last())
+            .map(|(_, e)| e.trace)
+            .unwrap_or(0)
+    }
+
     /// Apply a delta body (the changed series of a `# EPOCH .. base=..`
     /// exposition, parsed by [`parse_prom`]): every series in `delta`
     /// *replaces* its slot here, new series are inserted in key order.
@@ -130,6 +158,14 @@ impl TelemetrySnapshot {
             match self.stages.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
                 Ok(i) => self.stages[i].1.clone_from(h),
                 Err(i) => self.stages.insert(i, (name.clone(), h.clone())),
+            }
+        }
+        // Delta bodies carry a dirty stage's *full* exemplar row set, so the
+        // slot is replaced, not merged.
+        for (name, rows) in &delta.exemplars {
+            match self.exemplars.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.exemplars[i].1.clone_from(rows),
+                Err(i) => self.exemplars.insert(i, (name.clone(), rows.clone())),
             }
         }
     }
@@ -200,6 +236,31 @@ pub(crate) fn write_value(out: &mut String, v: f64) {
     }
 }
 
+/// Append an OpenMetrics-style exemplar suffix to a `_bucket` sample line:
+/// ` # {trace_id="…"} <value_us> <ts_us>`. The trace id is zero-padded to 12
+/// digits so an exemplar costs the same bytes on the wire whatever its
+/// value — scrape bodies must stay byte-stable across shard counts (same
+/// rationale as the padded queue-depth gauge).
+fn write_exemplar(out: &mut String, e: &Exemplar) {
+    let _ = write!(out, " # {{trace_id=\"{:012}\"}} {} {}", e.trace, e.value_us, e.ts_us);
+}
+
+/// Split an exposition sample's value field from an optional exemplar
+/// suffix. Returns `(value_text, exemplar)`.
+fn split_exemplar(rest: &str) -> (&str, Option<Exemplar>) {
+    let Some((value, suffix)) = rest.split_once(" # ") else { return (rest, None) };
+    let parse = || -> Option<Exemplar> {
+        let body = suffix.trim().strip_prefix('{')?;
+        let (labels, tail) = body.split_once('}')?;
+        let trace = labels.strip_prefix("trace_id=\"")?.strip_suffix('"')?.parse().ok()?;
+        let mut parts = tail.split_whitespace();
+        let value_us = parts.next()?.parse().ok()?;
+        let ts_us = parts.next()?.parse().ok()?;
+        Some(Exemplar { trace, value_us, ts_us })
+    };
+    (value, parse())
+}
+
 /// Render a snapshot as Prometheus text exposition.
 ///
 /// Families are `pdagent_<sanitized-key>_total` (counters) and
@@ -251,16 +312,21 @@ pub fn render_prom(instance: &str, snap: &TelemetrySnapshot) -> String {
     let _ = writeln!(out, "# TYPE {STAGE_FAMILY} histogram");
     for (stage, h) in &snap.stages {
         let labels = format!("instance=\"{inst}\",stage=\"{}\"", escape_label(stage));
+        let rows = snap.exemplar_rows(stage).unwrap_or(&[]);
         let counts = h.bucket_counts();
         let hi = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
         let mut cum = 0u64;
         for (i, &n) in counts.iter().enumerate().take(hi + 1) {
             cum += n;
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{STAGE_FAMILY}_bucket{{{labels},le=\"{}\"}} {cum}",
                 Histogram::bucket_upper(i)
             );
+            if let Ok(r) = rows.binary_search_by(|(b, _)| b.cmp(&(i as u8))) {
+                write_exemplar(&mut out, &rows[r].1);
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{STAGE_FAMILY}_bucket{{{labels},le=\"+Inf\"}} {}", h.count());
         let _ = writeln!(out, "{STAGE_FAMILY}_sum{{{labels}}} {}", h.sum());
@@ -281,11 +347,16 @@ pub fn render_prom(instance: &str, snap: &TelemetrySnapshot) -> String {
 /// A parsed sample's `(label, value)` pairs, in line order.
 type Labels = Vec<(String, String)>;
 
-/// One parsed exposition sample: name, labels, value.
-fn parse_sample(line: &str) -> Option<(&str, Labels, f64)> {
+/// One parsed exposition sample: name, labels, value, optional exemplar.
+fn parse_sample_full(line: &str) -> Option<(&str, Labels, f64, Option<Exemplar>)> {
     let brace = line.find('{')?;
     let name = &line[..brace];
     let rest = &line[brace + 1..];
+    let finish = |labels: Labels, tail: &str| {
+        let (value_text, exemplar) = split_exemplar(tail);
+        let value: f64 = value_text.trim().parse().ok()?;
+        Some((name, labels, value, exemplar))
+    };
     let mut labels = Vec::new();
     let mut chars = rest.char_indices();
     let mut key_start = 0;
@@ -296,8 +367,7 @@ fn parse_sample(line: &str) -> Option<(&str, Labels, f64)> {
                 Some((i, '=')) => break i,
                 Some((i, '}')) => {
                     // Empty label set or trailing comma; value follows.
-                    let value: f64 = rest[i + 1..].trim().parse().ok()?;
-                    return Some((name, labels, value));
+                    return finish(labels, &rest[i + 1..]);
                 }
                 Some(_) => continue,
                 None => return None,
@@ -329,12 +399,17 @@ fn parse_sample(line: &str) -> Option<(&str, Labels, f64)> {
         match chars.next() {
             Some((i, ',')) => key_start = i + 1,
             Some((i, '}')) => {
-                let value: f64 = rest[i + 1..].trim().parse().ok()?;
-                return Some((name, labels, value));
+                return finish(labels, &rest[i + 1..]);
             }
             _ => return None,
         }
     }
+}
+
+/// [`parse_sample_full`] without the exemplar.
+#[cfg(test)]
+fn parse_sample(line: &str) -> Option<(&str, Labels, f64)> {
+    parse_sample_full(line).map(|(n, l, v, _)| (n, l, v))
 }
 
 fn label<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
@@ -356,6 +431,8 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
     let mut cums: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut sums: BTreeMap<String, u64> = BTreeMap::new();
     let mut maxes: BTreeMap<String, u64> = BTreeMap::new();
+    // stage → (bucket → exemplar) from `_bucket` suffixes.
+    let mut exes: BTreeMap<String, BTreeMap<u8, Exemplar>> = BTreeMap::new();
     // family → declared kind from `# TYPE` lines. Classifying by declared
     // type (not the `_total` suffix) keeps a *gauge* whose key sanitizes to
     // `..._total` (e.g. `queue.total`) a gauge through the round trip.
@@ -371,7 +448,7 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
             }
             continue;
         }
-        let Some((name, labels, value)) = parse_sample(line) else { continue };
+        let Some((name, labels, value, exemplar)) = parse_sample_full(line) else { continue };
         if name == bucket_name {
             let (Some(stage), Some(le)) = (label(&labels, "stage"), label(&labels, "le")) else {
                 continue;
@@ -381,6 +458,10 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
             }
             if let Ok(upper) = le.parse::<u64>() {
                 cums.entry(stage.to_owned()).or_default().insert(upper, value as u64);
+                if let Some(e) = exemplar {
+                    let idx = if upper == 0 { 0 } else { (upper + 1).trailing_zeros() as u8 };
+                    exes.entry(stage.to_owned()).or_default().insert(idx, e);
+                }
             }
         } else if name == sum_name {
             if let Some(stage) = label(&labels, "stage") {
@@ -422,6 +503,9 @@ pub fn parse_prom(text: &str) -> TelemetrySnapshot {
         let sum = sums.get(&stage).copied().unwrap_or(0);
         let max = maxes.get(&stage).copied().unwrap_or(0);
         snap.stages.push((stage, Histogram::from_parts(&buckets, sum, max)));
+    }
+    for (stage, by_bucket) in exes {
+        snap.exemplars.push((stage, by_bucket.into_iter().collect()));
     }
     snap
 }
@@ -661,6 +745,40 @@ impl DeltaState {
         SectionDiff { changed: true, reshaped: true, removed }
     }
 
+    /// Diff the exemplar section. Exemplar rows ride inside the stage
+    /// histogram samples, so a stage whose exemplars changed must be marked
+    /// dirty *even when its histogram did not* — a scrape can land between a
+    /// span's close (histogram bump) and its trace's retention at root close
+    /// (exemplar appears). Returns whether anything changed.
+    fn diff_exemplars(
+        prev: &mut Vec<(String, Vec<(u8, Exemplar)>)>,
+        stages: &[(String, Histogram)],
+        stage_epochs: &mut [u64],
+        next: &[(&str, &[(u8, Exemplar)])],
+        new_epoch: u64,
+    ) -> bool {
+        let same = prev.len() == next.len()
+            && prev.iter().zip(next).all(|((pk, pv), &(nk, nv))| pk == nk && pv.as_slice() == nv);
+        if same {
+            return false;
+        }
+        let mut out = Vec::with_capacity(next.len());
+        for &(nk, nv) in next {
+            let old = match prev.binary_search_by(|(pk, _)| pk.as_str().cmp(nk)) {
+                Ok(i) => Some(prev[i].1.as_slice()),
+                Err(_) => None,
+            };
+            if old != Some(nv) {
+                if let Ok(i) = stages.binary_search_by(|(s, _)| s.as_str().cmp(nk)) {
+                    stage_epochs[i] = new_epoch;
+                }
+            }
+            out.push((nk.to_owned(), nv.to_vec()));
+        }
+        *prev = out;
+        true
+    }
+
     fn sort_order<V>(
         section: &[(String, V)],
         ids: &[SeriesId],
@@ -680,6 +798,7 @@ impl DeltaState {
         counters: &[(&str, f64)],
         gauges: &[(&str, f64)],
         stages: &[(&str, &Histogram)],
+        exemplars: &[(&str, &[(u8, Exemplar)])],
     ) -> u64 {
         let new_epoch = self.epoch + 1;
         let dc = Self::diff_scalars(
@@ -708,13 +827,20 @@ impl DeltaState {
             new_epoch,
             &mut self.interner,
         );
+        let dx = Self::diff_exemplars(
+            &mut self.prev.exemplars,
+            &self.prev.stages,
+            &mut self.stage_epochs,
+            exemplars,
+            new_epoch,
+        );
         if dc.reshaped {
             self.counter_order = Self::sort_order(&self.prev.counters, &self.counter_ids, &self.interner);
         }
         if dg.reshaped {
             self.gauge_order = Self::sort_order(&self.prev.gauges, &self.gauge_ids, &self.interner);
         }
-        if dc.changed || dg.changed || ds.changed {
+        if dc.changed || dg.changed || ds.changed || dx {
             self.epoch = new_epoch;
         }
         if dc.removed || dg.removed || ds.removed {
@@ -731,7 +857,9 @@ impl DeltaState {
         let gauges: Vec<(&str, f64)> = snap.gauges.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         let stages: Vec<(&str, &Histogram)> =
             snap.stages.iter().map(|(k, h)| (k.as_str(), h)).collect();
-        self.observe_views(&counters, &gauges, &stages)
+        let exemplars: Vec<(&str, &[(u8, Exemplar)])> =
+            snap.exemplars.iter().map(|(k, v)| (k.as_str(), v.as_slice())).collect();
+        self.observe_views(&counters, &gauges, &stages, &exemplars)
     }
 
     /// Observe a node's live telemetry without materializing a
@@ -739,7 +867,12 @@ impl DeltaState {
     /// walked into the dynamic counters (same order [`TelemetrySnapshot::capture`]
     /// produces) and stage histograms are borrowed straight from the
     /// collector — no `String` or `Histogram` clones on the unchanged path.
-    pub fn observe_node(&mut self, metrics: &Metrics, stages: &[(&str, &Histogram)]) -> u64 {
+    pub fn observe_node(
+        &mut self,
+        metrics: &Metrics,
+        stages: &[(&str, &Histogram)],
+        exemplars: &[(&str, &[(u8, Exemplar)])],
+    ) -> u64 {
         let builtin = [
             ("bytes_received", metrics.bytes_received as f64),
             ("bytes_sent", metrics.bytes_sent as f64),
@@ -765,7 +898,7 @@ impl DeltaState {
             }
         }
         let gauges = metrics.gauges_sorted();
-        self.observe_views(&counters, &gauges, stages)
+        self.observe_views(&counters, &gauges, stages, exemplars)
     }
 
     /// The last observed state (what a full render would expose).
@@ -824,21 +957,33 @@ impl DeltaState {
             return;
         }
         let _ = writeln!(out, "# TYPE {STAGE_FAMILY} histogram");
-        for (i, (_, h)) in self.prev.stages.iter().enumerate() {
+        for (i, (name, h)) in self.prev.stages.iter().enumerate() {
             if self.stage_epochs[i] <= since {
                 continue;
             }
             let stage = self.interner.escaped(self.stage_ids[i]);
+            let rows: &[(u8, Exemplar)] = match self
+                .prev
+                .exemplars
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(x) => &self.prev.exemplars[x].1,
+                Err(_) => &[],
+            };
             let counts = h.bucket_counts();
             let hi = counts.iter().rposition(|&n| n > 0).unwrap_or(0);
             let mut cum = 0u64;
             for (b, &n) in counts.iter().enumerate().take(hi + 1) {
                 cum += n;
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{STAGE_FAMILY}_bucket{{instance=\"{inst}\",stage=\"{stage}\",le=\"{}\"}} {cum}",
                     Histogram::bucket_upper(b)
                 );
+                if let Ok(r) = rows.binary_search_by(|(eb, _)| eb.cmp(&(b as u8))) {
+                    write_exemplar(out, &rows[r].1);
+                }
+                out.push('\n');
             }
             let _ = writeln!(
                 out,
@@ -942,9 +1087,11 @@ impl TelemetryServer {
         match path {
             PATH_METRICS => {
                 let queue_depth = ctx.queue_depth();
+                set_sampler_gauges(ctx);
                 let (metrics, obs) = ctx.metrics_and_obs();
                 let stages = obs.map(|c| c.stages()).unwrap_or_default();
-                let epoch = self.delta.observe_node(metrics, &stages);
+                let exemplars = obs.map(|c| c.exemplars()).unwrap_or_default();
+                let epoch = self.delta.observe_node(metrics, &stages, &exemplars);
                 let since = since.filter(|&s| self.delta.can_delta(s));
                 let key = (epoch, since, queue_depth);
                 if self.cached == Some(key) {
@@ -978,8 +1125,90 @@ impl TelemetryServer {
                 reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
                 true
             }
+            PATH_TRACES => {
+                serve_traces(ctx, from, req);
+                true
+            }
             _ => false,
         }
+    }
+}
+
+/// Refresh the serving node's `obs.*` sampler gauges from the attached
+/// collector, so every scrape body carries the reservoir's live accounting.
+/// No-op (and no new series — byte-identity preserved) while sampling is
+/// off.
+fn set_sampler_gauges(ctx: &mut Ctx<'_>) {
+    let Some(stats) = ctx.obs_collector().and_then(|c| c.sampler_stats()) else { return };
+    let m = ctx.metrics();
+    m.set_gauge("obs.retained_traces", stats.retained_traces as f64);
+    m.set_gauge("obs.dropped_spans", stats.dropped_spans as f64);
+    m.set_gauge("obs.sampler_bytes", stats.sampler_bytes as f64);
+}
+
+/// Parse the `/traces` query string: `stage=<name>`, `min_us=<n>`,
+/// `limit=<n>` (default 20), `trace=<id>` (render one trace's timeline
+/// directly). Unknown parameters are ignored.
+fn parse_traces_query(path: &str) -> (Option<String>, u64, usize, Option<u64>) {
+    let mut stage = None;
+    let mut min_us = 0;
+    let mut limit = 20;
+    let mut trace = None;
+    if let Some((_, query)) = path.split_once('?') {
+        for kv in query.split('&') {
+            if let Some(v) = kv.strip_prefix("stage=") {
+                stage = Some(v.to_owned());
+            } else if let Some(v) = kv.strip_prefix("min_us=") {
+                min_us = v.parse().unwrap_or(0);
+            } else if let Some(v) = kv.strip_prefix("limit=") {
+                limit = v.parse().unwrap_or(20);
+            } else if let Some(v) = kv.strip_prefix("trace=") {
+                trace = v.parse().ok();
+            }
+        }
+    }
+    (stage, min_us, limit, trace)
+}
+
+/// Render the `/traces` response body against a collector: one header line
+/// per matching retained trace plus its [`Collector::render_trace`]
+/// timeline. Deterministic — hits sort by duration (longest first) with the
+/// trace id as tie-break.
+pub fn render_traces_body(collector: &Collector, path: &str) -> String {
+    let (stage, min_us, limit, trace) = parse_traces_query(path);
+    let mut out = String::new();
+    if let Some(t) = trace {
+        let timeline = collector.render_trace(t);
+        if timeline.is_empty() {
+            let _ = writeln!(out, "trace {t:012} not retained");
+        } else {
+            let _ = writeln!(out, "trace {t:012}");
+            out.push_str(&timeline);
+        }
+        return out;
+    }
+    let hits = collector.query_traces(stage.as_deref(), min_us, limit);
+    let _ = writeln!(out, "traces {}", hits.len());
+    for h in &hits {
+        let class = h.class.map(|c| c.as_str()).unwrap_or("all");
+        let _ = writeln!(
+            out,
+            "trace {:012} root={} dur_us={} class={class} spans={}",
+            h.trace, h.root, h.duration_us, h.spans
+        );
+        out.push_str(&collector.render_trace(h.trace));
+    }
+    out
+}
+
+/// Answer a `GET /traces` request from the attached collector (404 when
+/// observability is off).
+fn serve_traces(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest) {
+    let body = ctx.obs_collector().map(|c| render_traces_body(c, &req.path));
+    ctx.metrics().bump("telemetry.trace_queries", 1.0);
+    match body {
+        Some(b) => reply(ctx, from, req, HttpStatus::Ok, b.into_bytes()),
+        None => reply(ctx, from, req, HttpStatus::NotFound, Vec::<u8>::new()),
     }
 }
 
@@ -1000,13 +1229,23 @@ pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, insta
     }
     match parse_since(&req.path).0 {
         PATH_METRICS => {
+            set_sampler_gauges(ctx);
             let stages: Vec<(String, Histogram)> = ctx
                 .obs_collector()
                 .map(|c| {
                     c.stages().iter().map(|(n, h)| ((*n).to_owned(), (*h).clone())).collect()
                 })
                 .unwrap_or_default();
-            let snap = TelemetrySnapshot::capture(ctx.metrics(), &stages);
+            let mut snap = TelemetrySnapshot::capture(ctx.metrics(), &stages);
+            snap.exemplars = ctx
+                .obs_collector()
+                .map(|c| {
+                    c.exemplars()
+                        .into_iter()
+                        .map(|(n, rows)| (n.to_owned(), rows.to_vec()))
+                        .collect()
+                })
+                .unwrap_or_default();
             let mut body = render_prom(instance, &snap);
             // See TelemetryServer::serve for why this is zero-padded.
             let _ = writeln!(body, "# TYPE pdagent_sim_queue_depth gauge");
@@ -1024,6 +1263,10 @@ pub fn serve_telemetry(ctx: &mut Ctx<'_>, from: NodeId, req: &HttpRequest, insta
             let body = render_health(instance, ctx.now());
             ctx.metrics().bump("telemetry.probes", 1.0);
             reply(ctx, from, req, HttpStatus::Ok, body.into_bytes());
+            true
+        }
+        PATH_TRACES => {
+            serve_traces(ctx, from, req);
             true
         }
         _ => false,
@@ -1078,11 +1321,13 @@ impl FlightRecorder {
     /// keeping the most recent `cap` lines.
     pub fn capture(collector: &Collector, node: NodeId, cap: usize) -> FlightRecorder {
         let mut timed: Vec<(u64, String)> = Vec::new();
-        for s in collector.spans().iter().filter(|s| s.node == node) {
+        for s in collector.spans_snapshot().into_iter().filter(|s| s.node == node) {
             let mut line = format!(
-                "{{\"record\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\"",
-                s.trace, s.id, s.parent, s.name
+                "{{\"record\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"",
+                s.trace, s.id, s.parent
             );
+            crate::obs::write_json_escaped(&mut line, s.name);
+            line.push('"');
             if let Some(i) = s.index {
                 let _ = write!(line, ",\"index\":{i}");
             }
@@ -1291,6 +1536,7 @@ mod tests {
             value: 9.0,
             limit: 5.0,
             trace: t,
+            exemplar: 0,
         });
         let rec = FlightRecorder::capture(&c, 5, 16);
         let dump = rec.to_jsonl();
@@ -1461,6 +1707,188 @@ mod tests {
                 last_epoch = Some(hd.epoch);
                 // Byte-identity with the live view at every step.
                 let _ = step;
+                proptest::prop_assert_eq!(
+                    render_prom("gw-0", &held),
+                    render_prom("gw-0", ds.snapshot())
+                );
+            }
+        }
+    }
+
+    /// A snapshot carrying exemplars on two buckets of its one histogram.
+    fn exemplar_snapshot() -> TelemetrySnapshot {
+        let mut m = Metrics::new();
+        m.bump("gateway.replays", 3.0);
+        let mut h = Histogram::new();
+        for v in [70u64, 900, 16_000] {
+            h.record(v);
+        }
+        let mut snap = TelemetrySnapshot::capture(&m, &[("gateway.stage".to_owned(), h)]);
+        snap.exemplars = vec![(
+            "gateway.stage".to_owned(),
+            vec![
+                (
+                    Histogram::bucket_of(900) as u8,
+                    Exemplar { trace: 42, value_us: 900, ts_us: 5_000 },
+                ),
+                (
+                    Histogram::bucket_of(16_000) as u8,
+                    Exemplar { trace: 7, value_us: 16_000, ts_us: 9_000 },
+                ),
+            ],
+        )];
+        snap
+    }
+
+    #[test]
+    fn exemplar_suffixes_render_and_round_trip() {
+        let snap = exemplar_snapshot();
+        let text = render_prom("gw-0", &snap);
+        assert!(
+            text.contains(" # {trace_id=\"000000000042\"} 900 5000"),
+            "exemplar suffix missing: {text}"
+        );
+        let back = parse_prom(&text);
+        assert_eq!(back.exemplars, snap.exemplars, "exemplars must survive parse");
+        assert_eq!(
+            render_prom("gw-0", &back),
+            text,
+            "federation re-exposure of exemplars must be byte-identical"
+        );
+        // The alert path picks the worst populated bucket's trace.
+        assert_eq!(back.exemplar_for("gateway.stage"), 7);
+        assert_eq!(back.exemplar_for("nope"), 0);
+    }
+
+    #[test]
+    fn sampling_off_bodies_carry_no_exemplar_suffix() {
+        let text = render_prom("gw-0", &sample_snapshot());
+        assert!(!text.contains(" # {"), "exemplar leaked into a sampling-off body");
+        let mut ds = DeltaState::new();
+        ds.observe(&sample_snapshot());
+        let (_, full) = render_split(&ds, None);
+        assert!(!full.contains(" # {"));
+    }
+
+    #[test]
+    fn exemplar_only_change_dirties_the_stage_delta() {
+        // A scrape can land between a span close (exemplar set) and the next
+        // histogram change; the delta must still ship the new exemplar.
+        let m = Metrics::new();
+        let mut h = Histogram::new();
+        h.record(900);
+        let base = TelemetrySnapshot::capture(&m, &[("gateway.stage".to_owned(), h)]);
+        let mut ds = DeltaState::new();
+        let e1 = ds.observe(&base);
+        let (_, full) = render_split(&ds, None);
+        let mut held = parse_prom(&full);
+        let mut bumped = base.clone();
+        bumped.exemplars = vec![(
+            "gateway.stage".to_owned(),
+            vec![(
+                Histogram::bucket_of(900) as u8,
+                Exemplar { trace: 5, value_us: 900, ts_us: 1_000 },
+            )],
+        )];
+        let e2 = ds.observe(&bumped);
+        assert!(e2 > e1, "exemplar-only change must bump the epoch");
+        let (_, delta) = render_split(&ds, Some(e1));
+        assert!(delta.contains("trace_id=\"000000000005\""), "{delta}");
+        held.apply_delta(&parse_prom(&delta));
+        assert_eq!(
+            render_prom("gw-0", &held),
+            render_prom("gw-0", ds.snapshot()),
+            "delta-applied exemplars must match the live view"
+        );
+        // And an identical re-observation keeps the epoch put.
+        assert_eq!(ds.observe(&bumped), e2);
+    }
+
+    #[test]
+    fn traces_body_lists_and_renders_timelines() {
+        let mut c = Collector::new();
+        c.enable_sampling(crate::obs::SamplerConfig {
+            head_every: 1,
+            ..crate::obs::SamplerConfig::default()
+        });
+        let mk = |c: &mut Collector, at: u64, dur: u64| {
+            let t = c.new_trace();
+            let root = c.begin_span(t, 0, "journey", None, 0, SimTime(at));
+            let hop = c.begin_span(t, root, "itinerary.hop", Some(0), 1, SimTime(at + 10));
+            c.end_span(hop, SimTime(at + dur / 2));
+            c.end_span(root, SimTime(at + dur));
+            t
+        };
+        let slow = mk(&mut c, 0, 9_000_000);
+        let fast = mk(&mut c, 20_000_000, 50_000);
+        let body = render_traces_body(&c, "/traces");
+        assert!(body.starts_with("traces 2\n"), "{body}");
+        let slow_pos = body.find(&format!("trace {slow:012}")).unwrap();
+        let fast_pos = body.find(&format!("trace {fast:012}")).unwrap();
+        assert!(slow_pos < fast_pos, "longest trace must list first:\n{body}");
+        assert!(body.contains("root=journey dur_us=9000000 class=head spans=2"), "{body}");
+        assert!(body.contains("itinerary.hop[0]"), "timeline missing:\n{body}");
+
+        let filtered = render_traces_body(&c, "/traces?stage=journey&min_us=1000000&limit=5");
+        assert!(filtered.starts_with("traces 1\n"), "{filtered}");
+        assert!(filtered.contains(&format!("trace {slow:012}")));
+
+        let single = render_traces_body(&c, &format!("/traces?trace={slow}"));
+        assert!(single.starts_with(&format!("trace {slow:012}\n")), "{single}");
+        assert!(single.contains("journey"));
+        assert_eq!(
+            render_traces_body(&c, "/traces?trace=999"),
+            "trace 000000000999 not retained\n"
+        );
+    }
+
+    // The exemplar-bearing delta contract, pinned adversarially: any mix of
+    // histogram records (each stamping a fresh exemplar into its bucket),
+    // counter bumps and idle observations — scraped as deltas — reconstructs
+    // a snapshot whose rendering (exemplar suffixes included) is
+    // byte-identical to full-body scraping at every step.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+        #[test]
+        fn exemplar_bearing_delta_stream_round_trips(
+            ops in proptest::collection::vec((0u8..3, 1u64..200_000), 1..24),
+        ) {
+            let mut m = Metrics::new();
+            let mut h = Histogram::new();
+            let mut exes: std::collections::BTreeMap<u8, Exemplar> =
+                std::collections::BTreeMap::new();
+            let mut ds = DeltaState::new();
+            let mut held = TelemetrySnapshot::default();
+            let mut last_epoch: Option<u64> = None;
+            for (step, (op, val)) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        h.record(*val);
+                        exes.insert(
+                            Histogram::bucket_of(*val) as u8,
+                            Exemplar { trace: *val, value_us: *val, ts_us: step as u64 + 1 },
+                        );
+                    }
+                    1 => m.bump("c.hot", *val as f64),
+                    _ => {} // idle scrape: nothing changed
+                }
+                let mut snap =
+                    TelemetrySnapshot::capture(&m, &[("s.rtt".to_owned(), h.clone())]);
+                snap.exemplars = vec![(
+                    "s.rtt".to_owned(),
+                    exes.iter().map(|(b, e)| (*b, *e)).collect(),
+                )];
+                ds.observe(&snap);
+                let since = last_epoch.filter(|&s| ds.can_delta(s));
+                let mut body = String::new();
+                ds.render_into("gw-0", since, &mut body);
+                let hd = parse_epoch_header(&body).expect("header");
+                if hd.base.is_some() {
+                    held.apply_delta(&parse_prom(&body));
+                } else {
+                    held = parse_prom(&body);
+                }
+                last_epoch = Some(hd.epoch);
                 proptest::prop_assert_eq!(
                     render_prom("gw-0", &held),
                     render_prom("gw-0", ds.snapshot())

@@ -184,6 +184,37 @@ for baseline in "$baseline_dir"/BENCH_*.json; do
     status=1
   fi
 
+  # The tail sampler's reservoir accounting. Bytes over the configured
+  # budget mean eviction stopped working; dropped spans with sampling
+  # disabled mean the off mode is not actually off — both hard failures.
+  sampler_enabled=$(field "$report" sampler_enabled)
+  sampler_budget=$(field "$report" sampler_budget_bytes)
+  sampler_bytes=$(field "$report" sampler_bytes)
+  sampler_dropped=$(field "$report" sampler_dropped_spans)
+  if [[ "$sampler_enabled" == 1 ]]; then
+    if awk -v b="$sampler_bytes" -v l="$sampler_budget" 'BEGIN { exit !(b > l) }'; then
+      printf '%-28s sampler %s bytes over %s budget   RESERVOIR OVER BUDGET\n' \
+        "$name" "$sampler_bytes" "$sampler_budget"
+      status=1
+    else
+      printf '%-28s sampler %s of %s budget bytes   ok\n' \
+        "$name" "$sampler_bytes" "$sampler_budget"
+    fi
+  elif [[ "$sampler_enabled" == 0 && "$sampler_dropped" != 0 && "$sampler_dropped" != "" ]]; then
+    printf '%-28s %s span(s) dropped with sampling off   SAMPLER NOT INERT\n' \
+      "$name" "$sampler_dropped"
+    status=1
+  fi
+  if [[ "$sampler_enabled" == 1 && "$(field "$report" trace_probe_ok)" == 0 ]]; then
+    printf '%-28s /traces probe malformed   TRACE QUERY PLANE BROKEN\n' "$name"
+    status=1
+  fi
+  if grep -q '"exemplar_probe_ok"' "$report" \
+      && [[ "$(field "$report" exemplar_probe_ok)" == 0 ]]; then
+    printf '%-28s breach exemplar did not resolve via /traces   EXEMPLAR LINK BROKEN\n' "$name"
+    status=1
+  fi
+
   # The soak report carries the SLO alert ledger. A rule that fired and
   # never resolved means the telemetry plane caught something the shape
   # checks missed — always fail, and point at the flight-recorder dumps

@@ -16,6 +16,12 @@ cargo clippy --workspace -- -D warnings
 cargo build --release -p pdagent-bench --bin soak
 SOAK_FED=0 ./target/release/soak 64 1,2 > /dev/null
 
+# Tail-sampling ablation smoke: with the sampler off, the soak must still
+# pass every shape check and drop zero spans (the crate's unit tests assert
+# the off mode leaves results, events and obs digest byte-identical; here we
+# guard the knob and the inertness gate bench_diff.sh enforces).
+SOAK_SAMPLE=0 ./target/release/soak 64 1,2 > /dev/null
+
 # Soak smoke: a small sharded soak (64 devices, 1 vs 2 shards) must stay
 # byte-identical across the partitionings and keep the batched-delivery
 # event reduction above 5x; the binary exits nonzero if either fails. The

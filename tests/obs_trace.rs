@@ -61,7 +61,7 @@ fn one_trace_id_survives_device_gateway_mas_result_under_loss() {
     let spans: Vec<&Span> = collector.spans_for(1).collect();
     assert!(!spans.is_empty());
     assert!(
-        collector.spans().iter().all(|s| s.trace == 1),
+        collector.spans_snapshot().into_iter().all(|s| s.trace == 1),
         "a span escaped the journey's trace"
     );
     for s in &spans {
@@ -141,7 +141,7 @@ fn obs_jsonl_export_writes_one_line_per_span() {
     spec.obs_jsonl = Some(path.clone());
     let mut scenario = Scenario::build(spec);
     scenario.run();
-    let n_spans = scenario.sim.obs().unwrap().spans().len();
+    let n_spans = scenario.sim.obs().unwrap().spans_snapshot().len();
     let exported = std::fs::read_to_string(&path).expect("jsonl written");
     let _ = std::fs::remove_file(&path);
     assert_eq!(exported.lines().count(), n_spans);
