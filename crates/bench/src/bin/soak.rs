@@ -16,11 +16,13 @@
 
 use std::time::Instant;
 
+use pdagent_bench::chaos_matrix::{plan_for, run_case};
 use pdagent_bench::report::{
     alerts_json, federation_json, paging_json, slo_json, write_bench_report_with_obs, Json,
 };
 use pdagent_bench::soak::{run_soak, SoakOutcome, SoakSpec};
 use pdagent_bench::parallel;
+use pdagent_net::chaos::{ChaosPlan, FaultKind};
 use pdagent_net::time::SimDuration;
 
 /// Devices per cell: ten handhelds behind each serving gateway.
@@ -274,6 +276,39 @@ fn main() {
         out
     });
 
+    // Chaos ride-along (`SOAK_CHAOS=1`): re-run the soak spec under a mixed
+    // fault schedule (loss + duplication bursts, a gateway crash window, a
+    // monitor clock-skew ramp, all on cell 0) and hold every system
+    // invariant at epoch barriers and at quiesce. Off by default so the
+    // canonical BENCH_soak.json keys stay byte-stable for `bench_diff.sh`;
+    // when on, the report grows a `chaos` section.
+    let chaos_ride = std::env::var("SOAK_CHAOS").is_ok_and(|v| v == "1").then(|| {
+        let mut plan = ChaosPlan::new();
+        for part in [
+            plan_for(FaultKind::Loss, 0.2, DEVICES_PER_CELL),
+            plan_for(FaultKind::Duplicate, 0.3, DEVICES_PER_CELL),
+            plan_for(FaultKind::Crash, 0.5, DEVICES_PER_CELL),
+            plan_for(FaultKind::ClockSkew, 0.4, DEVICES_PER_CELL),
+        ] {
+            plan.faults.extend(part.faults);
+        }
+        let result = run_case(&spec, &plan);
+        println!(
+            "\nchaos ride-along: {} fault(s); activity loss {} corrupt {} dup {} reorder {} crash {}; {} violation(s)",
+            plan.faults.len(),
+            result.outcome.chaos_activity[0],
+            result.outcome.chaos_activity[1],
+            result.outcome.chaos_activity[2],
+            result.outcome.chaos_activity[3],
+            result.outcome.chaos_activity[4],
+            result.violations.len()
+        );
+        for v in &result.violations {
+            println!("  VIOLATED {} at {}: {}", v.invariant, v.phase, v.detail);
+        }
+        (plan, result)
+    });
+
     let mut completion: Vec<u64> = base
         .results
         .cells
@@ -362,6 +397,32 @@ fn main() {
             Json::Obj(pairs)
         }
         _ => results,
+    };
+    // Only with `SOAK_CHAOS=1`, so default reports keep their historical key
+    // set and `bench_diff.sh` baselines never churn.
+    let results = match &chaos_ride {
+        Some((plan, result)) => {
+            let Json::Obj(mut pairs) = results else { unreachable!("results is an object") };
+            pairs.push((
+                "chaos".to_owned(),
+                Json::obj(vec![
+                    ("faults", plan.faults.len().into()),
+                    ("violations", result.violations.len().into()),
+                    ("lost_agents", result.outcome.lost_agents.into()),
+                    ("duplicate_executions", result.outcome.duplicate_executions.into()),
+                    ("epoch_regressions", result.outcome.epoch_regressions.into()),
+                    ("replay_overflow", result.outcome.replay_overflow.into()),
+                    (
+                        "chaos_activity",
+                        Json::Arr(
+                            result.outcome.chaos_activity.iter().map(|&n| n.into()).collect(),
+                        ),
+                    ),
+                ]),
+            ));
+            Json::Obj(pairs)
+        }
+        None => results,
     };
     match write_bench_report_with_obs("soak", base_wall, base.events, results, &base.obs) {
         Ok(path) => println!("wrote {path}"),
@@ -477,6 +538,22 @@ fn main() {
                 format!("breach exemplar did not resolve to a retained trace: {other:?}"),
                 d,
             ),
+        }
+    }
+    if let Some((plan, result)) = &chaos_ride {
+        if !result.violations.is_empty() {
+            fail(
+                format!(
+                    "chaos ride-along violated {} invariant(s) under {:?}",
+                    result.violations.len(),
+                    plan
+                ),
+                &base,
+            );
+        }
+        let activity: u64 = result.outcome.chaos_activity.iter().sum();
+        if activity == 0 {
+            fail("chaos ride-along injected no faults (plan compiled to nothing?)".into(), &base);
         }
     }
     println!(

@@ -27,8 +27,12 @@
 //!   `src/bin/*` binaries emit (wall time, events/sec, per-point results).
 //! * [`event_queue`] — timer-wheel vs. binary-heap scheduler head-to-head
 //!   on the soak's event mix (`BENCH_event_queue.json`).
+//! * [`chaos_matrix`] — system invariants over soak outcomes, the
+//!   fault-class × intensity chaos grid, and shrink-to-minimal-reproducer
+//!   plumbing behind `cargo run --bin chaos`.
 
 pub mod ablations;
+pub mod chaos_matrix;
 pub mod event_queue;
 pub mod fig12;
 pub mod fig13;

@@ -111,6 +111,18 @@ impl ShardedSim {
     /// Run every shard until all event queues drain and no cross-shard
     /// message is in flight.
     pub fn run_until_idle(&mut self) {
+        self.run_until_idle_with(&mut |_, _| {});
+    }
+
+    /// Like [`ShardedSim::run_until_idle`], but invokes `on_epoch` at every
+    /// epoch barrier with the epoch number and the (quiescent, locked-free)
+    /// shard slots — the hook the chaos suite uses to evaluate invariants on
+    /// live counters mid-run. Called between the message exchange and the
+    /// next horizon computation, while no shard is stepping.
+    pub fn run_until_idle_with(
+        &mut self,
+        on_epoch: &mut dyn FnMut(u64, &[Mutex<Simulator>]),
+    ) {
         for s in &mut self.shards {
             s.ensure_started();
         }
@@ -157,6 +169,7 @@ impl ShardedSim {
                     .filter_map(|s| s.lock().unwrap().next_event_time())
                     .min()?;
                 epochs += 1;
+                on_epoch(epochs, slots);
                 Some(next + lookahead)
             },
         );

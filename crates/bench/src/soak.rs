@@ -20,12 +20,13 @@
 use pdagent_apps::ebank::{ebank_program, itinerary_for, transactions_param};
 use pdagent_apps::{BankService, Transaction};
 use pdagent_core::shard::ShardPlan;
-use pdagent_core::{DeployRequest, DeviceCommand, DeviceConfig, DeviceNode};
+use pdagent_core::{DeployRequest, DeviceCommand, DeviceConfig, DeviceEvent, DeviceNode};
 use pdagent_gateway::central::{CentralServer, GatewayEntry};
 use pdagent_gateway::server::{GatewayConfig, GatewayNode};
 use pdagent_mas::server::SiteDirectory;
 use pdagent_mas::MasNode;
 
+use pdagent_net::chaos::{ChaosInjector, ChaosPlan, Fault};
 use pdagent_net::federation::{
     default_federation_rules, FederationReport, FederationScraper, FederationSpec,
 };
@@ -36,10 +37,12 @@ use pdagent_net::obs::{ObsEvent, ObsSummary, SampleClass, SamplerConfig, Sampler
 use pdagent_net::paging::{PageReceiver, PagingGateway, PagingReport, Route, RoutePolicy, Severity};
 use pdagent_net::queue::Scheduler;
 use pdagent_net::sim::{Ctx, Node, NodeId, Simulator};
-use pdagent_net::slo::{LinkChaos, MonitorSpec, SloMonitor, SloReport, SloRule};
+use pdagent_net::slo::{MonitorSpec, SloMonitor, SloReport, SloRule};
 use pdagent_net::telemetry::{render_traces_body, FlightRecorder};
 use pdagent_net::time::SimDuration;
 use pdagent_vm::Value;
+
+use std::sync::Mutex;
 
 use crate::shard::ShardedSim;
 
@@ -57,6 +60,9 @@ const ONCALL_ESC_LABEL: u64 = 5;
 const PAGER_MON_LABEL: u64 = 6;
 /// Label of the drill's pager↔on-call link chaos injector (shard 0).
 const PAGER_CHAOS_LABEL: u64 = 7;
+/// Label of the per-shard [`ChaosInjector`] compiling
+/// [`SoakSpec::chaos_plan`] (one per shard, never exported).
+const GLOBAL_CHAOS_LABEL: u64 = 8;
 
 /// Node index of each role within a cell's label space.
 const J_CENTRAL: usize = 0;
@@ -65,6 +71,40 @@ const J_SITE_A: usize = 2;
 const J_SITE_B: usize = 3;
 const J_AUDITOR: usize = 4;
 const J_DEVICE0: usize = 5;
+
+/// Stable plan label of a cell's gateway. Chaos plans address nodes by
+/// label, and labels are a pure function of `(cell, role)` — independent of
+/// shard count — which is what makes a `(seed, plan)` pair replayable at any
+/// partitioning.
+pub fn gateway_label(cell: usize) -> u64 {
+    ShardPlan::new(cell + 1, 1).label(cell, J_GATEWAY)
+}
+
+/// Stable plan label of a cell's `dev`-th handheld.
+pub fn device_label(cell: usize, dev: usize) -> u64 {
+    ShardPlan::new(cell + 1, 1).label(cell, J_DEVICE0 + dev)
+}
+
+/// Stable plan label of a cell's bank MAS site (`0` = bank-a, `1` = bank-b).
+pub fn site_label(cell: usize, which: usize) -> u64 {
+    ShardPlan::new(cell + 1, 1).label(cell, J_SITE_A + which.min(1))
+}
+
+/// Stable plan label of a cell's SLO monitor (needs the cell's device count,
+/// since the monitor label sits just past the device range).
+pub fn monitor_label(cell: usize, devices_per_cell: usize) -> u64 {
+    ShardPlan::new(cell + 1, 1).label(cell, J_DEVICE0 + devices_per_cell)
+}
+
+/// Stable label of the shard-0 paging gateway.
+pub fn pager_label() -> u64 {
+    PAGER_LABEL
+}
+
+/// Stable label of the shard-0 primary on-call receiver.
+pub fn oncall_label() -> u64 {
+    ONCALL_LABEL
+}
 
 /// The default SLO rule set every cell monitor evaluates against each of
 /// its targets — the cell gateway *and* the two bank MAS sites. Deliberately
@@ -197,6 +237,16 @@ pub struct SoakSpec {
     /// production default; the heap is kept as the reference implementation
     /// the equivalence tests compare against.
     pub scheduler: Scheduler,
+    /// A declarative fault schedule compiled by one [`ChaosInjector`] per
+    /// shard. Faults address nodes by their stable plan labels, so the same
+    /// plan replays byte-identically at every shard count. `None` (and an
+    /// inert plan with every intensity at zero) leaves the run byte-identical
+    /// to a chaos-free soak.
+    pub chaos_plan: Option<ChaosPlan>,
+    /// Gateway replay-cache cap ([`GatewayConfig::replay_max_entries`]).
+    /// The default 16 matches the historical soak; the chaos suite sets 0 to
+    /// deliberately break idempotency under duplication bursts.
+    pub gateway_replay_cap: usize,
 }
 
 impl SoakSpec {
@@ -233,6 +283,8 @@ impl SoakSpec {
             sampler_cfg: SamplerConfig { seed, ..SamplerConfig::default() },
             page_chaos: false,
             scheduler: Scheduler::default(),
+            chaos_plan: None,
+            gateway_replay_cap: 16,
         }
     }
 
@@ -334,6 +386,26 @@ pub struct SoakOutcome {
     /// The notification-path monitor's per-rule digests (empty unless
     /// `page_chaos`).
     pub page_slo: Vec<SloReport>,
+    /// Devices whose deploy dispatched an agent but at quiesce neither
+    /// collected a result nor recorded any error — plus devices stuck
+    /// mid-command. Must be zero: every launched itinerary completes or is
+    /// accounted failed (the chaos suite's no-lost-agents oracle).
+    pub lost_agents: u64,
+    /// `gateway.duplicate_executions` summed over every cell gateway: times
+    /// a dispatch handler re-ran for a `(client, req_id)` it had already
+    /// executed. Must be zero while the replay cache is correctly sized.
+    pub duplicate_executions: u64,
+    /// `slo.epoch_regressions` summed over all shards: scrape epochs that
+    /// went backwards on some monitor's target. Must be zero.
+    pub epoch_regressions: u64,
+    /// Replay-cache entries observed beyond `gateway_replay_cap + 1` (the
+    /// lazy sweep admits one transient over-cap insert), summed over
+    /// gateways. Must be zero: eviction keeps the cache bounded.
+    pub replay_overflow: u64,
+    /// Fault-schedule activity counters, for the chaos report section:
+    /// `(loss_drops, corrupt_drops, dups, reorders, crash_drops)` summed
+    /// over all shards. All zero when no plan is active.
+    pub chaos_activity: [u64; 5],
 }
 
 /// One cell's auditor: heartbeats the coordinator on a timer and counts the
@@ -464,7 +536,7 @@ fn build_cell(
     // Tight cache bounds so the soak exercises replay/completed eviction:
     // each device leaves ~3 replayable responses and one completed agent
     // behind, so a ten-device cell overflows both caps deterministically.
-    gw_cfg.replay_max_entries = 16;
+    gw_cfg.replay_max_entries = spec.gateway_replay_cap;
     gw_cfg.completed_max_entries = 8;
     let mut gw = GatewayNode::new(gw_cfg, directory.clone());
     gw.publish("ebank".to_string(), ebank_program());
@@ -567,12 +639,16 @@ fn build_cell(
             // Cut the monitor↔gateway link across the round-2 scrape: the
             // request retransmits after the 2 s RTO and lands once the link
             // is back, so the observed RTT blows through the 1 s p99 budget.
-            let chaos = sim.add_node(Box::new(LinkChaos {
-                a: mon,
-                b: gateway,
-                down_at: SimDuration::from_millis(9_500),
-                up_at: SimDuration::from_millis(11_900),
-            }));
+            // Expressed as a one-fault ChaosPlan: the injector emits the same
+            // two timers (cut, heal) at the same instants and bumps the same
+            // chaos.link_down/chaos.link_up keys the old bespoke node did.
+            let drill = ChaosPlan::new().with(Fault::partition(
+                plan.label(cell, J_DEVICE0 + spec.devices_per_cell),
+                plan.label(cell, J_GATEWAY),
+                SimDuration::from_millis(9_500),
+                SimDuration::from_millis(11_900),
+            ));
+            let chaos = sim.add_node(Box::new(ChaosInjector::new(drill)));
             sim.set_label(chaos, plan.label(cell, J_DEVICE0 + spec.devices_per_cell + 1));
         }
         Some(mon)
@@ -587,6 +663,17 @@ fn build_cell(
 /// labels), runs them to idle on the sharded engine, and extracts the
 /// per-cell results.
 pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
+    run_soak_with(spec, &mut |_, _| {})
+}
+
+/// [`run_soak`] with an epoch-barrier hook: `on_epoch(epoch, shards)` runs
+/// between every sharded-engine exchange round while no shard is stepping —
+/// the chaos suite's window for evaluating invariants over live counters
+/// mid-run instead of only at quiesce.
+pub fn run_soak_with(
+    spec: &SoakSpec,
+    on_epoch: &mut dyn FnMut(u64, &[Mutex<Simulator>]),
+) -> SoakOutcome {
     let plan = ShardPlan::new(spec.cells, spec.shards);
     let mut shards: Vec<Simulator> = Vec::with_capacity(plan.shards());
     let mut cells: Vec<Option<CellIds>> = (0..spec.cells).map(|_| None).collect();
@@ -670,12 +757,13 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                     // Cut the pager↔on-call link across the window where the
                     // cell alerts page (~12.1 s): the first delivery is
                     // lost, and only a post-restore retry can land it.
-                    let chaos = sim.add_node(Box::new(LinkChaos {
-                        a: pg,
-                        b: oncall,
-                        down_at: SimDuration::from_millis(11_500),
-                        up_at: SimDuration::from_millis(12_500),
-                    }));
+                    let drill = ChaosPlan::new().with(Fault::partition(
+                        PAGER_LABEL,
+                        ONCALL_LABEL,
+                        SimDuration::from_millis(11_500),
+                        SimDuration::from_millis(12_500),
+                    ));
+                    let chaos = sim.add_node(Box::new(ChaosInjector::new(drill)));
                     sim.set_label(chaos, PAGER_CHAOS_LABEL);
                 }
                 pg
@@ -746,6 +834,18 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                 }
             }
         }
+        // The declarative fault schedule: one injector per shard holding the
+        // full plan. Link faults apply wherever both endpoint labels resolve
+        // (locally or as remote placeholders); node faults only where the
+        // node lives. Added last so an absent (or inert — every intensity at
+        // zero) plan leaves node ids, event counts, and therefore every RNG
+        // stream and seq number untouched.
+        if let Some(cp) = &spec.chaos_plan {
+            if !cp.is_inert() {
+                let inj = sim.add_node(Box::new(ChaosInjector::new(cp.clone())));
+                sim.set_label(inj, GLOBAL_CHAOS_LABEL);
+            }
+        }
         shards.push(sim);
     }
 
@@ -763,12 +863,15 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
             engine.export(cell.shard, cell.monitor.expect("monitor"));
         }
     }
-    engine.run_until_idle();
+    engine.run_until_idle_with(on_epoch);
 
     // Harvest per-cell aggregates: device vectors in device order, integer
     // counters — deliberately no floating-point sums, so any partitioning
     // (and either batching mode) yields the same bytes.
     let mut out_cells = Vec::with_capacity(spec.cells);
+    let mut lost_agents = 0u64;
+    let mut duplicate_executions = 0u64;
+    let mut replay_overflow = 0u64;
     for cell in cells.iter().flatten() {
         let sim = engine.shard(cell.shard);
         let mut completed = 0u32;
@@ -782,10 +885,31 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
                 completion_us.push(t.completion.as_micros());
                 pi_bytes.push(t.pi_bytes as u64);
             }
+            // No-lost-agents accounting: a dispatched agent must end in a
+            // collected result or an error event, and the device's command
+            // queue must have drained — anything else is a lost itinerary.
+            let mut dispatched = 0u64;
+            let mut accounted = 0u64;
+            for e in &node.events {
+                match e {
+                    DeviceEvent::Dispatched { .. } => dispatched += 1,
+                    DeviceEvent::ResultCollected { .. } | DeviceEvent::Error { .. } => {
+                        accounted += 1
+                    }
+                    _ => {}
+                }
+            }
+            if (dispatched > 0 && accounted == 0) || !node.idle() {
+                lost_agents += 1;
+            }
             let m = sim.metrics(dev);
             wireless_bytes += m.bytes_sent + m.bytes_received;
         }
         let gw = sim.metrics(cell.gateway);
+        duplicate_executions += gw.counter("gateway.duplicate_executions") as u64;
+        let replay_entries = gw.gauge("gateway.replay_entries") as u64;
+        replay_overflow +=
+            replay_entries.saturating_sub(spec.gateway_replay_cap as u64 + 1);
         out_cells.push(CellResult {
             completed,
             completion_us,
@@ -976,6 +1100,26 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         }
     }
 
+    // Remaining chaos-suite oracles, summed over every node of every shard.
+    let mut epoch_regressions = 0u64;
+    let mut chaos_activity = [0u64; 5];
+    for s in 0..engine.shard_count() {
+        let sim = engine.shard(s);
+        epoch_regressions += sim.counter_total("slo.epoch_regressions") as u64;
+        for (slot, key) in [
+            "chaos.loss_drops",
+            "chaos.corrupt_drops",
+            "chaos.dups",
+            "chaos.reorders",
+            "chaos.crash_drops",
+        ]
+        .iter()
+        .enumerate()
+        {
+            chaos_activity[slot] += sim.counter_total(key) as u64;
+        }
+    }
+
     let devices = spec.devices();
     let events = engine.events_processed();
     SoakOutcome {
@@ -1001,6 +1145,11 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
         trace_probe,
         exemplar_probe,
         page_slo,
+        lost_agents,
+        duplicate_executions,
+        epoch_regressions,
+        replay_overflow,
+        chaos_activity,
     }
 }
 

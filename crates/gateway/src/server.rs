@@ -1,7 +1,7 @@
 //! [`GatewayNode`]: the Agent Dispatch Handler, Agent Creator, Document
 //! Creator and File Directory of the paper's Figure 4, as one protocol node.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 
@@ -137,6 +137,13 @@ pub struct GatewayNode {
     /// device-facing `dispatched`/`results` maps grow into. Evicted on the
     /// same lazy sweep, after [`GatewayConfig::completed_ttl`].
     completed_queue: VecDeque<(SimTime, String)>,
+    /// Ground-truth record of `(client, req_id)` pairs whose dispatch handler
+    /// actually ran (minted an agent). Unlike the replay cache this is never
+    /// evicted: executing the same pair twice is exactly the non-idempotent
+    /// re-execution the replay cache exists to prevent, and the
+    /// `gateway.duplicate_executions` counter it feeds is the chaos suite's
+    /// no-duplicate-execution oracle.
+    dispatch_seen: HashSet<(NodeId, u64)>,
     /// Observability side table: journey context (trace id + journey root
     /// span, taken from the dispatch request) and the open `gateway.stage`
     /// span per agent. Kept outside [`MobileAgent`] so the agent wire format
@@ -174,6 +181,7 @@ impl GatewayNode {
             replay: HashMap::new(),
             replay_queue: VecDeque::new(),
             completed_queue: VecDeque::new(),
+            dispatch_seen: HashSet::new(),
             obs: HashMap::new(),
             log: Vec::new(),
             files: FileDirectory::new(64 << 20), // 64 MiB gateway disk budget
@@ -357,6 +365,12 @@ impl GatewayNode {
             ctx.metrics().bump("gateway.unauthorized", 1.0);
             self.respond(ctx, from, req, HttpStatus::Unauthorized, Vec::new());
             return;
+        }
+        if !self.dispatch_seen.insert((from, req.req_id)) {
+            // The handler is running a second time for the same request —
+            // a retransmission or duplicated packet slipped past the replay
+            // cache, and the non-idempotent step below re-executes.
+            ctx.metrics().bump("gateway.duplicate_executions", 1.0);
         }
         self.next_agent += 1;
         let agent_id = format!("ag-{}@{}", self.next_agent, self.config.name);

@@ -41,6 +41,11 @@
 //! * [`paging`] — alert routing: a paging gateway with declarative route
 //!   policies, retry/backoff, dedup and escalation, so the notification
 //!   path has its own simulable delivery SLO.
+//! * [`chaos`] — the fault-schedule engine: declarative [`chaos::ChaosPlan`]s
+//!   (partitions, loss/corruption/duplication/reorder bursts, crash windows,
+//!   clock skew, scrape blackouts) compiled into simulator events on salted
+//!   RNG streams so any run is byte-replayable from `(seed, plan)`, plus the
+//!   [`chaos::Invariant`] registry and the plan shrinker.
 //!
 //! Determinism: a simulation is a pure function of its seed and setup. All
 //! randomness flows from the seed; the event queue breaks time ties by
@@ -75,6 +80,7 @@
 //! assert!(sim.node_ref::<Caller>(caller).unwrap().reply_at.is_some());
 //! ```
 
+pub mod chaos;
 pub mod federation;
 pub mod http;
 pub mod link;
@@ -92,6 +98,10 @@ pub mod trace;
 
 /// Convenient glob import for protocol crates.
 pub mod prelude {
+    pub use crate::chaos::{
+        shrink_plan, ChaosInjector, ChaosPlan, CheckPhase, Fault, FaultKind, Invariant,
+        InvariantRegistry, Violation,
+    };
     pub use crate::federation::{
         FederationReport, FederationRollup, FederationScraper, FederationSpec,
     };
@@ -99,7 +109,7 @@ pub mod prelude {
     pub use crate::paging::{
         PageReceiver, PagingGateway, PagingReport, Route, RoutePolicy, Severity,
     };
-    pub use crate::link::LinkSpec;
+    pub use crate::link::{ChaosOverlay, LinkSpec};
     pub use crate::message::{Kind, Message};
     pub use crate::metrics::Metrics;
     pub use crate::obs::{Histogram, ObsContext, ObsEvent, ObsSummary};

@@ -158,10 +158,77 @@ impl LinkSpec {
 /// does — which is what lets the sharded engine split a topology across
 /// several simulators and still reproduce a single-simulator run bit for bit
 /// (see `DESIGN.md`, "Sharded simulation engine").
+/// Extra impairments a chaos fault layers on a link (both directions).
+/// Probabilities are per *logical send* (a fragment burst counts once, like
+/// the base loss draw). Draws come from dedicated per-direction chaos
+/// streams — never from the base loss/jitter streams — so installing an
+/// overlay whose probabilities are all zero consumes no randomness and
+/// leaves the base simulation byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosOverlay {
+    /// Extra drop probability (on top of the link's own loss).
+    pub loss: f64,
+    /// Probability the frame is corrupted in flight; the receiver's link
+    /// layer discards it on checksum (counted separately from loss).
+    pub corrupt: f64,
+    /// Probability the link delivers a second copy of the message.
+    pub duplicate: f64,
+    /// Probability the message is held back by an extra uniform delay in
+    /// `(0, window]`, letting later traffic overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay for reordered messages and duplicate copies.
+    pub window: SimDuration,
+}
+
+impl ChaosOverlay {
+    /// Does this overlay ever need a random draw?
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.corrupt > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0
+    }
+}
+
+/// The chaos layer's decision for one send. `drop`/`corrupt` kill the
+/// message (corrupt is a link-layer checksum discard — the protocol never
+/// sees a mangled payload, matching how real link CRCs surface corruption
+/// as loss). `extra_delay` is added to the arrival; `duplicate` is the
+/// extra offset of a second delivered copy, if any.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosVerdict {
+    /// Dropped by the extra-loss draw.
+    pub drop: bool,
+    /// Dropped by the corruption draw (link-layer checksum discard).
+    pub corrupt: bool,
+    /// Extra in-flight delay (reordering).
+    pub extra_delay: SimDuration,
+    /// Offset past the original arrival at which a duplicate copy lands.
+    pub duplicate: Option<SimDuration>,
+}
+
+impl ChaosVerdict {
+    /// Was the message killed outright?
+    pub fn killed(&self) -> bool {
+        self.drop || self.corrupt
+    }
+}
+
+/// Salt folded into chaos stream seeds so the chaos layer's per-direction
+/// streams never collide with the base loss/jitter streams.
+const CHAOS_STREAM_SALT: u64 = 0xC4A0_5F00_D15E_A5ED;
+
 #[derive(Debug, Default)]
 pub struct Topology {
     links: HashMap<(NodeId, NodeId), LinkSpec>,
     down: HashMap<(NodeId, NodeId), bool>,
+    /// Refcounted administrative cuts (chaos partitions). A link is usable
+    /// only while its count is zero, so overlapping cut windows heal at the
+    /// *max* end time — each window decrements once.
+    cuts: HashMap<(NodeId, NodeId), u32>,
+    /// Chaos overlays stacked per link, keyed by the installing fault's id
+    /// so overlapping bursts compose and remove independently.
+    overlays: HashMap<(NodeId, NodeId), Vec<(u64, ChaosOverlay)>>,
+    /// Lazily created per-direction chaos RNG streams (salted so they are
+    /// independent of the base `streams`).
+    chaos_streams: HashMap<(u64, u64), SimRng>,
     /// Per-direction serialization occupancy: a message must wait for the
     /// link to finish transmitting earlier messages (FIFO queueing). This is
     /// what turns "many concurrent requests" into the growing delays the
@@ -226,6 +293,18 @@ impl Topology {
         self.labels.get(&node).copied().unwrap_or(node as u64)
     }
 
+    /// Resolve a label back to the node carrying it (linear scan — called
+    /// only at fault-plan compile time, never on the message path). Labels
+    /// that were never explicitly set resolve through the id fallback.
+    pub fn node_by_label(&self, label: u64) -> Option<NodeId> {
+        if let Some((&node, _)) = self.labels.iter().find(|&(_, &l)| l == label) {
+            return Some(node);
+        }
+        // Fallback: an unlabelled node's label is its id.
+        let id = label as NodeId;
+        (!self.labels.contains_key(&id)).then_some(id)
+    }
+
     /// The RNG stream for the `from → to` direction.
     fn stream(&mut self, from: NodeId, to: NodeId) -> &mut SimRng {
         let key = (self.label(from), self.label(to));
@@ -254,10 +333,112 @@ impl Topology {
         self.down.insert(Self::key(a, b), !up);
     }
 
+    /// Refcounted cut: the link stays down until every [`Topology::heal`]
+    /// paired with a `cut` has run, so overlapping outage windows heal at
+    /// the latest end time instead of the first.
+    pub fn cut(&mut self, a: NodeId, b: NodeId) {
+        *self.cuts.entry(Self::key(a, b)).or_insert(0) += 1;
+    }
+
+    /// Undo one [`Topology::cut`]. Saturating: a stray heal never wedges
+    /// the link into a phantom "up while cut" state.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        let key = Self::key(a, b);
+        if let Some(n) = self.cuts.get_mut(&key) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.cuts.remove(&key);
+            }
+        }
+    }
+
     /// Is there a usable link between `a` and `b`?
     pub fn is_up(&self, a: NodeId, b: NodeId) -> bool {
         let key = Self::key(a, b);
-        self.links.contains_key(&key) && !self.down.get(&key).copied().unwrap_or(false)
+        self.links.contains_key(&key)
+            && !self.down.get(&key).copied().unwrap_or(false)
+            && (self.cuts.is_empty() || !self.cuts.contains_key(&key))
+    }
+
+    /// Install (or replace) the chaos overlay `fault` contributes to the
+    /// `a`↔`b` link. Overlays stack: concurrent faults on one link compose
+    /// probabilistically (independent draws folded into one effective
+    /// probability per category) and remove independently by fault id.
+    pub fn add_chaos(&mut self, a: NodeId, b: NodeId, fault: u64, overlay: ChaosOverlay) {
+        let stack = self.overlays.entry(Self::key(a, b)).or_default();
+        if let Some(slot) = stack.iter_mut().find(|(id, _)| *id == fault) {
+            slot.1 = overlay;
+        } else {
+            stack.push((fault, overlay));
+        }
+    }
+
+    /// Remove fault `fault`'s overlay from the `a`↔`b` link, if present.
+    pub fn remove_chaos(&mut self, a: NodeId, b: NodeId, fault: u64) {
+        let key = Self::key(a, b);
+        if let Some(stack) = self.overlays.get_mut(&key) {
+            stack.retain(|(id, _)| *id != fault);
+            if stack.is_empty() {
+                self.overlays.remove(&key);
+            }
+        }
+    }
+
+    /// The effective overlay on `a`↔`b` (stacked faults folded together:
+    /// `1 - Π(1-pᵢ)` per probability, max of the delay windows), or `None`
+    /// when no draw would ever be taken.
+    fn effective_overlay(&self, a: NodeId, b: NodeId) -> Option<ChaosOverlay> {
+        let stack = self.overlays.get(&Self::key(a, b))?;
+        let mut eff = ChaosOverlay::default();
+        for (_, o) in stack {
+            eff.loss = 1.0 - (1.0 - eff.loss) * (1.0 - o.loss.clamp(0.0, 1.0));
+            eff.corrupt = 1.0 - (1.0 - eff.corrupt) * (1.0 - o.corrupt.clamp(0.0, 1.0));
+            eff.duplicate = 1.0 - (1.0 - eff.duplicate) * (1.0 - o.duplicate.clamp(0.0, 1.0));
+            eff.reorder = 1.0 - (1.0 - eff.reorder) * (1.0 - o.reorder.clamp(0.0, 1.0));
+            eff.window = eff.window.max(o.window);
+        }
+        eff.is_active().then_some(eff)
+    }
+
+    /// One chaos decision for a message (or burst) already routed `from →
+    /// to`. Draw order is fixed — loss, corrupt, reorder(+delay),
+    /// duplicate(+delay) — and every `chance(0)` consumes nothing, so links
+    /// without an active overlay take zero draws and a zero-intensity plan
+    /// is byte-identical to no plan at all.
+    pub fn chaos_roll(&mut self, from: NodeId, to: NodeId) -> ChaosVerdict {
+        // One-branch fast path: no fault anywhere keeps the per-message cost
+        // of the chaos layer at a single `is_empty` check.
+        if self.overlays.is_empty() {
+            return ChaosVerdict::default();
+        }
+        let Some(eff) = self.effective_overlay(from, to) else {
+            return ChaosVerdict::default();
+        };
+        let key = (self.label(from), self.label(to));
+        let seed = self.seed ^ CHAOS_STREAM_SALT;
+        let rng = self
+            .chaos_streams
+            .entry(key)
+            .or_insert_with(|| SimRng::new(stream_seed(seed, key.0, key.1)));
+        let mut v = ChaosVerdict::default();
+        if rng.chance(eff.loss) {
+            v.drop = true;
+            return v;
+        }
+        if rng.chance(eff.corrupt) {
+            v.corrupt = true;
+            return v;
+        }
+        // Window floor of 1 µs keeps reordered/duplicate arrivals strictly
+        // after the original even for degenerate plans.
+        let window = eff.window.max(SimDuration::from_micros(1));
+        if rng.chance(eff.reorder) {
+            v.extra_delay = rng.uniform_duration(SimDuration::from_micros(1), window);
+        }
+        if rng.chance(eff.duplicate) {
+            v.duplicate = Some(rng.uniform_duration(SimDuration::from_micros(1), window));
+        }
+        v
     }
 
     /// The link spec between `a` and `b`, if connected (regardless of

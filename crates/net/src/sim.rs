@@ -15,7 +15,7 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
-use crate::link::{LinkSpec, Topology};
+use crate::link::{ChaosOverlay, LinkSpec, Topology};
 use crate::message::Message;
 use crate::metrics::{Metrics, MetricsRegistry};
 use crate::obs::{Collector, ObsEvent, ObsSummary};
@@ -117,6 +117,19 @@ pub struct Ctx<'a> {
     burst_scratch: &'a mut Vec<SimDuration>,
     mtu: Option<usize>,
     batch_links: bool,
+    paused: &'a mut HashSet<NodeId>,
+    parked: &'a mut Vec<ParkedTimer>,
+    skews: &'a mut HashMap<NodeId, f64>,
+}
+
+/// A timer that came due while its node was paused by a chaos crash
+/// window: parked in dispatch order, re-fired on resume.
+#[derive(Debug, Clone, Copy)]
+struct ParkedTimer {
+    at: SimTime,
+    node: NodeId,
+    tag: u64,
+    id: TimerId,
 }
 
 impl Ctx<'_> {
@@ -196,15 +209,47 @@ impl Ctx<'_> {
         };
         match delay {
             Some(delay) => {
-                let at = self.now + delay;
+                // The chaos layer rides on top of the base link decision:
+                // extra loss / checksum discard / reorder hold-back /
+                // duplication, drawn from dedicated salted streams so links
+                // without an active overlay consume no randomness here.
+                let verdict = self.topology.chaos_roll(self.self_id, to);
+                if verdict.killed() {
+                    let me = self.metrics.node_mut(self.self_id);
+                    me.msgs_dropped += 1;
+                    me.bump(
+                        if verdict.corrupt { "chaos.corrupt_drops" } else { "chaos.loss_drops" },
+                        1.0,
+                    );
+                    return false;
+                }
+                if verdict.extra_delay > SimDuration::ZERO {
+                    self.metrics.node_mut(self.self_id).bump("chaos.reorders", 1.0);
+                }
+                let at = self.now + delay + verdict.extra_delay;
+                let copy_at = verdict.duplicate.map(|extra| {
+                    self.metrics.node_mut(self.self_id).bump("chaos.dups", 1.0);
+                    at + extra
+                });
                 if self.remote_ids.contains(&to) {
-                    self.outbox.push(Outbound {
-                        at,
-                        from_label: self.topology.label(self.self_id),
-                        to_label: self.topology.label(to),
-                        msg,
-                    });
+                    let from_label = self.topology.label(self.self_id);
+                    let to_label = self.topology.label(to);
+                    if let Some(copy_at) = copy_at {
+                        self.outbox.push(Outbound {
+                            at: copy_at,
+                            from_label,
+                            to_label,
+                            msg: msg.clone(),
+                        });
+                    }
+                    self.outbox.push(Outbound { at, from_label, to_label, msg });
                 } else {
+                    if let Some(copy_at) = copy_at {
+                        self.push(
+                            copy_at,
+                            EventKind::Deliver { to, from: self.self_id, msg: msg.clone() },
+                        );
+                    }
                     self.push(at, EventKind::Deliver { to, from: self.self_id, msg });
                 }
                 true
@@ -220,6 +265,19 @@ impl Ctx<'_> {
     /// [`Node::on_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(self.timers.arm());
+        // Clock skew (chaos fault): a skewed node's timers stretch by the
+        // current factor, modeling a drifting local clock. The factor is a
+        // pure function of the fault plan, so skewed runs stay replayable.
+        let delay = if self.skews.is_empty() {
+            delay
+        } else {
+            match self.skews.get(&self.self_id) {
+                Some(&f) if f != 1.0 => {
+                    SimDuration::from_micros((delay.as_micros() as f64 * f).round() as u64)
+                }
+                _ => delay,
+            }
+        };
         let at = self.now + delay;
         self.push(at, EventKind::Timer { node: self.self_id, tag, id });
         id
@@ -272,6 +330,90 @@ impl Ctx<'_> {
     /// failure-injection scenarios and by devices modeling disconnection).
     pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
         self.topology.set_up(a, b, up);
+    }
+
+    /// Refcounted link cut (see [`Topology::cut`]): overlapping cut windows
+    /// heal at the max end time, one [`Ctx::heal_link`] per cut.
+    pub fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.topology.cut(a, b);
+    }
+
+    /// Undo one [`Ctx::cut_link`].
+    pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
+        self.topology.heal(a, b);
+    }
+
+    /// Install fault `fault`'s chaos overlay on the `a`↔`b` link (see
+    /// [`crate::link::ChaosOverlay`]).
+    pub fn add_link_chaos(&mut self, a: NodeId, b: NodeId, fault: u64, overlay: ChaosOverlay) {
+        self.topology.add_chaos(a, b, fault, overlay);
+    }
+
+    /// Remove fault `fault`'s overlay from the `a`↔`b` link.
+    pub fn remove_link_chaos(&mut self, a: NodeId, b: NodeId, fault: u64) {
+        self.topology.remove_chaos(a, b, fault);
+    }
+
+    /// Pause `node` (chaos "crash" window): its deliveries are dropped at
+    /// the link layer and its timers are parked until [`Ctx::resume_node`].
+    /// Pausing is delivery-side, so the decision is a pure function of the
+    /// fault plan and the (partition-invariant) arrival times.
+    pub fn pause_node(&mut self, node: NodeId) {
+        self.paused.insert(node);
+    }
+
+    /// Resume a paused node: parked timers re-fire now (in their original
+    /// order), modeling the process coming back with its state intact.
+    pub fn resume_node(&mut self, node: NodeId) {
+        if !self.paused.remove(&node) {
+            return;
+        }
+        let now = self.now;
+        let mut due = Vec::new();
+        self.parked.retain(|p| {
+            if p.node == node {
+                due.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        for p in due {
+            let fire = p.at.max(now);
+            *self.seq += 1;
+            self.queue.push(
+                fire.0,
+                *self.seq,
+                EventKind::Timer { node: p.node, tag: p.tag, id: p.id },
+            );
+        }
+    }
+
+    /// Is `node` currently paused by a chaos crash window?
+    pub fn node_paused(&self, node: NodeId) -> bool {
+        self.paused.contains(&node)
+    }
+
+    /// Set (or clear, with `1.0`) the clock-skew factor applied to every
+    /// timer `node` arms from now on.
+    pub fn set_clock_skew(&mut self, node: NodeId, factor: f64) {
+        if factor == 1.0 {
+            self.skews.remove(&node);
+        } else {
+            self.skews.insert(node, factor);
+        }
+    }
+
+    /// Resolve a stable label back to the local node (or remote
+    /// placeholder) carrying it, if any. Fault plans reference nodes by
+    /// label so a plan means the same thing under every partitioning.
+    pub fn node_by_label(&self, label: u64) -> Option<NodeId> {
+        self.topology.node_by_label(label)
+    }
+
+    /// Is `node` a remote placeholder (hosted by another shard)?
+    pub fn is_remote(&self, node: NodeId) -> bool {
+        self.remote_ids.contains(&node)
     }
 
     /// Is the link between two nodes currently usable?
@@ -401,6 +543,13 @@ pub struct Simulator {
     /// High-water mark of the event queue, sampled per dispatch from the
     /// queue's O(1) occupancy counter.
     peak_queue: usize,
+    /// Nodes currently inside a chaos crash window (see
+    /// [`Ctx::pause_node`]): their deliveries drop, their timers park.
+    paused: HashSet<NodeId>,
+    /// Timers parked while their node was paused, in dispatch order.
+    parked: Vec<ParkedTimer>,
+    /// Per-node clock-skew factors (chaos fault; absent = 1.0).
+    skews: HashMap<NodeId, f64>,
     /// Safety valve against runaway protocols.
     pub max_events: u64,
 }
@@ -430,6 +579,9 @@ impl Simulator {
             batch_links: true,
             burst_scratch: Vec::new(),
             peak_queue: 0,
+            paused: HashSet::new(),
+            parked: Vec::new(),
+            skews: HashMap::new(),
             max_events: 50_000_000,
         }
     }
@@ -678,6 +830,23 @@ impl Simulator {
                     self.metrics.node_mut(from).bump("link.fragments", 1.0);
                     return;
                 }
+                // A paused ("crashed") node loses in-flight deliveries and
+                // parks its timers. Deliveries are judged at arrival time —
+                // a pure function of the fault plan plus partition-invariant
+                // delivery times — so the drop set is identical under every
+                // sharding. Timers are always local to the owning shard.
+                EventKind::Deliver { to, .. }
+                    if !self.paused.is_empty() && self.paused.contains(&to) =>
+                {
+                    self.metrics.node_mut(to).bump("chaos.crash_drops", 1.0);
+                    return;
+                }
+                EventKind::Timer { node, tag, id }
+                    if !self.paused.is_empty() && self.paused.contains(&node) =>
+                {
+                    self.parked.push(ParkedTimer { at: time, node, tag, id });
+                    return;
+                }
                 EventKind::Deliver { to, from, msg } => {
                     {
                         let m = self.metrics.node_mut(to);
@@ -724,6 +893,9 @@ impl Simulator {
             burst_scratch: &mut self.burst_scratch,
             mtu: self.mtu,
             batch_links: self.batch_links,
+            paused: &mut self.paused,
+            parked: &mut self.parked,
+            skews: &mut self.skews,
         };
         action(node.as_mut(), &mut ctx);
         self.nodes[node_id] = Some(node);

@@ -35,6 +35,16 @@ SOAK_SAMPLE=0 ./target/release/soak 64 1,2 > /dev/null
 cargo build --release -p pdagent-bench --bin fed_bench
 ./target/release/fed_bench 300 12 42 > /dev/null
 
+# Chaos-matrix smoke: a small fixed-seed fault grid (four classes, one
+# intensity, 1 vs 2 shards) through every system invariant. Any violation
+# exits nonzero after shrinking the plan to a replayable reproducer under
+# target/chaos/ (uploaded as a CI artifact). SOAK_CHAOS=1 additionally rides
+# a mixed fault schedule on the soak itself and holds the same invariants.
+cargo build --release -p pdagent-bench --bin chaos
+./target/release/chaos --classes partition,loss,duplicate,crash \
+    --intensities 0.5 --seeds 42 --shards 1,2 > /dev/null
+SOAK_CHAOS=1 ./target/release/soak 64 1,2 > /dev/null
+
 # Event-scheduler smoke: the wheel-vs-heap replay must pop byte-identical
 # (time, seq) streams (the binary exits nonzero on divergence), and the
 # criterion event-loop benches must run clean.
